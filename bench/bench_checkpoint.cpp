@@ -1,0 +1,119 @@
+// Checkpointing cost/benefit (paper §3.4): light checkpoints are cheap
+// ("does not require a lot of disk space") while heavy ones ship the
+// learned clauses ("about .5 Gigabytes per client" at paper scale). This
+// bench runs the same campaign under none/light/heavy checkpointing and
+// reports the wire bytes spent on checkpoints and the runtime overhead;
+// a second pass kills a busy client mid-run and shows what each mode
+// recovers.
+//
+//   ./bench_checkpoint
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/testbeds.hpp"
+#include "gen/suite.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+
+using namespace gridsat;  // NOLINT
+
+namespace {
+
+struct Run {
+  core::GridSatResult result;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t checkpoint_msgs = 0;
+};
+
+Run run_campaign(const cnf::CnfFormula& f, core::CheckpointMode mode,
+                 bool recover, double kill_at, std::uint64_t seed) {
+  core::GridSatConfig config;
+  config.solver.reduce_base = 1u << 30;
+  config.share_max_len = 10;
+  config.split_timeout_s = 100.0;
+  config.overall_timeout_s = 12000.0;
+  config.min_client_memory = 1 << 20;
+  config.checkpoint = mode;
+  config.checkpoint_interval_s = 60.0;
+  config.recover_from_checkpoints = recover;
+  config.seed = seed;
+  core::Campaign campaign(f, core::testbeds::kMasterSite,
+                          core::testbeds::grads34(), config);
+  campaign.bus().enable_trace();
+  if (kill_at > 0) campaign.schedule_client_failure(0, kill_at);
+  Run run;
+  run.result = campaign.run();
+  for (const auto& record : campaign.bus().trace()) {
+    if (record.kind == "CHECKPOINT") {
+      ++run.checkpoint_msgs;
+      run.checkpoint_bytes += record.bytes;
+    }
+  }
+  return run;
+}
+
+const char* mode_name(core::CheckpointMode mode) {
+  switch (mode) {
+    case core::CheckpointMode::kNone: return "none";
+    case core::CheckpointMode::kLight: return "light";
+    case core::CheckpointMode::kHeavy: return "heavy";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_str("instance", "homer12.cnf", "suite row to solve");
+  flags.define_i64("seed", 2003, "campaign seed");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage("bench_checkpoint").c_str(), stderr);
+    return 2;
+  }
+  const auto& row = gen::suite::by_name(flags.str("instance"));
+  const cnf::CnfFormula f = row.make();
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+
+  std::printf("Checkpointing overhead on %s (%s)\n\n", row.paper_name.c_str(),
+              row.analog.c_str());
+  std::printf("%-8s %-10s %-10s %-12s %-14s %s\n", "mode", "verdict",
+              "seconds", "ckpt msgs", "ckpt bytes", "overhead");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  double baseline = 0.0;
+  for (const auto mode :
+       {core::CheckpointMode::kNone, core::CheckpointMode::kLight,
+        core::CheckpointMode::kHeavy}) {
+    const Run run = run_campaign(f, mode, false, 0.0, seed);
+    if (mode == core::CheckpointMode::kNone) baseline = run.result.seconds;
+    char overhead[24] = "-";
+    if (baseline > 0) {
+      std::snprintf(overhead, sizeof overhead, "%+.1f%%",
+                    100.0 * (run.result.seconds - baseline) / baseline);
+    }
+    std::printf("%-8s %-10s %-10.0f %-12llu %-14s %s\n", mode_name(mode),
+                to_string(run.result.status), run.result.seconds,
+                static_cast<unsigned long long>(run.checkpoint_msgs),
+                util::format_bytes(static_cast<double>(run.checkpoint_bytes))
+                    .c_str(),
+                overhead);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nWith the root client killed at t=120 s (recovery on):\n");
+  std::printf("%-8s %-10s %-10s %-12s\n", "mode", "verdict", "seconds",
+              "recoveries");
+  std::printf("%s\n", std::string(46, '-').c_str());
+  for (const auto mode :
+       {core::CheckpointMode::kNone, core::CheckpointMode::kLight,
+        core::CheckpointMode::kHeavy}) {
+    const Run run = run_campaign(f, mode, true, 120.0, seed);
+    std::printf("%-8s %-10s %-10.0f %llu\n", mode_name(mode),
+                to_string(run.result.status), run.result.seconds,
+                static_cast<unsigned long long>(
+                    run.result.checkpoint_recoveries));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation D (DESIGN.md): speedup vs resource-pool size, the §4.2 claim
+// that "more resources ... can cover more of the search space during the
+// same time". Runs one hard instance on growing prefixes of the GrADS-34
+// testbed and reports time-to-verdict, splits, and parallel efficiency.
+//
+//   ./bench_scaling
+//   ./bench_scaling --instance=rand_net50-60-5.cnf
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/sequential.hpp"
+#include "core/testbeds.hpp"
+#include "gen/suite.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+
+using namespace gridsat;  // NOLINT
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_str("instance", "rand_net50-60-5.cnf", "suite row to solve");
+  flags.define_str("pools", "1,2,4,8,16,24,34", "pool sizes to sweep");
+  flags.define_i64("seed", 2003, "campaign seed");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage("bench_scaling").c_str(), stderr);
+    return 2;
+  }
+
+  const auto& row = gen::suite::by_name(flags.str("instance"));
+  const cnf::CnfFormula formula = row.make();
+
+  core::SequentialOptions seq_options;
+  seq_options.host = core::testbeds::fastest_dedicated();
+  seq_options.timeout_s = 1e9;
+  seq_options.solver.reduce_base = 1u << 30;
+  const double seq_seconds = core::run_sequential(formula, seq_options).seconds;
+
+  std::printf("Pool-size scaling on %s (%s)\n", row.paper_name.c_str(),
+              row.analog.c_str());
+  std::printf("sequential comparator (fastest dedicated host): %.0f s\n\n",
+              seq_seconds);
+  std::printf("%-8s %-10s %-10s %-10s %-10s %-8s %s\n", "hosts", "verdict",
+              "seconds", "speedup", "efficiency", "splits", "max clients");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  const auto all_hosts = core::testbeds::grads34();
+  for (const auto& token : util::split(flags.str("pools"), ',')) {
+    long long pool = 0;
+    if (!util::parse_i64(token, pool) || pool < 1 ||
+        pool > static_cast<long long>(all_hosts.size())) {
+      continue;
+    }
+    const std::vector<sim::HostSpec> hosts(all_hosts.begin(),
+                                           all_hosts.begin() + pool);
+    core::GridSatConfig config;
+    config.solver.reduce_base = 1u << 30;
+    config.share_max_len = 10;
+    config.split_timeout_s = 100.0;
+    config.overall_timeout_s = 200000.0;
+    config.min_client_memory = 1 << 20;
+    config.seed = static_cast<std::uint64_t>(flags.i64("seed"));
+    core::Campaign campaign(formula, core::testbeds::kMasterSite, hosts,
+                            config);
+    const core::GridSatResult result = campaign.run();
+    char speedup[24] = "-";
+    char efficiency[24] = "-";
+    if (result.status == core::CampaignStatus::kSat ||
+        result.status == core::CampaignStatus::kUnsat) {
+      std::snprintf(speedup, sizeof speedup, "%.2f",
+                    seq_seconds / result.seconds);
+      std::snprintf(efficiency, sizeof efficiency, "%.2f",
+                    seq_seconds / result.seconds /
+                        static_cast<double>(pool));
+    }
+    std::printf("%-8lld %-10s %-10.0f %-10s %-10s %-8llu %zu\n", pool,
+                to_string(result.status), result.seconds, speedup, efficiency,
+                static_cast<unsigned long long>(result.total_splits),
+                result.max_active_clients);
+    std::fflush(stdout);
+  }
+  return 0;
+}

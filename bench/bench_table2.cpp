@@ -1,0 +1,185 @@
+// Reproduces Table 2 of the paper: the nine "remaining problems" rerun on
+// the trimmed testbed (27 machines: UIUC cluster + UCSD + UCSB desktops,
+// slow PIIs removed), clause-share length 3, with a 100-node Blue Horizon
+// batch job submitted at launch (~33 h mean queue wait, 12 h cap; the run
+// terminates when the job expires; the job is cancelled if the problem is
+// solved first).
+//
+// Scaling: the full paper protocol spans ~45 virtual hours per unsolved
+// row and 100 8-way nodes. By default this bench runs the same protocol
+// at --scale=0.3 of the wall-clock constants and 10 batch nodes, and
+// reports times re-inflated to paper scale; pass --scale=1 --bh-nodes=100
+// for the unscaled protocol (hours of CPU). EXPERIMENTS.md discusses why
+// the shape is preserved.
+//
+// For the par32-1-c analog the paper also reports a Blue-Horizon-alone
+// control run and the processor-hours the grid saved; this bench repeats
+// that comparison.
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/testbeds.hpp"
+#include "gen/suite.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+
+using namespace gridsat;  // NOLINT
+
+namespace {
+
+struct Table2Outcome {
+  core::GridSatResult result;
+  double scale;
+
+  [[nodiscard]] double paper_scale_seconds() const {
+    return result.seconds / scale;
+  }
+};
+
+core::GridSatConfig table2_config(double scale, std::uint64_t seed) {
+  core::GridSatConfig config;
+  config.solver.reduce_base = 1u << 30;  // 2003-era DB policy
+  config.share_max_len = 3;              // second experiment set (§4)
+  config.split_timeout_s = 100.0 * scale;
+  config.overall_timeout_s = 1e12;  // the batch job bounds the run
+  config.min_client_memory = 1 << 20;
+  config.seed = seed;
+  return config;
+}
+
+core::BatchOptions make_batch(double scale, std::size_t nodes,
+                              std::uint64_t seed) {
+  core::BatchOptions batch;
+  batch.spec.name = "bluehorizon";
+  batch.spec.mean_queue_wait_s = 33.0 * 3600.0 * scale;
+  batch.spec.seed = seed;
+  batch.node_hosts = core::testbeds::blue_horizon(nodes, seed);
+  batch.max_duration_s = 12.0 * 3600.0 * scale;
+  batch.terminate_on_expiry = true;
+  return batch;
+}
+
+Table2Outcome run_row(const gen::suite::SuiteInstance& row, double scale,
+                      std::size_t bh_nodes, std::uint64_t seed,
+                      bool grid_hosts_present, double duration_factor = 1.0) {
+  const cnf::CnfFormula formula = row.make();
+  std::vector<sim::HostSpec> hosts;
+  if (grid_hosts_present) hosts = core::testbeds::grads27_ucsb();
+  core::Campaign campaign(formula, core::testbeds::kMasterSite, hosts,
+                          table2_config(scale, seed));
+  core::BatchOptions batch = make_batch(scale, bh_nodes, seed);
+  batch.max_duration_s *= duration_factor;  // the BH-alone control resubmits
+                                            // until the instance completes
+  campaign.set_batch(std::move(batch));
+  Table2Outcome outcome{campaign.run(), scale};
+  return outcome;
+}
+
+std::string outcome_cell(const Table2Outcome& outcome) {
+  const auto& r = outcome.result;
+  if (r.status == core::CampaignStatus::kSat ||
+      r.status == core::CampaignStatus::kUnsat) {
+    if (r.batch_started && r.batch_run_s > 0) {
+      // The par32 pattern: part on the grid, part on Blue Horizon.
+      return util::format_duration((r.seconds - r.batch_run_s) /
+                                   outcome.scale) +
+             " + (" + util::format_duration(r.batch_run_s / outcome.scale) +
+             " on BH)";
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.0f", outcome.paper_scale_seconds());
+    return buf;
+  }
+  return "X";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_f64("scale", 0.3, "wall-clock scale vs the paper protocol");
+  flags.define_i64("bh-nodes", 10, "Blue Horizon nodes granted to the job");
+  flags.define_i64("seed", 2003, "campaign + queue seed");
+  flags.define_str("row", "", "only rows whose paper name contains this");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage("bench_table2").c_str(), stderr);
+    return 2;
+  }
+  const double scale = flags.f64("scale");
+  const auto bh_nodes = static_cast<std::size_t>(flags.i64("bh-nodes"));
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const std::string filter = flags.str("row");
+
+  std::printf("Table 2 reproduction: trimmed testbed (27 hosts) + Blue "
+              "Horizon batch job\n");
+  std::printf("(share len 3, %zu BH nodes, clock scale %.2f; times "
+              "re-inflated to paper scale; paper values in parentheses)\n\n",
+              bh_nodes, scale);
+  std::printf("%-32s %-8s %-28s %s\n", "File name", "Status",
+              "GridSAT", "Notes");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  for (const auto& row : gen::suite::table2()) {
+    if (!filter.empty() &&
+        row.paper_name.find(filter) == std::string::npos) {
+      continue;
+    }
+    const Table2Outcome outcome = run_row(row, scale, bh_nodes, seed, true);
+    const auto& r = outcome.result;
+    std::string notes;
+    if (r.batch_cancelled && !r.batch_started) {
+      notes = "solved before BH job started; job cancelled";
+    } else if (r.batch_started && r.status != core::CampaignStatus::kTimeout) {
+      notes = "BH nodes joined after " +
+              util::format_duration(r.batch_queue_wait_s / scale) +
+              " in queue";
+    } else if (r.status == core::CampaignStatus::kTimeout) {
+      notes = "not solved by BH job end";
+    }
+    std::string paper;
+    if (row.paper_gridsat_s == gen::suite::kNotSolved) {
+      paper = "X";
+    } else if (row.paper_name == "par32-1-c.cnf") {
+      paper = "33hrs+(8hrs on BH)";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.0f", row.paper_gridsat_s);
+      paper = buf;  // the paper prints raw seconds for these rows
+    }
+    char status_col[16];
+    std::snprintf(status_col, sizeof status_col, "%s%s",
+                  to_string(row.paper_status), row.open_problem ? "*" : "");
+    std::printf("%-32s %-8s %-28s (%s)  %s\n", row.paper_name.c_str(),
+                status_col, outcome_cell(outcome).c_str(), paper.c_str(),
+                notes.c_str());
+    std::fflush(stdout);
+  }
+
+  // --- The Blue-Horizon-alone control for the par32 analog --------------
+  std::printf("\n--- par32-1-c.cnf control: Blue Horizon alone (no grid "
+              "hosts) ---\n");
+  const auto& par32 = gen::suite::by_name("par32-1-c.cnf");
+  const Table2Outcome with_grid = run_row(par32, scale, bh_nodes, seed, true);
+  // The paper re-launched on Blue Horizon alone and let it run to the
+  // answer (~12 h); emulate the resubmission by lifting the job cap.
+  const Table2Outcome bh_alone =
+      run_row(par32, scale, bh_nodes, seed, false, /*duration_factor=*/8.0);
+  std::printf("grid + BH : %s\n", outcome_cell(with_grid).c_str());
+  std::printf("BH alone  : %s\n", outcome_cell(bh_alone).c_str());
+  if (with_grid.result.batch_started && bh_alone.result.batch_started &&
+      with_grid.result.status != core::CampaignStatus::kTimeout &&
+      bh_alone.result.status != core::CampaignStatus::kTimeout) {
+    const double bh_hours_with_grid =
+        with_grid.result.batch_run_s / scale / 3600.0;
+    const double bh_hours_alone = bh_alone.result.batch_run_s / scale / 3600.0;
+    const double cpus_per_node = 8.0;
+    const double saved = (bh_hours_alone - bh_hours_with_grid) *
+                         cpus_per_node * static_cast<double>(bh_nodes) *
+                         (100.0 / static_cast<double>(bh_nodes));
+    std::printf("grid saved ~%.0f Blue Horizon processor-hours at paper "
+                "scale (paper: (12-8)h x 8 cpus x 100 nodes = 3200)\n",
+                saved);
+  }
+  return 0;
+}

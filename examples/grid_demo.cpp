@@ -1,0 +1,76 @@
+// Grid campaign demo — runs GridSAT on a small simulated testbed with
+// protocol tracing enabled and prints the Figure-3 split scenario as it
+// actually happened on the (virtual) wire, followed by the campaign
+// summary.
+//
+// Run:  ./grid_demo
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "core/testbeds.hpp"
+#include "gen/graph_color.hpp"
+#include "gen/pigeonhole.hpp"
+#include "util/strings.hpp"
+
+using namespace gridsat;  // NOLINT
+
+int main() {
+  // A hard UNSAT instance so the scheduler has real work to distribute.
+  const cnf::CnfFormula formula = gen::pigeonhole_unsat(8);
+
+  core::GridSatConfig config;
+  config.split_timeout_s = 5.0;  // aggressive splitting for the demo
+  config.overall_timeout_s = 100000.0;
+  config.min_client_memory = 1 << 20;
+
+  std::vector<sim::HostSpec> hosts;
+  for (int i = 0; i < 6; ++i) {
+    sim::HostSpec spec;
+    spec.name = "node" + std::to_string(i);
+    spec.site = i < 3 ? "utk" : "ucsd";
+    spec.speed = 3000.0 + 600.0 * i;
+    spec.memory_bytes = 8u << 20;
+    spec.base_load = 0.2;
+    spec.load_jitter = 0.1;
+    spec.seed = 40 + i;
+    hosts.push_back(spec);
+  }
+
+  core::Campaign campaign(formula, "ucsd", hosts, config);
+  campaign.bus().enable_trace();
+  const core::GridSatResult result = campaign.run();
+
+  std::printf("--- first split scenario on the wire (cf. Figure 3) ---\n");
+  int shown = 0;
+  for (const auto& record : campaign.bus().trace()) {
+    if (record.kind == "CLAUSES" || record.kind == "LAUNCH" ||
+        record.kind == "REGISTER") {
+      continue;  // keep the listing focused on the split protocol
+    }
+    std::printf("  t=%8.2fs  %-16s %-14s -> %-14s %10s  (+%.2fs wire)\n",
+                record.sent_at, record.kind.c_str(), record.from.c_str(),
+                record.to.c_str(),
+                util::format_bytes(static_cast<double>(record.bytes)).c_str(),
+                record.delivered_at - record.sent_at);
+    if (++shown >= 14) break;
+  }
+
+  std::printf("\n--- campaign summary ---\n");
+  std::printf("verdict            : %s\n", to_string(result.status));
+  std::printf("virtual time       : %s\n",
+              util::format_duration(result.seconds).c_str());
+  std::printf("max active clients : %zu\n", result.max_active_clients);
+  std::printf("splits / migrations: %llu / %llu\n",
+              static_cast<unsigned long long>(result.total_splits),
+              static_cast<unsigned long long>(result.migrations));
+  std::printf("messages / bytes   : %llu / %s\n",
+              static_cast<unsigned long long>(result.messages),
+              util::format_bytes(static_cast<double>(result.bytes_transferred))
+                  .c_str());
+  std::printf("clauses shared     : %llu (in %llu batches)\n",
+              static_cast<unsigned long long>(result.clauses_shared),
+              static_cast<unsigned long long>(result.clause_batches_shared));
+  std::printf("total solver work  : %llu units\n",
+              static_cast<unsigned long long>(result.total_work));
+  return result.status == core::CampaignStatus::kUnsat ? 0 : 1;
+}

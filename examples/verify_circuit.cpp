@@ -1,0 +1,72 @@
+// Mini hardware model checker: picks one of the built-in sequential
+// circuits (token-ring arbiter, LFSR equivalence miter, counter),
+// unrolls it frame by frame, and checks the safety property at each
+// depth — the workflow that produced the paper's industrial instances,
+// driven here by the thread-parallel GridSAT-style solver.
+//
+//   ./verify_circuit                       # arbiter, intact, depth 12
+//   ./verify_circuit --model=lfsr --bug --depth=8 --threads=4
+#include <cstdio>
+#include <string>
+
+#include "gen/bmc.hpp"
+#include "solver/parallel.hpp"
+#include "util/flags.hpp"
+
+using namespace gridsat;  // NOLINT
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_str("model", "arbiter", "arbiter | lfsr | counter");
+  flags.define_bool("bug", false, "plant the model's known bug");
+  flags.define_i64("size", 5, "stations / register bits / counter bits");
+  flags.define_i64("depth", 12, "maximum unrolling depth");
+  flags.define_i64("threads", 2, "solver threads");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage("verify_circuit").c_str(), stderr);
+    return 2;
+  }
+  const auto size = static_cast<std::size_t>(flags.i64("size"));
+  const bool bug = flags.boolean("bug");
+
+  gen::Netlist netlist;
+  if (flags.str("model") == "arbiter") {
+    netlist = gen::token_ring_arbiter(size, bug);
+    std::printf("model: %zu-station token-ring arbiter%s\n", size,
+                bug ? " (double token planted)" : "");
+  } else if (flags.str("model") == "lfsr") {
+    netlist = gen::lfsr_equivalence(size, bug);
+    std::printf("model: %zu-bit LFSR equivalence miter%s\n", size,
+                bug ? " (feedback bug planted)" : "");
+  } else if (flags.str("model") == "counter") {
+    netlist = gen::counter_overflow(size);
+    std::printf("model: %zu-bit counter overflow (reachable at depth %zu)\n",
+                size, (std::size_t{1} << size) - 1);
+  } else {
+    std::fprintf(stderr, "unknown model '%s'\n", flags.str("model").c_str());
+    return 2;
+  }
+  std::printf("netlist: %zu inputs, %zu latches, %zu gates\n\n",
+              netlist.num_inputs(), netlist.num_latches(),
+              netlist.num_gates());
+
+  solver::ParallelOptions options;
+  options.num_threads = static_cast<std::size_t>(flags.i64("threads"));
+  for (std::size_t depth = 0;
+       depth <= static_cast<std::size_t>(flags.i64("depth")); ++depth) {
+    const cnf::CnfFormula f = netlist.unroll(depth);
+    solver::ParallelSolver checker(f, options);
+    const solver::ParallelResult result = checker.solve();
+    if (result.status == solver::SolveStatus::kSat) {
+      std::printf("depth %2zu: VIOLATED — the bad signal is reachable "
+                  "(%u vars, %zu clauses)\n",
+                  depth, f.num_vars(), f.num_clauses());
+      return 1;
+    }
+    std::printf("depth %2zu: safe      (%u vars, %zu clauses)\n", depth,
+                f.num_vars(), f.num_clauses());
+  }
+  std::printf("\nno violation within the bound — property holds up to "
+              "depth %lld\n", static_cast<long long>(flags.i64("depth")));
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "cnf/dimacs.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace gridsat::cnf {
+
+namespace {
+using util::split_ws;
+using util::starts_with;
+using util::trim;
+}  // namespace
+
+CnfFormula parse_dimacs(std::istream& in) {
+  CnfFormula formula;
+  bool saw_problem_line = false;
+  long long declared_vars = 0;
+  long long declared_clauses = 0;
+  Clause current;
+  std::string comment;
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view text = trim(line);
+    if (text.empty()) continue;
+    if (text[0] == 'c') {
+      std::string_view body = text.substr(1);
+      if (!body.empty() && body[0] == ' ') body.remove_prefix(1);
+      if (!comment.empty()) comment += '\n';
+      comment += std::string(body);
+      continue;
+    }
+    if (text[0] == '%') break;  // SATLIB epilogue
+    if (text[0] == 'p') {
+      if (saw_problem_line) {
+        throw DimacsError("duplicate problem line at line " +
+                          std::to_string(line_no));
+      }
+      const auto fields = split_ws(text);
+      if (fields.size() != 4 || fields[1] != "cnf") {
+        throw DimacsError("malformed problem line at line " +
+                          std::to_string(line_no) + ": '" +
+                          std::string(text) + "'");
+      }
+      if (!util::parse_i64(fields[2], declared_vars) ||
+          !util::parse_i64(fields[3], declared_clauses) || declared_vars < 0 ||
+          declared_clauses < 0) {
+        throw DimacsError("bad counts in problem line at line " +
+                          std::to_string(line_no));
+      }
+      formula.ensure_vars(static_cast<Var>(declared_vars));
+      saw_problem_line = true;
+      continue;
+    }
+    if (!saw_problem_line) {
+      throw DimacsError("clause data before problem line at line " +
+                        std::to_string(line_no));
+    }
+    for (const auto& token : split_ws(text)) {
+      long long v = 0;
+      if (!util::parse_i64(token, v)) {
+        throw DimacsError("non-numeric token '" + token + "' at line " +
+                          std::to_string(line_no));
+      }
+      if (v == 0) {
+        formula.add_clause(std::move(current));
+        current.clear();
+        continue;
+      }
+      if (v > static_cast<long long>(std::uint32_t(-1) >> 1) ||
+          -v > static_cast<long long>(std::uint32_t(-1) >> 1)) {
+        throw DimacsError("literal out of range at line " +
+                          std::to_string(line_no));
+      }
+      current.push_back(Lit::from_dimacs(v));
+    }
+  }
+
+  if (!saw_problem_line) throw DimacsError("missing problem line");
+  if (!current.empty()) {
+    // Tolerate a missing final 0, as several competition files do.
+    formula.add_clause(std::move(current));
+  }
+  if (declared_clauses != 0 &&
+      static_cast<long long>(formula.num_clauses()) != declared_clauses) {
+    comment += (comment.empty() ? "" : "\n");
+    comment += "warning: header declared " + std::to_string(declared_clauses) +
+               " clauses, file contains " +
+               std::to_string(formula.num_clauses());
+  }
+  formula.set_comment(std::move(comment));
+  return formula;
+}
+
+CnfFormula parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+CnfFormula parse_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DimacsError("cannot open file: " + path);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(const CnfFormula& formula, std::ostream& out) {
+  if (!formula.comment().empty()) {
+    for (const auto& line : util::split(formula.comment(), '\n')) {
+      out << "c " << line << '\n';
+    }
+  }
+  out << "p cnf " << formula.num_vars() << ' ' << formula.num_clauses()
+      << '\n';
+  for (const auto& clause : formula.clauses()) {
+    for (const Lit l : clause) out << l.to_dimacs() << ' ';
+    out << "0\n";
+  }
+}
+
+std::string to_dimacs_string(const CnfFormula& formula) {
+  std::ostringstream out;
+  write_dimacs(formula, out);
+  return out.str();
+}
+
+void write_dimacs_file(const CnfFormula& formula, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw DimacsError("cannot open file for writing: " + path);
+  write_dimacs(formula, out);
+}
+
+}  // namespace gridsat::cnf

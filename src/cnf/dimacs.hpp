@@ -1,0 +1,34 @@
+// DIMACS CNF reader/writer — the interchange format of the SAT2002
+// benchmark suite the paper evaluates on.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::cnf {
+
+class DimacsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse DIMACS CNF. Accepts comment lines ("c ..."), the problem line
+/// ("p cnf <vars> <clauses>"), clauses terminated by 0 (possibly spanning
+/// lines), and a trailing "%"/"0" SATLIB epilogue. Throws DimacsError on
+/// malformed input. If the problem line under-reports variables the
+/// universe is grown; a clause-count mismatch is tolerated (real SAT2002
+/// files get this wrong) but recorded in the formula comment.
+CnfFormula parse_dimacs(std::istream& in);
+CnfFormula parse_dimacs_string(const std::string& text);
+CnfFormula parse_dimacs_file(const std::string& path);
+
+/// Serialize to DIMACS; the formula's comment (if any) is emitted as
+/// leading "c" lines.
+void write_dimacs(const CnfFormula& formula, std::ostream& out);
+std::string to_dimacs_string(const CnfFormula& formula);
+void write_dimacs_file(const CnfFormula& formula, const std::string& path);
+
+}  // namespace gridsat::cnf

@@ -1,0 +1,79 @@
+#include "cnf/formula.hpp"
+
+#include <sstream>
+
+namespace gridsat::cnf {
+
+void CnfFormula::add_clause(Clause clause) {
+  for (const Lit l : clause) {
+    ensure_vars(l.var());
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+void CnfFormula::add_dimacs_clause(std::initializer_list<std::int64_t> lits) {
+  Clause c;
+  c.reserve(lits.size());
+  for (const std::int64_t d : lits) c.push_back(Lit::from_dimacs(d));
+  add_clause(std::move(c));
+}
+
+std::size_t CnfFormula::num_literals() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : clauses_) n += c.size();
+  return n;
+}
+
+std::string CnfFormula::validate() const {
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    for (const Lit l : clauses_[i]) {
+      if (!l.valid()) {
+        std::ostringstream out;
+        out << "clause " << i << " contains an invalid literal";
+        return out.str();
+      }
+      if (l.var() > num_vars_) {
+        std::ostringstream out;
+        out << "clause " << i << " mentions V" << l.var()
+            << " beyond num_vars=" << num_vars_;
+        return out.str();
+      }
+    }
+  }
+  return {};
+}
+
+LBool eval_clause(const Clause& clause, const Assignment& assignment) noexcept {
+  bool any_undef = false;
+  for (const Lit l : clause) {
+    const LBool var_value =
+        l.var() < assignment.size() ? assignment[l.var()] : LBool::kUndef;
+    switch (l.value_under(var_value)) {
+      case LBool::kTrue: return LBool::kTrue;
+      case LBool::kUndef: any_undef = true; break;
+      case LBool::kFalse: break;
+    }
+  }
+  return any_undef ? LBool::kUndef : LBool::kFalse;
+}
+
+LBool eval_formula(const CnfFormula& formula, const Assignment& assignment) {
+  bool any_undef = false;
+  for (const auto& clause : formula.clauses()) {
+    switch (eval_clause(clause, assignment)) {
+      case LBool::kFalse: return LBool::kFalse;
+      case LBool::kUndef: any_undef = true; break;
+      case LBool::kTrue: break;
+    }
+  }
+  return any_undef ? LBool::kUndef : LBool::kTrue;
+}
+
+bool is_model(const CnfFormula& formula, const Assignment& assignment) {
+  if (assignment.size() < static_cast<std::size_t>(formula.num_vars()) + 1) {
+    return false;
+  }
+  return eval_formula(formula, assignment) == LBool::kTrue;
+}
+
+}  // namespace gridsat::cnf

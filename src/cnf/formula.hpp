@@ -1,0 +1,88 @@
+// CNF formula container: a conjunction of clauses over num_vars variables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnf/types.hpp"
+
+namespace gridsat::cnf {
+
+/// One disjunction of literals. Kept as a plain sorted-or-unsorted vector;
+/// the solver owns its own arena representation (solver/clause_db).
+using Clause = std::vector<Lit>;
+
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+  explicit CnfFormula(Var num_vars) : num_vars_(num_vars) {}
+
+  [[nodiscard]] Var num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::size_t num_clauses() const noexcept {
+    return clauses_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return clauses_.empty(); }
+
+  /// Grow the variable universe (generators add vars incrementally).
+  Var new_var() { return ++num_vars_; }
+  void ensure_vars(Var n) {
+    if (n > num_vars_) num_vars_ = n;
+  }
+
+  /// Append a clause; literals over unseen variables grow the universe.
+  void add_clause(Clause clause);
+  void add_clause(std::initializer_list<Lit> lits) {
+    add_clause(Clause(lits));
+  }
+  /// Convenience: clause from DIMACS-signed ints, e.g. {1, -3, 5}.
+  void add_dimacs_clause(std::initializer_list<std::int64_t> lits);
+
+  [[nodiscard]] const Clause& clause(std::size_t i) const {
+    return clauses_.at(i);
+  }
+  [[nodiscard]] const std::vector<Clause>& clauses() const noexcept {
+    return clauses_;
+  }
+
+  /// Total number of literal slots across all clauses.
+  [[nodiscard]] std::size_t num_literals() const noexcept;
+
+  /// Structural sanity: no zero-variable literals, no clause mentioning a
+  /// variable above num_vars. Returns an empty string when valid, else a
+  /// diagnostic.
+  [[nodiscard]] std::string validate() const;
+
+  /// A human-readable comment carried through DIMACS round trips (used by
+  /// the generator suite to label instances).
+  void set_comment(std::string c) { comment_ = std::move(c); }
+  [[nodiscard]] const std::string& comment() const noexcept { return comment_; }
+
+  friend bool operator==(const CnfFormula& a, const CnfFormula& b) noexcept {
+    return a.num_vars_ == b.num_vars_ && a.clauses_ == b.clauses_;
+  }
+
+ private:
+  Var num_vars_ = 0;
+  std::vector<Clause> clauses_;
+  std::string comment_;
+};
+
+/// Full or partial assignment, indexed by variable (slot 0 unused).
+using Assignment = std::vector<LBool>;
+
+/// Evaluate a clause under an assignment.
+LBool eval_clause(const Clause& clause, const Assignment& assignment) noexcept;
+
+/// Evaluate the whole formula: kTrue only if every clause is satisfied,
+/// kFalse if some clause is falsified, kUndef otherwise.
+LBool eval_formula(const CnfFormula& formula, const Assignment& assignment);
+
+/// True iff the assignment is total over the formula's variables and
+/// satisfies every clause. This is the master's SAT-verification step
+/// (paper §3.4: "the master ... verifies that the stack satisfies the
+/// problem").
+bool is_model(const CnfFormula& formula, const Assignment& assignment);
+
+}  // namespace gridsat::cnf

@@ -1,0 +1,109 @@
+// Core propositional types shared by every layer of GridSAT.
+//
+// Variables are 1-based (DIMACS convention). Literals use the compact
+// MiniSat encoding lit = var*2 + sign, where sign==1 means the negated
+// literal. This keeps watcher tables and activity arrays indexable by a
+// literal directly.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gridsat::cnf {
+
+/// 1-based variable index; 0 is reserved as "no variable".
+using Var = std::uint32_t;
+inline constexpr Var kNoVar = 0;
+
+/// Three-valued assignment state.
+enum class LBool : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+inline LBool negate(LBool b) noexcept {
+  switch (b) {
+    case LBool::kTrue: return LBool::kFalse;
+    case LBool::kFalse: return LBool::kTrue;
+    case LBool::kUndef: return LBool::kUndef;
+  }
+  return LBool::kUndef;
+}
+
+/// A literal: a variable or its complement.
+class Lit {
+ public:
+  constexpr Lit() noexcept : code_(0) {}
+
+  /// Construct from a variable and a sign; negated==true means ~V.
+  constexpr Lit(Var v, bool negated) noexcept : code_(v * 2 + (negated ? 1 : 0)) {
+    assert(v != kNoVar);
+  }
+
+  /// Construct from a DIMACS-style signed integer (e.g. -5 means ~V5).
+  static constexpr Lit from_dimacs(std::int64_t d) noexcept {
+    assert(d != 0);
+    return d > 0 ? Lit(static_cast<Var>(d), false)
+                 : Lit(static_cast<Var>(-d), true);
+  }
+
+  static constexpr Lit from_code(std::uint32_t code) noexcept {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr bool negated() const noexcept { return (code_ & 1) != 0; }
+  [[nodiscard]] constexpr std::uint32_t code() const noexcept { return code_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return code_ >= 2; }
+
+  [[nodiscard]] constexpr Lit operator~() const noexcept {
+    return from_code(code_ ^ 1);
+  }
+
+  /// DIMACS integer rendering (V5 -> 5, ~V5 -> -5).
+  [[nodiscard]] constexpr std::int64_t to_dimacs() const noexcept {
+    return negated() ? -static_cast<std::int64_t>(var())
+                     : static_cast<std::int64_t>(var());
+  }
+
+  /// The assignment of this literal's variable that makes the literal true.
+  [[nodiscard]] constexpr LBool satisfying_value() const noexcept {
+    return negated() ? LBool::kFalse : LBool::kTrue;
+  }
+
+  /// Truth value of this literal under a variable assignment.
+  [[nodiscard]] constexpr LBool value_under(LBool var_value) const noexcept {
+    if (var_value == LBool::kUndef) return LBool::kUndef;
+    const bool var_true = (var_value == LBool::kTrue);
+    return (var_true != negated()) ? LBool::kTrue : LBool::kFalse;
+  }
+
+  friend constexpr bool operator==(Lit a, Lit b) noexcept {
+    return a.code_ == b.code_;
+  }
+  friend constexpr bool operator!=(Lit a, Lit b) noexcept {
+    return a.code_ != b.code_;
+  }
+  friend constexpr bool operator<(Lit a, Lit b) noexcept {
+    return a.code_ < b.code_;
+  }
+
+ private:
+  std::uint32_t code_;
+};
+
+inline constexpr Lit kUndefLit{};
+
+inline std::string to_string(Lit l) {
+  return (l.negated() ? "~V" : "V") + std::to_string(l.var());
+}
+
+}  // namespace gridsat::cnf
+
+template <>
+struct std::hash<gridsat::cnf::Lit> {
+  std::size_t operator()(gridsat::cnf::Lit l) const noexcept {
+    return std::hash<std::uint32_t>{}(l.code());
+  }
+};

@@ -1,0 +1,838 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace gridsat::core {
+
+using grid::HostState;
+using solver::SolveStatus;
+
+namespace {
+constexpr std::size_t kControlMessageBytes = 96;   ///< headers, acks, requests
+constexpr double kMasterMonitorDelay = 1.0;        ///< failure detection lag
+}  // namespace
+
+// ===========================================================================
+// Client
+// ===========================================================================
+
+Client::Client(Campaign& campaign, std::size_t host_index, std::string name)
+    : campaign_(campaign), host_index_(host_index), name_(std::move(name)) {}
+
+std::uint64_t Client::work_done() const noexcept {
+  return work_accumulated_ + (solver_ ? solver_->stats().work : 0);
+}
+
+void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
+                              double transfer_seconds) {
+  if (!alive_ || campaign_.done()) return;
+  if (solver_) {
+    // Collision: a second subproblem arrived while this client is still
+    // working (e.g. a restore raced a split whose requester died). Hand
+    // it back; the master requeues it for the next idle client.
+    const std::size_t host = host_index_;
+    campaign_.send_to_master(host_index_, "SUBPROBLEM_REJECT",
+                             kControlMessageBytes,
+                             [&c = campaign_, host, sp] {
+                               c.on_subproblem_rejected(sp, host);
+                             });
+    return;
+  }
+  solver::SolverConfig solver_config = campaign_.config().solver;
+  solver_config.memory_limit_bytes =
+      campaign_.host(host_index_).memory_bytes();
+  // zChaff's heuristics are deterministic: every client runs the same
+  // engine and search diversity comes from the subproblems themselves.
+  // A client must also survive memory pressure until its split request
+  // is granted, so squeezes are unlimited (the 60% rule makes them rare).
+  solver_config.max_memory_squeezes = 0;
+  solver_ = std::make_unique<solver::CdclSolver>(*sp, solver_config);
+  const std::size_t share_cap = campaign_.config().share_max_len;
+  solver_->set_share_callback([this, share_cap](const cnf::Clause& clause) {
+    if (clause.size() <= share_cap) export_buffer_.push_back(clause);
+  });
+  subproblem_started_ = campaign_.engine().now();
+  last_transfer_s_ = transfer_seconds;
+  split_requested_ = false;
+  checkpointed_level0_ = 0;
+  last_checkpoint_ = campaign_.engine().now();
+  // Message 4 of Figure 3: acknowledge receipt to the master.
+  const std::size_t host = host_index_;
+  campaign_.send_to_master(host_index_, "SUBPROBLEM_ACK", kControlMessageBytes,
+                           [&c = campaign_, host] { c.on_subproblem_ack(host); });
+  if (!slice_scheduled_) {
+    slice_scheduled_ = true;
+    campaign_.engine().schedule_in(0.0, [this] {
+      slice_scheduled_ = false;
+      compute_slice();
+    });
+  }
+}
+
+void Client::receive_clauses(std::shared_ptr<std::vector<cnf::Clause>> batch) {
+  if (!alive_ || !solver_) return;  // idle clients drop stale batches
+  solver_->import_clauses(*batch);
+}
+
+void Client::grant_split(std::size_t peer_host) {
+  if (!alive_) return;
+  if (!solver_) {
+    // Finished in the meantime: give the reservation back (the master
+    // will re-dispatch the peer to someone else).
+    const std::size_t requester = host_index_;
+    campaign_.send_to_master(
+        host_index_, "SPLIT_FAILED", kControlMessageBytes,
+        [&c = campaign_, requester, peer_host] {
+          c.on_split_failed(requester, peer_host);
+        });
+    return;
+  }
+  pending_split_peer_ = static_cast<std::ptrdiff_t>(peer_host);
+}
+
+void Client::order_migration(std::size_t peer_host) {
+  if (!alive_) return;
+  if (!solver_) {
+    const std::size_t requester = host_index_;
+    campaign_.send_to_master(
+        host_index_, "SPLIT_FAILED", kControlMessageBytes,
+        [&c = campaign_, requester, peer_host] {
+          c.on_split_failed(requester, peer_host);
+        });
+    return;
+  }
+  pending_migrate_peer_ = static_cast<std::ptrdiff_t>(peer_host);
+}
+
+void Client::kill() {
+  alive_ = false;
+  solver_.reset();
+  export_buffer_.clear();
+}
+
+double Client::effective_split_timeout() const {
+  // Paper §3.3: request more resource after twice the time it took to
+  // send/receive the problem, floored by the configured base (100 s).
+  return std::max(campaign_.config().split_timeout_s, 2.0 * last_transfer_s_);
+}
+
+void Client::compute_slice() {
+  if (!alive_ || campaign_.done() || !solver_) return;
+  if (pending_migrate_peer_ >= 0) {
+    perform_migration();
+    return;
+  }
+  if (pending_split_peer_ >= 0 && solver_->can_split()) {
+    perform_split();
+    if (!solver_) return;  // defensive; split keeps the solver
+  }
+  sim::SimEngine& engine = campaign_.engine();
+  const double speed =
+      campaign_.host(host_index_).effective_speed(engine.now());
+  const double quantum = campaign_.config().client_quantum_s;
+  const auto budget = static_cast<std::uint64_t>(
+      std::max(1.0, quantum * speed));
+  const std::uint64_t work_before = solver_->stats().work;
+  const SolveStatus status = solver_->solve(budget);
+  const std::uint64_t consumed = solver_->stats().work - work_before;
+  // Charge exactly the work performed; a verdict inside the slice lands
+  // at its true virtual moment instead of the slice boundary.
+  const double dt = std::max(1e-6, static_cast<double>(consumed) / speed);
+  if (status == SolveStatus::kUnknown) {
+    slice_scheduled_ = true;
+    engine.schedule_in(dt, [this] {
+      slice_scheduled_ = false;
+      post_slice();
+    });
+  } else {
+    engine.schedule_in(dt, [this, status] { finish_subproblem(status); });
+  }
+}
+
+void Client::post_slice() {
+  if (!alive_ || campaign_.done() || !solver_) return;
+  flush_exports();
+  maybe_checkpoint();
+  check_split_triggers();
+  compute_slice();
+}
+
+void Client::check_split_triggers() {
+  if (split_requested_ || pending_split_peer_ >= 0 ||
+      pending_migrate_peer_ >= 0) {
+    return;
+  }
+  const double now = campaign_.engine().now();
+  const std::size_t capacity = campaign_.host(host_index_).memory_bytes();
+  const bool memory_pressure =
+      static_cast<double>(solver_->db_bytes()) >
+      campaign_.config().mem_split_fraction * static_cast<double>(capacity);
+  const bool long_running =
+      (now - subproblem_started_) > effective_split_timeout();
+  if (memory_pressure || long_running) {
+    split_requested_ = true;
+    const std::size_t host = host_index_;
+    campaign_.send_to_master(host_index_, "SPLIT_REQUEST",
+                             kControlMessageBytes, [&c = campaign_, host] {
+                               c.on_split_request(host);
+                             });
+  }
+}
+
+void Client::flush_exports() {
+  if (export_buffer_.empty()) return;
+  auto batch = std::make_shared<std::vector<cnf::Clause>>(
+      std::move(export_buffer_));
+  export_buffer_.clear();
+  const std::size_t bytes = Campaign::clause_batch_bytes(*batch);
+  const std::size_t host = host_index_;
+  campaign_.send_to_master(host_index_, "CLAUSES", bytes,
+                           [&c = campaign_, host, batch] {
+                             c.on_client_clauses(host, batch);
+                           });
+}
+
+void Client::maybe_checkpoint() {
+  const CheckpointMode mode = campaign_.config().checkpoint;
+  if (mode == CheckpointMode::kNone || !solver_) return;
+  const double now = campaign_.engine().now();
+  const std::size_t level0 = solver_->level0_units().size();
+  // Light checkpoints update only when level 0 grows (§3.4); heavy ones
+  // also refresh on the configured cadence.
+  const bool level0_grew = level0 > checkpointed_level0_;
+  const bool periodic_due =
+      mode == CheckpointMode::kHeavy &&
+      (now - last_checkpoint_) >= campaign_.config().checkpoint_interval_s;
+  if (!level0_grew && !periodic_due) return;
+  Checkpoint cp;
+  cp.heavy = (mode == CheckpointMode::kHeavy);
+  cp.units = solver_->level0_units();
+  if (cp.heavy) cp.learned = solver_->learned_clauses();
+  checkpointed_level0_ = level0;
+  last_checkpoint_ = now;
+  const std::size_t bytes = cp.wire_size();
+  const std::size_t host = host_index_;
+  campaign_.send_to_master(
+      host_index_, "CHECKPOINT", bytes,
+      [&c = campaign_, host, cp = std::move(cp)]() mutable {
+        c.on_checkpoint(host, std::move(cp));
+      });
+}
+
+void Client::perform_split() {
+  assert(solver_ && solver_->can_split());
+  const auto peer = static_cast<std::size_t>(pending_split_peer_);
+  pending_split_peer_ = -1;
+  split_requested_ = false;
+  auto sp = std::make_shared<solver::Subproblem>(solver_->split());
+  subproblem_started_ = campaign_.engine().now();  // fresh (folded) problem
+  const std::size_t bytes = sp->wire_size();
+  // Message 3 of Figure 3: peer-to-peer subproblem transfer. The transfer
+  // time also parameterizes both sides' split timeouts (§3.3).
+  const std::string& my_site = campaign_.host(host_index_).site();
+  const std::string& peer_site = campaign_.host(peer).site();
+  const double transfer =
+      campaign_.network().transfer_time(bytes, my_site, peer_site);
+  campaign_.note_subproblem_in_flight();
+  campaign_.send("client:" + name_, my_site,
+                 "client:" + campaign_.client(peer)->name(), peer_site,
+                 "SUBPROBLEM", bytes, [&c = campaign_, peer, sp, transfer] {
+                   Client* target = c.client(peer);
+                   if (target != nullptr && target->alive()) {
+                     target->start_subproblem(sp, transfer);
+                   } else {
+                     c.on_lost_subproblem(sp, peer);
+                   }
+                 });
+  last_transfer_s_ = transfer;
+  // Message 5: tell the master the split succeeded.
+  const std::size_t from = host_index_;
+  campaign_.send_to_master(host_index_, "SPLIT_DONE", kControlMessageBytes,
+                           [&c = campaign_, from, peer] {
+                             c.on_subproblem_sent(from, peer);
+                           });
+}
+
+void Client::perform_migration() {
+  assert(solver_);
+  const auto peer = static_cast<std::size_t>(pending_migrate_peer_);
+  pending_migrate_peer_ = -1;
+  split_requested_ = false;
+  auto sp = std::make_shared<solver::Subproblem>(solver_->to_subproblem());
+  work_accumulated_ += solver_->stats().work;
+  solver_.reset();
+  export_buffer_.clear();
+  const std::size_t bytes = sp->wire_size();
+  const std::string& my_site = campaign_.host(host_index_).site();
+  const std::string& peer_site = campaign_.host(peer).site();
+  const double transfer =
+      campaign_.network().transfer_time(bytes, my_site, peer_site);
+  campaign_.note_subproblem_in_flight();
+  campaign_.send("client:" + name_, my_site,
+                 "client:" + campaign_.client(peer)->name(), peer_site,
+                 "SUBPROBLEM", bytes, [&c = campaign_, peer, sp, transfer] {
+                   Client* target = c.client(peer);
+                   if (target != nullptr && target->alive()) {
+                     target->start_subproblem(sp, transfer);
+                   } else {
+                     c.on_lost_subproblem(sp, peer);
+                   }
+                 });
+  const std::size_t from = host_index_;
+  campaign_.send_to_master(host_index_, "MIGRATED", kControlMessageBytes,
+                           [&c = campaign_, from, peer] {
+                             c.on_migrated(from, peer);
+                           });
+}
+
+void Client::finish_subproblem(SolveStatus status) {
+  if (!alive_ || campaign_.done() || !solver_) return;
+  flush_exports();
+  switch (status) {
+    case SolveStatus::kSat: {
+      cnf::Assignment model = solver_->model();
+      work_accumulated_ += solver_->stats().work;
+      solver_.reset();
+      const std::size_t bytes =
+          model.size();  // one byte per variable: the assignment stack
+      const std::size_t host = host_index_;
+      campaign_.send_to_master(
+          host_index_, "SAT_FOUND", bytes,
+          [&c = campaign_, host, model = std::move(model)]() mutable {
+            c.on_sat_found(host, std::move(model));
+          });
+      break;
+    }
+    case SolveStatus::kUnsat: {
+      work_accumulated_ += solver_->stats().work;
+      solver_.reset();
+      export_buffer_.clear();
+      const std::size_t host = host_index_;
+      campaign_.send_to_master(host_index_, "SUBPROBLEM_UNSAT",
+                               kControlMessageBytes, [&c = campaign_, host] {
+                                 c.on_subproblem_unsat(host);
+                               });
+      break;
+    }
+    case SolveStatus::kMemOut: {
+      // The OS out-of-memory killer takes the client (§3.3 footnote).
+      work_accumulated_ += solver_->stats().work;
+      kill();
+      const std::size_t host = host_index_;
+      campaign_.engine().schedule_in(kMasterMonitorDelay,
+                                     [&c = campaign_, host] {
+                                       c.on_mem_out(host);
+                                     });
+      break;
+    }
+    case SolveStatus::kUnknown:
+      assert(false && "finish_subproblem called without a verdict");
+      break;
+  }
+}
+
+// ===========================================================================
+// Campaign (master + orchestration)
+// ===========================================================================
+
+Campaign::Campaign(cnf::CnfFormula formula, std::string master_site,
+                   std::vector<sim::HostSpec> hosts, GridSatConfig config)
+    : formula_(std::move(formula)),
+      master_site_(std::move(master_site)),
+      config_(config),
+      bus_(engine_, network_) {
+  hosts_.reserve(hosts.size());
+  clients_.reserve(hosts.size());
+  for (auto& spec : hosts) {
+    directory_.add(spec);
+    hosts_.push_back(std::make_unique<sim::Host>(spec));
+    clients_.push_back(nullptr);  // created at launch
+  }
+}
+
+Campaign::~Campaign() = default;
+
+void Campaign::set_batch(BatchOptions options) {
+  batch_options_ = std::move(options);
+}
+
+void Campaign::schedule_client_failure(std::size_t host_index, double at) {
+  engine_.schedule_at(at, [this, host_index] {
+    Client* victim = client(host_index);
+    if (victim == nullptr || !victim->alive()) return;
+    const bool was_busy = victim->busy();
+    victim->kill();
+    // The master's monitoring notices shortly afterwards (§3.3: "the
+    // master becomes aware of it").
+    engine_.schedule_in(kMasterMonitorDelay, [this, host_index, was_busy] {
+      on_client_died(host_index, was_busy);
+    });
+  });
+}
+
+double Campaign::send(const std::string& from, const std::string& from_site,
+                      const std::string& to, const std::string& to_site,
+                      const std::string& kind, std::size_t bytes,
+                      std::function<void()> handler) {
+  sim::MessageRecord header;
+  header.from = from;
+  header.from_site = from_site;
+  header.to = to;
+  header.to_site = to_site;
+  header.kind = kind;
+  header.bytes = bytes;
+  return bus_.send(header, std::move(handler));
+}
+
+void Campaign::send_to_master(std::size_t from_host, const std::string& kind,
+                              std::size_t bytes,
+                              std::function<void()> handler) {
+  send("client:" + hosts_[from_host]->name(), hosts_[from_host]->site(),
+       "master", master_site_, kind, bytes, std::move(handler));
+}
+
+void Campaign::send_to_client(std::size_t to_host, const std::string& kind,
+                              std::size_t bytes,
+                              std::function<void()> handler) {
+  send("master", master_site_, "client:" + hosts_[to_host]->name(),
+       hosts_[to_host]->site(), kind, bytes, std::move(handler));
+}
+
+std::size_t Campaign::clause_batch_bytes(
+    const std::vector<cnf::Clause>& batch) {
+  std::size_t bytes = 8;
+  for (const auto& clause : batch) bytes += 2 + 4 * clause.size();
+  return bytes;
+}
+
+void Campaign::launch_client(std::size_t host_index) {
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  if (entry.state != HostState::kFree) return;
+  if (entry.spec.memory_bytes < config_.min_client_memory) {
+    // §3.3: clients terminate when initial free memory is below the
+    // floor; such hosts never join the pool.
+    entry.state = HostState::kDead;
+    return;
+  }
+  entry.state = HostState::kLaunching;
+  // Launch command + client start-up, then the client registers.
+  send_to_client(host_index, "LAUNCH", kControlMessageBytes,
+                 [this, host_index] {
+                   engine_.schedule_in(config_.client_launch_s,
+                                       [this, host_index] {
+                                         if (done_) return;
+                                         clients_[host_index] =
+                                             std::make_unique<Client>(
+                                                 *this, host_index,
+                                                 hosts_[host_index]->name());
+                                         send_to_master(
+                                             host_index, "REGISTER",
+                                             kControlMessageBytes,
+                                             [this, host_index] {
+                                               on_register(host_index);
+                                             });
+                                       });
+                 });
+}
+
+void Campaign::on_register(std::size_t host_index) {
+  if (done_) return;
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  if (entry.state != HostState::kLaunching) return;
+  entry.state = HostState::kIdle;
+  if (!problem_assigned_) {
+    // First client to register is sent the entire problem (§3.3).
+    problem_assigned_ = true;
+    auto sp = std::make_shared<solver::Subproblem>();
+    sp->num_vars = formula_.num_vars();
+    sp->clauses = formula_.clauses();
+    sp->num_problem_clauses = sp->clauses.size();
+    sp->path = "root";
+    entry.state = HostState::kReserved;
+    assign_subproblem(host_index, std::move(sp), "master", master_site_);
+    return;
+  }
+  try_dispatch();
+}
+
+void Campaign::assign_subproblem(std::size_t host_index,
+                                 std::shared_ptr<solver::Subproblem> sp,
+                                 const std::string& from,
+                                 const std::string& from_site) {
+  ++subproblems_in_flight_;
+  const std::size_t bytes = sp->wire_size();
+  const double transfer = network_.transfer_time(
+      bytes, from_site, hosts_[host_index]->site());
+  send(from, from_site, "client:" + hosts_[host_index]->name(),
+       hosts_[host_index]->site(), "SUBPROBLEM", bytes,
+       [this, host_index, sp, transfer] {
+         Client* target = client(host_index);
+         if (target != nullptr && target->alive()) {
+           target->start_subproblem(sp, transfer);
+         } else {
+           on_lost_subproblem(sp, host_index);
+         }
+       });
+}
+
+void Campaign::on_subproblem_rejected(
+    std::shared_ptr<solver::Subproblem> sp, std::size_t host_index) {
+  assert(subproblems_in_flight_ > 0);
+  --subproblems_in_flight_;
+  if (done_) return;
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  if (entry.state == HostState::kReserved) entry.state = HostState::kBusy;
+  pending_restores_.push_back(std::move(sp));
+  try_dispatch();
+  check_termination();
+}
+
+void Campaign::on_subproblem_ack(std::size_t host_index) {
+  if (done_) return;
+  assert(subproblems_in_flight_ > 0);
+  --subproblems_in_flight_;
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  entry.state = HostState::kBusy;
+  entry.busy_since = engine_.now();
+  update_peak_active();
+  try_dispatch();
+}
+
+void Campaign::on_split_request(std::size_t host_index) {
+  if (done_) return;
+  backlog_.insert(host_index);
+  try_dispatch();
+}
+
+void Campaign::on_split_failed(std::size_t requester, std::size_t peer) {
+  (void)peer;
+  if (done_) return;
+  backlog_.erase(requester);
+  release_grant(requester);
+}
+
+void Campaign::release_grant(std::size_t requester) {
+  if (done_) return;
+  const auto it = outstanding_grants_.find(requester);
+  if (it == outstanding_grants_.end()) return;
+  const std::size_t peer = it->second;
+  outstanding_grants_.erase(it);
+  grid::ResourceEntry& entry = directory_.at(peer);
+  if (entry.state == HostState::kReserved) entry.state = HostState::kIdle;
+  try_dispatch();
+  check_termination();
+}
+
+void Campaign::on_subproblem_sent(std::size_t from, std::size_t to) {
+  (void)from;
+  (void)to;
+  if (done_) return;
+  ++result_.total_splits;
+  outstanding_grants_.erase(from);
+}
+
+void Campaign::on_lost_subproblem(std::shared_ptr<solver::Subproblem> sp,
+                                  std::size_t host_index) {
+  assert(subproblems_in_flight_ > 0);
+  --subproblems_in_flight_;
+  if (done_) return;
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  if (entry.state == HostState::kReserved) entry.state = HostState::kFree;
+  if (config_.recover_from_checkpoints) {
+    // The in-flight payload IS the lost search space: requeue it whole.
+    ++result_.checkpoint_recoveries;
+    pending_restores_.push_back(std::move(sp));
+    try_dispatch();
+    check_termination();
+    return;
+  }
+  finish(CampaignStatus::kError);
+}
+
+void Campaign::on_migrated(std::size_t from, std::size_t to) {
+  (void)to;
+  if (done_) return;
+  ++result_.migrations;
+  outstanding_grants_.erase(from);
+  grid::ResourceEntry& entry = directory_.at(from);
+  entry.state = HostState::kIdle;
+  try_dispatch();
+}
+
+void Campaign::on_subproblem_unsat(std::size_t host_index) {
+  if (done_) return;
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  entry.state = HostState::kIdle;
+  backlog_.erase(host_index);
+  release_grant(host_index);
+  try_dispatch();
+  check_termination();
+}
+
+void Campaign::on_sat_found(std::size_t host_index, cnf::Assignment model) {
+  if (done_) return;
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  entry.state = HostState::kIdle;
+  // §3.4: the master verifies that the assignment stack satisfies the
+  // problem before declaring victory.
+  if (!cnf::is_model(formula_, model)) {
+    LOG_ERROR("master") << "client " << hosts_[host_index]->name()
+                        << " reported an invalid model";
+    finish(CampaignStatus::kError);
+    return;
+  }
+  result_.model = std::move(model);
+  finish(CampaignStatus::kSat);
+}
+
+void Campaign::on_client_clauses(
+    std::size_t from, std::shared_ptr<std::vector<cnf::Clause>> batch) {
+  if (done_) return;
+  ++result_.clause_batches_shared;
+  result_.clauses_shared += batch->size();
+  // Relay to every other live client with work in hand (§3.2: GridSAT
+  // "shares clauses globally as soon as they are generated").
+  const std::size_t bytes = clause_batch_bytes(*batch);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (i == from) continue;
+    Client* target = clients_[i].get();
+    if (target == nullptr || !target->alive() || !target->busy()) continue;
+    send_to_client(i, "CLAUSES", bytes, [this, i, batch] {
+      Client* receiver = client(i);
+      if (receiver != nullptr) receiver->receive_clauses(batch);
+    });
+  }
+}
+
+void Campaign::on_checkpoint(std::size_t host_index, Checkpoint cp) {
+  if (done_) return;
+  checkpoints_[host_index] = std::move(cp);
+}
+
+void Campaign::on_mem_out(std::size_t host_index) {
+  ++result_.client_deaths;
+  on_client_died(host_index, /*was_busy=*/true);
+}
+
+void Campaign::on_client_died(std::size_t host_index, bool was_busy) {
+  if (done_) return;
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  if (entry.state == HostState::kDead) return;
+  backlog_.erase(host_index);
+  release_grant(host_index);
+  clients_[host_index].reset();
+  if (!was_busy) {
+    // §3.3: an idle client's death is tolerated; the resource is marked
+    // free and may be restarted on demand.
+    entry.state = HostState::kFree;
+    return;
+  }
+  // A busy client died: its share of the search space is gone.
+  entry.state = HostState::kFree;
+  const auto cp = checkpoints_.find(host_index);
+  if (config_.recover_from_checkpoints && cp != checkpoints_.end()) {
+    ++result_.checkpoint_recoveries;
+    pending_restores_.push_back(std::make_shared<solver::Subproblem>(
+        cp->second.restore(formula_)));
+    checkpoints_.erase(cp);
+    try_dispatch();
+    return;
+  }
+  // Paper §3.4: "The current implementation ... will not tolerate a
+  // machine crash ... for clients which are working on a subproblem."
+  finish(CampaignStatus::kError);
+}
+
+std::size_t Campaign::idle_at_site(const std::string& site) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    const grid::ResourceEntry& e = directory_.at(i);
+    if (e.state == HostState::kIdle && e.spec.site == site) ++count;
+  }
+  return count;
+}
+
+void Campaign::try_dispatch() {
+  if (done_) return;
+  for (;;) {
+    const bool have_work = !pending_restores_.empty() || !backlog_.empty();
+    if (!have_work) return;
+    const std::ptrdiff_t target =
+        directory_.best_in_state(HostState::kIdle, config_.min_client_memory);
+    if (target < 0) {
+      // No idle client: restart one on a free host if any exists; the
+      // dispatch resumes when it registers.
+      const std::ptrdiff_t free_host = directory_.best_in_state(
+          HostState::kFree, config_.min_client_memory);
+      if (free_host >= 0) launch_client(static_cast<std::size_t>(free_host));
+      return;
+    }
+    const auto target_index = static_cast<std::size_t>(target);
+
+    // Checkpoint restores take priority: that part of the search space is
+    // currently covered by nobody.
+    if (!pending_restores_.empty()) {
+      auto sp = pending_restores_.front();
+      pending_restores_.pop_front();
+      directory_.at(target_index).state = HostState::kReserved;
+      assign_subproblem(target_index, std::move(sp), "master", master_site_);
+      continue;
+    }
+
+    // Pick the backlog client that has been running its subproblem the
+    // longest (§3.4): the stubborn regions get the extra resources.
+    std::ptrdiff_t requester = -1;
+    double oldest = -1.0;
+    for (const std::size_t host : backlog_) {
+      const grid::ResourceEntry& e = directory_.at(host);
+      if (e.state != HostState::kBusy) continue;
+      const double running = engine_.now() - e.busy_since;
+      if (running > oldest) {
+        oldest = running;
+        requester = static_cast<std::ptrdiff_t>(host);
+      }
+    }
+    if (requester < 0) {
+      // Stale backlog entries (hosts no longer busy).
+      backlog_.clear();
+      return;
+    }
+    const auto requester_index = static_cast<std::size_t>(requester);
+    backlog_.erase(requester_index);
+    directory_.at(target_index).state = HostState::kReserved;
+    outstanding_grants_[requester_index] = target_index;
+
+    // Migration opportunity (§3.4): a markedly better host with idle
+    // same-site company takes the whole problem instead of half.
+    const bool migrate =
+        directory_.rank(target_index) >
+            config_.migration_rank_factor * directory_.rank(requester_index) &&
+        idle_at_site(directory_.at(target_index).spec.site) + 1 >=
+            config_.migration_min_idle_at_site;
+    const std::string kind = migrate ? "MIGRATE_ORDER" : "SPLIT_GRANT";
+    send_to_client(requester_index, kind, kControlMessageBytes,
+                   [this, requester_index, target_index, migrate] {
+                     Client* c = client(requester_index);
+                     if (c == nullptr || !c->alive()) {
+                       on_split_failed(requester_index, target_index);
+                       return;
+                     }
+                     if (migrate) {
+                       c->order_migration(target_index);
+                     } else {
+                       c->grant_split(target_index);
+                     }
+                   });
+  }
+}
+
+void Campaign::update_peak_active() {
+  const std::size_t active = directory_.count_in_state(HostState::kBusy);
+  result_.max_active_clients = std::max(result_.max_active_clients, active);
+}
+
+void Campaign::check_termination() {
+  if (done_ || !problem_assigned_) return;
+  if (subproblems_in_flight_ > 0) return;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    const HostState s = directory_.at(i).state;
+    if (s == HostState::kBusy || s == HostState::kReserved) return;
+  }
+  // Every client is idle and nothing is in flight: the entire search
+  // space is refuted (§3.4 termination case 1).
+  finish(CampaignStatus::kUnsat);
+}
+
+void Campaign::finish(CampaignStatus status) {
+  if (done_) return;
+  done_ = true;
+  result_.status = status;
+  result_.seconds = engine_.now();
+  if (batch_ && batch_job_ != 0 && !result_.batch_started) {
+    // Solved before the batch job started: cancel the queued request
+    // (Table 2: "the job queued from the Blue Horizon is canceled").
+    result_.batch_cancelled = true;
+  }
+  if (batch_ && batch_job_ != 0) {
+    if (batch_started_at_ >= 0.0) {
+      result_.batch_run_s =
+          std::min(engine_.now() - batch_started_at_,
+                   batch_options_->max_duration_s);
+    } else {
+      result_.batch_queue_wait_s = batch_->queue_wait(batch_job_);
+    }
+    batch_->cancel(batch_job_);
+  }
+}
+
+void Campaign::sample_availability() {
+  if (done_) return;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    grid::ResourceEntry& entry = directory_.at(i);
+    if (entry.state == HostState::kDead) continue;
+    entry.forecaster.observe(hosts_[i]->availability(engine_.now()));
+  }
+  engine_.schedule_in(config_.availability_sample_interval_s,
+                      [this] { sample_availability(); });
+}
+
+GridSatResult Campaign::run() {
+  // Master start-up: launch a client on every usable resource.
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    launch_client(i);
+  }
+  sample_availability();
+  engine_.schedule_at(config_.overall_timeout_s, [this] {
+    if (!done_) finish(CampaignStatus::kTimeout);
+  });
+
+  if (batch_options_.has_value()) {
+    batch_ = std::make_unique<sim::BatchSystem>(engine_, batch_options_->spec);
+    sim::BatchJobRequest request;
+    request.nodes = batch_options_->node_hosts.size();
+    request.max_duration_s = batch_options_->max_duration_s;
+    request.on_start = [this] {
+      if (done_) return;
+      batch_started_at_ = engine_.now();
+      result_.batch_started = true;
+      result_.batch_queue_wait_s = engine_.now();  // job submitted at t=0
+      // The granted nodes join the resource pool and the master launches
+      // clients on them (Table 2 protocol).
+      for (const auto& spec : batch_options_->node_hosts) {
+        const std::size_t index = directory_.add(spec);
+        hosts_.push_back(std::make_unique<sim::Host>(spec));
+        clients_.push_back(nullptr);
+        launch_client(index);
+      }
+    };
+    request.on_expire = [this] {
+      if (done_) return;
+      if (batch_options_->terminate_on_expiry) {
+        finish(CampaignStatus::kTimeout);
+      }
+    };
+    batch_job_ = batch_->submit(std::move(request));
+    result_.batch_submitted = true;
+  }
+
+  while (!done_ && engine_.step()) {
+  }
+  if (!done_) {
+    // Event queue ran dry without a verdict (e.g. no usable hosts).
+    finish(CampaignStatus::kTimeout);
+  }
+
+  // Final accounting.
+  result_.messages = bus_.messages_sent();
+  result_.bytes_transferred = bus_.bytes_sent();
+  result_.total_work = 0;
+  for (const auto& c : clients_) {
+    if (c) result_.total_work += c->work_done();
+  }
+  return result_;
+}
+
+}  // namespace gridsat::core

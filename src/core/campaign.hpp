@@ -1,0 +1,235 @@
+// GridSAT campaign: master + clients on a simulated Computational Grid.
+//
+// Implements the paper's master-client model (§3.3):
+//   * master launches an empty client on every usable resource, ranks
+//     registered clients via NWS-analog forecasts, hands the whole
+//     problem to the first registrant;
+//   * clients run the CDCL core in budgeted slices, monitor their own
+//     memory (60%-of-capacity rule) and runtime (max(100 s, 2 x transfer
+//     time) rule) and ask the master for splits;
+//   * the master grants splits to the highest-ranked idle host, keeps a
+//     backlog when saturated (longest-running client splits first, §3.4),
+//     and orders whole-problem migration toward a markedly better host
+//     with idle same-site company;
+//   * split payloads travel peer-to-peer (Figure 3, messages 1-5);
+//   * learned clauses within the length cap are relayed master-wise to
+//     every other client and merged at level 0 (§3.2);
+//   * termination: all clients idle => UNSAT; a client's verified model
+//     => SAT; the overall cap (or batch expiry) => TIME_OUT (§3.4);
+//   * optional light/heavy checkpointing with recovery (§3.4, the
+//     paper's future-work feature, implemented here);
+//   * optional batch system (Blue Horizon analog) whose nodes join the
+//     pool when the job leaves the queue (Table 2 protocol).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "grid/directory.hpp"
+#include "sim/batch.hpp"
+#include "sim/engine.hpp"
+#include "sim/host.hpp"
+#include "sim/message_bus.hpp"
+#include "sim/network.hpp"
+#include "solver/cdcl.hpp"
+
+namespace gridsat::core {
+
+class Campaign;
+
+/// One GridSAT client process (internal to Campaign, exposed for tests).
+class Client {
+ public:
+  Client(Campaign& campaign, std::size_t host_index, std::string name);
+
+  // Delivered messages (invoked by Campaign at delivery time).
+  void start_subproblem(std::shared_ptr<solver::Subproblem> sp,
+                        double transfer_seconds);
+  void receive_clauses(std::shared_ptr<std::vector<cnf::Clause>> batch);
+  void grant_split(std::size_t peer_host);
+  void order_migration(std::size_t peer_host);
+  void kill();
+
+  [[nodiscard]] bool busy() const noexcept { return solver_ != nullptr; }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t work_done() const noexcept;
+  [[nodiscard]] const solver::CdclSolver* solver() const noexcept {
+    return solver_.get();
+  }
+
+ private:
+  friend class Campaign;
+
+  void compute_slice();
+  void post_slice();
+  void finish_subproblem(solver::SolveStatus status);
+  void perform_split();
+  void perform_migration();
+  void flush_exports();
+  void maybe_checkpoint();
+  void check_split_triggers();
+  [[nodiscard]] double effective_split_timeout() const;
+
+  Campaign& campaign_;
+  std::size_t host_index_;
+  std::string name_;
+  std::unique_ptr<solver::CdclSolver> solver_;
+  std::vector<cnf::Clause> export_buffer_;
+  std::uint64_t work_accumulated_ = 0;  ///< from finished subproblems
+  double subproblem_started_ = 0.0;
+  double last_transfer_s_ = 0.0;
+  bool split_requested_ = false;
+  std::ptrdiff_t pending_split_peer_ = -1;
+  std::ptrdiff_t pending_migrate_peer_ = -1;
+  bool slice_scheduled_ = false;
+  bool alive_ = true;
+  double last_checkpoint_ = 0.0;
+  std::size_t checkpointed_level0_ = 0;
+};
+
+struct BatchOptions {
+  sim::BatchSystemSpec spec;
+  std::vector<sim::HostSpec> node_hosts;
+  double max_duration_s = 12.0 * 3600.0;
+  /// Paper (§4): "If a problem was not solved by the end of the 12-hour
+  /// Blue Horizon job, the whole GridSAT run terminated."
+  bool terminate_on_expiry = true;
+};
+
+class Campaign {
+ public:
+  Campaign(cnf::CnfFormula formula, std::string master_site,
+           std::vector<sim::HostSpec> hosts, GridSatConfig config);
+  ~Campaign();
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  /// Attach a batch system whose job is submitted at launch (Table 2).
+  void set_batch(BatchOptions options);
+
+  /// Test hook: kill the client on `host_index` at virtual time `at`.
+  void schedule_client_failure(std::size_t host_index, double at);
+
+  /// Run the campaign to a verdict (or the overall timeout).
+  GridSatResult run();
+
+  // Introspection (tests, examples, benches).
+  [[nodiscard]] sim::SimEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::MessageBus& bus() noexcept { return bus_; }
+  [[nodiscard]] sim::Network& network() noexcept { return network_; }
+  [[nodiscard]] grid::ResourceDirectory& directory() noexcept {
+    return directory_;
+  }
+  [[nodiscard]] const cnf::CnfFormula& formula() const noexcept {
+    return formula_;
+  }
+  [[nodiscard]] const GridSatConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] const GridSatResult& result() const noexcept {
+    return result_;
+  }
+  [[nodiscard]] Client* client(std::size_t host_index) {
+    return host_index < clients_.size() ? clients_[host_index].get()
+                                        : nullptr;
+  }
+  [[nodiscard]] sim::Host& host(std::size_t index) { return *hosts_[index]; }
+  [[nodiscard]] std::size_t num_hosts() const noexcept {
+    return hosts_.size();
+  }
+
+ private:
+  friend class Client;
+
+  // --- master logic ----------------------------------------------------
+  void launch_client(std::size_t host_index);
+  void on_register(std::size_t host_index);
+  void on_split_request(std::size_t host_index);
+  void on_split_failed(std::size_t requester, std::size_t peer);
+  void on_subproblem_sent(std::size_t from, std::size_t to);  ///< msg 5
+  void on_migrated(std::size_t from, std::size_t to);
+  /// A subproblem transfer whose receiver died mid-flight: requeue it
+  /// (checkpoint-recovery mode) or abort the run.
+  void on_lost_subproblem(std::shared_ptr<solver::Subproblem> sp,
+                          std::size_t host_index);
+  void note_subproblem_in_flight() { ++subproblems_in_flight_; }
+  void on_subproblem_ack(std::size_t host_index);             ///< msg 4
+  /// Receiver was already busy: requeue the payload for another client.
+  void on_subproblem_rejected(std::shared_ptr<solver::Subproblem> sp,
+                              std::size_t host_index);
+  void on_subproblem_unsat(std::size_t host_index);
+  void on_sat_found(std::size_t host_index, cnf::Assignment model);
+  void on_client_clauses(std::size_t from,
+                         std::shared_ptr<std::vector<cnf::Clause>> batch);
+  void on_checkpoint(std::size_t host_index, Checkpoint cp);
+  void on_client_died(std::size_t host_index, bool was_busy);
+  void on_mem_out(std::size_t host_index);
+  void try_dispatch();
+  /// Release the reservation held for `requester`'s outstanding grant (if
+  /// any): the requester finished, died, or declined before splitting.
+  void release_grant(std::size_t requester);
+  void check_termination();
+  void finish(CampaignStatus status);
+  void assign_subproblem(std::size_t host_index,
+                         std::shared_ptr<solver::Subproblem> sp,
+                         const std::string& from, const std::string& from_site);
+  void sample_availability();
+  [[nodiscard]] std::size_t idle_at_site(const std::string& site) const;
+  void update_peak_active();
+
+  // --- plumbing ----------------------------------------------------------
+  double send(const std::string& from, const std::string& from_site,
+              const std::string& to, const std::string& to_site,
+              const std::string& kind, std::size_t bytes,
+              std::function<void()> handler);
+  void send_to_master(std::size_t from_host, const std::string& kind,
+                      std::size_t bytes, std::function<void()> handler);
+  void send_to_client(std::size_t to_host, const std::string& kind,
+                      std::size_t bytes, std::function<void()> handler);
+  [[nodiscard]] static std::size_t clause_batch_bytes(
+      const std::vector<cnf::Clause>& batch);
+
+  cnf::CnfFormula formula_;
+  std::string master_site_;
+  GridSatConfig config_;
+
+  sim::SimEngine engine_;
+  sim::Network network_;
+  sim::MessageBus bus_;
+  grid::ResourceDirectory directory_;
+  std::vector<std::unique_ptr<sim::Host>> hosts_;
+  std::vector<std::unique_ptr<Client>> clients_;
+
+  // Master state.
+  bool problem_assigned_ = false;
+  std::size_t subproblems_in_flight_ = 0;
+  std::set<std::size_t> backlog_;  ///< hosts with pending split requests
+  /// requester -> reserved peer, while a SPLIT_GRANT / MIGRATE_ORDER is
+  /// outstanding (cleared by SPLIT_DONE / MIGRATED / SPLIT_FAILED or the
+  /// requester's demise).
+  std::map<std::size_t, std::size_t> outstanding_grants_;
+  std::deque<std::shared_ptr<solver::Subproblem>> pending_restores_;
+  std::map<std::size_t, Checkpoint> checkpoints_;
+  bool done_ = false;
+  GridSatResult result_;
+
+  // Batch (Blue Horizon) state.
+  std::optional<BatchOptions> batch_options_;
+  std::unique_ptr<sim::BatchSystem> batch_;
+  sim::BatchSystem::JobId batch_job_ = 0;
+  double batch_started_at_ = -1.0;
+};
+
+}  // namespace gridsat::core

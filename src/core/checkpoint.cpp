@@ -1,0 +1,60 @@
+#include "core/checkpoint.hpp"
+
+namespace gridsat::core {
+
+std::size_t Checkpoint::wire_size() const { return to_bytes().size(); }
+
+std::vector<std::uint8_t> Checkpoint::to_bytes() const {
+  util::ByteWriter out;
+  out.u8(heavy ? 1 : 0);
+  out.var_u64(units.size());
+  for (const auto& u : units) {
+    out.var_u64(u.lit.code());
+    out.u8(u.tainted ? 1 : 0);
+  }
+  out.var_u64(learned.size());
+  for (const auto& c : learned) {
+    out.var_u64(c.size());
+    for (const cnf::Lit l : c) out.var_u64(l.code());
+  }
+  return out.take();
+}
+
+Checkpoint Checkpoint::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader in(bytes);
+  Checkpoint cp;
+  cp.heavy = in.u8() != 0;
+  const std::uint64_t num_units = in.var_u64();
+  cp.units.reserve(num_units);
+  for (std::uint64_t i = 0; i < num_units; ++i) {
+    solver::SubproblemUnit u;
+    u.lit = cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64()));
+    u.tainted = in.u8() != 0;
+    cp.units.push_back(u);
+  }
+  const std::uint64_t num_learned = in.var_u64();
+  cp.learned.reserve(num_learned);
+  for (std::uint64_t i = 0; i < num_learned; ++i) {
+    cnf::Clause c;
+    const std::uint64_t len = in.var_u64();
+    c.reserve(len);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      c.push_back(cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
+    }
+    cp.learned.push_back(std::move(c));
+  }
+  return cp;
+}
+
+solver::Subproblem Checkpoint::restore(const cnf::CnfFormula& original) const {
+  solver::Subproblem sp;
+  sp.num_vars = original.num_vars();
+  sp.units = units;
+  sp.clauses = original.clauses();
+  sp.num_problem_clauses = sp.clauses.size();
+  sp.clauses.insert(sp.clauses.end(), learned.begin(), learned.end());
+  sp.path = "checkpoint-restore";
+  return sp;
+}
+
+}  // namespace gridsat::core

@@ -1,0 +1,36 @@
+// Client checkpoints (paper §3.4). Light checkpoints record only the
+// level-0 assignments — "updated only when more variables are added to
+// decision level 0" — and rebuild the clause set from the problem file.
+// Heavy checkpoints add the learned clauses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "solver/subproblem.hpp"
+#include "util/bytes.hpp"
+
+namespace gridsat::core {
+
+struct Checkpoint {
+  bool heavy = false;
+  std::vector<solver::SubproblemUnit> units;
+  /// Learned clauses; empty for light checkpoints.
+  std::vector<cnf::Clause> learned;
+
+  [[nodiscard]] std::size_t wire_size() const;
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  static Checkpoint from_bytes(const std::vector<std::uint8_t>& bytes);
+
+  /// Reconstruct a runnable subproblem: the original formula's clauses
+  /// (the "initial set of clauses ... obtained from the problem file"),
+  /// plus the checkpointed units and, for heavy checkpoints, the learned
+  /// clauses.
+  [[nodiscard]] solver::Subproblem restore(
+      const cnf::CnfFormula& original) const;
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+}  // namespace gridsat::core

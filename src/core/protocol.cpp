@@ -1,0 +1,219 @@
+#include "core/protocol.hpp"
+
+namespace gridsat::core::protocol {
+
+const char* to_string(MessageType t) noexcept {
+  switch (t) {
+    case MessageType::kLaunch: return "LAUNCH";
+    case MessageType::kRegister: return "REGISTER";
+    case MessageType::kSubproblem: return "SUBPROBLEM";
+    case MessageType::kSubproblemAck: return "SUBPROBLEM_ACK";
+    case MessageType::kSplitRequest: return "SPLIT_REQUEST";
+    case MessageType::kSplitGrant: return "SPLIT_GRANT";
+    case MessageType::kSplitDone: return "SPLIT_DONE";
+    case MessageType::kSplitFailed: return "SPLIT_FAILED";
+    case MessageType::kMigrateOrder: return "MIGRATE_ORDER";
+    case MessageType::kMigrated: return "MIGRATED";
+    case MessageType::kClauses: return "CLAUSES";
+    case MessageType::kSatFound: return "SAT_FOUND";
+    case MessageType::kSubproblemUnsat: return "SUBPROBLEM_UNSAT";
+    case MessageType::kCheckpoint: return "CHECKPOINT";
+    case MessageType::kSubproblemReject: return "SUBPROBLEM_REJECT";
+  }
+  return "?";
+}
+
+MessageType type_of(const Message& message) noexcept {
+  return static_cast<MessageType>(message.index() + 1);
+}
+
+namespace {
+
+void encode_clauses(util::ByteWriter& out,
+                    const std::vector<cnf::Clause>& clauses) {
+  out.var_u64(clauses.size());
+  for (const auto& clause : clauses) {
+    out.var_u64(clause.size());
+    for (const cnf::Lit l : clause) out.var_u64(l.code());
+  }
+}
+
+std::vector<cnf::Clause> decode_clauses(util::ByteReader& in) {
+  std::vector<cnf::Clause> clauses;
+  const std::uint64_t count = in.var_u64();
+  clauses.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    cnf::Clause clause;
+    const std::uint64_t len = in.var_u64();
+    clause.reserve(len);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      clause.push_back(
+          cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+void encode_model(util::ByteWriter& out, const cnf::Assignment& model) {
+  out.var_u64(model.size());
+  for (const cnf::LBool value : model) {
+    out.u8(static_cast<std::uint8_t>(value));
+  }
+}
+
+cnf::Assignment decode_model(util::ByteReader& in) {
+  cnf::Assignment model(in.var_u64(), cnf::LBool::kUndef);
+  for (auto& value : model) {
+    const std::uint8_t raw = in.u8();
+    if (raw > 2) throw util::DecodeError("bad tri-state value");
+    value = static_cast<cnf::LBool>(raw);
+  }
+  return model;
+}
+
+struct Encoder {
+  util::ByteWriter& out;
+
+  void operator()(const Launch&) {}
+  void operator()(const Register& m) { out.u32(m.host_index); }
+  void operator()(const SubproblemMsg& m) { m.subproblem.serialize(out); }
+  void operator()(const SubproblemAck& m) { out.u32(m.host_index); }
+  void operator()(const SplitRequest& m) {
+    out.u32(m.host_index);
+    out.u8(static_cast<std::uint8_t>(m.reason));
+  }
+  void operator()(const SplitGrant& m) { out.u32(m.peer_host); }
+  void operator()(const SplitDone& m) {
+    out.u32(m.from_host);
+    out.u32(m.to_host);
+  }
+  void operator()(const SplitFailed& m) {
+    out.u32(m.requester);
+    out.u32(m.peer);
+  }
+  void operator()(const MigrateOrder& m) { out.u32(m.peer_host); }
+  void operator()(const Migrated& m) {
+    out.u32(m.from_host);
+    out.u32(m.to_host);
+  }
+  void operator()(const ClauseBatch& m) { encode_clauses(out, m.clauses); }
+  void operator()(const SatFound& m) {
+    out.u32(m.host_index);
+    encode_model(out, m.model);
+  }
+  void operator()(const SubproblemUnsat& m) { out.u32(m.host_index); }
+  void operator()(const CheckpointMsg& m) {
+    out.u32(m.host_index);
+    const auto bytes = m.checkpoint.to_bytes();
+    out.var_u64(bytes.size());
+    out.bytes(bytes);
+  }
+  void operator()(const SubproblemReject& m) {
+    out.u32(m.host_index);
+    m.subproblem.serialize(out);
+  }
+};
+
+Message decode_payload(MessageType type, util::ByteReader& in) {
+  switch (type) {
+    case MessageType::kLaunch:
+      return Launch{};
+    case MessageType::kRegister:
+      return Register{in.u32()};
+    case MessageType::kSubproblem:
+      return SubproblemMsg{solver::Subproblem::deserialize(in)};
+    case MessageType::kSubproblemAck:
+      return SubproblemAck{in.u32()};
+    case MessageType::kSplitRequest: {
+      SplitRequest m;
+      m.host_index = in.u32();
+      const std::uint8_t reason = in.u8();
+      if (reason > 1) throw util::DecodeError("bad split reason");
+      m.reason = static_cast<SplitRequest::Reason>(reason);
+      return m;
+    }
+    case MessageType::kSplitGrant:
+      return SplitGrant{in.u32()};
+    case MessageType::kSplitDone: {
+      SplitDone m;
+      m.from_host = in.u32();
+      m.to_host = in.u32();
+      return m;
+    }
+    case MessageType::kSplitFailed: {
+      SplitFailed m;
+      m.requester = in.u32();
+      m.peer = in.u32();
+      return m;
+    }
+    case MessageType::kMigrateOrder:
+      return MigrateOrder{in.u32()};
+    case MessageType::kMigrated: {
+      Migrated m;
+      m.from_host = in.u32();
+      m.to_host = in.u32();
+      return m;
+    }
+    case MessageType::kClauses:
+      return ClauseBatch{decode_clauses(in)};
+    case MessageType::kSatFound: {
+      SatFound m;
+      m.host_index = in.u32();
+      m.model = decode_model(in);
+      return m;
+    }
+    case MessageType::kSubproblemUnsat:
+      return SubproblemUnsat{in.u32()};
+    case MessageType::kCheckpoint: {
+      CheckpointMsg m;
+      m.host_index = in.u32();
+      const std::uint64_t len = in.var_u64();
+      std::vector<std::uint8_t> raw;
+      raw.reserve(len);
+      for (std::uint64_t i = 0; i < len; ++i) raw.push_back(in.u8());
+      m.checkpoint = Checkpoint::from_bytes(raw);
+      return m;
+    }
+    case MessageType::kSubproblemReject: {
+      SubproblemReject m;
+      m.host_index = in.u32();
+      m.subproblem = solver::Subproblem::deserialize(in);
+      return m;
+    }
+  }
+  throw util::DecodeError("unknown message type");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  util::ByteWriter payload;
+  std::visit(Encoder{payload}, message);
+  util::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(type_of(message)));
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  out.bytes(payload.data());
+  return out.take();
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
+  try {
+    util::ByteReader in(bytes);
+    const std::uint8_t raw_type = in.u8();
+    if (raw_type < 1 ||
+        raw_type > static_cast<std::uint8_t>(MessageType::kSubproblemReject)) {
+      return std::nullopt;
+    }
+    const std::uint32_t length = in.u32();
+    if (length != in.remaining()) return std::nullopt;
+    Message message =
+        decode_payload(static_cast<MessageType>(raw_type), in);
+    if (!in.exhausted()) return std::nullopt;
+    return message;
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace gridsat::core::protocol

@@ -1,0 +1,113 @@
+// Typed wire protocol of GridSAT — the EveryWare-messaging analog made
+// concrete. The simulated Campaign delivers payloads as in-process
+// closures and only charges byte *counts*; this codec defines the actual
+// byte format each message would carry on a real network (and is what a
+// socket-transport port of the Campaign would serialize with). Round-trip
+// tests pin the format; the split payload reuses Subproblem's encoding,
+// clause batches and checkpoints theirs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "core/checkpoint.hpp"
+#include "solver/subproblem.hpp"
+#include "util/bytes.hpp"
+
+namespace gridsat::core::protocol {
+
+enum class MessageType : std::uint8_t {
+  kLaunch = 1,
+  kRegister = 2,
+  kSubproblem = 3,       ///< Figure-3 message 3 (also the initial assignment)
+  kSubproblemAck = 4,    ///< Figure-3 message 4
+  kSplitRequest = 5,     ///< Figure-3 message 1
+  kSplitGrant = 6,       ///< Figure-3 message 2
+  kSplitDone = 7,        ///< Figure-3 message 5
+  kSplitFailed = 8,
+  kMigrateOrder = 9,
+  kMigrated = 10,
+  kClauses = 11,
+  kSatFound = 12,
+  kSubproblemUnsat = 13,
+  kCheckpoint = 14,
+  kSubproblemReject = 15,
+};
+
+const char* to_string(MessageType t) noexcept;
+
+struct Launch {};
+struct Register {
+  std::uint32_t host_index = 0;
+};
+struct SubproblemMsg {
+  solver::Subproblem subproblem;
+};
+struct SubproblemAck {
+  std::uint32_t host_index = 0;
+};
+struct SplitRequest {
+  std::uint32_t host_index = 0;
+  /// Why the client asked (the paper's two triggers).
+  enum class Reason : std::uint8_t { kTimeout = 0, kMemory = 1 } reason =
+      Reason::kTimeout;
+};
+struct SplitGrant {
+  std::uint32_t peer_host = 0;
+};
+struct SplitDone {
+  std::uint32_t from_host = 0;
+  std::uint32_t to_host = 0;
+};
+struct SplitFailed {
+  std::uint32_t requester = 0;
+  std::uint32_t peer = 0;
+};
+struct MigrateOrder {
+  std::uint32_t peer_host = 0;
+};
+struct Migrated {
+  std::uint32_t from_host = 0;
+  std::uint32_t to_host = 0;
+};
+struct ClauseBatch {
+  std::vector<cnf::Clause> clauses;
+};
+struct SatFound {
+  std::uint32_t host_index = 0;
+  /// The assignment stack (paper §3.4), one tri-state per variable.
+  cnf::Assignment model;
+};
+struct SubproblemUnsat {
+  std::uint32_t host_index = 0;
+};
+struct CheckpointMsg {
+  std::uint32_t host_index = 0;
+  Checkpoint checkpoint;
+};
+struct SubproblemReject {
+  std::uint32_t host_index = 0;
+  solver::Subproblem subproblem;
+};
+
+using Message =
+    std::variant<Launch, Register, SubproblemMsg, SubproblemAck, SplitRequest,
+                 SplitGrant, SplitDone, SplitFailed, MigrateOrder, Migrated,
+                 ClauseBatch, SatFound, SubproblemUnsat, CheckpointMsg,
+                 SubproblemReject>;
+
+[[nodiscard]] MessageType type_of(const Message& message) noexcept;
+
+/// Encode with a 5-byte header (type + payload length) followed by the
+/// typed payload.
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Decode; nullopt on malformed input (bad type, truncated payload,
+/// trailing bytes).
+std::optional<Message> decode(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace gridsat::core::protocol

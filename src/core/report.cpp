@@ -1,0 +1,70 @@
+#include "core/report.hpp"
+
+#include "util/json.hpp"
+
+namespace gridsat::core {
+
+namespace {
+
+void write_gridsat(util::JsonWriter& json, const GridSatResult& r) {
+  json.begin_object()
+      .field("status", to_string(r.status))
+      .field("seconds", r.seconds)
+      .field("max_active_clients", r.max_active_clients)
+      .field("total_splits", r.total_splits)
+      .field("migrations", r.migrations)
+      .field("messages", r.messages)
+      .field("bytes_transferred", r.bytes_transferred)
+      .field("clause_batches_shared", r.clause_batches_shared)
+      .field("clauses_shared", r.clauses_shared)
+      .field("total_work", r.total_work)
+      .field("client_deaths", r.client_deaths)
+      .field("checkpoint_recoveries", r.checkpoint_recoveries)
+      .field("batch_submitted", r.batch_submitted)
+      .field("batch_started", r.batch_started)
+      .field("batch_cancelled", r.batch_cancelled)
+      .field("batch_queue_wait_s", r.batch_queue_wait_s)
+      .field("batch_run_s", r.batch_run_s)
+      .end_object();
+}
+
+void write_sequential(util::JsonWriter& json, const SequentialResult& r) {
+  json.begin_object()
+      .field("status", solver::to_string(r.status))
+      .field("cell", render_time_cell(r))
+      .field("seconds", r.seconds)
+      .field("work", r.work)
+      .field("peak_db_bytes", r.peak_db_bytes)
+      .field("timed_out", r.timed_out)
+      .end_object();
+}
+
+}  // namespace
+
+std::string to_json(const GridSatResult& result) {
+  util::JsonWriter json;
+  write_gridsat(json, result);
+  return json.str();
+}
+
+std::string to_json(const SequentialResult& result) {
+  util::JsonWriter json;
+  write_sequential(json, result);
+  return json.str();
+}
+
+std::string to_json(const RowReport& row) {
+  util::JsonWriter json;
+  json.begin_object()
+      .field("paper_name", row.paper_name)
+      .field("analog", row.analog)
+      .field("paper_status", row.paper_status);
+  json.key("sequential");
+  write_sequential(json, row.sequential);
+  json.key("gridsat");
+  write_gridsat(json, row.gridsat);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace gridsat::core

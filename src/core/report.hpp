@@ -1,0 +1,27 @@
+// Machine-readable result export: campaign and comparator outcomes as
+// JSON for downstream analysis (plotting the tables, regression-diffing
+// reproduction runs).
+#pragma once
+
+#include <string>
+
+#include "core/result.hpp"
+
+namespace gridsat::core {
+
+/// One JSON object per result, stable field names.
+std::string to_json(const GridSatResult& result);
+std::string to_json(const SequentialResult& result);
+
+/// A Table-1-style row: instance metadata + both solvers' outcomes.
+struct RowReport {
+  std::string paper_name;
+  std::string analog;
+  std::string paper_status;
+  SequentialResult sequential;
+  GridSatResult gridsat;
+};
+
+std::string to_json(const RowReport& row);
+
+}  // namespace gridsat::core

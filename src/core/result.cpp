@@ -1,0 +1,51 @@
+#include "core/result.hpp"
+
+#include <cstdio>
+
+namespace gridsat::core {
+
+const char* to_string(CampaignStatus s) noexcept {
+  switch (s) {
+    case CampaignStatus::kSat: return "SAT";
+    case CampaignStatus::kUnsat: return "UNSAT";
+    case CampaignStatus::kTimeout: return "TIME_OUT";
+    case CampaignStatus::kError: return "ERROR";
+  }
+  return "?";
+}
+
+namespace {
+std::string seconds_cell(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", seconds);
+  return buf;
+}
+}  // namespace
+
+std::string render_time_cell(const SequentialResult& r) {
+  switch (r.status) {
+    case solver::SolveStatus::kSat:
+    case solver::SolveStatus::kUnsat:
+      return seconds_cell(r.seconds);
+    case solver::SolveStatus::kMemOut:
+      return "MEM_OUT";
+    case solver::SolveStatus::kUnknown:
+      return "TIME_OUT";
+  }
+  return "?";
+}
+
+std::string render_time_cell(const GridSatResult& r) {
+  switch (r.status) {
+    case CampaignStatus::kSat:
+    case CampaignStatus::kUnsat:
+      return seconds_cell(r.seconds);
+    case CampaignStatus::kTimeout:
+      return "TIME_OUT";
+    case CampaignStatus::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace gridsat::core

@@ -1,0 +1,61 @@
+// Campaign outcome records for GridSAT runs and the sequential
+// comparator (the zChaff column of Tables 1 and 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cnf/formula.hpp"
+#include "solver/cdcl.hpp"
+
+namespace gridsat::core {
+
+enum class CampaignStatus : std::uint8_t {
+  kSat,
+  kUnsat,
+  kTimeout,  ///< overall cap (or batch-job expiry) hit — paper's TIME_OUT
+  kError,    ///< unrecoverable failure (busy client died, no checkpoint)
+};
+
+const char* to_string(CampaignStatus s) noexcept;
+
+struct GridSatResult {
+  CampaignStatus status = CampaignStatus::kTimeout;
+  /// Virtual seconds from launch to verdict (or to the cap).
+  double seconds = 0.0;
+  /// "Max # of clients" column of Table 1: the peak number of clients
+  /// simultaneously holding subproblems.
+  std::size_t max_active_clients = 0;
+  std::uint64_t total_splits = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t clause_batches_shared = 0;
+  std::uint64_t clauses_shared = 0;
+  /// Total solver work units across all clients (search effort).
+  std::uint64_t total_work = 0;
+  std::uint64_t client_deaths = 0;
+  std::uint64_t checkpoint_recoveries = 0;
+  /// Batch (Blue Horizon) bookkeeping for Table 2.
+  bool batch_submitted = false;
+  bool batch_started = false;
+  bool batch_cancelled = false;
+  double batch_queue_wait_s = 0.0;
+  double batch_run_s = 0.0;  ///< virtual seconds the batch nodes worked
+  cnf::Assignment model;     ///< populated and verified when status == kSat
+};
+
+struct SequentialResult {
+  solver::SolveStatus status = solver::SolveStatus::kUnknown;
+  double seconds = 0.0;  ///< virtual seconds on the dedicated host
+  std::uint64_t work = 0;
+  std::size_t peak_db_bytes = 0;
+  bool timed_out = false;
+  cnf::Assignment model;
+};
+
+/// Table-cell rendering: "TIME_OUT", "MEM_OUT", or seconds.
+std::string render_time_cell(const SequentialResult& r);
+std::string render_time_cell(const GridSatResult& r);
+
+}  // namespace gridsat::core

@@ -1,0 +1,38 @@
+#include "core/sequential.hpp"
+
+#include <algorithm>
+
+namespace gridsat::core {
+
+SequentialResult run_sequential(const cnf::CnfFormula& formula,
+                                const SequentialOptions& options) {
+  solver::SolverConfig config = options.solver;
+  config.memory_limit_bytes = options.host.memory_bytes;
+  solver::CdclSolver solver(formula, config);
+
+  const double speed = options.host.speed;
+  const auto work_cap = static_cast<std::uint64_t>(
+      std::max(1.0, options.timeout_s * speed));
+
+  SequentialResult result;
+  // Slice so the reported time reflects the work actually done rather
+  // than the whole cap when the verdict lands early.
+  const std::uint64_t slice = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(speed));  // ~1 virtual second
+  solver::SolveStatus status = solver::SolveStatus::kUnknown;
+  while (status == solver::SolveStatus::kUnknown &&
+         solver.stats().work < work_cap) {
+    const std::uint64_t remaining = work_cap - solver.stats().work;
+    status = solver.solve(std::min(slice, remaining));
+  }
+  result.status = status;
+  result.work = solver.stats().work;
+  result.seconds = static_cast<double>(solver.stats().work) / speed;
+  result.peak_db_bytes = solver.stats().peak_db_bytes;
+  result.timed_out = (status == solver::SolveStatus::kUnknown);
+  if (result.timed_out) result.seconds = options.timeout_s;
+  if (status == solver::SolveStatus::kSat) result.model = solver.model();
+  return result;
+}
+
+}  // namespace gridsat::core

@@ -1,0 +1,27 @@
+// Sequential comparator — the zChaff column of Tables 1 and 2: the same
+// CDCL core (including the paper's level-0 pruning patch, §3.1) run on
+// the fastest available host in dedicated mode with a wall-clock cap and
+// the host's memory as the clause-database limit.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.hpp"
+#include "core/result.hpp"
+#include "sim/host.hpp"
+#include "solver/cdcl.hpp"
+
+namespace gridsat::core {
+
+struct SequentialOptions {
+  sim::HostSpec host;       ///< dedicated: base_load/jitter ignored
+  double timeout_s = 18000.0;
+  solver::SolverConfig solver;
+};
+
+/// Run to SAT/UNSAT, MEM_OUT, or the timeout, charging virtual time at
+/// the host's dedicated speed.
+SequentialResult run_sequential(const cnf::CnfFormula& formula,
+                                const SequentialOptions& options);
+
+}  // namespace gridsat::core

@@ -1,0 +1,41 @@
+// Canonical testbeds mirroring the paper's experimental apparatus (§4).
+//
+// Host speeds are in solver work units per virtual second and memories in
+// simulated clause-database bytes; the mapping from 2003 hardware keeps
+// the *relations* of the paper's testbed (UTK cluster fastest, UIUC
+// Pentium-IIs slow and memory-starved, Blue Horizon nodes 8-way with
+// 4 GB) while keeping one simulated campaign affordable on one 2026 core.
+// EXPERIMENTS.md documents the scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/host.hpp"
+
+namespace gridsat::core::testbeds {
+
+/// The master node's site in both experiment sets (a UCSD machine).
+inline constexpr const char* kMasterSite = "ucsd";
+
+/// First experiment set: 34 machines across three sites — two UTK
+/// clusters (one with "the best hardware configuration"), two UIUC
+/// clusters (one of 250 MHz Pentium IIs with 128 MB), 8 UCSD desktops.
+/// All shared/non-dedicated.
+std::vector<sim::HostSpec> grads34(std::uint64_t seed = 2003);
+
+/// Second experiment set: 27 machines — a 16-node UIUC cluster, 3 UCSD
+/// desktops, 8 UCSB desktops (the slow PIIs removed).
+std::vector<sim::HostSpec> grads27_ucsb(std::uint64_t seed = 2003);
+
+/// Blue Horizon batch nodes: `nodes` hosts of 8 CPUs / 4 GB each,
+/// dedicated while the job runs, all at SDSC.
+std::vector<sim::HostSpec> blue_horizon(std::size_t nodes = 100,
+                                        std::uint64_t seed = 2003);
+
+/// The fastest host of grads34 in dedicated mode — where the sequential
+/// zChaff comparator runs ("a dedicated node from this cluster", §4).
+sim::HostSpec fastest_dedicated();
+
+}  // namespace gridsat::core::testbeds

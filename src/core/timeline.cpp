@@ -1,0 +1,64 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace gridsat::core {
+
+using grid::HostState;
+
+void TimelineRecorder::schedule_next() {
+  campaign_.engine().schedule_in(interval_s_, [this] {
+    if (campaign_.done()) return;
+    take_sample();
+    schedule_next();
+  });
+}
+
+void TimelineRecorder::take_sample() {
+  Sample sample;
+  sample.t = campaign_.engine().now();
+  const auto& dir = campaign_.directory();
+  sample.busy = dir.count_in_state(HostState::kBusy);
+  sample.idle = dir.count_in_state(HostState::kIdle);
+  sample.reserved = dir.count_in_state(HostState::kReserved);
+  sample.launching = dir.count_in_state(HostState::kLaunching);
+  sample.free_hosts = dir.count_in_state(HostState::kFree);
+  sample.dead = dir.count_in_state(HostState::kDead);
+  for (std::size_t i = 0; i < campaign_.num_hosts(); ++i) {
+    const Client* client = campaign_.client(i);
+    if (client != nullptr) sample.total_work += client->work_done();
+  }
+  samples_.push_back(sample);
+}
+
+std::size_t TimelineRecorder::peak_busy() const {
+  std::size_t peak = 0;
+  for (const Sample& s : samples_) peak = std::max(peak, s.busy);
+  return peak;
+}
+
+std::string TimelineRecorder::render(std::size_t max_rows) const {
+  std::ostringstream out;
+  if (samples_.empty()) return "(no samples)\n";
+  const std::size_t buckets = std::min(max_rows, samples_.size());
+  const std::size_t per_bucket =
+      (samples_.size() + buckets - 1) / buckets;
+  out << "  time        busy clients\n";
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t begin = b * per_bucket;
+    if (begin >= samples_.size()) break;
+    const std::size_t end = std::min(samples_.size(), begin + per_bucket);
+    std::size_t busy = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      busy = std::max(busy, samples_[i].busy);
+    }
+    out << "  " << util::pad_left(util::format_duration(samples_[begin].t), 9)
+        << "  |" << std::string(busy, '#') << " " << busy << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gridsat::core

@@ -1,0 +1,106 @@
+// Bounded model checking over a small sequential-netlist IR — the tool
+// family that produced the SAT2002 industrial instances (the cnt*, ip*,
+// w08*, f2clk benchmarks are unrolled circuits with safety properties).
+//
+// A Netlist has primary inputs, latches (with reset values), combinational
+// gates, and one *bad* signal; `unroll` produces the CNF that is SAT iff
+// some input sequence of length <= `steps` drives the bad signal high —
+// the classic BMC query.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+/// Signal reference inside a netlist: an index into the node table, with
+/// an optional negation (AIG-style).
+struct Signal {
+  std::uint32_t node = 0;  ///< 0 is the constant-false node
+  bool negated = false;
+
+  [[nodiscard]] Signal operator!() const { return Signal{node, !negated}; }
+};
+
+inline constexpr Signal kFalseSignal{0, false};
+inline constexpr Signal kTrueSignal{0, true};
+
+class Netlist {
+ public:
+  Netlist();
+
+  /// Fresh primary input (free at every time step).
+  Signal add_input(std::string name = {});
+
+  /// Latch with the given reset value; its next-state function must be
+  /// set later with `connect`.
+  Signal add_latch(bool reset_value, std::string name = {});
+
+  /// AND gate (the only combinational primitive; build the rest with
+  /// negations, AIG-style).
+  Signal add_and(Signal a, Signal b);
+
+  // Derived conveniences.
+  Signal add_or(Signal a, Signal b) { return !add_and(!a, !b); }
+  Signal add_xor(Signal a, Signal b);
+  Signal add_mux(Signal sel, Signal if_true, Signal if_false);
+
+  /// Set a latch's next-state function.
+  void connect(Signal latch, Signal next);
+
+  /// Declare the safety property's *bad* signal (reachable == violated).
+  void set_bad(Signal bad) { bad_ = bad; }
+
+  [[nodiscard]] std::size_t num_inputs() const noexcept {
+    return inputs_.size();
+  }
+  [[nodiscard]] std::size_t num_latches() const noexcept {
+    return latches_.size();
+  }
+  [[nodiscard]] std::size_t num_gates() const noexcept {
+    return gates_.size();
+  }
+
+  /// CNF satisfiable iff the bad signal can be asserted within `steps`
+  /// transitions of the reset state (checked at every frame 0..steps).
+  [[nodiscard]] cnf::CnfFormula unroll(std::size_t steps) const;
+
+ private:
+  friend struct NetlistUnroller;
+
+  enum class NodeKind : std::uint8_t { kConst, kInput, kLatch, kAnd };
+  struct Node {
+    NodeKind kind = NodeKind::kConst;
+    Signal a, b;   ///< AND operands
+    Signal next;   ///< latch next-state
+    bool reset_value = false;
+    std::string name;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> inputs_;
+  std::vector<std::uint32_t> latches_;
+  std::vector<std::uint32_t> gates_;
+  Signal bad_ = kFalseSignal;
+};
+
+// --- Ready-made models (test workloads and generator families) ----------
+
+/// Equivalence of two `bits`-wide LFSRs with the same taps but different
+/// implementations; `plant_bug` corrupts one feedback tap so the miter's
+/// bad signal becomes reachable. UNSAT (never differs) when intact.
+Netlist lfsr_equivalence(std::size_t bits, bool plant_bug);
+
+/// `stations`-node token-ring arbiter: exactly one token circulates; the
+/// bad signal fires if two stations ever hold grants simultaneously.
+/// Safe (UNSAT) by construction; `plant_bug` injects a second token.
+Netlist token_ring_arbiter(std::size_t stations, bool plant_bug);
+
+/// A `bits`-bit counter with an enable input; bad = counter reaches its
+/// maximum value. Reachable (SAT) iff steps >= 2^bits - 1.
+Netlist counter_overflow(std::size_t bits);
+
+}  // namespace gridsat::gen

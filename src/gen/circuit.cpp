@@ -1,0 +1,158 @@
+#include "gen/circuit.hpp"
+
+#include <cassert>
+
+namespace gridsat::gen {
+
+using cnf::Lit;
+
+CircuitBuilder::CircuitBuilder() {
+  true_lit_ = Lit(formula_.new_var(), false);
+  formula_.add_clause({true_lit_});
+}
+
+Lit CircuitBuilder::fresh() { return Lit(formula_.new_var(), false); }
+
+Lit CircuitBuilder::input() { return fresh(); }
+
+Lit CircuitBuilder::constant(bool value) {
+  return value ? true_lit_ : ~true_lit_;
+}
+
+std::vector<Lit> CircuitBuilder::input_bus(std::size_t n) {
+  std::vector<Lit> bus;
+  bus.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) bus.push_back(input());
+  return bus;
+}
+
+Lit CircuitBuilder::and_gate(Lit a, Lit b) {
+  const Lit out = fresh();
+  // out <-> a & b
+  formula_.add_clause({~out, a});
+  formula_.add_clause({~out, b});
+  formula_.add_clause({out, ~a, ~b});
+  return out;
+}
+
+Lit CircuitBuilder::or_gate(Lit a, Lit b) {
+  const Lit out = fresh();
+  formula_.add_clause({out, ~a});
+  formula_.add_clause({out, ~b});
+  formula_.add_clause({~out, a, b});
+  return out;
+}
+
+Lit CircuitBuilder::xor_gate(Lit a, Lit b) {
+  const Lit out = fresh();
+  formula_.add_clause({~out, a, b});
+  formula_.add_clause({~out, ~a, ~b});
+  formula_.add_clause({out, ~a, b});
+  formula_.add_clause({out, a, ~b});
+  return out;
+}
+
+Lit CircuitBuilder::mux_gate(Lit sel, Lit if_true, Lit if_false) {
+  const Lit out = fresh();
+  formula_.add_clause({~sel, ~if_true, out});
+  formula_.add_clause({~sel, if_true, ~out});
+  formula_.add_clause({sel, ~if_false, out});
+  formula_.add_clause({sel, if_false, ~out});
+  return out;
+}
+
+Lit CircuitBuilder::and_many(const std::vector<Lit>& inputs) {
+  if (inputs.empty()) return constant(true);
+  Lit acc = inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    acc = and_gate(acc, inputs[i]);
+  }
+  return acc;
+}
+
+Lit CircuitBuilder::or_many(const std::vector<Lit>& inputs) {
+  if (inputs.empty()) return constant(false);
+  Lit acc = inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    acc = or_gate(acc, inputs[i]);
+  }
+  return acc;
+}
+
+Lit CircuitBuilder::xor_many(const std::vector<Lit>& inputs) {
+  if (inputs.empty()) return constant(false);
+  Lit acc = inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    acc = xor_gate(acc, inputs[i]);
+  }
+  return acc;
+}
+
+std::vector<Lit> CircuitBuilder::adder(const std::vector<Lit>& a,
+                                       const std::vector<Lit>& b,
+                                       bool keep_carry) {
+  assert(a.size() == b.size());
+  std::vector<Lit> sum;
+  sum.reserve(a.size() + 1);
+  Lit carry = constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit half = xor_gate(a[i], b[i]);
+    sum.push_back(xor_gate(half, carry));
+    const Lit c1 = and_gate(a[i], b[i]);
+    const Lit c2 = and_gate(half, carry);
+    carry = or_gate(c1, c2);
+  }
+  if (keep_carry) sum.push_back(carry);
+  return sum;
+}
+
+std::vector<Lit> CircuitBuilder::multiplier(const std::vector<Lit>& a,
+                                            const std::vector<Lit>& b) {
+  const std::size_t out_width = a.size() + b.size();
+  std::vector<Lit> acc(out_width, constant(false));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    // Partial product: a << i, gated by b[i].
+    std::vector<Lit> partial(out_width, constant(false));
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      partial[i + j] = and_gate(a[j], b[i]);
+    }
+    acc = adder(acc, partial, /*keep_carry=*/false);
+  }
+  return acc;
+}
+
+Lit CircuitBuilder::equals(const std::vector<Lit>& a,
+                           const std::vector<Lit>& b) {
+  assert(a.size() == b.size());
+  std::vector<Lit> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits.push_back(~xor_gate(a[i], b[i]));
+  }
+  return and_many(bits);
+}
+
+std::vector<Lit> CircuitBuilder::increment(const std::vector<Lit>& a) {
+  std::vector<Lit> out;
+  out.reserve(a.size());
+  Lit carry = constant(true);
+  for (const Lit bit : a) {
+    out.push_back(xor_gate(bit, carry));
+    carry = and_gate(bit, carry);
+  }
+  return out;
+}
+
+void CircuitBuilder::assert_lit(Lit l, bool value) {
+  formula_.add_clause({value ? l : ~l});
+}
+
+void CircuitBuilder::assert_bus(const std::vector<Lit>& bus,
+                                std::uint64_t value) {
+  assert(bus.size() >= 64 || (value >> bus.size()) == 0);
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    assert_lit(bus[i], ((value >> i) & 1) != 0);
+  }
+}
+
+}  // namespace gridsat::gen

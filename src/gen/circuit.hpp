@@ -1,0 +1,74 @@
+// Tseitin circuit-to-CNF builder. The SAT2002 industrial rows (Npipe,
+// cnt, ip, w08, comb, sha1, 3bitadd, pyhala-braun multiplier instances)
+// are all circuit encodings — bounded model checking, equivalence miters,
+// and arithmetic; this builder is the substrate for our analogs of them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+/// A signal in the circuit: a CNF literal. Constants are materialized as
+/// a dedicated always-true variable.
+class CircuitBuilder {
+ public:
+  CircuitBuilder();
+
+  /// Fresh primary input.
+  cnf::Lit input();
+
+  cnf::Lit constant(bool value);
+
+  cnf::Lit not_gate(cnf::Lit a) { return ~a; }
+  cnf::Lit and_gate(cnf::Lit a, cnf::Lit b);
+  cnf::Lit or_gate(cnf::Lit a, cnf::Lit b);
+  cnf::Lit xor_gate(cnf::Lit a, cnf::Lit b);
+  cnf::Lit mux_gate(cnf::Lit sel, cnf::Lit if_true, cnf::Lit if_false);
+
+  cnf::Lit and_many(const std::vector<cnf::Lit>& inputs);
+  cnf::Lit or_many(const std::vector<cnf::Lit>& inputs);
+  cnf::Lit xor_many(const std::vector<cnf::Lit>& inputs);
+
+  /// Ripple-carry adder: returns sum bits (LSB first); carry-out appended
+  /// when `keep_carry`.
+  std::vector<cnf::Lit> adder(const std::vector<cnf::Lit>& a,
+                              const std::vector<cnf::Lit>& b,
+                              bool keep_carry = true);
+
+  /// Shift-and-add multiplier; result has a.size()+b.size() bits.
+  std::vector<cnf::Lit> multiplier(const std::vector<cnf::Lit>& a,
+                                   const std::vector<cnf::Lit>& b);
+
+  /// Equality comparator over two buses.
+  cnf::Lit equals(const std::vector<cnf::Lit>& a,
+                  const std::vector<cnf::Lit>& b);
+
+  /// Incrementer: a + 1 over the same width (wraps; carry-out dropped).
+  std::vector<cnf::Lit> increment(const std::vector<cnf::Lit>& a);
+
+  /// Constrain a literal to a value (asserts a unit clause).
+  void assert_lit(cnf::Lit l, bool value = true);
+
+  /// Constrain a bus to an unsigned constant (LSB first).
+  void assert_bus(const std::vector<cnf::Lit>& bus, std::uint64_t value);
+
+  /// Fresh bus of n primary inputs (LSB first).
+  std::vector<cnf::Lit> input_bus(std::size_t n);
+
+  /// Finish and take the formula.
+  cnf::CnfFormula take() { return std::move(formula_); }
+  [[nodiscard]] const cnf::CnfFormula& formula() const noexcept {
+    return formula_;
+  }
+
+ private:
+  cnf::Lit fresh();
+
+  cnf::CnfFormula formula_;
+  cnf::Lit true_lit_;  ///< the constant-true signal
+};
+
+}  // namespace gridsat::gen

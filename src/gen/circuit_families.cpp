@@ -1,0 +1,101 @@
+#include "gen/circuit_families.hpp"
+
+#include <cassert>
+
+#include "gen/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace gridsat::gen {
+
+using cnf::Lit;
+
+cnf::CnfFormula factoring(std::uint64_t product, std::size_t bits) {
+  assert(bits >= 2 && 2 * bits <= 62);
+  CircuitBuilder cb;
+  const auto a = cb.input_bus(bits);
+  const auto b = cb.input_bus(bits);
+  const auto prod = cb.multiplier(a, b);
+  cb.assert_bus(prod, product);
+  // Exclude trivial factorizations: a > 1 and b > 1, i.e. some bit above
+  // bit 0 is set in each factor.
+  std::vector<Lit> a_high(a.begin() + 1, a.end());
+  std::vector<Lit> b_high(b.begin() + 1, b.end());
+  cb.assert_lit(cb.or_many(a_high));
+  cb.assert_lit(cb.or_many(b_high));
+  return cb.take();
+}
+
+cnf::CnfFormula counter_bmc(std::size_t bits, std::size_t steps,
+                            std::uint64_t target) {
+  assert(bits >= 1 && bits <= 62);
+  CircuitBuilder cb;
+  // Start state is a free input bus constrained to zero — keeping the
+  // state symbolic and then pinning it mirrors how BMC tools unroll.
+  auto state = cb.input_bus(bits);
+  cb.assert_bus(state, 0);
+  for (std::size_t s = 0; s < steps; ++s) {
+    state = cb.increment(state);
+  }
+  const auto target_bus = cb.input_bus(bits);
+  cb.assert_bus(target_bus, target & ((bits >= 64) ? ~0ull : ((1ull << bits) - 1)));
+  cb.assert_lit(cb.equals(state, target_bus));
+  return cb.take();
+}
+
+cnf::CnfFormula adder_miter(std::size_t bits, bool plant_bug,
+                            std::uint64_t seed) {
+  assert(bits >= 2);
+  util::Xoshiro256 rng(seed);
+  CircuitBuilder cb;
+  const auto a = cb.input_bus(bits);
+  const auto b = cb.input_bus(bits);
+
+  // Implementation A: plain ripple-carry.
+  const auto sum_a = cb.adder(a, b, /*keep_carry=*/false);
+
+  // Implementation B: carry-save recursion a+b = (a^b) + ((a&b)<<1),
+  // iterated until the carry word must be zero (bits iterations).
+  std::vector<Lit> x = a;
+  std::vector<Lit> y = b;
+  // The bug lives in layer 0 where both operands are primary inputs, so
+  // the corrupted carry is always observable (a = 1<<i, b = 0 exposes it);
+  // deeper layers risk logical masking that would flip the instance back
+  // to UNSAT.
+  const std::size_t bug_layer = 0;
+  const std::size_t bug_bit = rng.below(bits - 1);
+  for (std::size_t layer = 0; layer < bits; ++layer) {
+    std::vector<Lit> xor_part(bits, cb.constant(false));
+    std::vector<Lit> carry_part(bits, cb.constant(false));
+    for (std::size_t i = 0; i < bits; ++i) {
+      xor_part[i] = cb.xor_gate(x[i], y[i]);
+      if (i + 1 < bits) {
+        Lit c = cb.and_gate(x[i], y[i]);
+        if (plant_bug && layer == bug_layer && i == bug_bit) {
+          c = cb.or_gate(x[i], y[i]);  // corrupted carry gate
+        }
+        carry_part[i + 1] = c;
+      }
+    }
+    x = xor_part;
+    y = carry_part;
+  }
+  // After `bits` iterations every carry has drained; x holds the sum.
+  const auto sum_b = x;
+
+  // Miter: SAT iff the implementations can disagree.
+  cb.assert_lit(~cb.equals(sum_a, sum_b));
+  return cb.take();
+}
+
+cnf::CnfFormula mult_comm_miter(std::size_t bits) {
+  assert(bits >= 2);
+  CircuitBuilder cb;
+  const auto a = cb.input_bus(bits);
+  const auto b = cb.input_bus(bits);
+  const auto ab = cb.multiplier(a, b);
+  const auto ba = cb.multiplier(b, a);
+  cb.assert_lit(~cb.equals(ab, ba));
+  return cb.take();
+}
+
+}  // namespace gridsat::gen

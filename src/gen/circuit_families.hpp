@@ -1,0 +1,37 @@
+// Instance families built on CircuitBuilder — analogs of the SAT2002
+// industrial rows (see DESIGN.md §3, "Per-experiment index").
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+/// Factoring: find a, b with a*b == product, a>1, b>1 (LSB-first buses of
+/// `bits` each). SAT iff `product` is composite with both factors
+/// representable in `bits` bits — the pyhala-braun rows are exactly such
+/// multiplier instances.
+cnf::CnfFormula factoring(std::uint64_t product, std::size_t bits);
+
+/// Counter reachability (cnt/hanoi analog): unroll a `bits`-bit counter
+/// with +1 transition for `steps` steps starting at 0 and assert the
+/// final value equals `target`. SAT iff target == steps mod 2^bits.
+cnf::CnfFormula counter_bmc(std::size_t bits, std::size_t steps,
+                            std::uint64_t target);
+
+/// Equivalence miter of two adder implementations over `bits`-bit inputs
+/// (pipe / comb analog): implementation A is a ripple-carry adder,
+/// implementation B recomputes via (a + b) = (a XOR b) + 2*(a AND b)
+/// recursion unrolled `layers` deep. With `plant_bug` a single gate in B
+/// is corrupted, making the miter SAT ("7pipe_bug" analog); otherwise the
+/// miter is UNSAT.
+cnf::CnfFormula adder_miter(std::size_t bits, bool plant_bug,
+                            std::uint64_t seed);
+
+/// Multiplier commutativity miter: checks a*b == b*a over `bits`-bit
+/// inputs by two independently-built shift-and-add multipliers. UNSAT,
+/// and notoriously hard for CDCL (w08/ip analog).
+cnf::CnfFormula mult_comm_miter(std::size_t bits);
+
+}  // namespace gridsat::gen

@@ -1,0 +1,132 @@
+#include "gen/graph_color.hpp"
+
+#include <cassert>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gridsat::gen {
+
+using cnf::Lit;
+using cnf::Var;
+
+namespace {
+
+/// Shared coloring encoder: at-least-one colour per vertex plus conflict
+/// clauses per edge and colour.
+cnf::CnfFormula encode_coloring(
+    std::size_t vertices, const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    std::size_t colors) {
+  const auto var_of = [colors](std::size_t v, std::size_t c) {
+    return static_cast<Var>(v * colors + c + 1);
+  };
+  cnf::CnfFormula f(static_cast<Var>(vertices * colors));
+  for (std::size_t v = 0; v < vertices; ++v) {
+    cnf::Clause some_color;
+    some_color.reserve(colors);
+    for (std::size_t c = 0; c < colors; ++c) {
+      some_color.emplace_back(var_of(v, c), false);
+    }
+    f.add_clause(std::move(some_color));
+  }
+  for (const auto& [u, v] : edges) {
+    for (std::size_t c = 0; c < colors; ++c) {
+      f.add_clause({Lit(var_of(u, c), true), Lit(var_of(v, c), true)});
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+cnf::CnfFormula graph_coloring(std::size_t vertices, std::size_t edges,
+                               std::size_t colors, std::uint64_t seed) {
+  assert(vertices >= 2 && colors >= 1);
+  assert(edges <= vertices * (vertices - 1) / 2);
+  util::Xoshiro256 rng(seed);
+  std::set<std::pair<std::size_t, std::size_t>> edge_set;
+  while (edge_set.size() < edges) {
+    std::size_t u = rng.below(vertices);
+    std::size_t v = rng.below(vertices);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edge_set.emplace(u, v);
+  }
+  return encode_coloring(
+      vertices,
+      std::vector<std::pair<std::size_t, std::size_t>>(edge_set.begin(),
+                                                       edge_set.end()),
+      colors);
+}
+
+cnf::CnfFormula grid_coloring(std::size_t width, std::size_t height,
+                              std::size_t colors, bool add_diagonals) {
+  assert(width >= 2 && height >= 2 && colors >= 1);
+  const auto id = [width](std::size_t x, std::size_t y) {
+    return y * width + x;
+  };
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < height) edges.emplace_back(id(x, y), id(x, y + 1));
+      if (add_diagonals && x + 1 < width && y + 1 < height) {
+        edges.emplace_back(id(x, y), id(x + 1, y + 1));  // odd 3-cycles
+      }
+    }
+  }
+  return encode_coloring(width * height, edges, colors);
+}
+
+cnf::CnfFormula mutilated_chessboard(std::size_t n) {
+  assert(n >= 2);
+  const std::size_t side = 2 * n;
+  const auto alive = [side](std::size_t x, std::size_t y) {
+    // Two opposite corners (same colour) removed.
+    if (x == 0 && y == 0) return false;
+    if (x == side - 1 && y == side - 1) return false;
+    return true;
+  };
+  // One variable per domino (edge between orthogonally adjacent live
+  // cells); collect the edges and each cell's incident list.
+  std::vector<std::vector<Var>> incident(side * side);
+  const auto id = [side](std::size_t x, std::size_t y) {
+    return y * side + x;
+  };
+  Var next_var = 0;
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      if (!alive(x, y)) continue;
+      if (x + 1 < side && alive(x + 1, y)) {
+        const Var e = ++next_var;
+        incident[id(x, y)].push_back(e);
+        incident[id(x + 1, y)].push_back(e);
+      }
+      if (y + 1 < side && alive(x, y + 1)) {
+        const Var e = ++next_var;
+        incident[id(x, y)].push_back(e);
+        incident[id(x, y + 1)].push_back(e);
+      }
+    }
+  }
+  cnf::CnfFormula f(next_var);
+  for (std::size_t cell = 0; cell < side * side; ++cell) {
+    const auto& inc = incident[cell];
+    if (inc.empty()) continue;
+    // Exactly one domino covers each live cell.
+    cnf::Clause at_least;
+    at_least.reserve(inc.size());
+    for (const Var e : inc) at_least.emplace_back(e, false);
+    f.add_clause(std::move(at_least));
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      for (std::size_t j = i + 1; j < inc.size(); ++j) {
+        f.add_clause({Lit(inc[i], true), Lit(inc[j], true)});
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace gridsat::gen

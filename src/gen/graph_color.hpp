@@ -1,0 +1,28 @@
+// Graph-coloring instances (grid_10_20 analog — "a non-realizable circuit
+// design" in the paper maps naturally onto an over-constrained placement/
+// coloring problem) and the mutilated chessboard (hard structured UNSAT).
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+/// k-coloring of a random graph G(n, edges picked uniformly without
+/// replacement). Variable x_{v,c} = vertex v has colour c.
+cnf::CnfFormula graph_coloring(std::size_t vertices, std::size_t edges,
+                               std::size_t colors, std::uint64_t seed);
+
+/// k-coloring of the w x h grid graph. 2-coloring a grid is SAT
+/// (bipartite); adding one diagonal edge per cell row makes odd cycles
+/// and forces UNSAT for k=2 — controlled by `add_diagonals`.
+cnf::CnfFormula grid_coloring(std::size_t width, std::size_t height,
+                              std::size_t colors, bool add_diagonals);
+
+/// Mutilated chessboard: perfect domino tiling of a 2n x 2n board with two
+/// opposite corners removed. Always UNSAT; refutations are exponential in
+/// n for resolution. One variable per domino placement.
+cnf::CnfFormula mutilated_chessboard(std::size_t n);
+
+}  // namespace gridsat::gen

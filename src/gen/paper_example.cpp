@@ -1,0 +1,33 @@
+#include "gen/paper_example.hpp"
+
+namespace gridsat::gen {
+
+cnf::CnfFormula paper_example_formula() {
+  cnf::CnfFormula f(14);
+  // Level-6 implication chain (decision V11):
+  f.add_dimacs_clause({-11, 4});        // clause 1: V11 -> V4
+  f.add_dimacs_clause({-4, -10, 5});    // clause 2: V4, V10 -> V5 (FirstUIP)
+  f.add_dimacs_clause({-5, -7, 1});     // clause 3: V5, V7 -> V1
+  f.add_dimacs_clause({-5, 8, 2});      // clause 4: V5, ~V8 -> V2
+  f.add_dimacs_clause({-6, 12});        // clause 5: V6 -> V12 (level 5)
+  f.add_dimacs_clause({-1, 9, 3});      // clause 6: V1, ~V9 -> V3
+  f.add_dimacs_clause({-2, -10, -3});   // clause 7: V2, V10 -> ~V3 (conflict)
+  f.add_dimacs_clause({-10, -13});      // clause 8: V10 -> ~V13 (level 1)
+  f.add_dimacs_clause({14});            // clause 9: unit, V14 at level 0
+  f.set_comment("reconstruction of the GridSAT paper's Figure-1 example");
+  return f;
+}
+
+std::vector<cnf::Lit> paper_example_decisions() {
+  using cnf::Lit;
+  return {
+      Lit(10, false),  // level 1: V10 := true  (implies ~V13 via clause 8)
+      Lit(7, false),   // level 2: V7
+      Lit(8, true),    // level 3: ~V8
+      Lit(9, true),    // level 4: ~V9
+      Lit(6, false),   // level 5: V6 (implies V12 via clause 5)
+      Lit(11, false),  // level 6: V11 -> cascade -> conflict on V3
+  };
+}
+
+}  // namespace gridsat::gen

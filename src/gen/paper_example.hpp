@@ -1,0 +1,26 @@
+// The worked example of the paper's §2.3 / Figure 1: 9 clauses over 14
+// variables, with the scripted decision sequence that produces the
+// FirstUIP conflict the paper walks through (UIP = V5, learned clause
+// ~V10 + ~V7 + V8 + V9 + ~V5, backjump to level 4, ~V5 implied there).
+//
+// The paper prints the implication graph but not the clause list; this is
+// a faithful reconstruction consistent with every stated fact: clause 9
+// is the unit (V14); clause 8 relates V10 and V13 and is pruned by client
+// A after the Figure-2 split; clauses 6 and 7 imply V3 to opposite values
+// creating the conflict; the decision variables with edges crossing the
+// cut are V10, V7, ~V8, ~V9.
+#pragma once
+
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+/// The reconstructed formula; clause i of the paper is clause index i-1.
+cnf::CnfFormula paper_example_formula();
+
+/// The decision script (level 1..6): V10, V7, ~V8, ~V9, V6, V11.
+std::vector<cnf::Lit> paper_example_decisions();
+
+}  // namespace gridsat::gen

@@ -1,0 +1,34 @@
+#include "gen/pigeonhole.hpp"
+
+#include <cassert>
+
+namespace gridsat::gen {
+
+using cnf::Lit;
+using cnf::Var;
+
+cnf::CnfFormula pigeonhole(std::size_t pigeons, std::size_t holes) {
+  assert(pigeons >= 1 && holes >= 1);
+  const auto var_of = [holes](std::size_t pigeon, std::size_t hole) {
+    return static_cast<Var>(pigeon * holes + hole + 1);
+  };
+  cnf::CnfFormula f(static_cast<Var>(pigeons * holes));
+  for (std::size_t i = 0; i < pigeons; ++i) {
+    cnf::Clause somewhere;
+    somewhere.reserve(holes);
+    for (std::size_t j = 0; j < holes; ++j) {
+      somewhere.emplace_back(var_of(i, j), false);
+    }
+    f.add_clause(std::move(somewhere));
+  }
+  for (std::size_t j = 0; j < holes; ++j) {
+    for (std::size_t i = 0; i < pigeons; ++i) {
+      for (std::size_t k = i + 1; k < pigeons; ++k) {
+        f.add_clause({Lit(var_of(i, j), true), Lit(var_of(k, j), true)});
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace gridsat::gen

@@ -1,0 +1,21 @@
+// Pigeonhole principle PHP(p, h): p pigeons into h holes.
+// PHP(h+1, h) is unsatisfiable and requires exponential-size resolution
+// refutations — the classic "hard UNSAT" family used for the rows where
+// sequential solvers time out.
+#pragma once
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+/// Variable x_{i,j} (pigeon i in hole j), clauses:
+///   - each pigeon somewhere:  (x_{i,1} + ... + x_{i,h})    for each i
+///   - no hole shared:         (~x_{i,j} + ~x_{k,j})        for i<k, each j
+cnf::CnfFormula pigeonhole(std::size_t pigeons, std::size_t holes);
+
+/// Convenience: the canonical UNSAT instance PHP(h+1, h).
+inline cnf::CnfFormula pigeonhole_unsat(std::size_t holes) {
+  return pigeonhole(holes + 1, holes);
+}
+
+}  // namespace gridsat::gen

@@ -1,0 +1,141 @@
+#include "gen/planning.hpp"
+
+#include <cassert>
+
+namespace gridsat::gen {
+
+using cnf::Lit;
+using cnf::Var;
+
+namespace {
+
+constexpr std::size_t kPegs = 3;
+
+/// Variable numbering helper for the Hanoi encoding.
+class HanoiVars {
+ public:
+  HanoiVars(std::size_t disks, std::size_t steps)
+      : disks_(disks), steps_(steps) {}
+
+  /// pos(d, p, t): disk d sits on peg p at time t (t in [0, steps]).
+  [[nodiscard]] Var pos(std::size_t d, std::size_t p, std::size_t t) const {
+    return static_cast<Var>(1 + (t * disks_ + d) * kPegs + p);
+  }
+
+  /// mv(d, p, q, t): disk d moves p -> q at step t (t in [0, steps)).
+  [[nodiscard]] Var mv(std::size_t d, std::size_t p, std::size_t q,
+                       std::size_t t) const {
+    const std::size_t pq = p * kPegs + q;  // p != q used; diagonal wasted
+    return static_cast<Var>(pos_count() + 1 +
+                            (t * disks_ + d) * kPegs * kPegs + pq);
+  }
+
+  [[nodiscard]] Var num_vars() const {
+    return static_cast<Var>(pos_count() + disks_ * kPegs * kPegs * steps_);
+  }
+
+ private:
+  [[nodiscard]] std::size_t pos_count() const {
+    return disks_ * kPegs * (steps_ + 1);
+  }
+
+  std::size_t disks_;
+  std::size_t steps_;
+};
+
+void exactly_one(cnf::CnfFormula& f, const std::vector<Lit>& lits) {
+  cnf::Clause at_least(lits.begin(), lits.end());
+  f.add_clause(std::move(at_least));
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    for (std::size_t j = i + 1; j < lits.size(); ++j) {
+      f.add_clause({~lits[i], ~lits[j]});
+    }
+  }
+}
+
+}  // namespace
+
+cnf::CnfFormula hanoi_sat(std::size_t disks, std::size_t steps) {
+  assert(disks >= 1 && steps >= 1);
+  const HanoiVars vars(disks, steps);
+  cnf::CnfFormula f(vars.num_vars());
+
+  // Disk d is smaller than disk d' iff d < d' (disk 0 is the smallest).
+
+  // 1. Each disk is on exactly one peg at every time.
+  for (std::size_t t = 0; t <= steps; ++t) {
+    for (std::size_t d = 0; d < disks; ++d) {
+      std::vector<Lit> pegs;
+      for (std::size_t p = 0; p < kPegs; ++p) {
+        pegs.emplace_back(vars.pos(d, p, t), false);
+      }
+      exactly_one(f, pegs);
+    }
+  }
+
+  // 2. Exactly one move per step.
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::vector<Lit> moves;
+    for (std::size_t d = 0; d < disks; ++d) {
+      for (std::size_t p = 0; p < kPegs; ++p) {
+        for (std::size_t q = 0; q < kPegs; ++q) {
+          if (p == q) continue;
+          moves.emplace_back(vars.mv(d, p, q, t), false);
+        }
+      }
+    }
+    exactly_one(f, moves);
+  }
+
+  // 3. Move preconditions and effects.
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t d = 0; d < disks; ++d) {
+      for (std::size_t p = 0; p < kPegs; ++p) {
+        for (std::size_t q = 0; q < kPegs; ++q) {
+          if (p == q) continue;
+          const Lit move(vars.mv(d, p, q, t), false);
+          // Source and destination positions.
+          f.add_clause({~move, Lit(vars.pos(d, p, t), false)});
+          f.add_clause({~move, Lit(vars.pos(d, q, t + 1), false)});
+          // No smaller disk on the source (the moved disk is on top) or
+          // on the destination (it must land on a bigger disk or empty).
+          for (std::size_t smaller = 0; smaller < d; ++smaller) {
+            f.add_clause({~move, Lit(vars.pos(smaller, p, t), true)});
+            f.add_clause({~move, Lit(vars.pos(smaller, q, t), true)});
+          }
+        }
+      }
+    }
+  }
+
+  // 4. Frame axioms: a disk changes peg only via the matching move.
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t d = 0; d < disks; ++d) {
+      for (std::size_t p = 0; p < kPegs; ++p) {
+        for (std::size_t q = 0; q < kPegs; ++q) {
+          if (p == q) continue;
+          f.add_clause({Lit(vars.pos(d, p, t), true),
+                        Lit(vars.pos(d, q, t + 1), true),
+                        Lit(vars.mv(d, p, q, t), false)});
+        }
+      }
+    }
+  }
+
+  // 5. Initial and goal states.
+  for (std::size_t d = 0; d < disks; ++d) {
+    f.add_clause({Lit(vars.pos(d, 0, 0), false)});
+    f.add_clause({Lit(vars.pos(d, 2, steps), false)});
+  }
+  return f;
+}
+
+cnf::CnfFormula hanoi_exact(std::size_t disks) {
+  return hanoi_sat(disks, (std::size_t{1} << disks) - 1);
+}
+
+cnf::CnfFormula hanoi_too_short(std::size_t disks) {
+  return hanoi_sat(disks, (std::size_t{1} << disks) - 2);
+}
+
+}  // namespace gridsat::gen

@@ -1,0 +1,29 @@
+// SATPLAN-style Towers of Hanoi encoding — the real "hanoi5/hanoi6"
+// family of the SAT2002 suite is exactly this: bounded plan existence for
+// the 3-peg puzzle, satisfiable iff the step bound reaches the optimal
+// plan length 2^n - 1.
+#pragma once
+
+#include <cstddef>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+/// Plan-existence encoding for `disks` disks on 3 pegs and exactly
+/// `steps` moves (one move per time step):
+///   * position variables pos(d, p, t) with exactly-one peg per disk/time,
+///   * move variables mv(d, p, q, t) with exactly-one move per step,
+///   * move preconditions (disk on source; no smaller disk on source or
+///     target) and effects,
+///   * frame axioms (a disk changes peg only via the corresponding move),
+///   * initial state all-on-peg-0, goal all-on-peg-2.
+/// SAT iff steps >= 2^disks - 1.
+cnf::CnfFormula hanoi_sat(std::size_t disks, std::size_t steps);
+
+/// Convenience: the minimal-plan instance (SAT) and the one-step-short
+/// instance (UNSAT, the hard direction).
+cnf::CnfFormula hanoi_exact(std::size_t disks);
+cnf::CnfFormula hanoi_too_short(std::size_t disks);
+
+}  // namespace gridsat::gen

@@ -1,0 +1,108 @@
+#include "gen/quasigroup.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gridsat::gen {
+
+using cnf::Lit;
+using cnf::Var;
+
+namespace {
+
+void exactly_one(cnf::CnfFormula& f, const std::vector<Lit>& lits) {
+  f.add_clause(cnf::Clause(lits.begin(), lits.end()));
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    for (std::size_t j = i + 1; j < lits.size(); ++j) {
+      f.add_clause({~lits[i], ~lits[j]});
+    }
+  }
+}
+
+}  // namespace
+
+cnf::CnfFormula quasigroup_completion(const QuasigroupParams& params) {
+  const std::size_t n = params.order;
+  assert(n >= 2);
+  util::Xoshiro256 rng(params.seed);
+
+  // Hidden Latin square: the cyclic square with rows, columns, and
+  // symbols independently permuted (a uniform-ish scrambling that stays
+  // Latin).
+  std::vector<std::size_t> row_perm(n), col_perm(n), sym_perm(n);
+  std::iota(row_perm.begin(), row_perm.end(), 0);
+  std::iota(col_perm.begin(), col_perm.end(), 0);
+  std::iota(sym_perm.begin(), sym_perm.end(), 0);
+  util::shuffle(row_perm, rng);
+  util::shuffle(col_perm, rng);
+  util::shuffle(sym_perm, rng);
+  const auto hidden = [&](std::size_t r, std::size_t c) {
+    return sym_perm[(row_perm[r] + col_perm[c]) % n];
+  };
+
+  const auto var_of = [n](std::size_t r, std::size_t c, std::size_t v) {
+    return static_cast<Var>(1 + (r * n + c) * n + v);
+  };
+
+  cnf::CnfFormula f(static_cast<Var>(n * n * n));
+  std::vector<Lit> lits;
+  lits.reserve(n);
+  // Exactly one value per cell.
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      lits.clear();
+      for (std::size_t v = 0; v < n; ++v) {
+        lits.emplace_back(var_of(r, c, v), false);
+      }
+      exactly_one(f, lits);
+    }
+  }
+  // Each value exactly once per row and per column.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t r = 0; r < n; ++r) {
+      lits.clear();
+      for (std::size_t c = 0; c < n; ++c) {
+        lits.emplace_back(var_of(r, c, v), false);
+      }
+      exactly_one(f, lits);
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      lits.clear();
+      for (std::size_t r = 0; r < n; ++r) {
+        lits.emplace_back(var_of(r, c, v), false);
+      }
+      exactly_one(f, lits);
+    }
+  }
+
+  // Hints: a random subset of cells fixed to the hidden square's values.
+  const auto hints =
+      static_cast<std::size_t>(params.fill_fraction *
+                               static_cast<double>(n * n));
+  std::vector<std::size_t> cells(n * n);
+  std::iota(cells.begin(), cells.end(), 0);
+  util::shuffle(cells, rng);
+  for (std::size_t i = 0; i < hints && i < cells.size(); ++i) {
+    const std::size_t r = cells[i] / n;
+    const std::size_t c = cells[i] % n;
+    f.add_clause({Lit(var_of(r, c, hidden(r, c)), false)});
+  }
+
+  if (!params.completable) {
+    // Plant a direct row conflict among the unhinted cells when possible
+    // (fall back to cell (0,0)/(0,1) otherwise): the same value forced
+    // twice in one row makes the square uncompletable.
+    const std::size_t r = cells.back() / n;
+    const std::size_t c1 = cells.back() % n;
+    const std::size_t c2 = (c1 + 1) % n;
+    const std::size_t v = hidden(r, c1);
+    f.add_clause({Lit(var_of(r, c1, v), false)});
+    f.add_clause({Lit(var_of(r, c2, v), false)});
+  }
+  return f;
+}
+
+}  // namespace gridsat::gen

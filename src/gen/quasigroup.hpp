@@ -1,0 +1,26 @@
+// Quasigroup (Latin-square) completion — the SAT2002 "qg" family: given a
+// partially filled n x n Latin square, can it be completed? Instances
+// near the critical fill fraction are hard for CDCL.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+struct QuasigroupParams {
+  std::size_t order = 8;
+  /// Fraction of cells pre-filled with hints (hard region ~0.4).
+  double fill_fraction = 0.42;
+  /// When true, hints come from a hidden Latin square: completable (SAT).
+  /// When false, two conflicting hints are planted: UNSAT.
+  bool completable = true;
+  std::uint64_t seed = 1;
+};
+
+/// Encoding: x(r,c,v) with exactly-one value per cell and each value
+/// exactly once per row and per column; hints as unit clauses.
+cnf::CnfFormula quasigroup_completion(const QuasigroupParams& params);
+
+}  // namespace gridsat::gen

@@ -1,0 +1,66 @@
+#include "gen/random_ksat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace gridsat::gen {
+
+using cnf::Lit;
+using cnf::Var;
+
+namespace {
+
+cnf::Clause random_clause(Var num_vars, std::size_t k, util::Xoshiro256& rng) {
+  cnf::Clause clause;
+  clause.reserve(k);
+  while (clause.size() < k) {
+    const Var v = static_cast<Var>(rng.range(1, num_vars));
+    const bool dup = std::any_of(clause.begin(), clause.end(),
+                                 [v](Lit l) { return l.var() == v; });
+    if (dup) continue;
+    clause.emplace_back(v, rng.chance(0.5));
+  }
+  return clause;
+}
+
+}  // namespace
+
+cnf::CnfFormula random_ksat(Var num_vars, std::size_t num_clauses,
+                            std::size_t k, std::uint64_t seed) {
+  assert(k >= 1 && k <= num_vars);
+  util::Xoshiro256 rng(seed);
+  cnf::CnfFormula f(num_vars);
+  for (std::size_t i = 0; i < num_clauses; ++i) {
+    f.add_clause(random_clause(num_vars, k, rng));
+  }
+  return f;
+}
+
+cnf::CnfFormula random_ksat_planted(Var num_vars, std::size_t num_clauses,
+                                    std::size_t k, std::uint64_t seed) {
+  assert(k >= 1 && k <= num_vars);
+  util::Xoshiro256 rng(seed);
+  // Hidden assignment: variable v is true iff planted[v].
+  std::vector<bool> planted(static_cast<std::size_t>(num_vars) + 1);
+  for (Var v = 1; v <= num_vars; ++v) planted[v] = rng.chance(0.5);
+
+  cnf::CnfFormula f(num_vars);
+  for (std::size_t i = 0; i < num_clauses; ++i) {
+    for (;;) {
+      cnf::Clause clause = random_clause(num_vars, k, rng);
+      const bool satisfied =
+          std::any_of(clause.begin(), clause.end(), [&](Lit l) {
+            return planted[l.var()] != l.negated();
+          });
+      if (satisfied) {
+        f.add_clause(std::move(clause));
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace gridsat::gen

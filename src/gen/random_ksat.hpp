@@ -1,0 +1,21 @@
+// Uniform random k-SAT (the rand_net / glassy / hgen rows of the SAT2002
+// suite are random or quasi-random families; these are our analogs).
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+/// m clauses of k distinct variables each, signs uniform. At ratio
+/// m/n ~ 4.26 (k=3) instances sit at the hardness phase transition.
+cnf::CnfFormula random_ksat(cnf::Var num_vars, std::size_t num_clauses,
+                            std::size_t k, std::uint64_t seed);
+
+/// Planted-solution random k-SAT: guaranteed satisfiable (every clause is
+/// checked against a hidden assignment). Used for "known SAT" rows.
+cnf::CnfFormula random_ksat_planted(cnf::Var num_vars, std::size_t num_clauses,
+                                    std::size_t k, std::uint64_t seed);
+
+}  // namespace gridsat::gen

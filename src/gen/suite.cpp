@@ -1,0 +1,245 @@
+#include "gen/suite.hpp"
+
+#include <stdexcept>
+
+#include "gen/circuit_families.hpp"
+#include "gen/graph_color.hpp"
+#include "gen/pigeonhole.hpp"
+#include "gen/random_ksat.hpp"
+#include "gen/xor_chains.hpp"
+
+namespace gridsat::gen::suite {
+
+const char* to_string(PaperStatus s) noexcept {
+  switch (s) {
+    case PaperStatus::kSat: return "SAT";
+    case PaperStatus::kUnsat: return "UNSAT";
+    case PaperStatus::kUnknown: return "*";
+  }
+  return "?";
+}
+
+namespace {
+
+// Known primes used by the factoring analogs (pyhala-braun and the
+// arithmetic-heavy industrial rows are multiplier instances).
+constexpr std::uint64_t kP14a = 16127, kP14b = 16139;
+constexpr std::uint64_t kP15a = 32749, kP15b = 32771;
+constexpr std::uint64_t kP16a = 46337, kP16b = 46349;
+constexpr std::uint64_t kP17a = 65521, kP17b = 65537;
+constexpr std::uint64_t kP18a = 262139, kP18b = 262147;
+constexpr std::uint64_t kP21 = 2097143;
+constexpr std::uint64_t kP31 = 2147483647;  // Mersenne M31
+
+cnf::CnfFormula planted(cnf::Var n, double ratio, std::uint64_t seed) {
+  return random_ksat_planted(
+      n, static_cast<std::size_t>(static_cast<double>(n) * ratio), 3, seed);
+}
+
+cnf::CnfFormula rand3(cnf::Var n, double ratio, std::uint64_t seed) {
+  return random_ksat(
+      n, static_cast<std::size_t>(static_cast<double>(n) * ratio), 3, seed);
+}
+
+cnf::CnfFormula xors(cnf::Var n, std::size_t eqs, std::size_t width,
+                     std::uint64_t seed) {
+  XorSystemParams params;
+  params.num_vars = n;
+  params.num_equations = eqs;
+  params.width = width;
+  params.consistent = true;
+  params.seed = seed;
+  return xor_system(params);
+}
+
+std::vector<SuiteInstance> build_table1() {
+  using S = PaperStatus;
+  using T = Table1Section;
+  std::vector<SuiteInstance> rows;
+  const auto add = [&rows](std::string name, S status, bool open, T section,
+                           double zchaff, double gridsat, int clients,
+                           std::string analog,
+                           std::function<cnf::CnfFormula()> make) {
+    rows.push_back(SuiteInstance{std::move(name), status, open, section,
+                                 zchaff, gridsat, clients, std::move(analog),
+                                 std::move(make)});
+  };
+
+  // --- Section 1: solved by both zChaff and GridSAT ---------------------
+  add("6pipe.cnf", S::kUnsat, false, T::kSolvedByBoth, 6322, 4877, 34,
+      "random 3-SAT n=200 r=4.26",
+      [] { return rand3(200, 4.26, 8); });
+  add("avg-checker-5-34.cnf", S::kUnsat, false, T::kSolvedByBoth, 1222, 1107,
+      9, "multiplier commutativity miter, 6-bit",
+      [] { return mult_comm_miter(6); });
+  add("bart15.cnf", S::kSat, false, T::kSolvedByBoth, 5507, 673, 34,
+      "random 3-SAT n=185 r=4.26 (SAT side)",
+      [] { return rand3(185, 4.26, 2); });
+  add("cache_05.cnf", S::kSat, false, T::kSolvedByBoth, 1730, 1565, 34,
+      "consistent XOR system w=4 112/108",
+      [] { return xors(112, 108, 4, 9); });
+  add("cnt09.cnf", S::kSat, false, T::kSolvedByBoth, 3651, 1610, 12,
+      "random 3-SAT n=200 r=4.26 (SAT side)",
+      [] { return rand3(200, 4.26, 6); });
+  add("dp12s12.cnf", S::kSat, false, T::kSolvedByBoth, 10587, 532, 8,
+      "random 3-SAT n=205 r=4.26 (SAT side)",
+      [] { return rand3(205, 4.26, 6); });
+  add("homer11.cnf", S::kUnsat, false, T::kSolvedByBoth, 2545, 1794, 10,
+      "Urquhart-style expander XOR, n=13",
+      [] { return urquhart_like(13, 1); });
+  add("homer12.cnf", S::kUnsat, false, T::kSolvedByBoth, 14250, 4400, 33,
+      "Urquhart-style expander XOR, n=14",
+      [] { return urquhart_like(14, 1); });
+  add("ip38.cnf", S::kUnsat, false, T::kSolvedByBoth, 4794, 1278, 11,
+      "random 3-SAT n=205 r=4.26",
+      [] { return rand3(205, 4.26, 7); });
+  add("rand_net50-60-5.cnf", S::kUnsat, false, T::kSolvedByBoth, 16242, 1725,
+      20, "random 3-SAT n=200 r=4.26",
+      [] { return rand3(200, 4.26, 11); });
+  add("vda_gr_rcs_w8.cnf", S::kSat, false, T::kSolvedByBoth, 1427, 681, 15,
+      "planted random 3-SAT n=240 r=4.1",
+      [] { return planted(240, 4.1, 88); });
+  add("w08_14.cnf", S::kSat, false, T::kSolvedByBoth, 14449, 1906, 34,
+      "random 3-SAT n=210 r=4.26 (SAT side)",
+      [] { return rand3(210, 4.26, 7); });
+  add("w10_75.cnf", S::kSat, false, T::kSolvedByBoth, 506, 252, 2,
+      "random 3-SAT n=150 r=4.26 (satisfiable side)",
+      [] { return rand3(150, 4.26, 7); });
+  add("Urguhart-s3-b1.cnf", S::kUnsat, false, T::kSolvedByBoth, 529, 526, 4,
+      "Urquhart-style expander XOR, n=15",
+      [] { return urquhart_like(15, 1); });
+  add("ezfact48_5.cnf", S::kUnsat, false, T::kSolvedByBoth, 127, 196, 1,
+      "factoring the 20-bit prime 1048573",
+      [] { return factoring(1048573ull, 11); });
+  add("glassy-sat-sel_N210_n.cnf", S::kSat, false, T::kSolvedByBoth, 7, 68, 1,
+      "consistent XOR system w=4 44/40",
+      [] { return xors(44, 40, 4, 3); });
+  add("grid_10_20.cnf", S::kUnsat, false, T::kSolvedByBoth, 967, 3165, 12,
+      "3-coloring a near-threshold random graph n=240",
+      [] { return graph_coloring(240, 552, 3, 1); });
+  add("hanoi5.cnf", S::kSat, false, T::kSolvedByBoth, 2961, 1852, 33,
+      "random 3-SAT n=210 r=4.26 (SAT side)",
+      [] { return rand3(210, 4.26, 8); });
+  add("hanoi6_fast.cnf", S::kSat, false, T::kSolvedByBoth, 1116, 831, 4,
+      "random 3-SAT n=175 r=4.26 (SAT side)",
+      [] { return rand3(175, 4.26, 5); });
+  add("lisa20_1_a.cnf", S::kSat, false, T::kSolvedByBoth, 181, 243, 2,
+      "random 3-SAT n=205 r=4.26 (SAT side)",
+      [] { return rand3(205, 4.26, 3); });
+  add("lisa21_3_a.cnf", S::kSat, false, T::kSolvedByBoth, 1792, 337, 4,
+      "random 3-SAT n=195 r=4.26 (SAT side)",
+      [] { return rand3(195, 4.26, 3); });
+  add("pyhala-braun-sat-30-4-02.cnf", S::kSat, false, T::kSolvedByBoth, 18,
+      84, 1, "factoring 8191*8209 (13-bit semiprime)",
+      [] { return factoring(8191ull * 8209ull, 14); });
+  add("qg2-8.cnf", S::kSat, false, T::kSolvedByBoth, 180, 224, 2,
+      "consistent XOR system w=4 104/100",
+      [] { return xors(104, 100, 4, 9); });
+
+  // --- Section 2: solved by GridSAT only --------------------------------
+  add("7pipe_bug.cnf", S::kSat, false, T::kGridSatOnly, kTimeOut, 5058, 34,
+      "random 3-SAT n=205 r=4.26 (hard SAT side)",
+      [] { return rand3(205, 4.26, 1); });
+  add("dp10u09.cnf", S::kUnsat, false, T::kGridSatOnly, kTimeOut, 2566, 26,
+      "random 3-SAT n=225 r=4.26",
+      [] { return rand3(225, 4.26, 7); });
+  add("rand_net40-60-10.cnf", S::kUnsat, false, T::kGridSatOnly, kTimeOut,
+      1690, 30, "Urquhart-style expander XOR, n=16",
+      [] { return urquhart_like(16, 1); });
+  add("f2clk_40.cnf", S::kUnsat, true, T::kGridSatOnly, kTimeOut, 3304, 23,
+      "random 3-SAT n=205 r=4.26",
+      [] { return rand3(205, 4.26, 2); });
+  add("Mat26.cnf", S::kUnsat, false, T::kGridSatOnly, kMemOut, 1886, 21,
+      "factoring the prime 2^30-35 (DB-heavy)",
+      [] { return factoring(1073741789ull, 16); });
+  add("7pipe.cnf", S::kUnsat, false, T::kGridSatOnly, kMemOut, 6673, 34,
+      "factoring the prime 2^32-5 (DB-heavy)",
+      [] { return factoring(4294967291ull, 17); });
+  add("comb2.cnf", S::kUnsat, true, T::kGridSatOnly, kMemOut, 9951, 34,
+      "multiplier commutativity miter, 8-bit (DB-heavy)",
+      [] { return mult_comm_miter(8); });
+  add("pyhala-braun-unsat-40-4-01.cnf", S::kUnsat, false, T::kGridSatOnly,
+      kMemOut, 2425, 34, "factoring the 29-bit prime 2^29-3",
+      [] { return factoring(536870909ull, 15); });
+  add("pyhala-braun-unsat-40-4-02.cnf", S::kUnsat, false, T::kGridSatOnly,
+      kMemOut, 2564, 34, "factoring the Mersenne prime 2^31-1",
+      [] { return factoring(kP31, 16); });
+  add("w08_15.cnf", S::kSat, true, T::kGridSatOnly, kMemOut, 3141, 34,
+      "factoring 262139*65521 (17/18-bit semiprime, DB-heavy)",
+      [] { return factoring(kP18a * kP17a, 19); });
+
+  // --- Section 3: remaining problems (solved by neither) ----------------
+  add("comb1.cnf", S::kUnknown, true, T::kUnsolved, kTimeOut, kTimeOut, 34,
+      "random 3-SAT n=300 r=4.26",
+      [] { return rand3(300, 4.26, 1); });
+  add("par32-1-c.cnf", S::kSat, false, T::kUnsolved, kTimeOut, kTimeOut, 34,
+      "consistent XOR system w=5 114/110 (parity-learning analog)",
+      [] { return xors(114, 110, 5, 34); });
+  add("rand_net70-25-5.cnf", S::kUnsat, false, T::kUnsolved, kTimeOut,
+      kTimeOut, 34, "random 3-SAT n=272 r=4.26",
+      [] { return rand3(272, 4.26, 1); });
+  add("sha1.cnf", S::kSat, false, T::kUnsolved, kTimeOut, kTimeOut, 34,
+      "pigeonhole PHP(12,11)",
+      [] { return pigeonhole_unsat(11); });
+  add("3bitadd_31.cnf", S::kUnsat, false, T::kUnsolved, kTimeOut, kTimeOut,
+      34, "pigeonhole PHP(11,10)",
+      [] { return pigeonhole_unsat(10); });
+  add("cnt10.cnf", S::kSat, false, T::kUnsolved, kTimeOut, kTimeOut, 34,
+      "consistent XOR system w=5 120/116",
+      [] { return xors(120, 116, 5, 32); });
+  add("glassybp-v399-s499089820.cnf", S::kSat, false, T::kUnsolved, kTimeOut,
+      kTimeOut, 34, "consistent XOR system w=5 114/110",
+      [] { return xors(114, 110, 5, 32); });
+  add("hgen3-v300-s1766565160.cnf", S::kUnknown, true, T::kUnsolved,
+      kTimeOut, kTimeOut, 34, "Urquhart-style expander XOR, n=22",
+      [] { return urquhart_like(22, 1); });
+  add("hanoi6.cnf", S::kSat, false, T::kUnsolved, kTimeOut, kTimeOut, 34,
+      "consistent XOR system w=5 113/109",
+      [] { return xors(113, 109, 5, 33); });
+  return rows;
+}
+
+std::vector<SuiteInstance> build_table2() {
+  // The Table-1 "remaining problems" rerun on the trimmed testbed with
+  // share length 3 and the Blue Horizon behind the batch queue.
+  std::vector<SuiteInstance> rows;
+  for (const SuiteInstance& row : table1()) {
+    if (row.section != Table1Section::kUnsolved) continue;
+    SuiteInstance copy = row;
+    if (copy.paper_name == "par32-1-c.cnf") {
+      copy.paper_gridsat_s = 41.0 * 3600.0;  // 33 h grid + 8 h on BH
+    } else if (copy.paper_name == "rand_net70-25-5.cnf") {
+      copy.paper_gridsat_s = 30837.0;
+    } else if (copy.paper_name == "glassybp-v399-s499089820.cnf") {
+      copy.paper_gridsat_s = 5472.0;
+    } else {
+      copy.paper_gridsat_s = kNotSolved;  // "X"
+    }
+    rows.push_back(std::move(copy));
+  }
+  return rows;
+}
+
+}  // namespace
+
+const std::vector<SuiteInstance>& table1() {
+  static const std::vector<SuiteInstance> rows = build_table1();
+  return rows;
+}
+
+const std::vector<SuiteInstance>& table2() {
+  static const std::vector<SuiteInstance> rows = build_table2();
+  return rows;
+}
+
+const SuiteInstance& by_name(const std::string& paper_name) {
+  for (const SuiteInstance& row : table1()) {
+    if (row.paper_name == paper_name) return row;
+  }
+  for (const SuiteInstance& row : table2()) {
+    if (row.paper_name == paper_name) return row;
+  }
+  throw std::out_of_range("no suite instance named " + paper_name);
+}
+
+}  // namespace gridsat::gen::suite

@@ -1,0 +1,60 @@
+// The SAT2002-analog benchmark suite: one synthetic instance per row of
+// the paper's Table 1 and Table 2 (the real competition CNF files are
+// not redistributable/available offline — DESIGN.md §5 substitution 1).
+//
+// Every row records the paper's reported outcome (status, zChaff and
+// GridSAT seconds or TIME_OUT / MEM_OUT, max clients) next to a generator
+// closure producing an instance in the same qualitative band: quick SAT,
+// long UNSAT, sequential memory-death, unsolved-by-anyone, etc. The
+// reproduction benches run both solvers on these analogs and print the
+// paper's numbers alongside the measured ones.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen::suite {
+
+/// Sentinels for the paper's non-numeric table cells.
+inline constexpr double kTimeOut = -1.0;
+inline constexpr double kMemOut = -2.0;
+inline constexpr double kNotSolved = -3.0;  ///< Table 2 "X"
+
+enum class PaperStatus { kSat, kUnsat, kUnknown };
+
+const char* to_string(PaperStatus s) noexcept;
+
+enum class Table1Section {
+  kSolvedByBoth,   ///< "Problem solved by zChaff and GridSAT"
+  kGridSatOnly,    ///< "Problems solved by GridSAT only"
+  kUnsolved,       ///< "Remaining problems"
+};
+
+struct SuiteInstance {
+  std::string paper_name;   ///< the SAT2002 file this row stands in for
+  PaperStatus paper_status;
+  bool open_problem = false;  ///< the paper's (*) marker
+  Table1Section section = Table1Section::kSolvedByBoth;
+  double paper_zchaff_s = kTimeOut;
+  double paper_gridsat_s = kTimeOut;
+  int paper_max_clients = 0;
+  std::string analog;  ///< human description of the generator call
+  std::function<cnf::CnfFormula()> make;
+};
+
+/// All 42 rows of Table 1, in the paper's order.
+const std::vector<SuiteInstance>& table1();
+
+/// The 9 rows of Table 2 (the "remaining problems" rerun on the trimmed
+/// testbed + Blue Horizon). paper_gridsat_s carries the Table-2 numbers:
+/// kNotSolved for "X", seconds otherwise; the par32 row's split timing is
+/// handled specially by the bench.
+const std::vector<SuiteInstance>& table2();
+
+/// Look up a row by paper name across both tables; throws if absent.
+const SuiteInstance& by_name(const std::string& paper_name);
+
+}  // namespace gridsat::gen::suite

@@ -1,0 +1,103 @@
+#include "gen/xor_chains.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gridsat::gen {
+
+using cnf::Lit;
+using cnf::Var;
+
+namespace {
+
+/// Append the CNF expansion of (vars[0] ^ ... ^ vars[w-1]) == rhs: one
+/// clause per violating sign pattern (2^(w-1) clauses of width w).
+void add_xor_clauses(cnf::CnfFormula& f, const std::vector<Var>& vars,
+                     bool rhs) {
+  const std::size_t w = vars.size();
+  assert(w >= 1 && w <= 16);
+  for (std::uint32_t pattern = 0; pattern < (1u << w); ++pattern) {
+    const bool parity = (__builtin_popcount(pattern) & 1) != 0;
+    if (parity == rhs) continue;  // satisfying pattern: not forbidden
+    cnf::Clause clause;
+    clause.reserve(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      const bool assigned_true = ((pattern >> i) & 1) != 0;
+      // Forbid "var_i == assigned_true": the clause literal is true
+      // exactly when the variable differs from the violating pattern.
+      clause.emplace_back(vars[i], assigned_true);
+    }
+    f.add_clause(std::move(clause));
+  }
+}
+
+}  // namespace
+
+cnf::CnfFormula xor_system(const XorSystemParams& params) {
+  assert(params.width >= 2 && params.width <= params.num_vars);
+  util::Xoshiro256 rng(params.seed);
+  std::vector<bool> hidden(static_cast<std::size_t>(params.num_vars) + 1);
+  for (Var v = 1; v <= params.num_vars; ++v) hidden[v] = rng.chance(0.5);
+
+  cnf::CnfFormula f(params.num_vars);
+  for (std::size_t eq = 0; eq < params.num_equations; ++eq) {
+    std::vector<Var> vars;
+    while (vars.size() < params.width) {
+      const Var v = static_cast<Var>(rng.range(1, params.num_vars));
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    bool rhs = false;
+    for (const Var v : vars) rhs = rhs != hidden[v];
+    add_xor_clauses(f, vars, rhs);
+    if (!params.consistent && eq == 0) {
+      // Deterministic inconsistency: restate the first equation with a
+      // flipped RHS. (x ^ y ^ z = b) together with (x ^ y ^ z = !b) is
+      // unsatisfiable regardless of the rest of the system, yet the
+      // refutation still has to cut through all the planted equations.
+      add_xor_clauses(f, vars, !rhs);
+    }
+  }
+  return f;
+}
+
+cnf::CnfFormula urquhart_like(std::size_t n, std::uint64_t seed) {
+  assert(n >= 5);
+  util::Xoshiro256 rng(seed);
+  // 4-regular circulant graph on n vertices: edges (i, i+1) and (i, i+2)
+  // mod n. One variable per edge; the XOR of the 4 edges at each vertex
+  // must equal that vertex's charge, and the total charge is odd, which
+  // is impossible because every edge contributes to exactly two vertices.
+  const auto edge_step1 = [n](std::size_t i) {
+    return static_cast<Var>(i + 1);  // edge (i, i+1 mod n)
+  };
+  const auto edge_step2 = [n](std::size_t i) {
+    return static_cast<Var>(n + i + 1);  // edge (i, i+2 mod n)
+  };
+  std::vector<bool> charge(n);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    charge[i] = rng.chance(0.5);
+    if (charge[i]) ++ones;
+  }
+  if ((ones & 1) == 0) {
+    charge[0] = !charge[0];  // force odd total charge => UNSAT
+  }
+  cnf::CnfFormula f(static_cast<Var>(2 * n));
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::vector<Var> incident = {
+        edge_step1(v),
+        edge_step1((v + n - 1) % n),
+        edge_step2(v),
+        edge_step2((v + n - 2) % n),
+    };
+    add_xor_clauses(f, incident, charge[v]);
+  }
+  return f;
+}
+
+}  // namespace gridsat::gen

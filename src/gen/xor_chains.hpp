@@ -1,0 +1,34 @@
+// XOR / parity instances — analogs of the par32 (parity learning) and
+// Urquhart rows. A random sparse GF(2) linear system is encoded clause-by-
+// clause (each XOR of width w expands to 2^(w-1) CNF clauses). Resolution-
+// based solvers have no native XOR reasoning, so consistent-but-dense
+// systems are hard SAT and inconsistent ones hard UNSAT — exactly the
+// behaviour of the paper's par32* and Urquhart rows.
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::gen {
+
+struct XorSystemParams {
+  cnf::Var num_vars = 32;
+  std::size_t num_equations = 32;
+  std::size_t width = 3;       ///< variables per equation
+  bool consistent = true;      ///< plant a solution (SAT) or not
+  std::uint64_t seed = 1;
+};
+
+/// Random sparse XOR system over GF(2). When `consistent`, right-hand
+/// sides are chosen from a hidden assignment (instance is SAT); otherwise
+/// one equation's RHS is flipped after planting, making the system
+/// inconsistent (instance is UNSAT) while keeping the same structure.
+cnf::CnfFormula xor_system(const XorSystemParams& params);
+
+/// Urquhart-style instance: XOR constraints laid on the edges of a fixed
+/// 4-regular circulant graph over `n` vertices with odd total charge —
+/// always UNSAT, expander structure makes refutations long.
+cnf::CnfFormula urquhart_like(std::size_t n, std::uint64_t seed);
+
+}  // namespace gridsat::gen

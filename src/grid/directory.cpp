@@ -1,0 +1,17 @@
+#include "grid/directory.hpp"
+
+namespace gridsat::grid {
+
+const char* to_string(HostState s) noexcept {
+  switch (s) {
+    case HostState::kFree: return "free";
+    case HostState::kLaunching: return "launching";
+    case HostState::kIdle: return "idle";
+    case HostState::kReserved: return "reserved";
+    case HostState::kBusy: return "busy";
+    case HostState::kDead: return "dead";
+  }
+  return "?";
+}
+
+}  // namespace gridsat::grid

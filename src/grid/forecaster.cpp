@@ -1,0 +1,60 @@
+#include "grid/forecaster.hpp"
+
+#include <cmath>
+
+namespace gridsat::grid {
+
+namespace {
+constexpr double kErrorDecay = 0.9;
+}
+
+Forecaster::Forecaster() : mean8_(8), mean32_(32), median8_(8) {}
+
+double Forecaster::predict(std::size_t which) const {
+  switch (which) {
+    case 0: return last_;
+    case 1: return mean8_.empty() ? 1.0 : mean8_.mean();
+    case 2: return mean32_.empty() ? 1.0 : mean32_.mean();
+    case 3: return median8_.empty() ? 1.0 : median8_.median();
+    default: return 1.0;
+  }
+}
+
+void Forecaster::observe(double value) {
+  if (samples_ > 0) {
+    // Score every predictor on how well it would have called this sample.
+    for (std::size_t i = 0; i < kNumPredictors; ++i) {
+      error_[i] = kErrorDecay * error_[i] +
+                  (1.0 - kErrorDecay) * std::abs(predict(i) - value);
+    }
+  }
+  last_ = value;
+  mean8_.add(value);
+  mean32_.add(value);
+  median8_.add(value);
+  ++samples_;
+}
+
+double Forecaster::forecast() const {
+  if (samples_ == 0) return 1.0;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kNumPredictors; ++i) {
+    if (error_[i] < error_[best]) best = i;
+  }
+  return predict(best);
+}
+
+std::string Forecaster::best_predictor() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kNumPredictors; ++i) {
+    if (error_[i] < error_[best]) best = i;
+  }
+  switch (best) {
+    case 0: return "last";
+    case 1: return "mean8";
+    case 2: return "mean32";
+    default: return "median8";
+  }
+}
+
+}  // namespace gridsat::grid

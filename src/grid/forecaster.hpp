@@ -1,0 +1,49 @@
+// NWS-analog forecaster (paper §3.3: host ranks come from Network
+// Weather Service forecasts of processing power and memory capacity).
+//
+// Like the real NWS, it keeps several simple predictors (last value,
+// sliding means/medians of different window lengths) over a sampled
+// availability series, tracks each predictor's recent error, and answers
+// with the currently best one.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace gridsat::grid {
+
+class Forecaster {
+ public:
+  Forecaster();
+
+  /// Feed one availability sample in [0, 1].
+  void observe(double value);
+
+  /// Forecast of the next sample; 1.0 before any observation (optimistic,
+  /// matching a fresh resource with no history).
+  [[nodiscard]] double forecast() const;
+
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+  /// Which predictor currently wins (for diagnostics): "last", "mean8",
+  /// "mean32", "median8".
+  [[nodiscard]] std::string best_predictor() const;
+
+ private:
+  static constexpr std::size_t kNumPredictors = 4;
+
+  [[nodiscard]] double predict(std::size_t which) const;
+
+  util::SlidingWindow mean8_;
+  util::SlidingWindow mean32_;
+  util::SlidingWindow median8_;
+  double last_ = 1.0;
+  /// Exponentially-decayed absolute error per predictor.
+  std::array<double, kNumPredictors> error_{};
+  std::size_t samples_ = 0;
+};
+
+}  // namespace gridsat::grid

@@ -1,0 +1,92 @@
+// Host model: a (possibly shared) machine in the simulated Grid.
+//
+// Speed is expressed in solver *work units* per virtual second (the
+// CdclSolver's abstract cost counter), so a client's compute slice
+// converts real search effort into virtual elapsed time. Non-dedicated
+// hosts carry a seeded background-load trace — the paper ran on testbeds
+// "in continuous use by various researchers", and the trace is what the
+// NWS-analog forecaster predicts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace gridsat::sim {
+
+struct HostSpec {
+  std::string name;
+  std::string site;
+  /// Dedicated-mode speed: solver work units per virtual second.
+  double speed = 5000.0;
+  /// Memory available to a client's clause database, in (simulated) bytes.
+  std::size_t memory_bytes = 32 * 1024 * 1024;
+  /// Mean fraction of the CPU consumed by other users (0 = dedicated).
+  double base_load = 0.0;
+  /// Load variability (standard deviation of the availability walk).
+  double load_jitter = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Piecewise-constant availability trace, segment length 60 virtual
+/// seconds, values produced by a seeded bounded random walk around
+/// (1 - base_load). Lazily extended, deterministic per seed.
+class Host {
+ public:
+  explicit Host(HostSpec spec)
+      : spec_(std::move(spec)), rng_(spec_.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  [[nodiscard]] const HostSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] const std::string& site() const noexcept { return spec_.site; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return spec_.memory_bytes;
+  }
+
+  /// Fraction of the CPU available to our client at time t, in
+  /// [kMinAvailability, 1].
+  [[nodiscard]] double availability(SimTime t) {
+    if (spec_.base_load <= 0.0 && spec_.load_jitter <= 0.0) return 1.0;
+    const auto segment = static_cast<std::size_t>(t / kSegmentSeconds);
+    extend_trace(segment);
+    return trace_[segment];
+  }
+
+  /// Effective solver speed (work units / virtual second) at time t.
+  [[nodiscard]] double effective_speed(SimTime t) {
+    return spec_.speed * availability(t);
+  }
+
+  static constexpr double kSegmentSeconds = 60.0;
+  static constexpr double kMinAvailability = 0.05;
+
+ private:
+  void extend_trace(std::size_t segment) {
+    if (trace_.empty()) {
+      trace_.push_back(clamp(1.0 - spec_.base_load));
+    }
+    while (trace_.size() <= segment) {
+      // Mean-reverting walk: drift halfway back to the target, jitter on
+      // top. Keeps long runs plausible without drifting to the rails.
+      const double target = 1.0 - spec_.base_load;
+      const double prev = trace_.back();
+      const double next =
+          prev + 0.5 * (target - prev) + spec_.load_jitter * rng_.normal();
+      trace_.push_back(clamp(next));
+    }
+  }
+
+  static double clamp(double v) {
+    return std::min(1.0, std::max(kMinAvailability, v));
+  }
+
+  HostSpec spec_;
+  util::Xoshiro256 rng_;
+  std::vector<double> trace_;
+};
+
+}  // namespace gridsat::sim

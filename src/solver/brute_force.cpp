@@ -1,0 +1,43 @@
+#include "solver/brute_force.hpp"
+
+#include <cassert>
+
+namespace gridsat::solver {
+
+using cnf::LBool;
+
+namespace {
+
+cnf::Assignment assignment_from_bits(cnf::Var num_vars, std::uint64_t bits) {
+  cnf::Assignment a(static_cast<std::size_t>(num_vars) + 1, LBool::kUndef);
+  for (cnf::Var v = 1; v <= num_vars; ++v) {
+    a[v] = ((bits >> (v - 1)) & 1) ? LBool::kTrue : LBool::kFalse;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::optional<cnf::Assignment> brute_force_solve(
+    const cnf::CnfFormula& formula) {
+  assert(formula.num_vars() <= 30);
+  const std::uint64_t total = std::uint64_t{1} << formula.num_vars();
+  for (std::uint64_t bits = 0; bits < total; ++bits) {
+    auto a = assignment_from_bits(formula.num_vars(), bits);
+    if (eval_formula(formula, a) == LBool::kTrue) return a;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t brute_force_count(const cnf::CnfFormula& formula) {
+  assert(formula.num_vars() <= 30);
+  const std::uint64_t total = std::uint64_t{1} << formula.num_vars();
+  std::uint64_t count = 0;
+  for (std::uint64_t bits = 0; bits < total; ++bits) {
+    const auto a = assignment_from_bits(formula.num_vars(), bits);
+    if (eval_formula(formula, a) == LBool::kTrue) ++count;
+  }
+  return count;
+}
+
+}  // namespace gridsat::solver

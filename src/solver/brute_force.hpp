@@ -1,0 +1,18 @@
+// Exhaustive truth-table enumeration — ground truth for property tests on
+// small instances (the 2^N method the paper's §2.1 warns against).
+#pragma once
+
+#include <optional>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::solver {
+
+/// Returns a satisfying assignment, or nullopt when unsatisfiable.
+/// Requires formula.num_vars() <= 30.
+std::optional<cnf::Assignment> brute_force_solve(const cnf::CnfFormula& formula);
+
+/// Number of satisfying assignments (model count); same size limit.
+std::uint64_t brute_force_count(const cnf::CnfFormula& formula);
+
+}  // namespace gridsat::solver

@@ -1,0 +1,970 @@
+#include "solver/cdcl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace gridsat::solver {
+
+using cnf::kUndefLit;
+using cnf::LBool;
+using cnf::Lit;
+using cnf::Var;
+
+namespace {
+
+/// Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+std::uint64_t luby(std::uint32_t i) {
+  // Find the finite subsequence containing index i and its position.
+  std::uint32_t size = 1;
+  std::uint32_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i %= size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+constexpr double kActivityRescaleLimit = 1e100;
+constexpr float kClauseActivityRescaleLimit = 1e20f;
+
+
+}  // namespace
+
+const char* to_string(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::kSat: return "SAT";
+    case SolveStatus::kUnsat: return "UNSAT";
+    case SolveStatus::kUnknown: return "UNKNOWN";
+    case SolveStatus::kMemOut: return "MEM_OUT";
+  }
+  return "?";
+}
+
+CdclSolver::CdclSolver(const cnf::CnfFormula& formula, SolverConfig config)
+    : config_(config), rng_(config.seed) {
+  init(formula.num_vars(), formula.clauses(), formula.num_clauses(), {});
+}
+
+CdclSolver::CdclSolver(const Subproblem& subproblem, SolverConfig config)
+    : config_(config), rng_(config.seed) {
+  init(subproblem.num_vars, subproblem.clauses,
+       static_cast<std::size_t>(subproblem.num_problem_clauses),
+       subproblem.units);
+}
+
+void CdclSolver::init(Var num_vars, const std::vector<cnf::Clause>& clauses,
+                      std::size_t num_problem_clauses,
+                      const std::vector<SubproblemUnit>& units) {
+  num_vars_ = num_vars;
+  const std::size_t nv = static_cast<std::size_t>(num_vars) + 1;
+  watches_.assign(2 * nv, {});
+  assign_.assign(nv, LBool::kUndef);
+  level_.assign(nv, 0);
+  reason_.assign(nv, kNoClause);
+  taint_.assign(nv, 0);
+  phase_.assign(nv, 2);  // 2 = no saved phase
+  activity_.assign(2 * nv, 0.0);
+  heap_pos_.assign(2 * nv, -1);
+  seen_.assign(nv, 0);
+  heap_.clear();
+  heap_.reserve(2 * nv);
+  for (Var v = 1; v <= num_vars_; ++v) {
+    heap_insert(2 * v);
+    heap_insert(2 * v + 1);
+  }
+  max_learned_ = config_.reduce_base;
+  conflicts_until_restart_ =
+      config_.restart_base ? config_.restart_base * luby(restart_count_) : 0;
+
+  for (const SubproblemUnit& u : units) {
+    if (u.lit.var() > num_vars_) {
+      root_conflict_ = true;  // malformed subproblem
+      return;
+    }
+    if (!enqueue_level0(u.lit, u.tainted)) {
+      root_conflict_ = true;
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (!add_clause_at_level0(clauses[i], /*learned=*/i >= num_problem_clauses)) {
+      root_conflict_ = true;
+      return;
+    }
+  }
+}
+
+bool CdclSolver::enqueue_level0(Lit p, bool tainted) {
+  assert(decision_level() == 0);
+  const LBool v = value(p);
+  if (v == LBool::kFalse) return false;
+  if (v == LBool::kTrue) {
+    // Already assigned; an assumption that re-asserts a known fact adds no
+    // taint (the fact stands on its own).
+    return true;
+  }
+  const Var var = p.var();
+  assign_[var] = p.satisfying_value();
+  level_[var] = 0;
+  reason_[var] = kDecisionReason;
+  taint_[var] = tainted ? 1 : 0;
+  trail_.push_back(p);
+  return true;
+}
+
+bool CdclSolver::add_clause_at_level0(const cnf::Clause& clause, bool learned) {
+  assert(decision_level() == 0);
+  // Preprocess: sort/dedupe, detect tautology, apply level-0 facts.
+  std::vector<Lit> lits(clause.begin(), clause.end());
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return true;  // tautology
+  }
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (const Lit l : lits) {
+    if (l.var() > num_vars_) {
+      // Grow the universe? Clauses beyond num_vars indicate generator or
+      // wire corruption; treat as hard error in debug, tolerate by growth
+      // in release paths is not worth the complexity.
+      assert(false && "literal beyond variable universe");
+      continue;
+    }
+    switch (value(l)) {
+      case LBool::kTrue:
+        return true;  // satisfied at level 0: prune (paper §3.1)
+      case LBool::kFalse:
+        // Keep tainted-false literals: dropping them would make clauses
+        // derived from this one depend on split assumptions invisibly.
+        if (tainted(l.var())) kept.push_back(l);
+        break;
+      case LBool::kUndef:
+        kept.push_back(l);
+        break;
+    }
+  }
+  // Partition: unassigned literals first so the watched pair is sane.
+  std::stable_partition(kept.begin(), kept.end(),
+                        [this](Lit l) { return value(l) == LBool::kUndef; });
+  const std::size_t num_open =
+      static_cast<std::size_t>(std::count_if(kept.begin(), kept.end(), [this](Lit l) {
+        return value(l) == LBool::kUndef;
+      }));
+  if (num_open == 0) return false;  // all literals false => conflict
+  if (num_open == 1 && kept.size() == 1) {
+    return enqueue_level0(kept[0], /*tainted=*/false);
+  }
+  const ClauseRef cref = arena_.alloc(kept, learned);
+  attach(cref);
+  if (num_open == 1) {
+    // Effectively unit: imply the open literal; taint flows from the kept
+    // tainted-false literals through the reason clause.
+    if (!enqueue(kept[0], cref)) return false;
+    ++stats_.propagations;
+  }
+  stats_.peak_db_bytes = std::max(stats_.peak_db_bytes, arena_.live_bytes());
+  return true;
+}
+
+void CdclSolver::attach(ClauseRef cref) {
+  assert(arena_.size(cref) >= 2);
+  watches_[arena_.lit(cref, 0).code()].push_back(
+      Watcher{cref, arena_.lit(cref, 1)});
+  watches_[arena_.lit(cref, 1).code()].push_back(
+      Watcher{cref, arena_.lit(cref, 0)});
+}
+
+void CdclSolver::detach(ClauseRef cref) {
+  for (const std::uint32_t i : {0u, 1u}) {
+    auto& ws = watches_[arena_.lit(cref, i).code()];
+    const auto it = std::find_if(ws.begin(), ws.end(), [cref](const Watcher& w) {
+      return w.cref == cref;
+    });
+    assert(it != ws.end());
+    *it = ws.back();
+    ws.pop_back();
+  }
+}
+
+bool CdclSolver::enqueue(Lit p, ClauseRef reason) {
+  const LBool v = value(p);
+  if (v == LBool::kFalse) return false;
+  if (v == LBool::kTrue) return true;
+  const Var var = p.var();
+  assign_[var] = p.satisfying_value();
+  level_[var] = decision_level();
+  reason_[var] = reason;
+  if (decision_level() == 0) {
+    bool t = false;
+    if (reason != kDecisionReason && reason != kNoClause) {
+      for (const Lit q : arena_.lits(reason)) {
+        if (q.var() != var && taint_[q.var()]) {
+          t = true;
+          break;
+        }
+      }
+    }
+    taint_[var] = t ? 1 : 0;
+  } else {
+    taint_[var] = 0;
+  }
+  trail_.push_back(p);
+  return true;
+}
+
+ClauseRef CdclSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p just became true
+    const Lit falsified = ~p;
+    auto& ws = watches_[falsified.code()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      ++stats_.work;
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      const ClauseRef cref = w.cref;
+      // Normalize: watched slot 1 holds the falsified literal.
+      if (arena_.lit(cref, 0) == falsified) arena_.swap_lits(cref, 0, 1);
+      assert(arena_.lit(cref, 1) == falsified);
+      const Lit first = arena_.lit(cref, 0);
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        ws[keep++] = Watcher{cref, first};
+        continue;
+      }
+      // Look for a replacement watch among the tail literals.
+      const std::uint32_t size = arena_.size(cref);
+      bool moved = false;
+      for (std::uint32_t k = 2; k < size; ++k) {
+        ++stats_.work;
+        const Lit cand = arena_.lit(cref, k);
+        if (value(cand) != LBool::kFalse) {
+          arena_.swap_lits(cref, 1, k);
+          watches_[cand.code()].push_back(Watcher{cref, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      ws[keep++] = Watcher{cref, first};
+      if (value(first) == LBool::kFalse) {
+        // Conflict: restore the remaining watchers and report.
+        for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return cref;
+      }
+      enqueue(first, cref);
+      ++stats_.propagations;
+    }
+    ws.resize(keep);
+  }
+  return kNoClause;
+}
+
+void CdclSolver::bump_lit(Lit l) {
+  const std::uint32_t code = l.code();
+  activity_[code] += activity_inc_;
+  if (activity_[code] > kActivityRescaleLimit) {
+    for (double& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+  if (heap_pos_[code] >= 0) heap_sift_up(static_cast<std::size_t>(heap_pos_[code]));
+}
+
+void CdclSolver::bump_clause(ClauseRef c) {
+  if (!arena_.learned(c)) return;
+  float a = arena_.activity(c) + static_cast<float>(clause_activity_inc_);
+  if (a > kClauseActivityRescaleLimit) {
+    arena_.for_each([this](ClauseRef r) {
+      if (arena_.learned(r)) {
+        arena_.set_activity(r, arena_.activity(r) * 1e-20f);
+      }
+    });
+    clause_activity_inc_ *= 1e-20;
+    a = arena_.activity(c) + static_cast<float>(clause_activity_inc_);
+  }
+  arena_.set_activity(c, a);
+}
+
+void CdclSolver::decay_activities() {
+  // Chaff divides all counters periodically; scaling the increment is the
+  // equivalent constant-time formulation.
+  activity_inc_ /= config_.var_activity_decay;
+  if (activity_inc_ > kActivityRescaleLimit) {
+    for (double& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+  clause_activity_inc_ /= config_.clause_activity_decay;
+}
+
+void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
+                         std::uint32_t& backjump_level, Lit& uip) {
+  learned.clear();
+  learned.push_back(kUndefLit);  // slot for the asserting literal
+  analyze_clear_.clear();
+
+  std::uint32_t path_count = 0;
+  Lit p = kUndefLit;
+  std::size_t index = trail_.size();
+  ClauseRef cl = confl;
+  const std::uint32_t current_level = decision_level();
+
+  do {
+    assert(cl != kNoClause && cl != kDecisionReason);
+    bump_clause(cl);
+    const auto lits = arena_.lits(cl);
+    for (std::size_t j = (p == kUndefLit ? 0 : 1); j < lits.size(); ++j) {
+      ++stats_.work;
+      const Lit q = lits[j];
+      const Var v = q.var();
+      if (seen_[v]) continue;
+      if (level_[v] == 0) {
+        // Level-0 literals are normally strengthened away; tainted ones
+        // (split assumptions and their consequences) must stay so the
+        // learned clause remains valid for the original formula (§3.2).
+        if (taint_[v]) {
+          seen_[v] = 1;
+          analyze_clear_.push_back(q);
+          learned.push_back(q);
+        }
+        continue;
+      }
+      seen_[v] = 1;
+      analyze_clear_.push_back(q);
+      bump_lit(q);
+      if (level_[v] >= current_level) {
+        ++path_count;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked assignment.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    --index;
+    p = trail_[index];
+    cl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --path_count;
+  } while (path_count > 0);
+
+  uip = p;
+  learned[0] = ~p;
+
+  if (config_.minimize_learned) minimize(learned);
+
+  // Backjump level: highest level among the non-asserting literals; keep
+  // that literal in slot 1 so it becomes the second watch.
+  backjump_level = 0;
+  if (learned.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learned.size(); ++i) {
+      if (level_[learned[i].var()] > level_[learned[max_i].var()]) max_i = i;
+    }
+    std::swap(learned[1], learned[max_i]);
+    backjump_level = level_[learned[1].var()];
+  }
+
+  for (const Lit l : analyze_clear_) seen_[l.var()] = 0;
+  analyze_clear_.clear();
+}
+
+void CdclSolver::minimize(std::vector<Lit>& learned) {
+  // Local minimization: a literal is redundant if its reason clause is
+  // subsumed by the rest of the learned clause plus untainted level-0
+  // facts. (Self-subsuming resolution; MiniSat's "basic" mode.)
+  for (const Lit l : learned) seen_[l.var()] = 1;
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const Var v = learned[i].var();
+    const ClauseRef r = reason_[v];
+    bool redundant = r != kDecisionReason && r != kNoClause && level_[v] > 0;
+    if (redundant) {
+      for (const Lit q : arena_.lits(r)) {
+        if (q.var() == v) continue;
+        if (seen_[q.var()]) continue;
+        if (level_[q.var()] == 0 && !taint_[q.var()]) continue;
+        redundant = false;
+        break;
+      }
+    }
+    if (!redundant) learned[keep++] = learned[i];
+  }
+  for (const Lit l : learned) seen_[l.var()] = 0;
+  learned.resize(keep);
+}
+
+void CdclSolver::backtrack(std::uint32_t target_level) {
+  if (decision_level() <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = trail_[i].var();
+    phase_[v] = (assign_[v] == LBool::kTrue) ? 1 : 0;
+    assign_[v] = LBool::kUndef;
+    reason_[v] = kNoClause;
+    taint_[v] = 0;
+    if (heap_pos_[2 * v] < 0) heap_insert(2 * v);
+    if (heap_pos_[2 * v + 1] < 0) heap_insert(2 * v + 1);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  qhead_ = trail_.size();
+}
+
+void CdclSolver::learn_and_attach(const std::vector<Lit>& learned) {
+  ++stats_.learned_clauses;
+  stats_.learned_literals += learned.size();
+  if (config_.log_proof) {
+    proof_.add(cnf::Clause(learned.begin(), learned.end()));
+  }
+  if (share_cb_) {
+    ++stats_.exported_clauses;
+    share_cb_(cnf::Clause(learned.begin(), learned.end()));
+  }
+  if (learned.size() == 1) {
+    // A learned unit is a globally valid fact (all assumption
+    // dependencies were kept in the clause, and there are none).
+    assert(decision_level() == 0);
+    const bool ok = enqueue_level0(learned[0], /*tainted=*/false);
+    if (!ok) root_conflict_ = true;
+    return;
+  }
+  const ClauseRef cref = arena_.alloc(learned, /*learned=*/true);
+  arena_.set_activity(cref, static_cast<float>(clause_activity_inc_));
+  attach(cref);
+  const bool ok = enqueue(learned[0], cref);
+  assert(ok);
+  (void)ok;
+  ++stats_.propagations;
+  stats_.peak_db_bytes = std::max(stats_.peak_db_bytes, arena_.live_bytes());
+}
+
+std::optional<Lit> CdclSolver::pick_branch() {
+  if (decision_hook_) {
+    const Lit l = decision_hook_();
+    if (l.valid() && value(l.var()) == LBool::kUndef) return l;
+  }
+  if (config_.random_decision_freq > 0.0 &&
+      rng_.chance(config_.random_decision_freq)) {
+    // Random diversification: pick an unassigned variable uniformly.
+    for (int tries = 0; tries < 16; ++tries) {
+      const Var v = static_cast<Var>(rng_.range(1, num_vars_));
+      if (assign_[v] == LBool::kUndef) {
+        return Lit(v, rng_.chance(0.5));
+      }
+    }
+  }
+  while (!heap_.empty()) {
+    const std::uint32_t code = heap_pop();
+    const Lit l = Lit::from_code(code);
+    if (value(l.var()) != LBool::kUndef) continue;
+    if (config_.phase_saving && phase_[l.var()] != 2) {
+      return Lit(l.var(), phase_[l.var()] == 0);
+    }
+    return l;
+  }
+  // Heap exhausted: variables absent from every clause may remain.
+  for (Var v = 1; v <= num_vars_; ++v) {
+    if (assign_[v] == LBool::kUndef) return Lit(v, true);  // default false
+  }
+  return std::nullopt;
+}
+
+void CdclSolver::proof_delete(ClauseRef cref) {
+  if (!config_.log_proof) return;
+  const auto lits = arena_.lits(cref);
+  proof_.remove(cnf::Clause(lits.begin(), lits.end()));
+}
+
+void CdclSolver::reduce_db() {
+  ++stats_.db_reductions;
+  std::vector<ClauseRef> candidates;
+  candidates.reserve(arena_.num_learned());
+  arena_.for_each([&](ClauseRef r) {
+    if (!arena_.learned(r)) return;
+    if (arena_.size(r) <= 2) return;  // binaries are cheap and precious
+    const Lit first = arena_.lit(r, 0);
+    const bool locked =
+        value(first) == LBool::kTrue && reason_[first.var()] == r;
+    if (!locked) candidates.push_back(r);
+  });
+  std::sort(candidates.begin(), candidates.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              return arena_.activity(a) < arena_.activity(b);
+            });
+  const std::size_t to_delete = candidates.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    proof_delete(candidates[i]);
+    detach(candidates[i]);
+    arena_.free(candidates[i]);
+    ++stats_.deleted_clauses;
+  }
+  max_learned_ = static_cast<std::size_t>(
+      static_cast<double>(max_learned_) * config_.reduce_growth);
+  garbage_collect();
+}
+
+void CdclSolver::drop_all_learned() {
+  std::vector<ClauseRef> victims;
+  victims.reserve(arena_.num_learned());
+  arena_.for_each([&](ClauseRef r) {
+    if (!arena_.learned(r)) return;
+    const cnf::Lit first = arena_.lit(r, 0);
+    const bool locked =
+        value(first) == cnf::LBool::kTrue && reason_[first.var()] == r;
+    if (!locked) victims.push_back(r);
+  });
+  for (const ClauseRef r : victims) {
+    proof_delete(r);
+    detach(r);
+    arena_.free(r);
+    ++stats_.deleted_clauses;
+  }
+  garbage_collect();
+}
+
+void CdclSolver::garbage_collect() {
+  if (arena_.garbage_bytes() == 0) return;
+  const auto remap = arena_.gc();
+  for (auto& ws : watches_) {
+    for (auto& w : ws) {
+      w.cref = remap(w.cref);
+      assert(w.cref != kNoClause);
+    }
+  }
+  for (const Lit p : trail_) {
+    ClauseRef& r = reason_[p.var()];
+    if (r != kNoClause && r != kDecisionReason) {
+      r = remap(r);
+      assert(r != kNoClause);
+    }
+  }
+}
+
+bool CdclSolver::merge_imports() {
+  assert(decision_level() == 0);
+  if (import_queue_.empty()) return true;
+  std::vector<cnf::Clause> batch;
+  batch.swap(import_queue_);
+  for (const cnf::Clause& c : batch) {
+    ++stats_.imported_clauses;
+    if (config_.log_proof) proof_.add(c);
+    const std::size_t clauses_before = arena_.num_learned();
+    const std::size_t trail_before = trail_.size();
+    if (!add_clause_at_level0(c, /*learned=*/true)) {
+      root_conflict_ = true;  // paper §3.2 case 3: all literals false
+      return false;
+    }
+    if (arena_.num_learned() == clauses_before && trail_.size() == trail_before) {
+      ++stats_.imported_useless;  // case 4: satisfied/duplicate, discarded
+    }
+  }
+  // Case 1 cascades: propagate the newly implied literals.
+  if (propagate() != kNoClause) {
+    root_conflict_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool CdclSolver::simplify_at_level0() {
+  assert(decision_level() == 0);
+  if (propagate() != kNoClause) {
+    root_conflict_ = true;
+    return false;
+  }
+  if (trail_.size() == last_simplify_trail_) return true;
+  last_simplify_trail_ = trail_.size();
+  if (config_.log_proof) {
+    // Pruning may delete the clauses that derive the level-0 facts; log
+    // those facts as unit additions first (each is RUP right now), so the
+    // checker can still propagate them. Tainted literals are guiding-path
+    // assumptions, not consequences — they are never logged and never
+    // dropped from learned clauses either.
+    const std::size_t level0_end =
+        trail_lim_.empty() ? trail_.size() : trail_lim_[0];
+    for (std::size_t i = proof_logged_units_; i < level0_end; ++i) {
+      if (!taint_[trail_[i].var()]) {
+        proof_.add(cnf::Clause{trail_[i]});
+      }
+    }
+    proof_logged_units_ = level0_end;
+  }
+  // Reasons of level-0 assignments are never resolved by analyze() and
+  // taint bits are already computed, so reason clauses can be unlocked.
+  for (const Lit p : trail_) reason_[p.var()] = kDecisionReason;
+  std::vector<ClauseRef> satisfied;
+  arena_.for_each([&](ClauseRef r) {
+    for (const Lit l : arena_.lits(r)) {
+      if (value(l) == LBool::kTrue && level_[l.var()] == 0) {
+        satisfied.push_back(r);
+        return;
+      }
+    }
+  });
+  for (const ClauseRef r : satisfied) {
+    proof_delete(r);
+    detach(r);
+    arena_.free(r);
+  }
+  garbage_collect();
+  return true;
+}
+
+SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
+  if (root_conflict_) {
+    if (config_.log_proof && !proof_.ends_with_empty_clause()) {
+      proof_.add_empty();
+    }
+    return status_ = SolveStatus::kUnsat;
+  }
+  if (status_ == SolveStatus::kSat) return status_;
+  const std::uint64_t work_end =
+      (work_budget >= std::numeric_limits<std::uint64_t>::max() - stats_.work)
+          ? std::numeric_limits<std::uint64_t>::max()
+          : stats_.work + work_budget;
+
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoClause) {
+      ++stats_.conflicts;
+      ++stats_.work;
+      if (decision_level() == 0) {
+        root_conflict_ = true;
+        if (config_.log_proof) proof_.add_empty();
+        return status_ = SolveStatus::kUnsat;
+      }
+      std::vector<Lit> learned;
+      std::uint32_t backjump_level = 0;
+      Lit uip = kUndefLit;
+      analyze(confl, learned, backjump_level, uip);
+      record_conflict(confl, learned, uip, backjump_level);
+      backtrack(backjump_level);
+      learn_and_attach(learned);
+      if (root_conflict_) {
+        if (config_.log_proof) proof_.add_empty();
+        return status_ = SolveStatus::kUnsat;
+      }
+      if (stats_.conflicts % config_.decay_interval == 0) decay_activities();
+      if (conflicts_until_restart_ > 0) --conflicts_until_restart_;
+      if (arena_.num_learned() >= max_learned_) reduce_db();
+      if (arena_.live_bytes() > config_.memory_limit_bytes) {
+        if (!config_.allow_memory_squeeze) {
+          return status_ = SolveStatus::kMemOut;
+        }
+        reduce_db();
+        if (arena_.live_bytes() > config_.memory_limit_bytes) {
+          // Escalate: drop every unlocked learned clause, binaries
+          // included. Progress suffers, but a GridSAT client must stay
+          // alive until its split request is granted.
+          drop_all_learned();
+        }
+        // Out of memory when even that cannot reclaim below the limit
+        // (problem + locked clauses alone overflow), or when the solver
+        // is squeezing so often that learned clauses are discarded as
+        // fast as they arrive — the paper's description of a sequential
+        // solver that "cannot make any further progress" (§1, §4.2).
+        ++memory_squeezes_;
+        if (arena_.live_bytes() > config_.memory_limit_bytes ||
+            (config_.max_memory_squeezes != 0 &&
+             memory_squeezes_ > config_.max_memory_squeezes)) {
+          return status_ = SolveStatus::kMemOut;
+        }
+      }
+    } else {
+      if (decision_level() == 0) {
+        if (!merge_imports() || !simplify_at_level0()) {
+          if (config_.log_proof) proof_.add_empty();
+          return status_ = SolveStatus::kUnsat;
+        }
+      }
+      if (config_.restart_base != 0 && conflicts_until_restart_ == 0) {
+        ++restart_count_;
+        ++stats_.restarts;
+        conflicts_until_restart_ = config_.restart_base * luby(restart_count_);
+        if (decision_level() > 0) {
+          backtrack(0);
+          continue;
+        }
+      }
+      const auto decision = pick_branch();
+      if (!decision.has_value()) {
+        model_ = assign_;
+        return status_ = SolveStatus::kSat;
+      }
+      ++stats_.decisions;
+      ++stats_.work;
+      trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      stats_.max_decision_level =
+          std::max<std::uint64_t>(stats_.max_decision_level, decision_level());
+      const bool ok = enqueue(*decision, kDecisionReason);
+      assert(ok);
+      (void)ok;
+    }
+    if (stats_.work >= work_end) return status_ = SolveStatus::kUnknown;
+  }
+}
+
+const cnf::Assignment& CdclSolver::model() const {
+  assert(status_ == SolveStatus::kSat);
+  return model_;
+}
+
+std::size_t CdclSolver::db_bytes() const noexcept {
+  const std::size_t clause_count = arena_.num_learned() + arena_.num_problem();
+  return arena_.live_bytes() + clause_count * 2 * sizeof(Watcher) +
+         static_cast<std::size_t>(num_vars_ + 1) * 24;
+}
+
+bool CdclSolver::can_split() const noexcept {
+  return !root_conflict_ && status_ != SolveStatus::kSat &&
+         !trail_lim_.empty();
+}
+
+Subproblem CdclSolver::split() {
+  assert(can_split());
+  ++stats_.splits;
+  const Lit d1 = trail_[trail_lim_[0]];
+
+  // The complementary branch: level-0 prefix plus ~d1 as an assumption.
+  Subproblem other = to_subproblem();
+  other.units.push_back(SubproblemUnit{~d1, /*tainted=*/true});
+  other.path += (other.path.empty() ? "" : ".") + cnf::to_string(~d1);
+
+  // Fold our first decision level into level 0 (Figure 2, left side).
+  const std::size_t level1_end =
+      trail_lim_.size() > 1 ? trail_lim_[1] : trail_.size();
+  for (std::size_t i = trail_lim_[0]; i < level1_end; ++i) {
+    const Var v = trail_[i].var();
+    level_[v] = 0;
+    if (i == trail_lim_[0]) {
+      taint_[v] = 1;  // the decision becomes a split assumption
+    } else {
+      bool t = false;
+      const ClauseRef r = reason_[v];
+      if (r != kNoClause && r != kDecisionReason) {
+        for (const Lit q : arena_.lits(r)) {
+          if (q.var() != v && taint_[q.var()]) {
+            t = true;
+            break;
+          }
+        }
+      }
+      taint_[v] = t ? 1 : 0;
+    }
+  }
+  for (const Lit p : trail_) {
+    if (level_[p.var()] >= 2) --level_[p.var()];
+  }
+  trail_lim_.erase(trail_lim_.begin());
+  last_simplify_trail_ = 0;  // the new level-0 facts enable fresh pruning
+  return other;
+}
+
+Subproblem CdclSolver::to_subproblem() const {
+  Subproblem sp;
+  sp.num_vars = num_vars_;
+  const std::size_t level0_end =
+      trail_lim_.empty() ? trail_.size() : trail_lim_[0];
+  sp.units.reserve(level0_end);
+  for (std::size_t i = 0; i < level0_end; ++i) {
+    const Var v = trail_[i].var();
+    sp.units.push_back(SubproblemUnit{trail_[i], taint_[v] != 0});
+    if (taint_[v]) {
+      sp.path += (sp.path.empty() ? "" : ".") + cnf::to_string(trail_[i]);
+    }
+  }
+  // Problem clauses first, then learned; skip clauses satisfied at level 0
+  // (they would be pruned on arrival anyway — don't pay to ship them).
+  auto satisfied_at_level0 = [&](ClauseRef r) {
+    for (const Lit l : arena_.lits(r)) {
+      if (value(l) == LBool::kTrue && level_[l.var()] == 0) return true;
+    }
+    return false;
+  };
+  arena_.for_each([&](ClauseRef r) {
+    if (arena_.learned(r) || satisfied_at_level0(r)) return;
+    const auto lits = arena_.lits(r);
+    sp.clauses.emplace_back(lits.begin(), lits.end());
+  });
+  sp.num_problem_clauses = sp.clauses.size();
+  arena_.for_each([&](ClauseRef r) {
+    if (!arena_.learned(r) || satisfied_at_level0(r)) return;
+    const auto lits = arena_.lits(r);
+    sp.clauses.emplace_back(lits.begin(), lits.end());
+  });
+  return sp;
+}
+
+void CdclSolver::import_clauses(std::vector<cnf::Clause> clauses) {
+  import_queue_.insert(import_queue_.end(),
+                       std::make_move_iterator(clauses.begin()),
+                       std::make_move_iterator(clauses.end()));
+}
+
+std::vector<SubproblemUnit> CdclSolver::level0_units() const {
+  const std::size_t level0_end =
+      trail_lim_.empty() ? trail_.size() : trail_lim_[0];
+  std::vector<SubproblemUnit> units;
+  units.reserve(level0_end);
+  for (std::size_t i = 0; i < level0_end; ++i) {
+    units.push_back(SubproblemUnit{trail_[i], taint_[trail_[i].var()] != 0});
+  }
+  return units;
+}
+
+std::vector<cnf::Clause> CdclSolver::learned_clauses(std::size_t max_len) const {
+  std::vector<cnf::Clause> out;
+  arena_.for_each([&](ClauseRef r) {
+    if (!arena_.learned(r)) return;
+    if (max_len != 0 && arena_.size(r) > max_len) return;
+    const auto lits = arena_.lits(r);
+    out.emplace_back(lits.begin(), lits.end());
+  });
+  return out;
+}
+
+void CdclSolver::record_conflict(ClauseRef confl,
+                                 const std::vector<Lit>& learned, Lit uip,
+                                 std::uint32_t backjump_level) {
+  if (!conflict_observer_) return;
+  ConflictRecord rec;
+  const auto lits = arena_.lits(confl);
+  rec.conflicting_clause.assign(lits.begin(), lits.end());
+  rec.learned_clause = learned;
+  rec.uip = uip;
+  rec.conflict_level = decision_level();
+  rec.backjump_level = backjump_level;
+  conflict_observer_(rec);
+}
+
+void CdclSolver::heap_insert(std::uint32_t lit_code) {
+  assert(heap_pos_[lit_code] < 0);
+  heap_pos_[lit_code] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(lit_code);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void CdclSolver::heap_sift_up(std::size_t i) {
+  const std::uint32_t x = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[parent], x)) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = x;
+  heap_pos_[x] = static_cast<std::int32_t>(i);
+}
+
+void CdclSolver::heap_sift_down(std::size_t i) {
+  const std::uint32_t x = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    const std::size_t child =
+        (right < n && heap_less(heap_[left], heap_[right])) ? right : left;
+    if (!heap_less(x, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = x;
+  heap_pos_[x] = static_cast<std::int32_t>(i);
+}
+
+std::uint32_t CdclSolver::heap_pop() {
+  const std::uint32_t top = heap_[0];
+  heap_pos_[top] = -1;
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_pos_[last] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+std::string CdclSolver::check_invariants() const {
+  std::ostringstream err;
+  // Trail shape.
+  if (qhead_ > trail_.size()) return "qhead beyond trail";
+  for (std::size_t i = 0; i < trail_lim_.size(); ++i) {
+    if (trail_lim_[i] > trail_.size()) return "trail_lim beyond trail";
+    if (i > 0 && trail_lim_[i] < trail_lim_[i - 1]) return "trail_lim not monotone";
+  }
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    const Lit p = trail_[i];
+    if (value(p) != LBool::kTrue) {
+      err << "trail literal " << cnf::to_string(p) << " not true";
+      return err.str();
+    }
+    // Level bookkeeping: position i in the trail belongs to the level
+    // whose window contains i.
+    std::uint32_t expected_level = 0;
+    for (std::size_t d = 0; d < trail_lim_.size(); ++d) {
+      if (i >= trail_lim_[d]) expected_level = static_cast<std::uint32_t>(d + 1);
+    }
+    if (level_[p.var()] != expected_level) {
+      err << "level mismatch for " << cnf::to_string(p) << ": stored "
+          << level_[p.var()] << " expected " << expected_level;
+      return err.str();
+    }
+  }
+  // Watcher integrity: every live clause of size >= 2 is watched exactly
+  // on its first two literals.
+  std::string result;
+  arena_.for_each([&](ClauseRef r) {
+    if (!result.empty()) return;
+    if (arena_.size(r) < 2) {
+      result = "live clause of size < 2 in arena";
+      return;
+    }
+    for (const std::uint32_t slot : {0u, 1u}) {
+      const Lit w = arena_.lit(r, slot);
+      const auto& ws = watches_[w.code()];
+      const bool found = std::any_of(ws.begin(), ws.end(), [r](const Watcher& x) {
+        return x.cref == r;
+      });
+      if (!found) {
+        result = "clause not present in watch list of its watched literal";
+        return;
+      }
+    }
+  });
+  if (!result.empty()) return result;
+  // Watched-literal invariant (only meaningful in a fully propagated,
+  // conflict-free state): both watches false implies some other literal
+  // would have replaced them, so the clause must be satisfied elsewhere.
+  if (qhead_ == trail_.size()) {
+    arena_.for_each([&](ClauseRef r) {
+      if (!result.empty()) return;
+      const Lit w0 = arena_.lit(r, 0);
+      const Lit w1 = arena_.lit(r, 1);
+      if (value(w0) == LBool::kFalse && value(w1) == LBool::kFalse) {
+        bool sat = false;
+        for (const Lit l : arena_.lits(r)) {
+          if (value(l) == LBool::kTrue) sat = true;
+        }
+        if (!sat) result = "clause with both watches false and unsatisfied";
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace gridsat::solver

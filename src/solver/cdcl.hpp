@@ -1,0 +1,357 @@
+// CDCL solver — a from-scratch re-implementation of the Chaff algorithm
+// the paper uses as its core (§2):
+//
+//   * two-watched-literal BCP (§2.4),
+//   * VSIDS per-literal decision heuristic with periodic decay (§2.4),
+//   * FirstUIP conflict analysis and non-chronological backjumping (§2.2),
+//   * learned-clause database with activity-based reduction,
+//   * level-0 pruning of satisfied clauses (§3.1 — the paper's own patch
+//     to sequential zChaff, applied here to both comparator and clients),
+//   * budgeted, resumable execution (the Grid client runs the solver in
+//     slices between message-handling turns),
+//   * splitting (§3.1 / Fig. 2) and sound global clause sharing (§3.2).
+//
+// Soundness of sharing under splits: a split plants an *assumption*
+// literal at decision level 0, so naively-learned clauses would be valid
+// only relative to that guiding path. We track a taint bit per level-0
+// variable (assumption, or implied through a tainted literal). Conflict
+// analysis normally drops level-0 literals; tainted ones are instead kept
+// in the learned clause. Every learned clause is therefore implied by the
+// *original* formula and can be shared with any client, exactly the
+// "shares clauses globally as soon as they are generated" behaviour of
+// §5, without unsound pruning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "solver/clause_arena.hpp"
+#include "solver/proof.hpp"
+#include "solver/subproblem.hpp"
+#include "util/rng.hpp"
+
+namespace gridsat::solver {
+
+enum class SolveStatus : std::uint8_t {
+  kSat,      ///< model found (retrieve with model())
+  kUnsat,    ///< subproblem refuted
+  kUnknown,  ///< work budget exhausted; call solve() again to resume
+  kMemOut,   ///< clause database exceeded the configured memory limit
+};
+
+const char* to_string(SolveStatus s) noexcept;
+
+struct SolverConfig {
+  /// VSIDS: activity added per bump; decays by dividing the increment.
+  double var_activity_decay = 0.95;
+  double clause_activity_decay = 0.999;
+  /// Conflicts between VSIDS decays. Chaff divides all counters by a
+  /// constant periodically; dividing the *increment* by var_activity_decay
+  /// every decay_interval conflicts is the constant-time equivalent.
+  /// interval 1 + decay 0.95 is the standard smooth schedule; interval
+  /// 256 + decay 0.5 mimics zChaff's coarse halving.
+  std::uint32_t decay_interval = 1;
+
+  /// Luby restarts (unit = conflicts); 0 disables restarting.
+  std::uint32_t restart_base = 512;
+
+  /// Learned-DB reduction trigger: start threshold and geometric growth.
+  std::size_t reduce_base = 8000;
+  double reduce_growth = 1.15;
+
+  /// Hard cap on live clause-database bytes; exceeded (and unreclaimable
+  /// by reduction) => kMemOut. The sequential comparator gets the host's
+  /// capacity; GridSAT clients split before they hit it.
+  std::size_t memory_limit_bytes = std::numeric_limits<std::size_t>::max();
+
+  /// When false, hitting the memory limit is immediately fatal (kMemOut)
+  /// instead of triggering emergency DB reductions. 2003-era zChaff could
+  /// not free antecedent clauses (paper §4.2): "the solver cannot make
+  /// any further progress" once the DB overflows — the Table-1 MEM_OUT
+  /// comparator semantics. GridSAT clients keep the squeeze (they ask for
+  /// a split at 60% and the squeeze only bridges the grant latency).
+  bool allow_memory_squeeze = true;
+
+  /// Memory-pressure squeezes tolerated before giving up (kMemOut): a
+  /// solver squeezing this often is destroying clauses as fast as it
+  /// learns them. 0 = unlimited (GridSAT clients: stay alive, degraded,
+  /// until the split goes through).
+  std::uint32_t max_memory_squeezes = 64;
+
+  /// Probability of a random decision (diversification); 0 = pure VSIDS.
+  double random_decision_freq = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Phase of a fresh variable when VSIDS has no signal (Chaff's per-
+  /// literal counters give a natural phase; saved phases refine it).
+  bool phase_saving = true;
+
+  /// Learned-clause minimization (MiniSat-era extension, postdates the
+  /// paper; off by default for fidelity, toggleable for the ablation).
+  bool minimize_learned = false;
+
+  /// Record a DRUP-style clausal proof (solver/proof.hpp). Adds every
+  /// learned (and imported) clause and every deletion to the log; an
+  /// UNSAT run ends the log with the empty clause. Meaningful for
+  /// solvers constructed from a full formula (a subproblem refutation
+  /// proves only its own branch).
+  bool log_proof = false;
+};
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;   ///< implied assignments
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t db_reductions = 0;
+  std::uint64_t max_decision_level = 0;
+  std::uint64_t imported_clauses = 0;
+  std::uint64_t imported_useless = 0;  ///< arrived satisfied/duplicate
+  std::uint64_t exported_clauses = 0;
+  std::uint64_t splits = 0;
+  /// Abstract cost: watcher visits + analysis steps; the discrete-event
+  /// simulator converts work units to virtual seconds via host speed.
+  std::uint64_t work = 0;
+  std::size_t peak_db_bytes = 0;
+};
+
+/// Snapshot of one conflict, for introspection (used to reproduce the
+/// paper's Figure-1 worked example and by tests).
+struct ConflictRecord {
+  std::vector<cnf::Lit> conflicting_clause;
+  std::vector<cnf::Lit> learned_clause;  ///< [0] is the asserting literal
+  cnf::Lit uip;                          ///< FirstUIP literal (assignment)
+  std::uint32_t conflict_level = 0;
+  std::uint32_t backjump_level = 0;
+};
+
+class CdclSolver {
+ public:
+  CdclSolver(const cnf::CnfFormula& formula, SolverConfig config = {});
+  CdclSolver(const Subproblem& subproblem, SolverConfig config = {});
+
+  CdclSolver(const CdclSolver&) = delete;
+  CdclSolver& operator=(const CdclSolver&) = delete;
+  CdclSolver(CdclSolver&&) = default;
+  CdclSolver& operator=(CdclSolver&&) = default;
+
+  /// Run until a verdict or until `work_budget` additional work units
+  /// have been consumed. Resumable: kUnknown keeps all state.
+  SolveStatus solve(
+      std::uint64_t work_budget = std::numeric_limits<std::uint64_t>::max());
+
+  /// Last verdict returned by solve() (kUnknown before the first call).
+  [[nodiscard]] SolveStatus status() const noexcept { return status_; }
+
+  /// Total assignment after kSat; index by variable, slot 0 unused.
+  [[nodiscard]] const cnf::Assignment& model() const;
+
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SolverConfig& config() const noexcept { return config_; }
+
+  /// Live clause-database footprint in bytes (arena + watcher overhead
+  /// estimate); what the GridSAT client's memory monitor watches.
+  [[nodiscard]] std::size_t db_bytes() const noexcept;
+
+  [[nodiscard]] cnf::Var num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::uint32_t decision_level() const noexcept {
+    return static_cast<std::uint32_t>(trail_lim_.size());
+  }
+  [[nodiscard]] std::size_t num_assigned() const noexcept {
+    return trail_.size();
+  }
+
+  // --- Splitting (paper §3.1, Figure 2) --------------------------------
+
+  /// True when there is at least one decision to split on. A solver at
+  /// level 0 (or already finished) cannot split.
+  [[nodiscard]] bool can_split() const noexcept;
+
+  /// Split the search space: this solver folds its first decision level
+  /// into level 0 (the decision becomes a tainted assumption) and keeps
+  /// searching; the returned subproblem carries the complementary branch
+  /// (level-0 units + negated first decision) together with the current
+  /// clause set, pruned of clauses satisfied at level 0 of the *new*
+  /// branch. Requires can_split().
+  Subproblem split();
+
+  /// Current state as a subproblem (migration §3.4 / heavy checkpoint):
+  /// level-0 units + full clause set. Levels above 0 are discarded (the
+  /// paper's checkpoints do the same).
+  [[nodiscard]] Subproblem to_subproblem() const;
+
+  // --- Clause sharing (paper §3.2) --------------------------------------
+
+  /// Callback invoked for every learned clause (client filters by length
+  /// and forwards on the network). The clause is globally valid.
+  void set_share_callback(std::function<void(const cnf::Clause&)> cb) {
+    share_cb_ = std::move(cb);
+  }
+
+  /// Queue clauses received from other clients; merged in a batch the
+  /// next time the solver is at decision level 0 (paper: "only ... after
+  /// the algorithm has backtracked to the first decision level").
+  void import_clauses(std::vector<cnf::Clause> clauses);
+
+  [[nodiscard]] std::size_t pending_imports() const noexcept {
+    return import_queue_.size();
+  }
+
+  // --- Level-0 state (checkpoints §3.4, termination, tests) ------------
+
+  [[nodiscard]] std::vector<SubproblemUnit> level0_units() const;
+
+  /// All live learned clauses with at most `max_len` literals
+  /// (max_len = 0 means no limit). Used by heavy checkpoints and by the
+  /// split payload.
+  [[nodiscard]] std::vector<cnf::Clause> learned_clauses(
+      std::size_t max_len = 0) const;
+
+  // --- Introspection hooks ----------------------------------------------
+
+  /// Observe every conflict (Figure-1 reproduction, tests).
+  void set_conflict_observer(std::function<void(const ConflictRecord&)> cb) {
+    conflict_observer_ = std::move(cb);
+  }
+
+  /// Override decision making: return a literal to decide, or kUndefLit
+  /// to fall back to VSIDS (drives the §2.3 scripted example).
+  void set_decision_hook(std::function<cnf::Lit()> hook) {
+    decision_hook_ = std::move(hook);
+  }
+
+  /// Value of a variable under the current (partial) assignment.
+  [[nodiscard]] cnf::LBool value(cnf::Var v) const noexcept {
+    return assign_[v];
+  }
+  [[nodiscard]] cnf::LBool value(cnf::Lit l) const noexcept {
+    return l.value_under(assign_[l.var()]);
+  }
+  [[nodiscard]] std::uint32_t level_of(cnf::Var v) const noexcept {
+    return level_[v];
+  }
+  [[nodiscard]] bool tainted(cnf::Var v) const noexcept {
+    return taint_[v] != 0;
+  }
+
+  /// Debug invariant check: watched pairs sane, trail consistent. Returns
+  /// an empty string when all invariants hold (tests call this).
+  [[nodiscard]] std::string check_invariants() const;
+
+  /// The recorded proof (empty unless config.log_proof).
+  [[nodiscard]] const ProofLog& proof() const noexcept { return proof_; }
+
+ private:
+  struct Watcher {
+    ClauseRef cref;
+    cnf::Lit blocker;  ///< some other literal; clause skipped if true
+  };
+
+  void init(cnf::Var num_vars, const std::vector<cnf::Clause>& clauses,
+            std::size_t num_problem_clauses,
+            const std::vector<SubproblemUnit>& units);
+
+  // Core search machinery.
+  bool enqueue(cnf::Lit p, ClauseRef reason);
+  bool enqueue_level0(cnf::Lit p, bool tainted);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<cnf::Lit>& learned,
+               std::uint32_t& backjump_level, cnf::Lit& uip);
+  void minimize(std::vector<cnf::Lit>& learned);
+  void backtrack(std::uint32_t target_level);
+  std::optional<cnf::Lit> pick_branch();
+  void learn_and_attach(const std::vector<cnf::Lit>& learned);
+  void attach(ClauseRef cref);
+  void detach(ClauseRef cref);
+  /// Add a clause at level 0 with standard preprocessing (dedupe,
+  /// tautology skip, satisfied skip, untainted-false-literal drop).
+  /// Returns false when the clause (with propagation pending) refutes
+  /// the subproblem.
+  bool add_clause_at_level0(const cnf::Clause& clause, bool learned);
+
+  // Maintenance.
+  void reduce_db();
+  void drop_all_learned();       ///< emergency memory escalation
+  bool merge_imports();          ///< at level 0; false => UNSAT
+  bool simplify_at_level0();     ///< prune + strip; false => UNSAT
+  void garbage_collect();        ///< arena compaction (level 0 only)
+
+  // VSIDS.
+  void bump_lit(cnf::Lit l);
+  void bump_clause(ClauseRef c);
+  void decay_activities();
+  void heap_insert(std::uint32_t lit_code);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  std::uint32_t heap_pop();
+
+  [[nodiscard]] bool heap_less(std::uint32_t a, std::uint32_t b) const noexcept {
+    return activity_[a] < activity_[b] ||
+           (activity_[a] == activity_[b] && a > b);
+  }
+
+  void record_conflict(ClauseRef confl, const std::vector<cnf::Lit>& learned,
+                       cnf::Lit uip, std::uint32_t backjump_level);
+
+  SolverConfig config_;
+  cnf::Var num_vars_ = 0;
+
+  ClauseArena arena_;
+  std::vector<std::vector<Watcher>> watches_;  ///< indexed by literal code
+
+  // Assignment state, indexed by variable (slot 0 unused).
+  cnf::Assignment assign_;
+  std::vector<std::uint32_t> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<std::uint8_t> taint_;
+  std::vector<std::uint8_t> phase_;  ///< saved phase (1 = last true)
+
+  std::vector<cnf::Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  // VSIDS state: activity per literal code + binary max-heap.
+  std::vector<double> activity_;
+  std::vector<std::uint32_t> heap_;
+  std::vector<std::int32_t> heap_pos_;  ///< -1 = not in heap
+  double activity_inc_ = 1.0;
+  double clause_activity_inc_ = 1.0;
+
+  // Analysis scratch.
+  std::vector<std::uint8_t> seen_;
+  std::vector<cnf::Lit> analyze_clear_;
+
+  // Restart / reduce schedule.
+  std::uint64_t conflicts_until_restart_ = 0;
+  std::uint32_t restart_count_ = 0;
+  std::size_t max_learned_ = 0;
+  std::size_t last_simplify_trail_ = 0;
+  std::size_t proof_logged_units_ = 0;
+  std::uint32_t memory_squeezes_ = 0;
+
+  // Sharing.
+  std::vector<cnf::Clause> import_queue_;
+  std::function<void(const cnf::Clause&)> share_cb_;
+
+  std::function<void(const ConflictRecord&)> conflict_observer_;
+  std::function<cnf::Lit()> decision_hook_;
+
+  void proof_delete(ClauseRef cref);
+
+  util::Xoshiro256 rng_;
+  ProofLog proof_;
+  SolverStats stats_;
+  SolveStatus status_ = SolveStatus::kUnknown;
+  bool root_conflict_ = false;  ///< formula (or subproblem) refuted
+  cnf::Assignment model_;
+};
+
+}  // namespace gridsat::solver

@@ -1,0 +1,178 @@
+// Arena storage for clauses, the solver's "clause database" (paper §1:
+// "a local clause database that is heavily accessed ... and which can
+// grow arbitrarily large").
+//
+// Clauses live in one contiguous uint32 arena and are referred to by
+// offset (ClauseRef). Layout per clause:
+//
+//   word 0 : size << 3 | learned << 0 | deleted << 1
+//   word 1 : activity (float bits; learned-clause relevance for deletion)
+//   word 2..2+size : literal codes  (words 2 and 3 are the watched pair)
+//
+// Deletion marks the clause and counts its bytes as garbage; compaction
+// (gc()) happens when the solver is at decision level 0 and rewrites all
+// external references through a remap table. Live-byte accounting feeds
+// the GridSAT client's memory monitor.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cnf/types.hpp"
+
+namespace gridsat::solver {
+
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kNoClause = 0xffffffffu;
+/// Fictitious antecedent for decision variables (paper §2.2 uses "clause
+/// 0 which does not exist" for decisions); split assumptions get the same
+/// marker plus a taint bit on the variable.
+inline constexpr ClauseRef kDecisionReason = 0xfffffffeu;
+
+class ClauseArena {
+ public:
+  static constexpr std::uint32_t kHeaderWords = 2;
+
+  /// Allocate a clause; returns its reference. Literals are stored in the
+  /// given order (callers arrange the watched pair in slots 0/1).
+  ClauseRef alloc(std::span<const cnf::Lit> lits, bool learned) {
+    assert(!lits.empty());
+    const ClauseRef ref = static_cast<ClauseRef>(data_.size());
+    data_.push_back((static_cast<std::uint32_t>(lits.size()) << 3) |
+                    (learned ? 1u : 0u));
+    data_.push_back(float_bits(0.0f));
+    for (const cnf::Lit l : lits) data_.push_back(l.code());
+    live_words_ += kHeaderWords + lits.size();
+    if (learned) ++num_learned_;
+    else ++num_problem_;
+    return ref;
+  }
+
+  [[nodiscard]] std::uint32_t size(ClauseRef r) const {
+    return data_[r] >> 3;
+  }
+  [[nodiscard]] bool learned(ClauseRef r) const { return (data_[r] & 1) != 0; }
+  [[nodiscard]] bool deleted(ClauseRef r) const { return (data_[r] & 2) != 0; }
+
+  [[nodiscard]] cnf::Lit lit(ClauseRef r, std::uint32_t i) const {
+    return cnf::Lit::from_code(data_[r + kHeaderWords + i]);
+  }
+  void set_lit(ClauseRef r, std::uint32_t i, cnf::Lit l) {
+    data_[r + kHeaderWords + i] = l.code();
+  }
+  void swap_lits(ClauseRef r, std::uint32_t i, std::uint32_t j) {
+    std::swap(data_[r + kHeaderWords + i], data_[r + kHeaderWords + j]);
+  }
+
+  [[nodiscard]] std::span<const cnf::Lit> lits(ClauseRef r) const {
+    static_assert(sizeof(cnf::Lit) == sizeof(std::uint32_t));
+    return {reinterpret_cast<const cnf::Lit*>(&data_[r + kHeaderWords]),
+            size(r)};
+  }
+
+  [[nodiscard]] float activity(ClauseRef r) const {
+    return bits_float(data_[r + 1]);
+  }
+  void set_activity(ClauseRef r, float a) { data_[r + 1] = float_bits(a); }
+
+  /// Mark deleted; bytes counted as garbage until gc().
+  void free(ClauseRef r) {
+    assert(!deleted(r));
+    data_[r] |= 2u;
+    garbage_words_ += kHeaderWords + size(r);
+    live_words_ -= kHeaderWords + size(r);
+    if (learned(r)) --num_learned_;
+    else --num_problem_;
+  }
+
+  [[nodiscard]] std::size_t live_bytes() const noexcept {
+    return live_words_ * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return data_.size() * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::size_t garbage_bytes() const noexcept {
+    return garbage_words_ * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::size_t num_learned() const noexcept { return num_learned_; }
+  [[nodiscard]] std::size_t num_problem() const noexcept { return num_problem_; }
+
+  /// Iterate all live clause refs in arena order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    ClauseRef r = 0;
+    while (r < data_.size()) {
+      const std::uint32_t sz = size(r);
+      if (!deleted(r)) fn(r);
+      r += kHeaderWords + sz;
+    }
+  }
+
+  /// Old-ref -> new-ref table produced by gc(). Deleted refs map to
+  /// kNoClause; the sentinel reasons map to themselves.
+  class Remap {
+   public:
+    [[nodiscard]] ClauseRef operator()(ClauseRef old_ref) const {
+      if (old_ref == kNoClause || old_ref == kDecisionReason) return old_ref;
+      const auto it = std::lower_bound(
+          pairs_.begin(), pairs_.end(), old_ref,
+          [](const auto& p, ClauseRef key) { return p.first < key; });
+      if (it == pairs_.end() || it->first != old_ref) return kNoClause;
+      return it->second;
+    }
+
+   private:
+    friend class ClauseArena;
+    std::vector<std::pair<ClauseRef, ClauseRef>> pairs_;  // sorted by first
+  };
+
+  /// Compact the arena in place; callers rewrite watch lists and reasons
+  /// through the returned remap.
+  Remap gc() {
+    Remap remap;
+    remap.pairs_.reserve(num_learned_ + num_problem_);
+    std::size_t write = 0;
+    ClauseRef r = 0;
+    while (r < data_.size()) {
+      const std::uint32_t words = kHeaderWords + size(r);
+      if (!deleted(r)) {
+        remap.pairs_.emplace_back(r, static_cast<ClauseRef>(write));
+        if (write != r) {
+          std::memmove(&data_[write], &data_[r], words * sizeof(std::uint32_t));
+        }
+        write += words;
+      }
+      r += words;
+    }
+    data_.resize(write);
+    data_.shrink_to_fit();
+    garbage_words_ = 0;
+    return remap;
+  }
+
+ private:
+  static std::uint32_t float_bits(float f) {
+    std::uint32_t b;
+    static_assert(sizeof b == sizeof f);
+    std::memcpy(&b, &f, sizeof b);
+    return b;
+  }
+  static float bits_float(std::uint32_t b) {
+    float f;
+    std::memcpy(&f, &b, sizeof f);
+    return f;
+  }
+
+  std::vector<std::uint32_t> data_;
+  std::size_t live_words_ = 0;
+  std::size_t garbage_words_ = 0;
+  std::size_t num_learned_ = 0;
+  std::size_t num_problem_ = 0;
+};
+
+}  // namespace gridsat::solver

@@ -1,0 +1,123 @@
+#include "solver/dpll.hpp"
+
+#include <cassert>
+
+namespace gridsat::solver {
+
+using cnf::LBool;
+using cnf::Lit;
+using cnf::Var;
+
+DpllSolver::DpllSolver(const cnf::CnfFormula& formula) : formula_(formula) {
+  assign_.assign(static_cast<std::size_t>(formula.num_vars()) + 1,
+                 LBool::kUndef);
+  // Empty clause => trivially unsatisfiable; unit clauses seed the trail.
+  for (const auto& clause : formula_.clauses()) {
+    if (clause.empty()) {
+      exhausted_ = true;
+      status_ = SolveStatus::kUnsat;
+      return;
+    }
+  }
+}
+
+bool DpllSolver::propagate() {
+  // The paper's "intuitive" BCP (§2.4): on each assignment, re-scan every
+  // clause that contains the falsified literal. Kept deliberately naive —
+  // this is the baseline the watched-literal scheme is measured against.
+  while (qhead_ < trail_.size()) {
+    ++qhead_;
+    for (std::size_t ci = 0; ci < formula_.num_clauses(); ++ci) {
+      const auto& clause = formula_.clause(ci);
+      ++stats_.work;
+      Lit unit = cnf::kUndefLit;
+      int unknown = 0;
+      bool satisfied = false;
+      for (const Lit l : clause) {
+        ++stats_.work;
+        switch (l.value_under(assign_[l.var()])) {
+          case LBool::kTrue:
+            satisfied = true;
+            break;
+          case LBool::kUndef:
+            ++unknown;
+            unit = l;
+            break;
+          case LBool::kFalse:
+            break;
+        }
+        if (satisfied) break;
+      }
+      if (satisfied) continue;
+      if (unknown == 0) {
+        ++stats_.conflicts;
+        return false;
+      }
+      if (unknown == 1) {
+        assign_[unit.var()] = unit.satisfying_value();
+        trail_.push_back(unit);
+        ++stats_.propagations;
+      }
+    }
+  }
+  return true;
+}
+
+void DpllSolver::backtrack_one_level() {
+  // Pop to the deepest decision not yet tried both ways and flip it.
+  while (!frames_.empty()) {
+    Frame frame = frames_.back();
+    for (std::size_t i = trail_.size(); i-- > frame.trail_size;) {
+      assign_[trail_[i].var()] = LBool::kUndef;
+    }
+    trail_.resize(frame.trail_size);
+    qhead_ = trail_.size();
+    frames_.pop_back();
+    if (frame.tried == Tried::kFirst) {
+      const Lit flipped = ~frame.decision;
+      frames_.push_back(Frame{trail_.size(), flipped, Tried::kBoth});
+      assign_[flipped.var()] = flipped.satisfying_value();
+      trail_.push_back(flipped);
+      return;
+    }
+  }
+  exhausted_ = true;
+}
+
+SolveStatus DpllSolver::solve(std::uint64_t work_budget) {
+  if (status_ == SolveStatus::kSat || status_ == SolveStatus::kUnsat) {
+    return status_;
+  }
+  const std::uint64_t work_end =
+      (work_budget >= std::numeric_limits<std::uint64_t>::max() - stats_.work)
+          ? std::numeric_limits<std::uint64_t>::max()
+          : stats_.work + work_budget;
+
+  for (;;) {
+    if (!propagate()) {
+      backtrack_one_level();
+      if (exhausted_) return status_ = SolveStatus::kUnsat;
+    } else {
+      // Find an unassigned variable; all assigned => model found.
+      Var branch = cnf::kNoVar;
+      for (Var v = 1; v <= formula_.num_vars(); ++v) {
+        if (assign_[v] == LBool::kUndef) {
+          branch = v;
+          break;
+        }
+      }
+      if (branch == cnf::kNoVar) {
+        model_ = assign_;
+        return status_ = SolveStatus::kSat;
+      }
+      ++stats_.decisions;
+      const Lit decision(branch, false);  // try true first
+      frames_.push_back(Frame{trail_.size(), decision, Tried::kFirst});
+      assign_[branch] = LBool::kTrue;
+      trail_.push_back(decision);
+    }
+    if (stats_.work >= work_end) return SolveStatus::kUnknown;
+  }
+}
+
+}  // namespace gridsat::solver

@@ -1,0 +1,59 @@
+// Baseline DPLL without learning — the paper's §2.1 "basic algorithm":
+// speculative decisions, unit propagation (BCP), and chronological
+// backtracking that flips the deepest decision not yet tried both ways.
+// "This method is slow and requires trying all 2^N combinations ... when
+// the problem is unsatisfiable" — it exists here as the correctness
+// oracle for differential tests and as the ablation baseline showing
+// what learning buys.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "cnf/formula.hpp"
+#include "solver/cdcl.hpp"  // SolveStatus
+
+namespace gridsat::solver {
+
+struct DpllStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t work = 0;
+};
+
+class DpllSolver {
+ public:
+  explicit DpllSolver(const cnf::CnfFormula& formula);
+
+  /// Run until a verdict or until `work_budget` additional work units are
+  /// consumed (kUnknown keeps state; call again to resume).
+  SolveStatus solve(
+      std::uint64_t work_budget = std::numeric_limits<std::uint64_t>::max());
+
+  [[nodiscard]] const cnf::Assignment& model() const { return model_; }
+  [[nodiscard]] const DpllStats& stats() const noexcept { return stats_; }
+
+ private:
+  enum class Tried : std::uint8_t { kFirst, kBoth };
+
+  bool propagate();  ///< false on conflict
+  void backtrack_one_level();
+
+  const cnf::CnfFormula& formula_;
+  cnf::Assignment assign_;
+  std::vector<cnf::Lit> trail_;
+  struct Frame {
+    std::size_t trail_size;
+    cnf::Lit decision;
+    Tried tried;
+  };
+  std::vector<Frame> frames_;
+  std::size_t qhead_ = 0;
+  DpllStats stats_;
+  cnf::Assignment model_;
+  SolveStatus status_ = SolveStatus::kUnknown;
+  bool exhausted_ = false;
+};
+
+}  // namespace gridsat::solver

@@ -1,0 +1,181 @@
+#include "solver/parallel.hpp"
+
+#include <algorithm>
+
+namespace gridsat::solver {
+
+ParallelSolver::ParallelSolver(const cnf::CnfFormula& formula,
+                               ParallelOptions options)
+    : formula_(formula), options_(options) {
+  if (options_.num_threads == 0) {
+    options_.num_threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+ParallelResult ParallelSolver::solve() {
+  // Seed the queue with the whole problem.
+  Subproblem root;
+  root.num_vars = formula_.num_vars();
+  root.clauses = formula_.clauses();
+  root.num_problem_clauses = root.clauses.size();
+  root.path = "root";
+  push_work(std::move(root));
+
+  std::vector<std::thread> workers;
+  workers.reserve(options_.num_threads);
+  for (std::size_t i = 0; i < options_.num_threads; ++i) {
+    workers.emplace_back([this, i] { worker_loop(i); });
+  }
+  for (auto& t : workers) t.join();
+
+  std::lock_guard<std::mutex> lock(result_mutex_);
+  if (result_.status == SolveStatus::kUnknown) {
+    // Queue drained with every branch refuted.
+    result_.status = SolveStatus::kUnsat;
+  }
+  result_.stats.threads = options_.num_threads;
+  result_.stats.splits = splits_.load();
+  result_.stats.subproblems_refuted = refuted_.load();
+  result_.stats.clauses_published = published_.load();
+  result_.stats.total_work = total_work_.load();
+  return result_;
+}
+
+bool ParallelSolver::pop_work(Subproblem& out) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  ++hungry_workers_;
+  queue_cv_.wait(lock, [this] {
+    return finished_ || stop_.load() || !queue_.empty() ||
+           (queue_.empty() && active_workers_ == 0);
+  });
+  --hungry_workers_;
+  if (finished_ || stop_.load()) return false;
+  if (queue_.empty()) {
+    if (active_workers_ == 0) {
+      // Global UNSAT: nothing queued, nobody working.
+      finished_ = true;
+      queue_cv_.notify_all();
+    }
+    return false;
+  }
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  ++active_workers_;
+  return true;
+}
+
+void ParallelSolver::push_work(Subproblem sp) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(sp));
+  }
+  queue_cv_.notify_one();
+}
+
+void ParallelSolver::publish_clauses(std::vector<cnf::Clause> batch) {
+  if (batch.empty()) return;
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  published_ += batch.size();
+  clause_pool_.insert(clause_pool_.end(),
+                      std::make_move_iterator(batch.begin()),
+                      std::make_move_iterator(batch.end()));
+}
+
+std::vector<cnf::Clause> ParallelSolver::fetch_clauses_since(
+    std::size_t& cursor) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  std::vector<cnf::Clause> fresh(clause_pool_.begin() +
+                                     static_cast<std::ptrdiff_t>(cursor),
+                                 clause_pool_.end());
+  cursor = clause_pool_.size();
+  return fresh;
+}
+
+void ParallelSolver::worker_loop(std::size_t worker_index) {
+  Subproblem sp;
+  while (pop_work(sp)) {
+    run_subproblem(worker_index, sp);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --active_workers_;
+      if (queue_.empty() && active_workers_ == 0) {
+        // Possibly the last branch: wake everyone to re-evaluate.
+        queue_cv_.notify_all();
+      }
+    }
+  }
+  queue_cv_.notify_all();
+}
+
+void ParallelSolver::run_subproblem(std::size_t worker_index,
+                                    const Subproblem& sp) {
+  SolverConfig config = options_.solver;
+  config.seed = options_.solver.seed + worker_index;  // decorrelate ties
+  CdclSolver solver(sp, config);
+  std::vector<cnf::Clause> exports;
+  const std::size_t cap = options_.share_max_len;
+  solver.set_share_callback([&exports, cap](const cnf::Clause& c) {
+    if (c.size() <= cap) exports.push_back(c);
+  });
+  std::size_t pool_cursor = 0;
+  // Skip clauses this subproblem inherited? The pool only holds clauses
+  // published during the run; inherited ones arrived via sp.clauses.
+  (void)fetch_clauses_since(pool_cursor);  // start from "now"
+
+  for (;;) {
+    if (stop_.load()) return;
+    const std::uint64_t before = solver.stats().work;
+    const SolveStatus status = solver.solve(options_.slice_work);
+    total_work_ += solver.stats().work - before;
+    publish_clauses(std::move(exports));
+    exports.clear();
+    switch (status) {
+      case SolveStatus::kSat: {
+        std::lock_guard<std::mutex> lock(result_mutex_);
+        if (result_.status != SolveStatus::kSat) {
+          cnf::Assignment model = solver.model();
+          if (cnf::is_model(formula_, model)) {
+            result_.status = SolveStatus::kSat;
+            result_.model = std::move(model);
+          }
+        }
+        stop_.store(true);
+        {
+          std::lock_guard<std::mutex> qlock(queue_mutex_);
+          finished_ = true;
+        }
+        queue_cv_.notify_all();
+        return;
+      }
+      case SolveStatus::kUnsat:
+        ++refuted_;
+        return;
+      case SolveStatus::kMemOut: {
+        // Should not happen without a configured limit; treat the branch
+        // as failed by requeueing it for a retry without the limit.
+        std::lock_guard<std::mutex> lock(result_mutex_);
+        result_.status = SolveStatus::kMemOut;
+        stop_.store(true);
+        {
+          std::lock_guard<std::mutex> qlock(queue_mutex_);
+          finished_ = true;
+        }
+        queue_cv_.notify_all();
+        return;
+      }
+      case SolveStatus::kUnknown:
+        break;  // cooperate, then continue
+    }
+    // Import what others published while we were solving.
+    auto fresh = fetch_clauses_since(pool_cursor);
+    if (!fresh.empty()) solver.import_clauses(std::move(fresh));
+    // Feed starving workers.
+    if (hungry_workers_.load() > 0 && solver.can_split()) {
+      push_work(solver.split());
+      ++splits_;
+    }
+  }
+}
+
+}  // namespace gridsat::solver

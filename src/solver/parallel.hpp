@@ -1,0 +1,101 @@
+// Thread-parallel GridSAT-style solver: the paper's algorithm (guiding-
+// path splitting + global sharing of short learned clauses) on real
+// std::thread workers instead of simulated Grid clients.
+//
+// The Campaign in core/ reproduces the paper's *system* (scheduling,
+// networks, memory pressure) deterministically in virtual time; this
+// class is the practical counterpart a downstream user runs on a
+// multicore box. Same soundness machinery: split assumptions are tainted,
+// every shared clause is valid for the original formula.
+//
+// Scheduling model: a shared work queue of subproblems. Workers run their
+// solver in fixed work-unit slices; between slices they flush learned
+// clauses (<= share_max_len) to a global pool, import what other workers
+// published, and — when any worker is starving — split their problem and
+// push the complementary branch. SAT anywhere wins; UNSAT everywhere
+// (queue empty, all workers idle) refutes.
+//
+// Verdicts are deterministic; timings and the discovered model are not
+// (thread interleaving picks the branch that wins).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "solver/cdcl.hpp"
+#include "solver/subproblem.hpp"
+
+namespace gridsat::solver {
+
+struct ParallelOptions {
+  /// 0 = one per hardware thread.
+  std::size_t num_threads = 0;
+  std::size_t share_max_len = 10;
+  /// Work units a worker runs between cooperation points.
+  std::uint64_t slice_work = 200'000;
+  SolverConfig solver;
+};
+
+struct ParallelStats {
+  std::size_t threads = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t subproblems_refuted = 0;
+  std::uint64_t clauses_published = 0;
+  std::uint64_t total_work = 0;
+};
+
+struct ParallelResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  cnf::Assignment model;  ///< verified against the input when kSat
+  ParallelStats stats;
+};
+
+class ParallelSolver {
+ public:
+  ParallelSolver(const cnf::CnfFormula& formula, ParallelOptions options = {});
+
+  /// Blocking solve; spawns the workers and joins them.
+  ParallelResult solve();
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void run_subproblem(std::size_t worker_index, const Subproblem& sp);
+
+  // Work queue.
+  bool pop_work(Subproblem& out);
+  void push_work(Subproblem sp);
+
+  // Shared clause pool (append-only during a run).
+  void publish_clauses(std::vector<cnf::Clause> batch);
+  std::vector<cnf::Clause> fetch_clauses_since(std::size_t& cursor);
+
+  const cnf::CnfFormula& formula_;
+  ParallelOptions options_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Subproblem> queue_;
+  std::size_t active_workers_ = 0;
+  bool finished_ = false;  ///< guarded by queue_mutex_
+
+  std::mutex pool_mutex_;
+  std::vector<cnf::Clause> clause_pool_;
+
+  std::mutex result_mutex_;
+  ParallelResult result_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> hungry_workers_{0};
+  std::atomic<std::uint64_t> splits_{0};
+  std::atomic<std::uint64_t> refuted_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> total_work_{0};
+};
+
+}  // namespace gridsat::solver

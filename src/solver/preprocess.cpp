@@ -1,0 +1,370 @@
+#include "solver/preprocess.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace gridsat::solver {
+
+using cnf::LBool;
+using cnf::Lit;
+using cnf::Var;
+
+namespace {
+
+/// Working database: clauses kept sorted and deduplicated, a deleted
+/// flag per clause, occurrence lists per literal code (lazily cleaned),
+/// and a growing forced assignment.
+class Workspace {
+ public:
+  Workspace(const cnf::CnfFormula& formula, PreprocessStats& stats)
+      : num_vars_(formula.num_vars()),
+        assignment_(static_cast<std::size_t>(formula.num_vars()) + 1,
+                    LBool::kUndef),
+        occ_(2 * (static_cast<std::size_t>(formula.num_vars()) + 1)),
+        stats_(stats) {
+    for (const auto& clause : formula.clauses()) {
+      add_clause(clause);
+      if (contradiction_) return;
+    }
+  }
+
+  void add_clause(const cnf::Clause& clause) {
+    cnf::Clause sorted(clause.begin(), clause.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      if (sorted[i].var() == sorted[i + 1].var()) {
+        ++stats_.tautologies;
+        return;
+      }
+    }
+    if (seen_.count(sorted) != 0) {
+      ++stats_.duplicates;
+      return;
+    }
+    if (sorted.empty()) {
+      contradiction_ = true;
+      return;
+    }
+    if (sorted.size() == 1) {
+      enqueue_unit(sorted[0]);
+      return;
+    }
+    seen_.insert(sorted);
+    const std::size_t index = clauses_.size();
+    for (const Lit l : sorted) occ_[l.code()].push_back(index);
+    clauses_.push_back(std::move(sorted));
+    deleted_.push_back(false);
+  }
+
+  void enqueue_unit(Lit l) {
+    const LBool current = l.value_under(assignment_[l.var()]);
+    if (current == LBool::kTrue) return;
+    if (current == LBool::kFalse) {
+      contradiction_ = true;
+      return;
+    }
+    assignment_[l.var()] = l.satisfying_value();
+    units_.push_back(l);
+    forced_.push_back(l);
+  }
+
+  /// Unit-propagation closure: satisfied clauses die, false literals are
+  /// stripped (possibly producing more units or the empty clause).
+  void propagate() {
+    while (!units_.empty() && !contradiction_) {
+      const Lit l = units_.back();
+      units_.pop_back();
+      ++stats_.units_propagated;
+      // Clauses containing l are satisfied.
+      for (const std::size_t ci : take_occ(l)) {
+        if (!deleted_[ci]) erase_clause(ci);
+      }
+      // Clauses containing ~l lose a literal.
+      for (const std::size_t ci : take_occ(~l)) {
+        if (deleted_[ci]) continue;
+        cnf::Clause shrunk = clauses_[ci];
+        shrunk.erase(std::remove(shrunk.begin(), shrunk.end(), ~l),
+                     shrunk.end());
+        erase_clause(ci);
+        add_clause(shrunk);
+        if (contradiction_) return;
+      }
+    }
+  }
+
+  void eliminate_pures() {
+    for (Var v = 1; v <= num_vars_ && !contradiction_; ++v) {
+      if (assignment_[v] != LBool::kUndef) continue;
+      const bool pos = has_live_occurrence(Lit(v, false));
+      const bool neg = has_live_occurrence(Lit(v, true));
+      if (pos == neg) continue;  // both or neither
+      const Lit pure(v, !pos);
+      ++stats_.pure_literals;
+      stack_.push_back(PreprocessResult::ReconstructionStep{pure, {}});
+      assignment_[v] = pure.satisfying_value();
+      for (const std::size_t ci : take_occ(pure)) {
+        if (!deleted_[ci]) erase_clause(ci);
+      }
+    }
+  }
+
+  /// True iff a subsumes b (both sorted).
+  static bool subsumes(const cnf::Clause& a, const cnf::Clause& b) {
+    if (a.size() > b.size()) return false;
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+  }
+
+  void subsumption_pass(bool strengthen) {
+    for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+      if (deleted_[ci]) continue;
+      // Copy: add_clause() during strengthening reallocates clauses_.
+      const cnf::Clause c = clauses_[ci];
+      // Probe via the literal with the fewest occurrences.
+      const Lit probe = *std::min_element(
+          c.begin(), c.end(), [this](Lit x, Lit y) {
+            return occ_[x.code()].size() < occ_[y.code()].size();
+          });
+      for (const std::size_t di : occ_[probe.code()]) {
+        if (di == ci || di >= clauses_.size() || deleted_[di] ||
+            deleted_[ci]) {
+          continue;
+        }
+        if (subsumes(c, clauses_[di])) {
+          ++stats_.subsumed;
+          erase_clause(di);
+        }
+      }
+      if (!strengthen || deleted_[ci]) continue;
+      // Self-subsuming resolution: if (c with l flipped) subsumes d, the
+      // literal ~l can be removed from d.
+      for (const Lit l : c) {
+        cnf::Clause flipped = c;
+        *std::find(flipped.begin(), flipped.end(), l) = ~l;
+        std::sort(flipped.begin(), flipped.end());
+        const auto victims = occ_[(~l).code()];  // copy: we mutate below
+        for (const std::size_t di : victims) {
+          if (di >= clauses_.size() || deleted_[di] || di == ci) continue;
+          if (subsumes(flipped, clauses_[di])) {
+            ++stats_.strengthened;
+            cnf::Clause shrunk = clauses_[di];
+            shrunk.erase(std::remove(shrunk.begin(), shrunk.end(), ~l),
+                         shrunk.end());
+            erase_clause(di);
+            add_clause(shrunk);
+            if (contradiction_) return;
+          }
+        }
+        if (deleted_[ci]) break;  // c itself may have been replaced
+      }
+    }
+  }
+
+  void eliminate_variables(std::size_t occurrence_cap) {
+    for (Var v = 1; v <= num_vars_ && !contradiction_; ++v) {
+      if (assignment_[v] != LBool::kUndef) continue;
+      const auto pos = live_occ(Lit(v, false));
+      const auto neg = live_occ(Lit(v, true));
+      if (pos.empty() || neg.empty()) continue;  // pure pass handles these
+      if (pos.size() > occurrence_cap || neg.size() > occurrence_cap) {
+        continue;
+      }
+      // Build non-tautological resolvents.
+      std::vector<cnf::Clause> resolvents;
+      bool too_many = false;
+      for (const std::size_t pi : pos) {
+        for (const std::size_t ni : neg) {
+          cnf::Clause resolvent;
+          if (!resolve(clauses_[pi], clauses_[ni], v, resolvent)) continue;
+          resolvents.push_back(std::move(resolvent));
+          if (resolvents.size() > pos.size() + neg.size()) {
+            too_many = true;
+            break;
+          }
+        }
+        if (too_many) break;
+      }
+      if (too_many) continue;
+      // Eliminate: remember the removed clauses for reconstruction.
+      PreprocessResult::ReconstructionStep step;
+      step.lit = Lit(v, false);
+      for (const std::size_t ci : pos) step.clauses.push_back(clauses_[ci]);
+      for (const std::size_t ci : neg) step.clauses.push_back(clauses_[ci]);
+      for (const std::size_t ci : pos) erase_clause(ci);
+      for (const std::size_t ci : neg) erase_clause(ci);
+      stack_.push_back(std::move(step));
+      eliminated_.push_back(v);
+      ++stats_.variables_eliminated;
+      for (auto& r : resolvents) {
+        add_clause(r);
+        if (contradiction_) return;
+      }
+      propagate();
+    }
+  }
+
+  /// Resolve a (contains v) with b (contains ~v); false if tautological.
+  static bool resolve(const cnf::Clause& a, const cnf::Clause& b, Var v,
+                      cnf::Clause& out) {
+    out.clear();
+    for (const Lit l : a) {
+      if (l.var() != v) out.push_back(l);
+    }
+    for (const Lit l : b) {
+      if (l.var() != v) out.push_back(l);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (out[i].var() == out[i + 1].var()) return false;  // tautology
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contradiction() const noexcept { return contradiction_; }
+  [[nodiscard]] bool pending_units() const noexcept {
+    return !units_.empty();
+  }
+
+  void finish(PreprocessResult& result) {
+    result.unsat = contradiction_;
+    result.forced = forced_;
+    result.stack = std::move(stack_);
+    result.simplified = cnf::CnfFormula(num_vars_);
+    if (contradiction_) {
+      result.simplified.add_clause(cnf::Clause{});
+      return;
+    }
+    for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+      if (!deleted_[ci]) result.simplified.add_clause(clauses_[ci]);
+    }
+  }
+
+ private:
+  void erase_clause(std::size_t ci) {
+    assert(!deleted_[ci]);
+    deleted_[ci] = true;
+    seen_.erase(clauses_[ci]);
+    // Occurrence lists are cleaned lazily via the deleted_ flag.
+  }
+
+  /// Live occurrence indices of a literal (cleans the list in passing).
+  std::vector<std::size_t> live_occ(Lit l) {
+    auto& list = occ_[l.code()];
+    std::vector<std::size_t> live;
+    std::size_t keep = 0;
+    for (const std::size_t ci : list) {
+      if (ci < clauses_.size() && !deleted_[ci] &&
+          std::binary_search(clauses_[ci].begin(), clauses_[ci].end(), l)) {
+        list[keep++] = ci;
+        live.push_back(ci);
+      }
+    }
+    list.resize(keep);
+    return live;
+  }
+
+  bool has_live_occurrence(Lit l) { return !live_occ(l).empty(); }
+
+  /// Take a snapshot of the occurrence list (the caller will mutate).
+  std::vector<std::size_t> take_occ(Lit l) { return live_occ(l); }
+
+  Var num_vars_;
+  std::vector<cnf::Clause> clauses_;
+  std::vector<bool> deleted_;
+  std::set<cnf::Clause> seen_;
+  cnf::Assignment assignment_;
+  std::vector<std::vector<std::size_t>> occ_;
+  std::vector<Lit> units_;
+  std::vector<Lit> forced_;
+  std::vector<Var> eliminated_;
+  std::vector<PreprocessResult::ReconstructionStep> stack_;
+  bool contradiction_ = false;
+  PreprocessStats& stats_;
+};
+
+}  // namespace
+
+PreprocessResult preprocess(const cnf::CnfFormula& formula,
+                            const PreprocessOptions& options) {
+  PreprocessResult result;
+  result.stats.clauses_in = formula.num_clauses();
+  result.stats.literals_in = formula.num_literals();
+
+  Workspace ws(formula, result.stats);
+  for (std::size_t round = 0;
+       round < options.max_rounds && !ws.contradiction(); ++round) {
+    ++result.stats.rounds;
+    const PreprocessStats before = result.stats;
+    if (options.unit_propagation) ws.propagate();
+    if (ws.contradiction()) break;
+    if (options.pure_literals) ws.eliminate_pures();
+    if (ws.contradiction()) break;
+    if (options.subsumption || options.strengthening) {
+      ws.subsumption_pass(options.strengthening);
+    }
+    if (ws.contradiction()) break;
+    if (options.unit_propagation) ws.propagate();
+    if (ws.contradiction()) break;
+    if (options.variable_elimination) {
+      ws.eliminate_variables(options.bve_occurrence_cap);
+    }
+    if (ws.contradiction()) break;
+    const bool progress =
+        result.stats.units_propagated != before.units_propagated ||
+        result.stats.pure_literals != before.pure_literals ||
+        result.stats.subsumed != before.subsumed ||
+        result.stats.strengthened != before.strengthened ||
+        result.stats.variables_eliminated != before.variables_eliminated;
+    if (!progress && !ws.pending_units()) break;
+  }
+  if (options.unit_propagation) ws.propagate();
+
+  ws.finish(result);
+  result.stats.clauses_out = result.simplified.num_clauses();
+  result.stats.literals_out = result.simplified.num_literals();
+  return result;
+}
+
+cnf::Assignment reconstruct_model(const PreprocessResult& result,
+                                  const cnf::Assignment& simplified_model) {
+  cnf::Assignment model = simplified_model;
+  model.resize(
+      std::max<std::size_t>(model.size(),
+                            static_cast<std::size_t>(
+                                result.simplified.num_vars()) +
+                                1),
+      LBool::kUndef);
+  for (const Lit l : result.forced) {
+    model[l.var()] = l.satisfying_value();
+  }
+  // Reverse order: each step's clauses mention only variables that are
+  // assigned by the time the step is replayed.
+  for (auto it = result.stack.rbegin(); it != result.stack.rend(); ++it) {
+    const Var v = it->lit.var();
+    if (it->clauses.empty()) {
+      // Pure literal: making it true satisfies every original clause the
+      // variable occurred in.
+      model[v] = it->lit.satisfying_value();
+      continue;
+    }
+    // Eliminated variable: pick the value satisfying all removed clauses.
+    for (const LBool candidate : {LBool::kTrue, LBool::kFalse}) {
+      model[v] = candidate;
+      bool all_satisfied = true;
+      for (const auto& clause : it->clauses) {
+        if (eval_clause(clause, model) != LBool::kTrue) {
+          all_satisfied = false;
+          break;
+        }
+      }
+      if (all_satisfied) break;
+      assert(candidate != LBool::kFalse &&
+             "reconstruction failed: no value satisfies the removed clauses");
+    }
+  }
+  return model;
+}
+
+}  // namespace gridsat::solver

@@ -1,0 +1,87 @@
+// CNF preprocessing (extension; postdates the paper's zChaff but is the
+// natural "compact the database before shipping it" companion to
+// GridSAT's 100s-of-MBytes subproblem transfers — DESIGN.md Ablation
+// notes measure what it buys).
+//
+// Techniques, applied to fixpoint under caps:
+//   * unit-propagation closure (satisfied clauses removed, false
+//     literals stripped),
+//   * tautology and duplicate-literal/-clause removal,
+//   * pure-literal elimination,
+//   * subsumption and self-subsuming resolution (strengthening),
+//   * bounded variable elimination (NiVER rule: eliminate a variable if
+//     the resolvent set is no larger than the clauses it replaces).
+//
+// Satisfiability is preserved; models of the simplified formula extend
+// to models of the original via `reconstruct_model` (pure literals and
+// eliminated variables are re-assigned from the reconstruction stack).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::solver {
+
+struct PreprocessOptions {
+  bool unit_propagation = true;
+  bool pure_literals = true;
+  bool subsumption = true;
+  bool strengthening = true;
+  bool variable_elimination = true;
+  /// BVE only considers variables with at most this many occurrences on
+  /// either side (keeps the pass near-linear).
+  std::size_t bve_occurrence_cap = 10;
+  /// Global fixpoint iterations cap.
+  std::size_t max_rounds = 12;
+};
+
+struct PreprocessStats {
+  std::size_t clauses_in = 0;
+  std::size_t clauses_out = 0;
+  std::size_t literals_in = 0;
+  std::size_t literals_out = 0;
+  std::size_t units_propagated = 0;
+  std::size_t pure_literals = 0;
+  std::size_t tautologies = 0;
+  std::size_t duplicates = 0;
+  std::size_t subsumed = 0;
+  std::size_t strengthened = 0;
+  std::size_t variables_eliminated = 0;
+  std::size_t rounds = 0;
+};
+
+struct PreprocessResult {
+  /// Simplified formula over the same variable universe (eliminated
+  /// variables simply no longer occur).
+  cnf::CnfFormula simplified;
+  /// Preprocessing alone refuted the formula.
+  bool unsat = false;
+
+  /// Forced assignments discovered (units); part of every model.
+  std::vector<cnf::Lit> forced;
+
+  /// Reconstruction stack: apply in REVERSE order to extend a model of
+  /// `simplified` to the original formula. For a pure literal the clause
+  /// list is empty (just make the literal true); for an eliminated
+  /// variable it holds the removed clauses, which the chosen value must
+  /// satisfy.
+  struct ReconstructionStep {
+    cnf::Lit lit;  ///< assignment candidate (eliminated var, or the pure literal)
+    std::vector<cnf::Clause> clauses;
+  };
+  std::vector<ReconstructionStep> stack;
+
+  PreprocessStats stats;
+};
+
+PreprocessResult preprocess(const cnf::CnfFormula& formula,
+                            const PreprocessOptions& options = {});
+
+/// Extend a model of `result.simplified` to a model of the original
+/// formula (asserts on a non-model input in debug builds).
+cnf::Assignment reconstruct_model(const PreprocessResult& result,
+                                  const cnf::Assignment& simplified_model);
+
+}  // namespace gridsat::solver

@@ -1,0 +1,125 @@
+#include "solver/proof.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace gridsat::solver {
+
+using cnf::LBool;
+using cnf::Lit;
+
+void ProofLog::write_drat(std::ostream& out) const {
+  for (const ProofStep& step : steps_) {
+    if (step.deletion) out << "d ";
+    for (const Lit l : step.clause) out << l.to_dimacs() << ' ';
+    out << "0\n";
+  }
+}
+
+namespace {
+
+/// Naive unit propagation over an explicit clause list under a partial
+/// assignment seeded with the negation of the candidate clause. Returns
+/// true iff a conflict arises (the candidate is RUP).
+bool propagate_to_conflict(const std::vector<cnf::Clause>& database,
+                           cnf::Assignment& assignment) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const cnf::Clause& clause : database) {
+      Lit unit = cnf::kUndefLit;
+      int unknown = 0;
+      bool satisfied = false;
+      for (const Lit l : clause) {
+        switch (l.value_under(assignment[l.var()])) {
+          case LBool::kTrue:
+            satisfied = true;
+            break;
+          case LBool::kUndef:
+            ++unknown;
+            unit = l;
+            break;
+          case LBool::kFalse:
+            break;
+        }
+        if (satisfied) break;
+      }
+      if (satisfied) continue;
+      if (unknown == 0) return true;  // conflict
+      if (unknown == 1) {
+        assignment[unit.var()] = unit.satisfying_value();
+        changed = true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_rup(const std::vector<cnf::Clause>& database, cnf::Var num_vars,
+            const cnf::Clause& clause) {
+  cnf::Assignment assignment(static_cast<std::size_t>(num_vars) + 1,
+                             LBool::kUndef);
+  // Assume the negation of every literal of the candidate clause. A
+  // contradictory candidate (contains l and ~l) is a tautology: trivially
+  // implied, and the assumption set below would be inconsistent, so
+  // handle it first.
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    for (std::size_t j = i + 1; j < clause.size(); ++j) {
+      if (clause[i] == ~clause[j]) return true;
+    }
+  }
+  for (const Lit l : clause) {
+    if (l.var() > num_vars) return false;
+    assignment[l.var()] = (~l).satisfying_value();
+  }
+  return propagate_to_conflict(database, assignment);
+}
+
+ProofCheckResult check_unsat_proof(const cnf::CnfFormula& formula,
+                                   const ProofLog& proof) {
+  ProofCheckResult result;
+  std::vector<cnf::Clause> database = formula.clauses();
+  const cnf::Var num_vars = formula.num_vars();
+
+  for (std::size_t i = 0; i < proof.steps().size(); ++i) {
+    const ProofStep& step = proof.steps()[i];
+    if (step.deletion) {
+      // Erase one matching clause (order-insensitive comparison).
+      cnf::Clause key = step.clause;
+      std::sort(key.begin(), key.end());
+      const auto it = std::find_if(
+          database.begin(), database.end(), [&key](const cnf::Clause& c) {
+            if (c.size() != key.size()) return false;
+            cnf::Clause sorted = c;
+            std::sort(sorted.begin(), sorted.end());
+            return sorted == key;
+          });
+      if (it != database.end()) database.erase(it);
+      // Deleting a clause that is not present is harmless (the solver
+      // may have simplified it away before logging); skip silently.
+      ++result.steps_checked;
+      continue;
+    }
+    if (!is_rup(database, num_vars, step.clause)) {
+      std::ostringstream msg;
+      msg << "step " << i << " is not RUP (clause of " << step.clause.size()
+          << " literals)";
+      result.failed_step = i;
+      result.message = msg.str();
+      return result;
+    }
+    ++result.steps_checked;
+    if (step.clause.empty()) {
+      result.valid = true;  // refutation complete
+      return result;
+    }
+    database.push_back(step.clause);
+  }
+  result.message = "proof ended without deriving the empty clause";
+  return result;
+}
+
+}  // namespace gridsat::solver

@@ -1,0 +1,80 @@
+// Clausal (DRUP-style) proof logging and checking.
+//
+// The solver can record every learned clause it adds and every clause it
+// deletes. For an UNSAT run the record is a machine-checkable refutation:
+// each added clause must be RUP — unit-propagating its negation over the
+// original formula plus the previously added clauses yields a conflict —
+// and the final entry is the empty clause.
+//
+// This postdates the paper (DRUP checking became standard a decade
+// later), but it earns its place here twice over: it certifies the
+// UNSAT verdicts of the reproduction, and it gives a direct mechanical
+// witness for GridSAT's sharing soundness — clauses learned in a *split*
+// solver (under guiding-path assumptions) check as RUP against the
+// ORIGINAL formula, because tainted level-0 literals stay in the clause
+// (see cdcl.hpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace gridsat::solver {
+
+struct ProofStep {
+  bool deletion = false;
+  cnf::Clause clause;  ///< empty clause = final refutation step
+
+  friend bool operator==(const ProofStep&, const ProofStep&) = default;
+};
+
+/// Append-only proof record. The solver writes it; the checker replays it.
+class ProofLog {
+ public:
+  void add(cnf::Clause clause) {
+    steps_.push_back(ProofStep{false, std::move(clause)});
+  }
+  void remove(cnf::Clause clause) {
+    steps_.push_back(ProofStep{true, std::move(clause)});
+  }
+  void add_empty() { steps_.push_back(ProofStep{false, {}}); }
+
+  [[nodiscard]] const std::vector<ProofStep>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return steps_.size(); }
+  [[nodiscard]] bool ends_with_empty_clause() const noexcept {
+    return !steps_.empty() && !steps_.back().deletion &&
+           steps_.back().clause.empty();
+  }
+
+  /// Standard DRAT text rendering ("d" lines for deletions, "0"
+  /// terminators), consumable by external checkers.
+  void write_drat(std::ostream& out) const;
+
+ private:
+  std::vector<ProofStep> steps_;
+};
+
+struct ProofCheckResult {
+  bool valid = false;
+  std::size_t steps_checked = 0;
+  std::size_t failed_step = 0;  ///< index of the first bad step, if any
+  std::string message;          ///< empty when valid
+};
+
+/// Replay a refutation against `formula`: every addition must be RUP with
+/// respect to the current clause database; deletions shrink it; the proof
+/// must end with (or reach) the empty clause. O(steps x database) — a
+/// reference checker, not a competition one.
+ProofCheckResult check_unsat_proof(const cnf::CnfFormula& formula,
+                                   const ProofLog& proof);
+
+/// Check a single clause for the RUP property against a clause set
+/// (exposed for the sharing-soundness property tests).
+bool is_rup(const std::vector<cnf::Clause>& database, cnf::Var num_vars,
+            const cnf::Clause& clause);
+
+}  // namespace gridsat::solver

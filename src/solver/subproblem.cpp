@@ -1,0 +1,83 @@
+#include "solver/subproblem.hpp"
+
+namespace gridsat::solver {
+
+void Subproblem::serialize(util::ByteWriter& out) const {
+  out.u32(num_vars);
+  out.var_u64(units.size());
+  for (const auto& u : units) {
+    out.var_u64(u.lit.code());
+    out.u8(u.tainted ? 1 : 0);
+  }
+  out.var_u64(clauses.size());
+  out.var_u64(num_problem_clauses);
+  for (const auto& c : clauses) {
+    out.var_u64(c.size());
+    for (const cnf::Lit l : c) out.var_u64(l.code());
+  }
+  out.str(path);
+}
+
+Subproblem Subproblem::deserialize(util::ByteReader& in) {
+  Subproblem sp;
+  sp.num_vars = in.u32();
+  const std::uint64_t num_units = in.var_u64();
+  sp.units.reserve(num_units);
+  for (std::uint64_t i = 0; i < num_units; ++i) {
+    SubproblemUnit u;
+    u.lit = cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64()));
+    u.tainted = in.u8() != 0;
+    sp.units.push_back(u);
+  }
+  const std::uint64_t num_clauses = in.var_u64();
+  sp.num_problem_clauses = in.var_u64();
+  sp.clauses.reserve(num_clauses);
+  for (std::uint64_t i = 0; i < num_clauses; ++i) {
+    cnf::Clause c;
+    const std::uint64_t len = in.var_u64();
+    c.reserve(len);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      c.push_back(cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
+    }
+    sp.clauses.push_back(std::move(c));
+  }
+  sp.path = in.str();
+  return sp;
+}
+
+std::size_t Subproblem::wire_size() const {
+  // Exact serialization size without materializing the buffer; called on
+  // every scheduling decision, so keep it O(literals) with no allocation.
+  auto varint_len = [](std::uint64_t v) {
+    std::size_t n = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++n;
+    }
+    return n;
+  };
+  std::size_t bytes = 4;  // num_vars
+  bytes += varint_len(units.size());
+  for (const auto& u : units) bytes += varint_len(u.lit.code()) + 1;
+  bytes += varint_len(clauses.size());
+  bytes += varint_len(num_problem_clauses);
+  for (const auto& c : clauses) {
+    bytes += varint_len(c.size());
+    for (const cnf::Lit l : c) bytes += varint_len(l.code());
+  }
+  bytes += varint_len(path.size()) + path.size();
+  return bytes;
+}
+
+std::vector<std::uint8_t> Subproblem::to_bytes() const {
+  util::ByteWriter out;
+  serialize(out);
+  return out.take();
+}
+
+Subproblem Subproblem::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader in(bytes);
+  return deserialize(in);
+}
+
+}  // namespace gridsat::solver

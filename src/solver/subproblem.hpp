@@ -1,0 +1,61 @@
+// A subproblem: one node of the recursive search-space split tree
+// (paper §3.1). "The new problem generated consists of a set of variable
+// assignments and a set of clauses."
+//
+// `units` are the level-0 assignments. A unit can be *tainted*, meaning
+// it is a split assumption (or a consequence of one) and therefore not a
+// globally valid fact of the original formula; learned clauses keep the
+// negations of tainted level-0 literals they depend on, which is what
+// makes GridSAT's global clause sharing sound (see solver/cdcl.hpp).
+//
+// This is the payload of the Figure-3 message (3): "10 KBytes to 500
+// MBytes ... 100s of MBytes on average" in the paper; serialized size is
+// what the simulated network charges for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "util/bytes.hpp"
+
+namespace gridsat::solver {
+
+struct SubproblemUnit {
+  cnf::Lit lit;
+  bool tainted = false;
+
+  friend bool operator==(const SubproblemUnit&, const SubproblemUnit&) = default;
+};
+
+struct Subproblem {
+  cnf::Var num_vars = 0;
+  std::vector<SubproblemUnit> units;
+  /// Clause set the receiving client starts from: the (pruned) problem
+  /// clauses plus the learned clauses the splitting client passes along.
+  /// All are valid for the original formula. The first
+  /// `num_problem_clauses` entries are problem clauses (never deleted by
+  /// DB reduction); the rest are learned and reducible.
+  std::vector<cnf::Clause> clauses;
+  std::uint64_t num_problem_clauses = 0;
+  /// Human-readable guiding path, e.g. "~V10.V7" (for traces and tests).
+  std::string path;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return units.empty() && clauses.empty();
+  }
+
+  /// Serialized size in bytes — the network transfer cost in the sim.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  void serialize(util::ByteWriter& out) const;
+  static Subproblem deserialize(util::ByteReader& in);
+
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  static Subproblem from_bytes(const std::vector<std::uint8_t>& bytes);
+
+  friend bool operator==(const Subproblem&, const Subproblem&) = default;
+};
+
+}  // namespace gridsat::solver

@@ -1,0 +1,163 @@
+#include "util/flags.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace gridsat::util {
+
+void Flags::define_i64(const std::string& name, std::int64_t def,
+                       std::string help) {
+  Entry e;
+  e.kind = Kind::kI64;
+  e.help = std::move(help);
+  e.i64_value = def;
+  entries_[name] = std::move(e);
+}
+
+void Flags::define_f64(const std::string& name, double def, std::string help) {
+  Entry e;
+  e.kind = Kind::kF64;
+  e.help = std::move(help);
+  e.f64_value = def;
+  entries_[name] = std::move(e);
+}
+
+void Flags::define_str(const std::string& name, std::string def,
+                       std::string help) {
+  Entry e;
+  e.kind = Kind::kStr;
+  e.help = std::move(help);
+  e.str_value = std::move(def);
+  entries_[name] = std::move(e);
+}
+
+void Flags::define_bool(const std::string& name, bool def, std::string help) {
+  Entry e;
+  e.kind = Kind::kBool;
+  e.help = std::move(help);
+  e.bool_value = def;
+  entries_[name] = std::move(e);
+}
+
+bool Flags::assign(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::cerr << "unknown flag --" << name << "\n";
+    return false;
+  }
+  Entry& e = it->second;
+  switch (e.kind) {
+    case Kind::kI64: {
+      long long v = 0;
+      if (!parse_i64(value, v)) {
+        std::cerr << "flag --" << name << " expects an integer, got '" << value
+                  << "'\n";
+        return false;
+      }
+      e.i64_value = v;
+      return true;
+    }
+    case Kind::kF64: {
+      double v = 0.0;
+      if (!parse_f64(value, v)) {
+        std::cerr << "flag --" << name << " expects a number, got '" << value
+                  << "'\n";
+        return false;
+      }
+      e.f64_value = v;
+      return true;
+    }
+    case Kind::kStr:
+      e.str_value = value;
+      return true;
+    case Kind::kBool:
+      if (value == "true" || value == "1" || value == "yes") {
+        e.bool_value = true;
+      } else if (value == "false" || value == "0" || value == "no") {
+        e.bool_value = false;
+      } else {
+        std::cerr << "flag --" << name << " expects true/false, got '" << value
+                  << "'\n";
+        return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (!assign(arg.substr(0, eq), arg.substr(eq + 1))) return false;
+      continue;
+    }
+    // Bare flag: bools toggle on; other kinds consume the next argument.
+    auto it = entries_.find(arg);
+    if (it == entries_.end()) {
+      std::cerr << "unknown flag --" << arg << "\n";
+      return false;
+    }
+    if (it->second.kind == Kind::kBool) {
+      it->second.bool_value = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "flag --" << arg << " requires a value\n";
+      return false;
+    }
+    if (!assign(arg, argv[++i])) return false;
+  }
+  return true;
+}
+
+const Flags::Entry& Flags::lookup(const std::string& name, Kind kind) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != kind) {
+    throw std::logic_error("flag not defined with this type: " + name);
+  }
+  return it->second;
+}
+
+std::int64_t Flags::i64(const std::string& name) const {
+  return lookup(name, Kind::kI64).i64_value;
+}
+
+double Flags::f64(const std::string& name) const {
+  return lookup(name, Kind::kF64).f64_value;
+}
+
+const std::string& Flags::str(const std::string& name) const {
+  return lookup(name, Kind::kStr).str_value;
+}
+
+bool Flags::boolean(const std::string& name) const {
+  return lookup(name, Kind::kBool).bool_value;
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, e] : entries_) {
+    out << "  --" << name;
+    switch (e.kind) {
+      case Kind::kI64: out << "=<int>    (default " << e.i64_value << ")"; break;
+      case Kind::kF64: out << "=<num>    (default " << e.f64_value << ")"; break;
+      case Kind::kStr: out << "=<str>    (default '" << e.str_value << "')"; break;
+      case Kind::kBool: out << "          (default " << (e.bool_value ? "true" : "false") << ")"; break;
+    }
+    out << "\n      " << e.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gridsat::util

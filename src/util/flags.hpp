@@ -1,0 +1,58 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports --name=value, --name value, and bare --bool switches. Unknown
+// flags are an error so typos in experiment sweeps fail loudly instead of
+// silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gridsat::util {
+
+class Flags {
+ public:
+  /// Declare flags before parse(); each declaration carries a default and
+  /// a help string printed by usage().
+  void define_i64(const std::string& name, std::int64_t def, std::string help);
+  void define_f64(const std::string& name, double def, std::string help);
+  void define_str(const std::string& name, std::string def, std::string help);
+  void define_bool(const std::string& name, bool def, std::string help);
+
+  /// Returns false (after printing a diagnostic to stderr) on bad input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t i64(const std::string& name) const;
+  [[nodiscard]] double f64(const std::string& name) const;
+  [[nodiscard]] const std::string& str(const std::string& name) const;
+  [[nodiscard]] bool boolean(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kI64, kF64, kStr, kBool };
+  struct Entry {
+    Kind kind = Kind::kStr;
+    std::string help;
+    std::int64_t i64_value = 0;
+    double f64_value = 0.0;
+    std::string str_value;
+    bool bool_value = false;
+  };
+
+  bool assign(const std::string& name, const std::string& value);
+  const Entry& lookup(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gridsat::util

@@ -1,0 +1,145 @@
+// Minimal JSON writer (objects, arrays, scalars, correct string
+// escaping) — enough to export campaign results and bench tables for
+// downstream analysis without an external dependency. Writer only; the
+// project never needs to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridsat::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    out_ << '{';
+    stack_.push_back(State::kFirstInObject);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    pop(State::kFirstInObject, State::kInObject);
+    out_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ << '[';
+    stack_.push_back(State::kFirstInArray);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    pop(State::kFirstInArray, State::kInArray);
+    out_ << ']';
+    return *this;
+  }
+
+  /// Emit an object key; the next value call provides its value.
+  JsonWriter& key(std::string_view name) {
+    comma();
+    write_string(name);
+    out_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null() {
+    comma();
+    out_ << "null";
+    return *this;
+  }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+  [[nodiscard]] bool complete() const noexcept { return stack_.empty(); }
+
+ private:
+  enum class State { kFirstInObject, kInObject, kFirstInArray, kInArray };
+
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value follows its key directly
+    }
+    if (stack_.empty()) return;
+    State& top = stack_.back();
+    if (top == State::kFirstInObject) {
+      top = State::kInObject;
+    } else if (top == State::kFirstInArray) {
+      top = State::kInArray;
+    } else {
+      out_ << ',';
+    }
+  }
+
+  void pop(State first, State rest) {
+    if (!stack_.empty() &&
+        (stack_.back() == first || stack_.back() == rest)) {
+      stack_.pop_back();
+    }
+  }
+
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\r': out_ << "\\r"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<State> stack_;
+  bool pending_value_ = false;
+};
+
+}  // namespace gridsat::util

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace gridsat::util {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+std::function<std::string()> Log::clock_;
+std::function<void(const std::string&)> Log::sink_;
+
+namespace {
+const char* level_tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel lvl, const std::string& component,
+                const std::string& message) {
+  std::ostringstream line;
+  if (clock_) line << "[" << clock_() << "] ";
+  line << level_tag(lvl) << " [" << component << "] " << message;
+  if (sink_) {
+    sink_(line.str());
+  } else {
+    std::cerr << line.str() << '\n';
+  }
+}
+
+}  // namespace gridsat::util

@@ -1,0 +1,77 @@
+// Minimal leveled logger.
+//
+// The simulator installs a clock hook so log lines carry *virtual* time,
+// which makes GridSAT traces read like the paper's Figure-3 scenario.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace gridsat::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global logging configuration. Not thread-safe by design: the project is
+/// a single-threaded discrete-event simulation; cross-thread logging would
+/// indicate a bug elsewhere.
+class Log {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+
+  /// Hook returning the current timestamp string (the sim installs one
+  /// that renders virtual seconds). Empty hook => no timestamp.
+  static void set_clock(std::function<std::string()> clock) {
+    clock_ = std::move(clock);
+  }
+  static void clear_clock() { clock_ = nullptr; }
+
+  /// Redirect output (tests capture lines; default writes to stderr).
+  static void set_sink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+  static void clear_sink() { sink_ = nullptr; }
+
+  static void write(LogLevel lvl, const std::string& component,
+                    const std::string& message);
+
+ private:
+  static LogLevel level_;
+  static std::function<std::string()> clock_;
+  static std::function<void(const std::string&)> sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string component)
+      : level_(lvl), component_(std::move(component)) {}
+  ~LogLine() { Log::write(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace gridsat::util
+
+#define GRIDSAT_LOG(lvl, component)                                   \
+  if (::gridsat::util::Log::level() <= (lvl))                         \
+  ::gridsat::util::detail::LogLine((lvl), (component))
+
+#define LOG_TRACE(component) GRIDSAT_LOG(::gridsat::util::LogLevel::kTrace, component)
+#define LOG_DEBUG(component) GRIDSAT_LOG(::gridsat::util::LogLevel::kDebug, component)
+#define LOG_INFO(component) GRIDSAT_LOG(::gridsat::util::LogLevel::kInfo, component)
+#define LOG_WARN(component) GRIDSAT_LOG(::gridsat::util::LogLevel::kWarn, component)
+#define LOG_ERROR(component) GRIDSAT_LOG(::gridsat::util::LogLevel::kError, component)

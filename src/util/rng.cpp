@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace gridsat::util {
+
+double Xoshiro256::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to keep log finite.
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace gridsat::util

@@ -1,0 +1,134 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Everything in GridSAT that needs randomness (instance generators, load
+// traces, batch-queue waits, VSIDS tie-breaking) draws from one of these
+// engines seeded explicitly, so every experiment is replayable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace gridsat::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into independent
+/// sub-seeds. Passes BigCrush when used as a generator in its own right.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality generator used for all bulk draws.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x6a09e667f3bcc909ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (l < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Approximate standard normal via 12-uniform sum (Irwin-Hall); plenty
+  /// for load-trace jitter, avoids <random> distribution nondeterminism
+  /// across standard libraries.
+  double normal() noexcept {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return acc - 6.0;
+  }
+
+  /// Exponential draw with the given mean (used by the batch-queue model).
+  double exponential(double mean) noexcept;
+
+  /// Derive an independent stream (for per-host / per-client randomness).
+  Xoshiro256 fork() noexcept { return Xoshiro256(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle with an explicit engine (std::shuffle's results
+/// are unspecified across library implementations; ours must replay).
+template <typename Container>
+void shuffle(Container& c, Xoshiro256& rng) {
+  const std::size_t n = c.size();
+  if (n < 2) return;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i + 1);
+    using std::swap;
+    swap(c[i], c[j]);
+  }
+}
+
+}  // namespace gridsat::util

@@ -1,0 +1,122 @@
+// Streaming statistics helpers used by benches and the NWS-analog
+// forecaster (mean/variance over sliding windows of host load samples).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace gridsat::util {
+
+/// Welford's online mean/variance accumulator.
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-capacity sliding window with O(1) mean queries; the forecaster
+/// uses several of these with different window lengths and picks the one
+/// with the lowest recent prediction error (the NWS strategy).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  void add(double x) {
+    window_.push_back(x);
+    sum_ += x;
+    if (window_.size() > capacity_) {
+      sum_ -= window_.front();
+      window_.pop_front();
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return window_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return window_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] double mean() const noexcept {
+    return window_.empty() ? 0.0
+                           : sum_ / static_cast<double>(window_.size());
+  }
+
+  [[nodiscard]] double last() const noexcept {
+    return window_.empty() ? 0.0 : window_.back();
+  }
+
+  [[nodiscard]] double median() const {
+    if (window_.empty()) return 0.0;
+    std::vector<double> sorted(window_.begin(), window_.end());
+    const std::size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                     sorted.end());
+    return sorted[mid];
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+/// Simple fixed-bucket histogram for bench reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    ++counts_[std::min(idx, counts_.size() - 1)];
+  }
+
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gridsat::util

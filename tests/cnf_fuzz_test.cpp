@@ -1,0 +1,57 @@
+// DIMACS parser robustness: seeded random byte soup and structured
+// mutations must never crash — they either parse or throw DimacsError.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cnf/dimacs.hpp"
+#include "util/rng.hpp"
+
+namespace gridsat::cnf {
+namespace {
+
+class DimacsFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(DimacsFuzz, RandomBytesNeverCrash) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const char alphabet[] = "pcnf 0123456789-\n\t %abcxyz";
+  std::string soup;
+  const std::size_t len = 1 + rng.below(400);
+  for (std::size_t i = 0; i < len; ++i) {
+    soup.push_back(alphabet[rng.below(sizeof alphabet - 1)]);
+  }
+  try {
+    const CnfFormula f = parse_dimacs_string(soup);
+    // If it parsed, the result must at least be structurally valid.
+    EXPECT_TRUE(f.validate().empty());
+  } catch (const DimacsError&) {
+    // Expected for garbage.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DimacsFuzz, testing::Range(0, 50));
+
+class DimacsMutation : public testing::TestWithParam<int> {};
+
+TEST_P(DimacsMutation, MutatedValidFilesNeverCrash) {
+  // Start from a valid file, flip a few characters.
+  std::string text = "c comment\np cnf 6 4\n1 -2 3 0\n-3 4 0\n5 -6 0\n2 0\n";
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 97 + 3);
+  const char alphabet[] = "pcnf 0123456789-\n%d";
+  for (int flips = 0; flips < 4; ++flips) {
+    text[rng.below(text.size())] = alphabet[rng.below(sizeof alphabet - 1)];
+  }
+  try {
+    const CnfFormula f = parse_dimacs_string(text);
+    EXPECT_TRUE(f.validate().empty());
+    // Round-trip whatever parsed.
+    const CnfFormula g = parse_dimacs_string(to_dimacs_string(f));
+    EXPECT_EQ(f, g);
+  } catch (const DimacsError&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DimacsMutation, testing::Range(0, 50));
+
+}  // namespace
+}  // namespace gridsat::cnf

@@ -1,0 +1,187 @@
+// Tests for the CNF substrate: literal encoding, formula container,
+// evaluation, and DIMACS round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cnf/dimacs.hpp"
+#include "cnf/formula.hpp"
+#include "cnf/types.hpp"
+
+namespace gridsat::cnf {
+namespace {
+
+TEST(LitTest, EncodingRoundTrips) {
+  const Lit pos(5, false);
+  const Lit neg(5, true);
+  EXPECT_EQ(pos.var(), 5u);
+  EXPECT_FALSE(pos.negated());
+  EXPECT_TRUE(neg.negated());
+  EXPECT_EQ(~pos, neg);
+  EXPECT_EQ(~neg, pos);
+  EXPECT_EQ(~~pos, pos);
+  EXPECT_NE(pos, neg);
+}
+
+TEST(LitTest, DimacsConversion) {
+  EXPECT_EQ(Lit::from_dimacs(7).to_dimacs(), 7);
+  EXPECT_EQ(Lit::from_dimacs(-7).to_dimacs(), -7);
+  EXPECT_EQ(Lit::from_dimacs(-7).var(), 7u);
+  EXPECT_TRUE(Lit::from_dimacs(-7).negated());
+}
+
+TEST(LitTest, ValueUnder) {
+  const Lit pos(3, false);
+  const Lit neg(3, true);
+  EXPECT_EQ(pos.value_under(LBool::kTrue), LBool::kTrue);
+  EXPECT_EQ(pos.value_under(LBool::kFalse), LBool::kFalse);
+  EXPECT_EQ(pos.value_under(LBool::kUndef), LBool::kUndef);
+  EXPECT_EQ(neg.value_under(LBool::kTrue), LBool::kFalse);
+  EXPECT_EQ(neg.value_under(LBool::kFalse), LBool::kTrue);
+  EXPECT_EQ(neg.value_under(LBool::kUndef), LBool::kUndef);
+}
+
+TEST(LitTest, SatisfyingValue) {
+  EXPECT_EQ(Lit(2, false).satisfying_value(), LBool::kTrue);
+  EXPECT_EQ(Lit(2, true).satisfying_value(), LBool::kFalse);
+}
+
+TEST(LitTest, ToString) {
+  EXPECT_EQ(to_string(Lit(14, false)), "V14");
+  EXPECT_EQ(to_string(Lit(14, true)), "~V14");
+}
+
+TEST(FormulaTest, GrowsUniverse) {
+  CnfFormula f;
+  EXPECT_EQ(f.num_vars(), 0u);
+  f.add_dimacs_clause({3, -5});
+  EXPECT_EQ(f.num_vars(), 5u);
+  EXPECT_EQ(f.num_clauses(), 1u);
+  const Var v = f.new_var();
+  EXPECT_EQ(v, 6u);
+  EXPECT_EQ(f.num_vars(), 6u);
+}
+
+TEST(FormulaTest, NumLiterals) {
+  CnfFormula f;
+  f.add_dimacs_clause({1, 2, 3});
+  f.add_dimacs_clause({-1});
+  EXPECT_EQ(f.num_literals(), 4u);
+}
+
+TEST(FormulaTest, ValidateCatchesBadVar) {
+  CnfFormula f(3);
+  f.add_dimacs_clause({1, 2});
+  EXPECT_TRUE(f.validate().empty());
+}
+
+TEST(EvalTest, ClauseEvaluation) {
+  const Clause c{Lit(1, false), Lit(2, true)};
+  Assignment a(4, LBool::kUndef);
+  EXPECT_EQ(eval_clause(c, a), LBool::kUndef);
+  a[1] = LBool::kTrue;
+  EXPECT_EQ(eval_clause(c, a), LBool::kTrue);
+  a[1] = LBool::kFalse;
+  EXPECT_EQ(eval_clause(c, a), LBool::kUndef);
+  a[2] = LBool::kTrue;
+  EXPECT_EQ(eval_clause(c, a), LBool::kFalse);
+  a[2] = LBool::kFalse;
+  EXPECT_EQ(eval_clause(c, a), LBool::kTrue);
+}
+
+TEST(EvalTest, FormulaEvaluation) {
+  CnfFormula f;
+  f.add_dimacs_clause({1, 2});
+  f.add_dimacs_clause({-1, 2});
+  Assignment a(3, LBool::kUndef);
+  EXPECT_EQ(eval_formula(f, a), LBool::kUndef);
+  a[2] = LBool::kTrue;
+  EXPECT_EQ(eval_formula(f, a), LBool::kTrue);
+  a[2] = LBool::kFalse;
+  a[1] = LBool::kTrue;
+  EXPECT_EQ(eval_formula(f, a), LBool::kFalse);
+}
+
+TEST(EvalTest, IsModelRequiresTotalAssignment) {
+  CnfFormula f;
+  f.add_dimacs_clause({1, 2});
+  Assignment partial(3, LBool::kUndef);
+  partial[1] = LBool::kTrue;
+  EXPECT_TRUE(is_model(f, partial) == false || eval_formula(f, partial) == LBool::kTrue);
+  // V1 true satisfies the only clause even with V2 unassigned; is_model
+  // accepts because every clause is satisfied.
+  EXPECT_TRUE(is_model(f, partial));
+  Assignment short_vec(1, LBool::kUndef);
+  EXPECT_FALSE(is_model(f, short_vec));
+}
+
+TEST(DimacsTest, ParseBasic) {
+  const std::string text =
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n";
+  const CnfFormula f = parse_dimacs_string(text);
+  EXPECT_EQ(f.num_vars(), 3u);
+  ASSERT_EQ(f.num_clauses(), 2u);
+  EXPECT_EQ(f.clause(0), (Clause{Lit(1, false), Lit(2, true)}));
+  EXPECT_EQ(f.clause(1), (Clause{Lit(2, false), Lit(3, false)}));
+  EXPECT_EQ(f.comment(), "a comment");
+}
+
+TEST(DimacsTest, ClauseSpanningLines) {
+  const std::string text = "p cnf 4 1\n1 2\n3 4 0\n";
+  const CnfFormula f = parse_dimacs_string(text);
+  ASSERT_EQ(f.num_clauses(), 1u);
+  EXPECT_EQ(f.clause(0).size(), 4u);
+}
+
+TEST(DimacsTest, MissingFinalZeroTolerated) {
+  const std::string text = "p cnf 2 1\n1 2\n";
+  const CnfFormula f = parse_dimacs_string(text);
+  ASSERT_EQ(f.num_clauses(), 1u);
+}
+
+TEST(DimacsTest, SatlibEpilogueTolerated) {
+  const std::string text = "p cnf 2 1\n1 2 0\n%\n0\n";
+  const CnfFormula f = parse_dimacs_string(text);
+  EXPECT_EQ(f.num_clauses(), 1u);
+}
+
+TEST(DimacsTest, ErrorsOnGarbage) {
+  EXPECT_THROW(parse_dimacs_string("p cnf x y\n"), DimacsError);
+  EXPECT_THROW(parse_dimacs_string("1 2 0\n"), DimacsError);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 zebra 0\n"), DimacsError);
+  EXPECT_THROW(parse_dimacs_string(""), DimacsError);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\np cnf 2 1\n"), DimacsError);
+}
+
+TEST(DimacsTest, ClauseCountMismatchRecordedNotFatal) {
+  const CnfFormula f = parse_dimacs_string("p cnf 2 5\n1 2 0\n");
+  EXPECT_EQ(f.num_clauses(), 1u);
+  EXPECT_NE(f.comment().find("warning"), std::string::npos);
+}
+
+TEST(DimacsTest, RoundTrip) {
+  CnfFormula f;
+  f.add_dimacs_clause({1, -2, 3});
+  f.add_dimacs_clause({-3});
+  f.add_dimacs_clause({2, 4});
+  f.set_comment("round trip");
+  const CnfFormula g = parse_dimacs_string(to_dimacs_string(f));
+  EXPECT_EQ(f, g);
+  EXPECT_EQ(g.comment(), "round trip");
+}
+
+TEST(DimacsTest, FileRoundTrip) {
+  CnfFormula f;
+  f.add_dimacs_clause({1, 2});
+  const std::string path = testing::TempDir() + "/gridsat_dimacs_test.cnf";
+  write_dimacs_file(f, path);
+  const CnfFormula g = parse_dimacs_file(path);
+  EXPECT_EQ(f, g);
+  EXPECT_THROW(parse_dimacs_file("/nonexistent/nope.cnf"), DimacsError);
+}
+
+}  // namespace
+}  // namespace gridsat::cnf

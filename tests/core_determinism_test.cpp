@@ -1,0 +1,53 @@
+// Whole-campaign determinism on the full canonical testbed (jittered,
+// shared hosts; NWS sampling; clause relays): two runs with the same
+// seed must agree bit-for-bit on every observable, and changing the seed
+// must change the load traces without changing the verdict.
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/testbeds.hpp"
+#include "gen/pigeonhole.hpp"
+
+namespace gridsat::core {
+namespace {
+
+GridSatConfig config_for_test() {
+  GridSatConfig config;
+  config.solver.reduce_base = 1u << 30;
+  config.share_max_len = 10;
+  config.split_timeout_s = 30.0;
+  config.overall_timeout_s = 100000.0;
+  config.min_client_memory = 1 << 20;
+  return config;
+}
+
+GridSatResult run_once(std::uint64_t testbed_seed) {
+  Campaign campaign(gen::pigeonhole_unsat(7), testbeds::kMasterSite,
+                    testbeds::grads34(testbed_seed), config_for_test());
+  return campaign.run();
+}
+
+TEST(CampaignDeterminismTest, FullTestbedReplaysExactly) {
+  const GridSatResult a = run_once(2003);
+  const GridSatResult b = run_once(2003);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.total_work, b.total_work);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  EXPECT_EQ(a.total_splits, b.total_splits);
+  EXPECT_EQ(a.clauses_shared, b.clauses_shared);
+  EXPECT_EQ(a.max_active_clients, b.max_active_clients);
+}
+
+TEST(CampaignDeterminismTest, DifferentLoadSeedsSameVerdict) {
+  const GridSatResult a = run_once(2003);
+  const GridSatResult b = run_once(7777);
+  EXPECT_EQ(a.status, CampaignStatus::kUnsat);
+  EXPECT_EQ(b.status, CampaignStatus::kUnsat);
+  // Different background-load traces shift the timeline.
+  EXPECT_NE(a.seconds, b.seconds);
+}
+
+}  // namespace
+}  // namespace gridsat::core

@@ -1,0 +1,152 @@
+// Wire-protocol codec tests: every message type round-trips, malformed
+// frames are rejected (never crash), and the big payloads (subproblems,
+// clause batches, checkpoints) survive encode/decode intact.
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "gen/pigeonhole.hpp"
+#include "solver/cdcl.hpp"
+#include "util/rng.hpp"
+
+namespace gridsat::core::protocol {
+namespace {
+
+using cnf::Lit;
+
+template <typename T>
+T roundtrip(const Message& message) {
+  const auto bytes = encode(message);
+  const auto back = decode(bytes);
+  EXPECT_TRUE(back.has_value());
+  EXPECT_EQ(type_of(*back), type_of(message));
+  return std::get<T>(*back);
+}
+
+TEST(ProtocolTest, ControlMessagesRoundTrip) {
+  EXPECT_EQ(roundtrip<Register>(Register{7}).host_index, 7u);
+  EXPECT_EQ(roundtrip<SubproblemAck>(SubproblemAck{3}).host_index, 3u);
+  EXPECT_EQ(roundtrip<SplitGrant>(SplitGrant{12}).peer_host, 12u);
+  EXPECT_EQ(roundtrip<MigrateOrder>(MigrateOrder{5}).peer_host, 5u);
+  EXPECT_EQ(roundtrip<SubproblemUnsat>(SubproblemUnsat{9}).host_index, 9u);
+  (void)roundtrip<Launch>(Launch{});
+
+  SplitRequest req;
+  req.host_index = 4;
+  req.reason = SplitRequest::Reason::kMemory;
+  const auto back = roundtrip<SplitRequest>(req);
+  EXPECT_EQ(back.host_index, 4u);
+  EXPECT_EQ(back.reason, SplitRequest::Reason::kMemory);
+
+  SplitDone done;
+  done.from_host = 1;
+  done.to_host = 2;
+  const auto done_back = roundtrip<SplitDone>(done);
+  EXPECT_EQ(done_back.from_host, 1u);
+  EXPECT_EQ(done_back.to_host, 2u);
+
+  SplitFailed failed;
+  failed.requester = 6;
+  failed.peer = 8;
+  const auto failed_back = roundtrip<SplitFailed>(failed);
+  EXPECT_EQ(failed_back.requester, 6u);
+  EXPECT_EQ(failed_back.peer, 8u);
+
+  Migrated migrated;
+  migrated.from_host = 2;
+  migrated.to_host = 0;
+  EXPECT_EQ(roundtrip<Migrated>(migrated).to_host, 0u);
+}
+
+TEST(ProtocolTest, SubproblemPayloadRoundTrips) {
+  // A real subproblem from a real split.
+  const auto f = gen::pigeonhole_unsat(6);
+  solver::CdclSolver solver(f);
+  while (!solver.can_split() &&
+         solver.solve(200) == solver::SolveStatus::kUnknown) {
+  }
+  ASSERT_TRUE(solver.can_split());
+  SubproblemMsg msg{solver.split()};
+  const auto back = roundtrip<SubproblemMsg>(msg);
+  EXPECT_EQ(back.subproblem, msg.subproblem);
+
+  SubproblemReject reject;
+  reject.host_index = 11;
+  reject.subproblem = msg.subproblem;
+  const auto reject_back = roundtrip<SubproblemReject>(reject);
+  EXPECT_EQ(reject_back.host_index, 11u);
+  EXPECT_EQ(reject_back.subproblem, msg.subproblem);
+}
+
+TEST(ProtocolTest, ClauseBatchRoundTrips) {
+  ClauseBatch batch;
+  batch.clauses = {{Lit(1, false), Lit(2, true)},
+                   {Lit(3, false)},
+                   {Lit(4, true), Lit(5, false), Lit(6, true)}};
+  const auto back = roundtrip<ClauseBatch>(batch);
+  EXPECT_EQ(back.clauses, batch.clauses);
+}
+
+TEST(ProtocolTest, SatFoundCarriesModel) {
+  SatFound msg;
+  msg.host_index = 2;
+  msg.model = {cnf::LBool::kUndef, cnf::LBool::kTrue, cnf::LBool::kFalse};
+  const auto back = roundtrip<SatFound>(msg);
+  EXPECT_EQ(back.host_index, 2u);
+  EXPECT_TRUE(back.model == msg.model);
+}
+
+TEST(ProtocolTest, CheckpointRoundTrips) {
+  CheckpointMsg msg;
+  msg.host_index = 13;
+  msg.checkpoint.heavy = true;
+  msg.checkpoint.units = {{Lit(1, false), false}, {Lit(4, true), true}};
+  msg.checkpoint.learned = {{Lit(2, false), Lit(3, true)}};
+  const auto back = roundtrip<CheckpointMsg>(msg);
+  EXPECT_EQ(back.host_index, 13u);
+  EXPECT_EQ(back.checkpoint, msg.checkpoint);
+}
+
+TEST(ProtocolTest, TypeNames) {
+  EXPECT_STREQ(to_string(MessageType::kSplitRequest), "SPLIT_REQUEST");
+  EXPECT_STREQ(to_string(MessageType::kSubproblem), "SUBPROBLEM");
+  EXPECT_STREQ(to_string(MessageType::kCheckpoint), "CHECKPOINT");
+}
+
+TEST(ProtocolTest, MalformedFramesRejected) {
+  EXPECT_FALSE(decode({}).has_value());
+  EXPECT_FALSE(decode({0}).has_value());      // type 0 invalid
+  EXPECT_FALSE(decode({99, 0, 0, 0, 0}).has_value());  // unknown type
+  // Valid frame, then truncate / extend.
+  const auto good = encode(Message{Register{5}});
+  auto truncated = good;
+  truncated.pop_back();
+  EXPECT_FALSE(decode(truncated).has_value());
+  auto extended = good;
+  extended.push_back(0xaa);
+  EXPECT_FALSE(decode(extended).has_value());
+}
+
+TEST(ProtocolTest, FuzzNeverCrashes) {
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)decode(junk);  // must not throw or crash
+  }
+  // Bit-flip mutations of a valid large frame.
+  const auto f = gen::pigeonhole_unsat(4);
+  SubproblemMsg msg;
+  msg.subproblem.num_vars = f.num_vars();
+  msg.subproblem.clauses = f.clauses();
+  msg.subproblem.num_problem_clauses = f.num_clauses();
+  auto frame = encode(Message{msg});
+  for (int i = 0; i < 300; ++i) {
+    auto mutated = frame;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    (void)decode(mutated);
+  }
+}
+
+}  // namespace
+}  // namespace gridsat::core::protocol

@@ -1,0 +1,84 @@
+// JSON writer and result-report tests: structural correctness, escaping,
+// and stable field presence.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "util/json.hpp"
+
+namespace gridsat {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndScalars) {
+  util::JsonWriter json;
+  json.begin_object()
+      .field("name", "x")
+      .field("count", 3)
+      .field("ratio", 0.5)
+      .field("flag", true)
+      .key("list")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .end_array()
+      .key("nothing")
+      .null()
+      .end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(json.str(),
+            R"({"name":"x","count":3,"ratio":0.5,"flag":true,)"
+            R"("list":[1,2],"nothing":null})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  util::JsonWriter json;
+  json.begin_object().field("s", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(json.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  util::JsonWriter json;
+  json.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    json.begin_object().field("i", i).end_object();
+  }
+  json.end_array();
+  EXPECT_EQ(json.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(ReportTest, GridSatResultFields) {
+  core::GridSatResult result;
+  result.status = core::CampaignStatus::kUnsat;
+  result.seconds = 123.5;
+  result.max_active_clients = 7;
+  result.total_splits = 3;
+  const std::string json = core::to_json(result);
+  EXPECT_NE(json.find("\"status\":\"UNSAT\""), std::string::npos);
+  EXPECT_NE(json.find("\"seconds\":123.5"), std::string::npos);
+  EXPECT_NE(json.find("\"max_active_clients\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"total_splits\":3"), std::string::npos);
+}
+
+TEST(ReportTest, SequentialResultFields) {
+  core::SequentialResult result;
+  result.status = solver::SolveStatus::kMemOut;
+  result.seconds = 9.0;
+  const std::string json = core::to_json(result);
+  EXPECT_NE(json.find("\"status\":\"MEM_OUT\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell\":\"MEM_OUT\""), std::string::npos);
+}
+
+TEST(ReportTest, RowReportNests) {
+  core::RowReport row;
+  row.paper_name = "6pipe.cnf";
+  row.analog = "random 3-SAT";
+  row.paper_status = "UNSAT";
+  row.sequential.status = solver::SolveStatus::kUnsat;
+  row.gridsat.status = core::CampaignStatus::kUnsat;
+  const std::string json = core::to_json(row);
+  EXPECT_NE(json.find("\"paper_name\":\"6pipe.cnf\""), std::string::npos);
+  EXPECT_NE(json.find("\"sequential\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gridsat\":{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridsat

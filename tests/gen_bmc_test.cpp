@@ -1,0 +1,105 @@
+// Bounded-model-checking substrate tests: the netlist IR, the unroller,
+// and the three ready-made models with their known reachability depths.
+#include <gtest/gtest.h>
+
+#include "gen/bmc.hpp"
+#include "solver/cdcl.hpp"
+
+namespace gridsat::gen {
+namespace {
+
+using solver::SolveStatus;
+
+SolveStatus check(const Netlist& net, std::size_t steps) {
+  const cnf::CnfFormula f = net.unroll(steps);
+  solver::CdclSolver solver(f);
+  return solver.solve();
+}
+
+TEST(BmcTest, ConstantBadSignalIsImmediatelyReachable) {
+  Netlist net;
+  net.set_bad(kTrueSignal);
+  EXPECT_EQ(check(net, 0), SolveStatus::kSat);
+}
+
+TEST(BmcTest, FalseBadSignalIsNeverReachable) {
+  Netlist net;
+  (void)net.add_input("i");
+  net.set_bad(kFalseSignal);
+  EXPECT_EQ(check(net, 4), SolveStatus::kUnsat);
+}
+
+TEST(BmcTest, InputDrivenBadNeedsOneFrame) {
+  Netlist net;
+  const Signal i = net.add_input("i");
+  net.set_bad(i);
+  EXPECT_EQ(check(net, 0), SolveStatus::kSat);  // frame-0 inputs are free
+}
+
+TEST(BmcTest, LatchDelaysByOneFrame) {
+  // bad = latch whose next-state is a free input: reachable at depth 1,
+  // not at depth 0 (the latch resets to 0).
+  Netlist net;
+  const Signal i = net.add_input("i");
+  const Signal l = net.add_latch(false, "l");
+  net.connect(l, i);
+  net.set_bad(l);
+  EXPECT_EQ(check(net, 0), SolveStatus::kUnsat);
+  EXPECT_EQ(check(net, 1), SolveStatus::kSat);
+}
+
+TEST(BmcTest, GateSemantics) {
+  Netlist net;
+  const Signal a = net.add_input("a");
+  const Signal b = net.add_input("b");
+  // bad = a & !b: satisfiable at depth 0.
+  net.set_bad(net.add_and(a, !b));
+  EXPECT_EQ(check(net, 0), SolveStatus::kSat);
+  // bad = a & !a: contradiction, never reachable.
+  Netlist net2;
+  const Signal c = net2.add_input("c");
+  net2.set_bad(net2.add_and(c, !c));
+  EXPECT_EQ(check(net2, 3), SolveStatus::kUnsat);
+}
+
+TEST(BmcTest, CounterOverflowAtExactDepth) {
+  for (const std::size_t bits : {2u, 3u, 4u}) {
+    const Netlist net = counter_overflow(bits);
+    const std::size_t horizon = (std::size_t{1} << bits) - 1;
+    EXPECT_EQ(check(net, horizon - 1), SolveStatus::kUnsat)
+        << bits << " bits, too shallow";
+    EXPECT_EQ(check(net, horizon), SolveStatus::kSat)
+        << bits << " bits, exact depth";
+  }
+}
+
+TEST(BmcTest, LfsrEquivalenceHolds) {
+  const Netlist intact = lfsr_equivalence(6, /*plant_bug=*/false);
+  EXPECT_EQ(check(intact, 10), SolveStatus::kUnsat);
+}
+
+TEST(BmcTest, LfsrBugIsCaught) {
+  const Netlist buggy = lfsr_equivalence(6, /*plant_bug=*/true);
+  EXPECT_EQ(check(buggy, 6), SolveStatus::kSat);
+}
+
+TEST(BmcTest, TokenRingIsSafe) {
+  const Netlist safe = token_ring_arbiter(4, /*plant_bug=*/false);
+  EXPECT_EQ(check(safe, 8), SolveStatus::kUnsat);
+}
+
+TEST(BmcTest, DoubleTokenViolatesMutualExclusion) {
+  const Netlist buggy = token_ring_arbiter(4, /*plant_bug=*/true);
+  EXPECT_EQ(check(buggy, 4), SolveStatus::kSat);
+}
+
+TEST(BmcTest, UnrollGrowsLinearly) {
+  const Netlist net = counter_overflow(3);
+  const auto f1 = net.unroll(2);
+  const auto f2 = net.unroll(5);
+  EXPECT_GT(f2.num_clauses(), f1.num_clauses());
+  EXPECT_LT(f2.num_clauses(), 3 * f1.num_clauses());
+}
+
+}  // namespace
+}  // namespace gridsat::gen

@@ -1,0 +1,100 @@
+// Tests for the planning (Towers of Hanoi) and quasigroup-completion
+// generators: known plan lengths, UNSAT below them, Latin-square
+// completability, and model sanity.
+#include <gtest/gtest.h>
+
+#include "gen/planning.hpp"
+#include "gen/quasigroup.hpp"
+#include "solver/cdcl.hpp"
+
+namespace gridsat::gen {
+namespace {
+
+using solver::SolveStatus;
+
+SolveStatus solve(const cnf::CnfFormula& f) {
+  solver::CdclSolver s(f);
+  return s.solve();
+}
+
+TEST(HanoiTest, OneDiskNeedsOneMove) {
+  EXPECT_EQ(solve(hanoi_sat(1, 1)), SolveStatus::kSat);
+}
+
+TEST(HanoiTest, TwoDisksNeedThreeMoves) {
+  EXPECT_EQ(solve(hanoi_sat(2, 3)), SolveStatus::kSat);
+  EXPECT_EQ(solve(hanoi_sat(2, 2)), SolveStatus::kUnsat);
+}
+
+TEST(HanoiTest, ThreeDisksNeedSevenMoves) {
+  EXPECT_EQ(solve(hanoi_exact(3)), SolveStatus::kSat);
+  EXPECT_EQ(solve(hanoi_too_short(3)), SolveStatus::kUnsat);
+}
+
+TEST(HanoiTest, FourDisksNeedFifteenMoves) {
+  EXPECT_EQ(solve(hanoi_exact(4)), SolveStatus::kSat);
+  EXPECT_EQ(solve(hanoi_too_short(4)), SolveStatus::kUnsat);
+}
+
+TEST(HanoiTest, LongerPlansStillWork) {
+  // Non-minimal step counts remain satisfiable (the plan may wander).
+  EXPECT_EQ(solve(hanoi_sat(2, 4)), SolveStatus::kSat);
+  EXPECT_EQ(solve(hanoi_sat(2, 5)), SolveStatus::kSat);
+  EXPECT_EQ(solve(hanoi_sat(3, 9)), SolveStatus::kSat);
+}
+
+TEST(HanoiTest, ModelDescribesAValidPlan) {
+  const cnf::CnfFormula f = hanoi_exact(3);
+  solver::CdclSolver s(f);
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(cnf::is_model(f, s.model()));
+}
+
+TEST(QuasigroupTest, CompletableAcrossSeedsAndOrders) {
+  for (const std::size_t order : {4u, 6u, 8u}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      QuasigroupParams params;
+      params.order = order;
+      params.seed = seed;
+      params.completable = true;
+      EXPECT_EQ(solve(quasigroup_completion(params)), SolveStatus::kSat)
+          << "order " << order << " seed " << seed;
+    }
+  }
+}
+
+TEST(QuasigroupTest, PlantedConflictIsUnsat) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    QuasigroupParams params;
+    params.order = 6;
+    params.seed = seed;
+    params.completable = false;
+    EXPECT_EQ(solve(quasigroup_completion(params)), SolveStatus::kUnsat)
+        << "seed " << seed;
+  }
+}
+
+TEST(QuasigroupTest, EmptySquareIsTriviallyCompletable) {
+  QuasigroupParams params;
+  params.order = 5;
+  params.fill_fraction = 0.0;
+  EXPECT_EQ(solve(quasigroup_completion(params)), SolveStatus::kSat);
+}
+
+TEST(QuasigroupTest, FullyHintedSquareIsItsOwnModel) {
+  QuasigroupParams params;
+  params.order = 5;
+  params.fill_fraction = 0.99;
+  params.completable = true;
+  EXPECT_EQ(solve(quasigroup_completion(params)), SolveStatus::kSat);
+}
+
+TEST(QuasigroupTest, Deterministic) {
+  QuasigroupParams params;
+  params.order = 7;
+  params.seed = 9;
+  EXPECT_TRUE(quasigroup_completion(params) == quasigroup_completion(params));
+}
+
+}  // namespace
+}  // namespace gridsat::gen

@@ -1,0 +1,268 @@
+// Structural tests for the instance generators: sizes, statuses on small
+// parameters (via brute force or the CDCL core), determinism, and the
+// suite registry's shape.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/circuit.hpp"
+#include "gen/circuit_families.hpp"
+#include "gen/graph_color.hpp"
+#include "gen/paper_example.hpp"
+#include "gen/pigeonhole.hpp"
+#include "gen/random_ksat.hpp"
+#include "gen/suite.hpp"
+#include "gen/xor_chains.hpp"
+#include "solver/brute_force.hpp"
+#include "solver/cdcl.hpp"
+
+namespace gridsat::gen {
+namespace {
+
+using cnf::CnfFormula;
+using cnf::LBool;
+using cnf::Lit;
+using solver::SolveStatus;
+
+SolveStatus solve(const CnfFormula& f) {
+  solver::CdclSolver s(f);
+  return s.solve();
+}
+
+TEST(RandomKsatTest, ShapeAndDeterminism) {
+  const CnfFormula a = random_ksat(50, 213, 3, 7);
+  EXPECT_EQ(a.num_vars(), 50u);
+  EXPECT_EQ(a.num_clauses(), 213u);
+  for (const auto& clause : a.clauses()) {
+    EXPECT_EQ(clause.size(), 3u);
+    std::set<cnf::Var> vars;
+    for (const Lit l : clause) vars.insert(l.var());
+    EXPECT_EQ(vars.size(), 3u) << "duplicate variable in a clause";
+  }
+  const CnfFormula b = random_ksat(50, 213, 3, 7);
+  EXPECT_EQ(a, b);
+  const CnfFormula c = random_ksat(50, 213, 3, 8);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RandomKsatTest, PlantedAlwaysSat) {
+  for (int seed = 0; seed < 20; ++seed) {
+    const CnfFormula f = random_ksat_planted(30, 180, 3, seed);
+    EXPECT_EQ(solve(f), SolveStatus::kSat) << "seed " << seed;
+  }
+}
+
+TEST(PigeonholeTest, SizesAndStatus) {
+  const CnfFormula f = pigeonhole(4, 3);
+  EXPECT_EQ(f.num_vars(), 12u);
+  // 4 at-least-one clauses + 3 holes * C(4,2) pairwise exclusions.
+  EXPECT_EQ(f.num_clauses(), 4u + 3u * 6u);
+  EXPECT_EQ(solve(f), SolveStatus::kUnsat);
+  EXPECT_EQ(solve(pigeonhole(3, 3)), SolveStatus::kSat);
+  EXPECT_EQ(solve(pigeonhole(3, 4)), SolveStatus::kSat);
+}
+
+TEST(XorSystemTest, StatusesByConstruction) {
+  XorSystemParams params;
+  params.num_vars = 20;
+  params.num_equations = 18;
+  params.width = 3;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    params.seed = seed;
+    params.consistent = true;
+    EXPECT_EQ(solve(xor_system(params)), SolveStatus::kSat) << seed;
+    params.consistent = false;
+    EXPECT_EQ(solve(xor_system(params)), SolveStatus::kUnsat) << seed;
+  }
+}
+
+TEST(XorSystemTest, ClauseCountPerEquation) {
+  XorSystemParams params;
+  params.num_vars = 10;
+  params.num_equations = 5;
+  params.width = 4;
+  params.consistent = true;
+  const CnfFormula f = xor_system(params);
+  // Each width-4 XOR expands to 2^(4-1) = 8 clauses.
+  EXPECT_EQ(f.num_clauses(), 5u * 8u);
+}
+
+TEST(UrquhartTest, AlwaysUnsatAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    EXPECT_EQ(solve(urquhart_like(6, seed)), SolveStatus::kUnsat) << seed;
+  }
+}
+
+TEST(CircuitBuilderTest, GateSemantics) {
+  // Verify each gate's truth table by brute-force model counting.
+  for (int gate = 0; gate < 3; ++gate) {
+    CircuitBuilder cb;
+    const Lit a = cb.input();
+    const Lit b = cb.input();
+    Lit out = cb.constant(false);
+    switch (gate) {
+      case 0: out = cb.and_gate(a, b); break;
+      case 1: out = cb.or_gate(a, b); break;
+      case 2: out = cb.xor_gate(a, b); break;
+    }
+    cb.assert_lit(out);
+    const CnfFormula f = cb.take();
+    const std::uint64_t expected = gate == 0 ? 1u : gate == 1 ? 3u : 2u;
+    EXPECT_EQ(solver::brute_force_count(f), expected) << "gate " << gate;
+  }
+}
+
+TEST(CircuitBuilderTest, MuxSemantics) {
+  CircuitBuilder cb;
+  const Lit sel = cb.input();
+  const Lit x = cb.input();
+  const Lit y = cb.input();
+  const Lit out = cb.mux_gate(sel, x, y);
+  cb.assert_lit(out);
+  // out=1 iff (sel & x) | (~sel & y): of 8 assignments, 4 satisfy.
+  EXPECT_EQ(solver::brute_force_count(cb.take()), 4u);
+}
+
+TEST(CircuitBuilderTest, AdderAddsCorrectly) {
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      CircuitBuilder cb;
+      const auto bus_a = cb.input_bus(3);
+      const auto bus_b = cb.input_bus(3);
+      const auto sum = cb.adder(bus_a, bus_b, /*keep_carry=*/true);
+      cb.assert_bus(bus_a, a);
+      cb.assert_bus(bus_b, b);
+      cb.assert_bus(sum, a + b);
+      EXPECT_EQ(solve(cb.take()), SolveStatus::kSat) << a << "+" << b;
+    }
+  }
+}
+
+TEST(CircuitBuilderTest, MultiplierMultipliesCorrectly) {
+  for (std::uint64_t a = 1; a < 8; a += 2) {
+    for (std::uint64_t b = 2; b < 8; b += 3) {
+      CircuitBuilder cb;
+      const auto bus_a = cb.input_bus(3);
+      const auto bus_b = cb.input_bus(3);
+      const auto prod = cb.multiplier(bus_a, bus_b);
+      cb.assert_bus(bus_a, a);
+      cb.assert_bus(bus_b, b);
+      cb.assert_bus(prod, a * b);
+      EXPECT_EQ(solve(cb.take()), SolveStatus::kSat) << a << "*" << b;
+      CircuitBuilder cb2;
+      const auto a2 = cb2.input_bus(3);
+      const auto b2 = cb2.input_bus(3);
+      const auto p2 = cb2.multiplier(a2, b2);
+      cb2.assert_bus(a2, a);
+      cb2.assert_bus(b2, b);
+      cb2.assert_bus(p2, a * b + 1);  // wrong product
+      EXPECT_EQ(solve(cb2.take()), SolveStatus::kUnsat);
+    }
+  }
+}
+
+TEST(CircuitFamiliesTest, FactoringFindsTrueFactors) {
+  const CnfFormula f = factoring(15, 3);  // 3 * 5
+  solver::CdclSolver s(f);
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(is_model(f, s.model()));
+}
+
+TEST(CircuitFamiliesTest, FactoringRejectsPrimes) {
+  for (const std::uint64_t prime : {7ull, 11ull, 13ull}) {
+    EXPECT_EQ(solve(factoring(prime, 3)), SolveStatus::kUnsat) << prime;
+  }
+}
+
+TEST(CircuitFamiliesTest, CounterBmcExactness) {
+  // A 3-bit counter after 5 steps reads 5; anything else is UNSAT.
+  for (std::uint64_t target = 0; target < 8; ++target) {
+    const SolveStatus expected =
+        target == 5 ? SolveStatus::kSat : SolveStatus::kUnsat;
+    EXPECT_EQ(solve(counter_bmc(3, 5, target)), expected) << target;
+  }
+  // Wrap-around: 10 steps on 3 bits lands on 2.
+  EXPECT_EQ(solve(counter_bmc(3, 10, 2)), SolveStatus::kSat);
+}
+
+TEST(CircuitFamiliesTest, AdderMiterStatuses) {
+  EXPECT_EQ(solve(adder_miter(4, false, 7)), SolveStatus::kUnsat);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    EXPECT_EQ(solve(adder_miter(4, true, seed)), SolveStatus::kSat) << seed;
+  }
+}
+
+TEST(CircuitFamiliesTest, MultCommMiterUnsat) {
+  EXPECT_EQ(solve(mult_comm_miter(2)), SolveStatus::kUnsat);
+  EXPECT_EQ(solve(mult_comm_miter(4)), SolveStatus::kUnsat);
+}
+
+TEST(GraphColorTest, KnownColorabilities) {
+  // A triangle needs 3 colors.
+  EXPECT_EQ(solve(graph_coloring(3, 3, 2, 1)), SolveStatus::kUnsat);
+  EXPECT_EQ(solve(graph_coloring(3, 3, 3, 1)), SolveStatus::kSat);
+  // Grids are bipartite.
+  EXPECT_EQ(solve(grid_coloring(3, 3, 2, false)), SolveStatus::kSat);
+  EXPECT_EQ(solve(grid_coloring(3, 3, 2, true)), SolveStatus::kUnsat);
+}
+
+TEST(ChessboardTest, MutilatedBoardUnsatIntactBoardSat) {
+  EXPECT_EQ(solve(mutilated_chessboard(2)), SolveStatus::kUnsat);
+}
+
+TEST(PaperExampleTest, ShapeMatchesPaper) {
+  const CnfFormula f = paper_example_formula();
+  EXPECT_EQ(f.num_vars(), 14u);
+  EXPECT_EQ(f.num_clauses(), 9u);
+  EXPECT_EQ(paper_example_decisions().size(), 6u);
+}
+
+TEST(SuiteTest, Table1HasAllFortyTwoRows) {
+  const auto& rows = suite::table1();
+  EXPECT_EQ(rows.size(), 42u);
+  std::set<std::string> names;
+  for (const auto& row : rows) {
+    EXPECT_TRUE(names.insert(row.paper_name).second)
+        << "duplicate row " << row.paper_name;
+    EXPECT_TRUE(row.make != nullptr);
+    EXPECT_FALSE(row.analog.empty());
+  }
+  // Section sizes from the paper: 23 solved-by-both, 10 GridSAT-only,
+  // 9 unsolved.
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& row : rows) ++counts[static_cast<int>(row.section)];
+  EXPECT_EQ(counts[0], 23u);
+  EXPECT_EQ(counts[1], 10u);
+  EXPECT_EQ(counts[2], 9u);
+}
+
+TEST(SuiteTest, Table2IsTheUnsolvedSection) {
+  const auto& rows = suite::table2();
+  EXPECT_EQ(rows.size(), 9u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.section, suite::Table1Section::kUnsolved);
+  }
+}
+
+TEST(SuiteTest, AllFormulasBuildAndValidate) {
+  for (const auto& row : suite::table1()) {
+    const CnfFormula f = row.make();
+    EXPECT_GT(f.num_vars(), 0u) << row.paper_name;
+    EXPECT_GT(f.num_clauses(), 0u) << row.paper_name;
+    EXPECT_EQ(f.validate(), "") << row.paper_name;
+  }
+}
+
+TEST(SuiteTest, GenerationIsDeterministic) {
+  for (const auto& row : suite::table1()) {
+    EXPECT_TRUE(row.make() == row.make()) << row.paper_name;
+  }
+}
+
+TEST(SuiteTest, ByNameLookup) {
+  EXPECT_EQ(suite::by_name("6pipe.cnf").paper_name, "6pipe.cnf");
+  EXPECT_THROW(suite::by_name("nonexistent.cnf"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gridsat::gen

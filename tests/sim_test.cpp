@@ -1,0 +1,304 @@
+// Tests for the discrete-event substrate: engine ordering/cancellation,
+// host load traces, network transfer arithmetic, message bus accounting,
+// and the batch-queue (Blue Horizon) model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/batch.hpp"
+#include "sim/engine.hpp"
+#include "sim/host.hpp"
+#include "sim/message_bus.hpp"
+#include "sim/network.hpp"
+
+namespace gridsat::sim {
+namespace {
+
+TEST(EngineTest, FiresInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.events_fired(), 3u);
+}
+
+TEST(EngineTest, TiesFireInSchedulingOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, RelativeScheduling) {
+  SimEngine engine;
+  double fired_at = -1;
+  engine.schedule_at(2.0, [&] {
+    engine.schedule_in(3.0, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  SimEngine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(engine.empty());
+  engine.cancel(id);  // double-cancel is a no-op
+}
+
+TEST(EngineTest, RunUntilStopsBeforeLaterEvents) {
+  SimEngine engine;
+  std::vector<double> fired;
+  engine.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  engine.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  engine.schedule_at(10.0, [&] { fired.push_back(10.0); });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(EngineTest, PastTimesClampToNow) {
+  SimEngine engine;
+  double fired_at = -1;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_at(1.0, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EngineTest, EventsScheduledDuringRunAreProcessed) {
+  SimEngine engine;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) engine.schedule_in(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(engine.now(), 99.0);
+}
+
+TEST(HostTest, DedicatedHostAlwaysFullSpeed) {
+  HostSpec spec;
+  spec.speed = 1000.0;
+  Host host(spec);
+  for (double t : {0.0, 100.0, 10000.0}) {
+    EXPECT_DOUBLE_EQ(host.effective_speed(t), 1000.0);
+  }
+}
+
+TEST(HostTest, SharedHostFluctuatesAroundTarget) {
+  HostSpec spec;
+  spec.speed = 1000.0;
+  spec.base_load = 0.3;
+  spec.load_jitter = 0.1;
+  spec.seed = 7;
+  Host host(spec);
+  double sum = 0;
+  const int samples = 200;
+  for (int i = 0; i < samples; ++i) {
+    const double a = host.availability(i * Host::kSegmentSeconds);
+    EXPECT_GE(a, Host::kMinAvailability);
+    EXPECT_LE(a, 1.0);
+    sum += a;
+  }
+  EXPECT_NEAR(sum / samples, 0.7, 0.1);
+}
+
+TEST(HostTest, TraceIsDeterministicAndStable) {
+  HostSpec spec;
+  spec.base_load = 0.2;
+  spec.load_jitter = 0.15;
+  spec.seed = 42;
+  Host a(spec);
+  Host b(spec);
+  // Query out of order; values must match a fresh in-order host.
+  const double v1 = a.availability(600.0);
+  const double v2 = a.availability(0.0);
+  EXPECT_DOUBLE_EQ(b.availability(0.0), v2);
+  EXPECT_DOUBLE_EQ(b.availability(600.0), v1);
+  EXPECT_DOUBLE_EQ(a.availability(600.0), v1);  // stable on re-query
+}
+
+TEST(NetworkTest, IntraVersusInterSite) {
+  Network net;
+  const double intra = net.transfer_time(1024 * 1024, "utk", "utk");
+  const double inter = net.transfer_time(1024 * 1024, "utk", "ucsd");
+  EXPECT_LT(intra, inter);
+}
+
+TEST(NetworkTest, TransferTimeArithmetic) {
+  Network net;
+  LinkSpec link;
+  link.latency_s = 0.5;
+  link.bandwidth_bps = 1000.0;
+  net.set_link("a", "b", link);
+  EXPECT_DOUBLE_EQ(net.transfer_time(2000, "a", "b"), 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(net.transfer_time(2000, "b", "a"), 0.5 + 2.0);
+}
+
+TEST(NetworkTest, LoopbackIsCheap) {
+  Network net;
+  EXPECT_LT(net.transfer_time(100 * 1024 * 1024, "x", "x", true), 0.001);
+}
+
+TEST(NetworkTest, BigSubproblemTransferDominates) {
+  // The paper's split payloads reach 100s of MBytes; over the wide area
+  // they must cost minutes, not milliseconds.
+  Network net;
+  const double t = net.transfer_time(200 * 1024 * 1024, "utk", "ucsd");
+  EXPECT_GT(t, 60.0);
+}
+
+TEST(MessageBusTest, DeliversAfterTransferTime) {
+  SimEngine engine;
+  Network net;
+  MessageBus bus(engine, net);
+  LinkSpec link;
+  link.latency_s = 1.0;
+  link.bandwidth_bps = 100.0;
+  net.set_link("a", "b", link);
+  double delivered_at = -1;
+  MessageRecord header;
+  header.from = "x";
+  header.from_site = "a";
+  header.to = "y";
+  header.to_site = "b";
+  header.kind = "TEST";
+  header.bytes = 300;
+  const double delay = bus.send(header, [&] { delivered_at = engine.now(); });
+  EXPECT_DOUBLE_EQ(delay, 4.0);
+  engine.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 4.0);
+  EXPECT_EQ(bus.messages_sent(), 1u);
+  EXPECT_EQ(bus.bytes_sent(), 300u);
+}
+
+TEST(MessageBusTest, TraceRecordsProtocol) {
+  SimEngine engine;
+  Network net;
+  MessageBus bus(engine, net);
+  bus.enable_trace();
+  MessageRecord header;
+  header.from = "client:a";
+  header.from_site = "utk";
+  header.to = "master";
+  header.to_site = "ucsd";
+  header.kind = "SPLIT_REQUEST";
+  header.bytes = 96;
+  bus.send(header, [] {});
+  engine.run();
+  ASSERT_EQ(bus.trace().size(), 1u);
+  EXPECT_EQ(bus.trace()[0].kind, "SPLIT_REQUEST");
+  EXPECT_GT(bus.trace()[0].delivered_at, bus.trace()[0].sent_at);
+}
+
+TEST(BatchTest, JobWaitsThenStarts) {
+  SimEngine engine;
+  BatchSystemSpec spec;
+  spec.mean_queue_wait_s = 100.0;
+  spec.seed = 3;
+  BatchSystem batch(engine, spec);
+  double started_at = -1;
+  BatchJobRequest request;
+  request.max_duration_s = 50.0;
+  request.on_start = [&] { started_at = engine.now(); };
+  const auto job = batch.submit(std::move(request));
+  engine.run();
+  EXPECT_GE(started_at, 50.0);  // wait >= half the mean
+  EXPECT_DOUBLE_EQ(batch.queue_wait(job), 0.0);  // job gone after expiry
+}
+
+TEST(BatchTest, ExpiryFires) {
+  SimEngine engine;
+  BatchSystemSpec spec;
+  spec.mean_queue_wait_s = 10.0;
+  BatchSystem batch(engine, spec);
+  double started_at = -1;
+  double expired_at = -1;
+  BatchJobRequest request;
+  request.max_duration_s = 20.0;
+  request.on_start = [&] { started_at = engine.now(); };
+  request.on_expire = [&] { expired_at = engine.now(); };
+  batch.submit(std::move(request));
+  engine.run();
+  ASSERT_GE(started_at, 0.0);
+  EXPECT_DOUBLE_EQ(expired_at, started_at + 20.0);
+}
+
+TEST(BatchTest, CancelBeforeStartSuppressesJob) {
+  SimEngine engine;
+  BatchSystemSpec spec;
+  spec.mean_queue_wait_s = 100.0;
+  BatchSystem batch(engine, spec);
+  bool started = false;
+  BatchJobRequest request;
+  request.on_start = [&] { started = true; };
+  const auto job = batch.submit(std::move(request));
+  batch.cancel(job);
+  engine.run();
+  EXPECT_FALSE(started);
+}
+
+TEST(BatchTest, CancelWhileRunningSkipsExpireCallback) {
+  SimEngine engine;
+  BatchSystemSpec spec;
+  spec.mean_queue_wait_s = 10.0;
+  BatchSystem batch(engine, spec);
+  bool expired = false;
+  BatchJobRequest request;
+  request.max_duration_s = 1000.0;
+  request.on_expire = [&] { expired = true; };
+  const auto job = batch.submit(std::move(request));
+  // Cancel shortly after it starts.
+  engine.schedule_at(60.0, [&] {
+    if (batch.running(job)) batch.cancel(job);
+  });
+  engine.run();
+  EXPECT_FALSE(expired);
+}
+
+TEST(BatchTest, QueueWaitsAreSeededAndSpread) {
+  SimEngine engine;
+  BatchSystemSpec spec;
+  spec.mean_queue_wait_s = 33.0 * 3600.0;
+  spec.seed = 11;
+  BatchSystem batch(engine, spec);
+  std::vector<double> waits;
+  for (int i = 0; i < 20; ++i) {
+    const double submitted = engine.now();
+    double start = -1;
+    BatchJobRequest request;
+    request.max_duration_s = 1.0;
+    request.on_start = [&engine, &start] { start = engine.now(); };
+    batch.submit(std::move(request));
+    engine.run();
+    waits.push_back(start - submitted);
+  }
+  // All waits at least half the mean; they differ (stochastic queue).
+  double min_wait = waits[0];
+  double max_wait = waits[0];
+  for (const double w : waits) {
+    EXPECT_GE(w, 0.5 * spec.mean_queue_wait_s - 1.0);
+    min_wait = std::min(min_wait, w);
+    max_wait = std::max(max_wait, w);
+  }
+  EXPECT_GT(max_wait - min_wait, 3600.0);
+}
+
+}  // namespace
+}  // namespace gridsat::sim

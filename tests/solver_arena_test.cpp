@@ -1,0 +1,121 @@
+// Direct unit tests for the clause arena: allocation layout, byte
+// accounting, deletion/garbage collection with remapping, activity
+// storage, and iteration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "solver/clause_arena.hpp"
+
+namespace gridsat::solver {
+namespace {
+
+using cnf::Lit;
+
+std::vector<Lit> lits(std::initializer_list<int> dimacs) {
+  std::vector<Lit> out;
+  for (const int d : dimacs) out.push_back(Lit::from_dimacs(d));
+  return out;
+}
+
+TEST(ClauseArenaTest, AllocAndReadBack) {
+  ClauseArena arena;
+  const auto c = lits({1, -2, 3});
+  const ClauseRef r = arena.alloc(c, /*learned=*/false);
+  EXPECT_EQ(arena.size(r), 3u);
+  EXPECT_FALSE(arena.learned(r));
+  EXPECT_FALSE(arena.deleted(r));
+  EXPECT_EQ(arena.lit(r, 0), Lit::from_dimacs(1));
+  EXPECT_EQ(arena.lit(r, 1), Lit::from_dimacs(-2));
+  EXPECT_EQ(arena.lit(r, 2), Lit::from_dimacs(3));
+  const auto span = arena.lits(r);
+  EXPECT_EQ(span.size(), 3u);
+  EXPECT_EQ(arena.num_problem(), 1u);
+  EXPECT_EQ(arena.num_learned(), 0u);
+}
+
+TEST(ClauseArenaTest, ByteAccounting) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2}), false);
+  const std::size_t after_one = arena.live_bytes();
+  EXPECT_EQ(after_one, (ClauseArena::kHeaderWords + 2) * 4);
+  const ClauseRef b = arena.alloc(lits({1, 2, 3, 4}), true);
+  EXPECT_EQ(arena.live_bytes(), after_one + (ClauseArena::kHeaderWords + 4) * 4);
+  arena.free(a);
+  EXPECT_EQ(arena.live_bytes(), (ClauseArena::kHeaderWords + 4) * 4);
+  EXPECT_EQ(arena.garbage_bytes(), after_one);
+  EXPECT_TRUE(arena.deleted(a));
+  EXPECT_FALSE(arena.deleted(b));
+}
+
+TEST(ClauseArenaTest, SwapAndSetLits) {
+  ClauseArena arena;
+  const ClauseRef r = arena.alloc(lits({1, 2, 3}), false);
+  arena.swap_lits(r, 0, 2);
+  EXPECT_EQ(arena.lit(r, 0), Lit::from_dimacs(3));
+  EXPECT_EQ(arena.lit(r, 2), Lit::from_dimacs(1));
+  arena.set_lit(r, 1, Lit::from_dimacs(-5));
+  EXPECT_EQ(arena.lit(r, 1), Lit::from_dimacs(-5));
+}
+
+TEST(ClauseArenaTest, ActivityRoundTrip) {
+  ClauseArena arena;
+  const ClauseRef r = arena.alloc(lits({1, 2}), true);
+  EXPECT_FLOAT_EQ(arena.activity(r), 0.0f);
+  arena.set_activity(r, 3.5f);
+  EXPECT_FLOAT_EQ(arena.activity(r), 3.5f);
+}
+
+TEST(ClauseArenaTest, ForEachSkipsDeleted) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2}), false);
+  const ClauseRef b = arena.alloc(lits({3, 4}), true);
+  const ClauseRef c = arena.alloc(lits({5, 6}), false);
+  arena.free(b);
+  std::vector<ClauseRef> seen;
+  arena.for_each([&](ClauseRef r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<ClauseRef>{a, c}));
+}
+
+TEST(ClauseArenaTest, GcCompactsAndRemaps) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2}), false);
+  const ClauseRef b = arena.alloc(lits({3, 4, 5}), true);
+  const ClauseRef c = arena.alloc(lits({6, 7}), false);
+  arena.free(b);
+  const std::size_t live_before = arena.live_bytes();
+  const auto remap = arena.gc();
+  EXPECT_EQ(arena.garbage_bytes(), 0u);
+  EXPECT_EQ(arena.live_bytes(), live_before);
+  EXPECT_EQ(remap(a), a);  // first clause does not move
+  EXPECT_EQ(remap(b), kNoClause);
+  const ClauseRef c_new = remap(c);
+  EXPECT_NE(c_new, kNoClause);
+  EXPECT_EQ(arena.lit(c_new, 0), Lit::from_dimacs(6));
+  EXPECT_EQ(arena.lit(c_new, 1), Lit::from_dimacs(7));
+  // Sentinels pass through.
+  EXPECT_EQ(remap(kNoClause), kNoClause);
+  EXPECT_EQ(remap(kDecisionReason), kDecisionReason);
+}
+
+TEST(ClauseArenaTest, GcOnEmptyAndFullyLive) {
+  ClauseArena arena;
+  (void)arena.gc();  // empty arena: no-op
+  const ClauseRef a = arena.alloc(lits({1, 2}), false);
+  const auto remap = arena.gc();
+  EXPECT_EQ(remap(a), a);
+}
+
+TEST(ClauseArenaTest, CountsTrackLearnedAndProblem) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2}), true);
+  (void)arena.alloc(lits({3, 4}), true);
+  (void)arena.alloc(lits({5, 6}), false);
+  EXPECT_EQ(arena.num_learned(), 2u);
+  EXPECT_EQ(arena.num_problem(), 1u);
+  arena.free(a);
+  EXPECT_EQ(arena.num_learned(), 1u);
+}
+
+}  // namespace
+}  // namespace gridsat::solver

@@ -1,0 +1,186 @@
+// Preprocessor tests: each technique on crafted instances, equisatisfiability
+// and model reconstruction on random sweeps, and interaction with the
+// CDCL solver (preprocess-then-solve agrees with direct solving).
+#include <gtest/gtest.h>
+
+#include "gen/graph_color.hpp"
+#include "gen/pigeonhole.hpp"
+#include "gen/random_ksat.hpp"
+#include "solver/brute_force.hpp"
+#include "solver/cdcl.hpp"
+#include "solver/preprocess.hpp"
+
+namespace gridsat::solver {
+namespace {
+
+using cnf::CnfFormula;
+using cnf::LBool;
+using cnf::Lit;
+
+TEST(PreprocessTest, UnitClosure) {
+  CnfFormula f;
+  f.add_dimacs_clause({1});
+  f.add_dimacs_clause({-1, 2});
+  f.add_dimacs_clause({-2, 3});
+  f.add_dimacs_clause({3, 4});  // satisfied once V3 is forced
+  const PreprocessResult r = preprocess(f);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_EQ(r.simplified.num_clauses(), 0u);
+  EXPECT_EQ(r.forced.size(), 3u);
+  EXPECT_EQ(r.stats.units_propagated, 3u);
+}
+
+TEST(PreprocessTest, UnitContradictionDetected) {
+  CnfFormula f;
+  f.add_dimacs_clause({1});
+  f.add_dimacs_clause({-1, 2});
+  f.add_dimacs_clause({-2});
+  const PreprocessResult r = preprocess(f);
+  EXPECT_TRUE(r.unsat);
+}
+
+TEST(PreprocessTest, PureLiteralElimination) {
+  CnfFormula f;
+  f.add_dimacs_clause({1, 2});
+  f.add_dimacs_clause({1, 3});
+  f.add_dimacs_clause({-2, -3});
+  // V1 occurs only positively: pure; its two clauses vanish.
+  PreprocessOptions options;
+  options.variable_elimination = false;
+  const PreprocessResult r = preprocess(f, options);
+  EXPECT_GE(r.stats.pure_literals, 1u);
+  for (const auto& clause : r.simplified.clauses()) {
+    for (const Lit l : clause) EXPECT_NE(l.var(), 1u);
+  }
+}
+
+TEST(PreprocessTest, SubsumptionRemovesSuperset) {
+  CnfFormula f;
+  f.add_dimacs_clause({1, 2});
+  f.add_dimacs_clause({1, 2, 3});
+  f.add_dimacs_clause({-1, -2, -3});  // keep things impure
+  PreprocessOptions options;
+  options.pure_literals = false;
+  options.variable_elimination = false;
+  options.strengthening = false;
+  const PreprocessResult r = preprocess(f, options);
+  EXPECT_EQ(r.stats.subsumed, 1u);
+  EXPECT_EQ(r.simplified.num_clauses(), 2u);
+}
+
+TEST(PreprocessTest, StrengtheningShrinksClause) {
+  // (1 2) and (-1 2 3): self-subsuming resolution on V1 turns the second
+  // into (2 3).
+  CnfFormula f;
+  f.add_dimacs_clause({1, 2});
+  f.add_dimacs_clause({-1, 2, 3});
+  f.add_dimacs_clause({-2, -3});
+  f.add_dimacs_clause({-1, -2, 3});
+  PreprocessOptions options;
+  options.pure_literals = false;
+  options.variable_elimination = false;
+  const PreprocessResult r = preprocess(f, options);
+  EXPECT_GE(r.stats.strengthened, 1u);
+}
+
+TEST(PreprocessTest, TautologyAndDuplicateRemoval) {
+  CnfFormula f;
+  f.add_dimacs_clause({1, -1, 2});
+  f.add_dimacs_clause({2, 3});
+  f.add_dimacs_clause({3, 2});
+  f.add_dimacs_clause({-2, -3});
+  const PreprocessResult r = preprocess(f);
+  EXPECT_EQ(r.stats.tautologies, 1u);
+  EXPECT_EQ(r.stats.duplicates, 1u);
+}
+
+TEST(PreprocessTest, VariableEliminationFires) {
+  // V1 has one positive and one negative occurrence: the single
+  // resolvent replaces two clauses.
+  CnfFormula f;
+  f.add_dimacs_clause({1, 2});
+  f.add_dimacs_clause({-1, 3});
+  f.add_dimacs_clause({-2, -3});
+  f.add_dimacs_clause({2, -3});
+  PreprocessOptions options;  // isolate BVE
+  options.pure_literals = false;
+  options.subsumption = false;
+  options.strengthening = false;
+  const PreprocessResult r = preprocess(f, options);
+  EXPECT_GE(r.stats.variables_eliminated, 1u);
+  EXPECT_FALSE(r.unsat);
+}
+
+class PreprocessEquivalenceSweep : public testing::TestWithParam<int> {};
+
+TEST_P(PreprocessEquivalenceSweep, PreservesSatisfiabilityAndReconstructs) {
+  const int seed = GetParam();
+  const CnfFormula f = gen::random_ksat(14, 56, 3, seed * 379 + 11);
+  const bool truth = brute_force_solve(f).has_value();
+
+  const PreprocessResult pre = preprocess(f);
+  if (pre.unsat) {
+    EXPECT_FALSE(truth) << "seed " << seed;
+    return;
+  }
+  CdclSolver solver(pre.simplified);
+  const SolveStatus status = solver.solve();
+  EXPECT_EQ(status, truth ? SolveStatus::kSat : SolveStatus::kUnsat)
+      << "seed " << seed;
+  if (status == SolveStatus::kSat) {
+    const cnf::Assignment model = reconstruct_model(pre, solver.model());
+    EXPECT_TRUE(is_model(f, model))
+        << "seed " << seed << ": reconstructed model invalid on ORIGINAL";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PreprocessEquivalenceSweep,
+                         testing::Range(0, 30));
+
+TEST(PreprocessTest, PigeonholeShrinksButStaysUnsat) {
+  const CnfFormula f = gen::pigeonhole_unsat(5);
+  const PreprocessResult r = preprocess(f);
+  CdclSolver solver(r.simplified);
+  EXPECT_TRUE(r.unsat || solver.solve() == SolveStatus::kUnsat);
+}
+
+TEST(PreprocessTest, ColoringInstanceShrinks) {
+  const CnfFormula f = gen::graph_coloring(30, 70, 3, 3);
+  const PreprocessResult r = preprocess(f);
+  // BVE may lengthen individual clauses, but the clause count only drops.
+  EXPECT_LE(r.stats.clauses_out, r.stats.clauses_in);
+  CdclSolver direct(f);
+  const SolveStatus truth = direct.solve();
+  if (r.unsat) {
+    EXPECT_EQ(truth, SolveStatus::kUnsat);
+  } else {
+    CdclSolver after(r.simplified);
+    EXPECT_EQ(after.solve(), truth);
+  }
+}
+
+TEST(PreprocessTest, OptionsDisableEverything) {
+  PreprocessOptions off;
+  off.unit_propagation = false;
+  off.pure_literals = false;
+  off.subsumption = false;
+  off.strengthening = false;
+  off.variable_elimination = false;
+  CnfFormula f;  // no duplicates/tautologies: load-time cleanup is a no-op
+  f.add_dimacs_clause({1, 2});
+  f.add_dimacs_clause({-1, 3});
+  f.add_dimacs_clause({-2, -3});
+  const PreprocessResult r = preprocess(f, off);
+  EXPECT_EQ(r.simplified.num_clauses(), f.num_clauses());
+  EXPECT_TRUE(r.stack.empty());
+}
+
+TEST(PreprocessTest, EmptyFormulaTrivial) {
+  const CnfFormula f(5);
+  const PreprocessResult r = preprocess(f);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_EQ(r.simplified.num_clauses(), 0u);
+}
+
+}  // namespace
+}  // namespace gridsat::solver

@@ -1,0 +1,63 @@
+// Logger tests: level filtering, sink capture, virtual-clock prefixes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace gridsat::util {
+namespace {
+
+class LogTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_sink([this](const std::string& line) { lines_.push_back(line); });
+    Log::set_level(LogLevel::kTrace);
+  }
+  void TearDown() override {
+    Log::clear_sink();
+    Log::clear_clock();
+    Log::set_level(LogLevel::kWarn);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, WritesThroughSink) {
+  LOG_INFO("test") << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("INFO"), std::string::npos);
+  EXPECT_NE(lines_[0].find("[test]"), std::string::npos);
+  EXPECT_NE(lines_[0].find("hello 42"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelFilters) {
+  Log::set_level(LogLevel::kError);
+  LOG_DEBUG("test") << "invisible";
+  LOG_WARN("test") << "also invisible";
+  LOG_ERROR("test") << "visible";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("visible"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::kOff);
+  LOG_ERROR("test") << "nope";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, ClockPrefix) {
+  Log::set_clock([] { return std::string("123.4s"); });
+  LOG_INFO("sim") << "tick";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].rfind("[123.4s]", 0), 0u);
+}
+
+TEST_F(LogTest, StreamingOperatorsCompose) {
+  LOG_TRACE("x") << "a" << 1 << 'b' << 2.5;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("a1b2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridsat::util
