@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pingpong.dir/bench_pingpong.cpp.o"
+  "CMakeFiles/bench_pingpong.dir/bench_pingpong.cpp.o.d"
+  "bench_pingpong"
+  "bench_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_demo.dir/grid_demo.cpp.o"
+  "CMakeFiles/grid_demo.dir/grid_demo.cpp.o.d"
+  "grid_demo"
+  "grid_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_circuit.dir/verify_circuit.cpp.o"
+  "CMakeFiles/verify_circuit.dir/verify_circuit.cpp.o.d"
+  "verify_circuit"
+  "verify_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsat_cnf.dir/dimacs.cpp.o"
+  "CMakeFiles/gridsat_cnf.dir/dimacs.cpp.o.d"
+  "CMakeFiles/gridsat_cnf.dir/formula.cpp.o"
+  "CMakeFiles/gridsat_cnf.dir/formula.cpp.o.d"
+  "libgridsat_cnf.a"
+  "libgridsat_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsat_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/gridsat_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/gridsat_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/gridsat_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/gridsat_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/gridsat_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/gridsat_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/gridsat_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/gridsat_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/result.cpp" "src/core/CMakeFiles/gridsat_core.dir/result.cpp.o" "gcc" "src/core/CMakeFiles/gridsat_core.dir/result.cpp.o.d"
+  "/root/repo/src/core/sequential.cpp" "src/core/CMakeFiles/gridsat_core.dir/sequential.cpp.o" "gcc" "src/core/CMakeFiles/gridsat_core.dir/sequential.cpp.o.d"
+  "/root/repo/src/core/testbeds.cpp" "src/core/CMakeFiles/gridsat_core.dir/testbeds.cpp.o" "gcc" "src/core/CMakeFiles/gridsat_core.dir/testbeds.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/gridsat_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/gridsat_core.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/gridsat_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/gridsat_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/gridsat_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridsat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsat_core.dir/campaign.cpp.o"
+  "CMakeFiles/gridsat_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/gridsat_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/gridsat_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/gridsat_core.dir/protocol.cpp.o"
+  "CMakeFiles/gridsat_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/gridsat_core.dir/report.cpp.o"
+  "CMakeFiles/gridsat_core.dir/report.cpp.o.d"
+  "CMakeFiles/gridsat_core.dir/result.cpp.o"
+  "CMakeFiles/gridsat_core.dir/result.cpp.o.d"
+  "CMakeFiles/gridsat_core.dir/sequential.cpp.o"
+  "CMakeFiles/gridsat_core.dir/sequential.cpp.o.d"
+  "CMakeFiles/gridsat_core.dir/testbeds.cpp.o"
+  "CMakeFiles/gridsat_core.dir/testbeds.cpp.o.d"
+  "CMakeFiles/gridsat_core.dir/timeline.cpp.o"
+  "CMakeFiles/gridsat_core.dir/timeline.cpp.o.d"
+  "libgridsat_core.a"
+  "libgridsat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/bmc.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/bmc.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/bmc.cpp.o.d"
+  "/root/repo/src/gen/circuit.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/circuit.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/circuit.cpp.o.d"
+  "/root/repo/src/gen/circuit_families.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/circuit_families.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/circuit_families.cpp.o.d"
+  "/root/repo/src/gen/graph_color.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/graph_color.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/graph_color.cpp.o.d"
+  "/root/repo/src/gen/paper_example.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/paper_example.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/paper_example.cpp.o.d"
+  "/root/repo/src/gen/pigeonhole.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/pigeonhole.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/pigeonhole.cpp.o.d"
+  "/root/repo/src/gen/planning.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/planning.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/planning.cpp.o.d"
+  "/root/repo/src/gen/quasigroup.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/quasigroup.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/quasigroup.cpp.o.d"
+  "/root/repo/src/gen/random_ksat.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/random_ksat.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/random_ksat.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/suite.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/suite.cpp.o.d"
+  "/root/repo/src/gen/xor_chains.cpp" "src/gen/CMakeFiles/gridsat_gen.dir/xor_chains.cpp.o" "gcc" "src/gen/CMakeFiles/gridsat_gen.dir/xor_chains.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/gridsat_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridsat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

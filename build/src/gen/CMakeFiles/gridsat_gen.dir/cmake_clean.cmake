@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsat_gen.dir/bmc.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/bmc.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/circuit.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/circuit.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/circuit_families.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/circuit_families.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/graph_color.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/graph_color.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/paper_example.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/paper_example.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/pigeonhole.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/pigeonhole.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/planning.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/planning.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/quasigroup.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/quasigroup.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/random_ksat.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/random_ksat.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/suite.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/suite.cpp.o.d"
+  "CMakeFiles/gridsat_gen.dir/xor_chains.cpp.o"
+  "CMakeFiles/gridsat_gen.dir/xor_chains.cpp.o.d"
+  "libgridsat_gen.a"
+  "libgridsat_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsat_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

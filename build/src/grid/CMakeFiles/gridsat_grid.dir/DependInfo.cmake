@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/directory.cpp" "src/grid/CMakeFiles/gridsat_grid.dir/directory.cpp.o" "gcc" "src/grid/CMakeFiles/gridsat_grid.dir/directory.cpp.o.d"
+  "/root/repo/src/grid/forecaster.cpp" "src/grid/CMakeFiles/gridsat_grid.dir/forecaster.cpp.o" "gcc" "src/grid/CMakeFiles/gridsat_grid.dir/forecaster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gridsat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsat_grid.dir/directory.cpp.o"
+  "CMakeFiles/gridsat_grid.dir/directory.cpp.o.d"
+  "CMakeFiles/gridsat_grid.dir/forecaster.cpp.o"
+  "CMakeFiles/gridsat_grid.dir/forecaster.cpp.o.d"
+  "libgridsat_grid.a"
+  "libgridsat_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsat_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

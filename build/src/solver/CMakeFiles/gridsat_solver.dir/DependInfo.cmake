@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/brute_force.cpp" "src/solver/CMakeFiles/gridsat_solver.dir/brute_force.cpp.o" "gcc" "src/solver/CMakeFiles/gridsat_solver.dir/brute_force.cpp.o.d"
+  "/root/repo/src/solver/cdcl.cpp" "src/solver/CMakeFiles/gridsat_solver.dir/cdcl.cpp.o" "gcc" "src/solver/CMakeFiles/gridsat_solver.dir/cdcl.cpp.o.d"
+  "/root/repo/src/solver/dpll.cpp" "src/solver/CMakeFiles/gridsat_solver.dir/dpll.cpp.o" "gcc" "src/solver/CMakeFiles/gridsat_solver.dir/dpll.cpp.o.d"
+  "/root/repo/src/solver/parallel.cpp" "src/solver/CMakeFiles/gridsat_solver.dir/parallel.cpp.o" "gcc" "src/solver/CMakeFiles/gridsat_solver.dir/parallel.cpp.o.d"
+  "/root/repo/src/solver/preprocess.cpp" "src/solver/CMakeFiles/gridsat_solver.dir/preprocess.cpp.o" "gcc" "src/solver/CMakeFiles/gridsat_solver.dir/preprocess.cpp.o.d"
+  "/root/repo/src/solver/proof.cpp" "src/solver/CMakeFiles/gridsat_solver.dir/proof.cpp.o" "gcc" "src/solver/CMakeFiles/gridsat_solver.dir/proof.cpp.o.d"
+  "/root/repo/src/solver/subproblem.cpp" "src/solver/CMakeFiles/gridsat_solver.dir/subproblem.cpp.o" "gcc" "src/solver/CMakeFiles/gridsat_solver.dir/subproblem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/gridsat_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridsat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsat_solver.dir/brute_force.cpp.o"
+  "CMakeFiles/gridsat_solver.dir/brute_force.cpp.o.d"
+  "CMakeFiles/gridsat_solver.dir/cdcl.cpp.o"
+  "CMakeFiles/gridsat_solver.dir/cdcl.cpp.o.d"
+  "CMakeFiles/gridsat_solver.dir/dpll.cpp.o"
+  "CMakeFiles/gridsat_solver.dir/dpll.cpp.o.d"
+  "CMakeFiles/gridsat_solver.dir/parallel.cpp.o"
+  "CMakeFiles/gridsat_solver.dir/parallel.cpp.o.d"
+  "CMakeFiles/gridsat_solver.dir/preprocess.cpp.o"
+  "CMakeFiles/gridsat_solver.dir/preprocess.cpp.o.d"
+  "CMakeFiles/gridsat_solver.dir/proof.cpp.o"
+  "CMakeFiles/gridsat_solver.dir/proof.cpp.o.d"
+  "CMakeFiles/gridsat_solver.dir/subproblem.cpp.o"
+  "CMakeFiles/gridsat_solver.dir/subproblem.cpp.o.d"
+  "libgridsat_solver.a"
+  "libgridsat_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsat_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsat_util.dir/flags.cpp.o"
+  "CMakeFiles/gridsat_util.dir/flags.cpp.o.d"
+  "CMakeFiles/gridsat_util.dir/log.cpp.o"
+  "CMakeFiles/gridsat_util.dir/log.cpp.o.d"
+  "CMakeFiles/gridsat_util.dir/rng.cpp.o"
+  "CMakeFiles/gridsat_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gridsat_util.dir/strings.cpp.o"
+  "CMakeFiles/gridsat_util.dir/strings.cpp.o.d"
+  "libgridsat_util.a"
+  "libgridsat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridsat_util.a"
+)

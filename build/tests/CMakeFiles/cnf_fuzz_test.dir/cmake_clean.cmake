@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnf_fuzz_test.dir/cnf_fuzz_test.cpp.o"
+  "CMakeFiles/cnf_fuzz_test.dir/cnf_fuzz_test.cpp.o.d"
+  "cnf_fuzz_test"
+  "cnf_fuzz_test.pdb"
+  "cnf_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnf_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

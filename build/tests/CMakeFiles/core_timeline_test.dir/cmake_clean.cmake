@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_timeline_test.dir/core_timeline_test.cpp.o"
+  "CMakeFiles/core_timeline_test.dir/core_timeline_test.cpp.o.d"
+  "core_timeline_test"
+  "core_timeline_test.pdb"
+  "core_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_bmc_test.dir/gen_bmc_test.cpp.o"
+  "CMakeFiles/gen_bmc_test.dir/gen_bmc_test.cpp.o.d"
+  "gen_bmc_test"
+  "gen_bmc_test.pdb"
+  "gen_bmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_bmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_families_test.dir/gen_families_test.cpp.o"
+  "CMakeFiles/gen_families_test.dir/gen_families_test.cpp.o.d"
+  "gen_families_test"
+  "gen_families_test.pdb"
+  "gen_families_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_families_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

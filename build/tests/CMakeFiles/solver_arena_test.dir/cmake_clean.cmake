@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_arena_test.dir/solver_arena_test.cpp.o"
+  "CMakeFiles/solver_arena_test.dir/solver_arena_test.cpp.o.d"
+  "solver_arena_test"
+  "solver_arena_test.pdb"
+  "solver_arena_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_arena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_memory_test.dir/solver_memory_test.cpp.o"
+  "CMakeFiles/solver_memory_test.dir/solver_memory_test.cpp.o.d"
+  "solver_memory_test"
+  "solver_memory_test.pdb"
+  "solver_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_paper_example_test.dir/solver_paper_example_test.cpp.o"
+  "CMakeFiles/solver_paper_example_test.dir/solver_paper_example_test.cpp.o.d"
+  "solver_paper_example_test"
+  "solver_paper_example_test.pdb"
+  "solver_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_parallel_test.dir/solver_parallel_test.cpp.o"
+  "CMakeFiles/solver_parallel_test.dir/solver_parallel_test.cpp.o.d"
+  "solver_parallel_test"
+  "solver_parallel_test.pdb"
+  "solver_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

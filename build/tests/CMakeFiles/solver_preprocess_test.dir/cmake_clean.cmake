@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_preprocess_test.dir/solver_preprocess_test.cpp.o"
+  "CMakeFiles/solver_preprocess_test.dir/solver_preprocess_test.cpp.o.d"
+  "solver_preprocess_test"
+  "solver_preprocess_test.pdb"
+  "solver_preprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_preprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

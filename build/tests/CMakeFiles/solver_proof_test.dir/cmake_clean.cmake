@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_proof_test.dir/solver_proof_test.cpp.o"
+  "CMakeFiles/solver_proof_test.dir/solver_proof_test.cpp.o.d"
+  "solver_proof_test"
+  "solver_proof_test.pdb"
+  "solver_proof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_split_test.dir/solver_split_test.cpp.o"
+  "CMakeFiles/solver_split_test.dir/solver_split_test.cpp.o.d"
+  "solver_split_test"
+  "solver_split_test.pdb"
+  "solver_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/cnf_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_cdcl_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_split_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/core_campaign_test[1]_include.cmake")
+include("/root/repo/build/tests/core_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/core_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_proof_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_preprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_arena_test[1]_include.cmake")
+include("/root/repo/build/tests/core_timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_families_test[1]_include.cmake")
+include("/root/repo/build/tests/util_log_test[1]_include.cmake")
+include("/root/repo/build/tests/cnf_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_property_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_bmc_test[1]_include.cmake")
+include("/root/repo/build/tests/core_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/core_report_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/core_determinism_test[1]_include.cmake")
