@@ -34,6 +34,9 @@ void write_sequential(util::JsonWriter& json, const SequentialResult& r) {
       .field("cell", render_time_cell(r))
       .field("seconds", r.seconds)
       .field("work", r.work)
+      .field("propagations", r.propagations)
+      .field("wall_ms", r.wall_ms)
+      .field("props_per_sec", r.props_per_sec())
       .field("peak_db_bytes", r.peak_db_bytes)
       .field("timed_out", r.timed_out)
       .end_object();

@@ -49,9 +49,18 @@ struct SequentialResult {
   solver::SolveStatus status = solver::SolveStatus::kUnknown;
   double seconds = 0.0;  ///< virtual seconds on the dedicated host
   std::uint64_t work = 0;
+  std::uint64_t propagations = 0;
+  double wall_ms = 0.0;  ///< real (host) milliseconds spent solving
   std::size_t peak_db_bytes = 0;
   bool timed_out = false;
   cnf::Assignment model;
+
+  /// Real propagation throughput — the perf-trajectory metric every
+  /// bench JSON row records (BENCH_solver.json convention, ROADMAP.md).
+  [[nodiscard]] double props_per_sec() const noexcept {
+    return wall_ms > 0.0 ? static_cast<double>(propagations) * 1000.0 / wall_ms
+                         : 0.0;
+  }
 };
 
 /// Table-cell rendering: "TIME_OUT", "MEM_OUT", or seconds.

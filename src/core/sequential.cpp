@@ -1,6 +1,7 @@
 #include "core/sequential.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace gridsat::core {
 
@@ -20,13 +21,18 @@ SequentialResult run_sequential(const cnf::CnfFormula& formula,
   const std::uint64_t slice = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(speed));  // ~1 virtual second
   solver::SolveStatus status = solver::SolveStatus::kUnknown;
+  const auto wall_start = std::chrono::steady_clock::now();
   while (status == solver::SolveStatus::kUnknown &&
          solver.stats().work < work_cap) {
     const std::uint64_t remaining = work_cap - solver.stats().work;
     status = solver.solve(std::min(slice, remaining));
   }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
   result.status = status;
   result.work = solver.stats().work;
+  result.propagations = solver.stats().propagations;
   result.seconds = static_cast<double>(solver.stats().work) / speed;
   result.peak_db_bytes = solver.stats().peak_db_bytes;
   result.timed_out = (status == solver::SolveStatus::kUnknown);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <sstream>
 
 namespace gridsat::solver {
@@ -64,10 +65,10 @@ void CdclSolver::init(Var num_vars, const std::vector<cnf::Clause>& clauses,
   num_vars_ = num_vars;
   const std::size_t nv = static_cast<std::size_t>(num_vars) + 1;
   watches_.assign(2 * nv, {});
-  assign_.assign(nv, LBool::kUndef);
-  level_.assign(nv, 0);
-  reason_.assign(nv, kNoClause);
-  taint_.assign(nv, 0);
+  bin_watches_.assign(2 * nv, {});
+  bin_occupied_.assign((2 * nv + 63) / 64, 0);
+  watch_occupied_.assign((2 * nv + 63) / 64, 0);
+  vars_.assign(nv, VarState{});
   phase_.assign(nv, 2);  // 2 = no saved phase
   activity_.assign(2 * nv, 0.0);
   heap_pos_.assign(2 * nv, -1);
@@ -110,10 +111,10 @@ bool CdclSolver::enqueue_level0(Lit p, bool tainted) {
     return true;
   }
   const Var var = p.var();
-  assign_[var] = p.satisfying_value();
-  level_[var] = 0;
-  reason_[var] = kDecisionReason;
-  taint_[var] = tainted ? 1 : 0;
+  vars_[var].assign = p.satisfying_value();
+  vars_[var].level = 0;
+  vars_[var].reason = kDecisionReason;
+  vars_[var].taint = tainted ? 1 : 0;
   trail_.push_back(p);
   return true;
 }
@@ -175,13 +176,34 @@ bool CdclSolver::add_clause_at_level0(const cnf::Clause& clause, bool learned) {
 
 void CdclSolver::attach(ClauseRef cref) {
   assert(arena_.size(cref) >= 2);
-  watches_[arena_.lit(cref, 0).code()].push_back(
-      Watcher{cref, arena_.lit(cref, 1)});
-  watches_[arena_.lit(cref, 1).code()].push_back(
-      Watcher{cref, arena_.lit(cref, 0)});
+  const Lit l0 = arena_.lit(cref, 0);
+  const Lit l1 = arena_.lit(cref, 1);
+  if (in_binary_store(cref)) {
+    bin_watches_[l0.code()].push_back(BinWatcher{l1, cref});
+    bin_watches_[l1.code()].push_back(BinWatcher{l0, cref});
+    set_occupied(bin_occupied_, l0.code());
+    set_occupied(bin_occupied_, l1.code());
+    return;
+  }
+  watches_[l0.code()].push_back(Watcher{cref, l1});
+  watches_[l1.code()].push_back(Watcher{cref, l0});
+  set_occupied(watch_occupied_, l0.code());
+  set_occupied(watch_occupied_, l1.code());
 }
 
 void CdclSolver::detach(ClauseRef cref) {
+  if (in_binary_store(cref)) {
+    for (const std::uint32_t i : {0u, 1u}) {
+      auto& ws = bin_watches_[arena_.lit(cref, i).code()];
+      const auto it =
+          std::find_if(ws.begin(), ws.end(),
+                       [cref](const BinWatcher& w) { return w.cref == cref; });
+      assert(it != ws.end());
+      *it = ws.back();
+      ws.pop_back();
+    }
+    return;
+  }
   for (const std::uint32_t i : {0u, 1u}) {
     auto& ws = watches_[arena_.lit(cref, i).code()];
     const auto it = std::find_if(ws.begin(), ws.end(), [cref](const Watcher& w) {
@@ -198,28 +220,195 @@ bool CdclSolver::enqueue(Lit p, ClauseRef reason) {
   if (v == LBool::kFalse) return false;
   if (v == LBool::kTrue) return true;
   const Var var = p.var();
-  assign_[var] = p.satisfying_value();
-  level_[var] = decision_level();
-  reason_[var] = reason;
+  vars_[var].assign = p.satisfying_value();
+  vars_[var].level = decision_level();
+  vars_[var].reason = reason;
   if (decision_level() == 0) {
     bool t = false;
     if (reason != kDecisionReason && reason != kNoClause) {
       for (const Lit q : arena_.lits(reason)) {
-        if (q.var() != var && taint_[q.var()]) {
+        if (q.var() != var && vars_[q.var()].taint) {
           t = true;
           break;
         }
       }
     }
-    taint_[var] = t ? 1 : 0;
+    vars_[var].taint = t ? 1 : 0;
   } else {
-    taint_[var] = 0;
+    vars_[var].taint = 0;
   }
   trail_.push_back(p);
   return true;
 }
 
+void CdclSolver::enqueue_implied(Lit p, ClauseRef reason, std::uint32_t dl) {
+  // Fast-path enqueue: the caller has already established that p is
+  // unassigned (propagate checks the value before implying), so the
+  // kTrue/kFalse re-checks of enqueue() are skipped, and the decision
+  // level is a cached operand instead of a trail_lim_ load per call.
+  assert(value(p) == LBool::kUndef);
+  const Var var = p.var();
+  vars_[var].assign = p.satisfying_value();
+  vars_[var].level = dl;
+  vars_[var].reason = reason;
+  if (dl == 0) {
+    bool t = false;
+    if (reason != kDecisionReason && reason != kNoClause) {
+      for (const Lit q : arena_.lits(reason)) {
+        if (q.var() != var && vars_[q.var()].taint) {
+          t = true;
+          break;
+        }
+      }
+    }
+    vars_[var].taint = t ? 1 : 0;
+  } else {
+    vars_[var].taint = 0;
+  }
+  trail_.push_back(p);
+}
+
+ClauseRef CdclSolver::propagate_binary(Lit falsified, std::uint32_t dl) {
+  // Binary fast path: one contiguous scan of 8-byte records that never
+  // touches the arena — not even on implication. Binary reason clauses
+  // are therefore NOT slot-0 normalized; analyze() and the locked-clause
+  // checks resolve the direction by variable instead (minimize() and the
+  // taint walks always did).
+  auto& bws = bin_watches_[falsified.code()];
+  const std::size_t n = bws.size();
+  stats_.work += n;
+  for (std::size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    // The contiguous store makes upcoming implied variables known well in
+    // advance; hide the random-access assignment lookup behind the scan.
+    if (i + 8 < n) {
+      __builtin_prefetch(&vars_[bws[i + 8].implied.var()], 0, 1);
+    }
+#endif
+    const BinWatcher bw = bws[i];
+    const LBool v = value(bw.implied);
+    if (v == LBool::kTrue) continue;
+    if (v == LBool::kFalse) return bw.cref;  // both literals false
+    enqueue_implied(bw.implied, bw.cref, dl);
+    ++stats_.propagations;
+    ++stats_.binary_propagations;
+  }
+  return kNoClause;
+}
+
 ClauseRef CdclSolver::propagate() {
+  if (!config_.measure_propagation) {
+    return config_.binary_fast_path ? propagate_fast() : propagate_legacy();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const ClauseRef confl =
+      config_.binary_fast_path ? propagate_fast() : propagate_legacy();
+  stats_.propagation_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return confl;
+}
+
+ClauseRef CdclSolver::propagate_fast() {
+  // Binary implications are drained to fixpoint before any long-clause
+  // scan: cascades complete inside the dense store, and by the time an
+  // arena clause is visited the assignment is fuller — more blocker hits,
+  // fewer tail scans. bhead runs ahead of qhead_; everything below qhead_
+  // is fully propagated, so restarting bhead there is sound.
+  std::size_t bhead = qhead_;
+  const std::uint32_t dl = decision_level();
+  while (qhead_ < trail_.size()) {
+    while (bhead < trail_.size()) {
+      const Lit bfalsified = ~trail_[bhead++];
+      // The bitmap check keeps cascade literals with no binary watchers
+      // (common: implied literals of one polarity) from touching a cold
+      // list header at all.
+      if (!occupied(bin_occupied_, bfalsified.code())) continue;
+#if defined(__GNUC__) || defined(__clang__)
+      if (bhead < trail_.size()) {
+        __builtin_prefetch(&bin_watches_[(~trail_[bhead]).code()], 0, 1);
+      }
+#endif
+      const ClauseRef bin_confl = propagate_binary(bfalsified, dl);
+      if (bin_confl != kNoClause) {
+        qhead_ = trail_.size();
+        return bin_confl;
+      }
+    }
+
+    const Lit p = trail_[qhead_++];  // p just became true
+    const Lit falsified = ~p;
+    if (!occupied(watch_occupied_, falsified.code())) continue;
+
+    auto& ws = watches_[falsified.code()];
+    // Pointer-based compacting scan. Appends go only to *other* literals'
+    // watch lists (a replacement watch is never the falsified literal),
+    // so ws's buffer stays put and i/j stay valid.
+    Watcher* const begin = ws.data();
+    Watcher* const end = begin + ws.size();
+    Watcher* i = begin;
+    Watcher* j = begin;
+    while (i != end) {
+      ++stats_.work;
+#if defined(__GNUC__) || defined(__clang__)
+      if (i + 4 < end) {
+        __builtin_prefetch(&vars_[i[4].blocker.var()], 0, 1);
+      }
+#endif
+      const Watcher w = *i++;
+      if (value(w.blocker) == LBool::kTrue) {
+        *j++ = w;
+        continue;
+      }
+      const ClauseRef cref = w.cref;
+      const std::span<Lit> lits = arena_.lits_mut(cref);
+      // Normalize: watched slot 1 holds the falsified literal.
+      if (lits[0] == falsified) std::swap(lits[0], lits[1]);
+      assert(lits[1] == falsified);
+      const Lit first = lits[0];
+      // Refresh the blocker on every skip: the satisfied first literal
+      // shields this clause from re-scans until it is unassigned.
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        *j++ = Watcher{cref, first};
+        continue;
+      }
+      // Look for a replacement watch among the tail literals.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        ++stats_.work;
+        const Lit cand = lits[k];
+        if (value(cand) != LBool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[cand.code()].push_back(Watcher{cref, first});
+          set_occupied(watch_occupied_, cand.code());
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      *j++ = Watcher{cref, first};
+      if (value(first) == LBool::kFalse) {
+        // Conflict: restore the remaining watchers and report.
+        while (i != end) *j++ = *i++;
+        ws.resize(static_cast<std::size_t>(j - begin));
+        qhead_ = trail_.size();
+        return cref;
+      }
+      enqueue_implied(first, cref, dl);
+      ++stats_.propagations;
+    }
+    ws.resize(static_cast<std::size_t>(j - begin));
+  }
+  return kNoClause;
+}
+
+ClauseRef CdclSolver::propagate_legacy() {
+  // Paper-era hot path (binary_fast_path = false): every clause, binaries
+  // included, goes through the general two-watched-literal machinery, as
+  // in the zChaff the paper builds on. Kept verbatim as the ablation
+  // baseline for BENCH_solver.json and for historical fidelity.
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];  // p just became true
     const Lit falsified = ~p;
@@ -324,16 +513,24 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
     assert(cl != kNoClause && cl != kDecisionReason);
     bump_clause(cl);
     const auto lits = arena_.lits(cl);
-    for (std::size_t j = (p == kUndefLit ? 0 : 1); j < lits.size(); ++j) {
+    // Skip the resolved literal p. Long reason clauses keep it in slot 0
+    // (the watcher machinery normalizes); binary reasons from the fast
+    // path are unordered, so the skip is by variable, not by position.
+    std::size_t jstart = (p == kUndefLit) ? 0 : 1;
+    if (p != kUndefLit && lits.size() == 2 && lits[0].var() != p.var()) {
+      jstart = 0;
+    }
+    for (std::size_t j = jstart; j < lits.size(); ++j) {
       ++stats_.work;
       const Lit q = lits[j];
+      if (p != kUndefLit && q.var() == p.var()) continue;
       const Var v = q.var();
       if (seen_[v]) continue;
-      if (level_[v] == 0) {
+      if (vars_[v].level == 0) {
         // Level-0 literals are normally strengthened away; tainted ones
         // (split assumptions and their consequences) must stay so the
         // learned clause remains valid for the original formula (§3.2).
-        if (taint_[v]) {
+        if (vars_[v].taint) {
           seen_[v] = 1;
           analyze_clear_.push_back(q);
           learned.push_back(q);
@@ -343,7 +540,7 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
       seen_[v] = 1;
       analyze_clear_.push_back(q);
       bump_lit(q);
-      if (level_[v] >= current_level) {
+      if (vars_[v].level >= current_level) {
         ++path_count;
       } else {
         learned.push_back(q);
@@ -353,7 +550,7 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
     while (!seen_[trail_[index - 1].var()]) --index;
     --index;
     p = trail_[index];
-    cl = reason_[p.var()];
+    cl = vars_[p.var()].reason;
     seen_[p.var()] = 0;
     --path_count;
   } while (path_count > 0);
@@ -369,10 +566,10 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
   if (learned.size() > 1) {
     std::size_t max_i = 1;
     for (std::size_t i = 2; i < learned.size(); ++i) {
-      if (level_[learned[i].var()] > level_[learned[max_i].var()]) max_i = i;
+      if (vars_[learned[i].var()].level > vars_[learned[max_i].var()].level) max_i = i;
     }
     std::swap(learned[1], learned[max_i]);
-    backjump_level = level_[learned[1].var()];
+    backjump_level = vars_[learned[1].var()].level;
   }
 
   for (const Lit l : analyze_clear_) seen_[l.var()] = 0;
@@ -387,13 +584,13 @@ void CdclSolver::minimize(std::vector<Lit>& learned) {
   std::size_t keep = 1;
   for (std::size_t i = 1; i < learned.size(); ++i) {
     const Var v = learned[i].var();
-    const ClauseRef r = reason_[v];
-    bool redundant = r != kDecisionReason && r != kNoClause && level_[v] > 0;
+    const ClauseRef r = vars_[v].reason;
+    bool redundant = r != kDecisionReason && r != kNoClause && vars_[v].level > 0;
     if (redundant) {
       for (const Lit q : arena_.lits(r)) {
         if (q.var() == v) continue;
         if (seen_[q.var()]) continue;
-        if (level_[q.var()] == 0 && !taint_[q.var()]) continue;
+        if (vars_[q.var()].level == 0 && !vars_[q.var()].taint) continue;
         redundant = false;
         break;
       }
@@ -409,10 +606,10 @@ void CdclSolver::backtrack(std::uint32_t target_level) {
   const std::size_t bound = trail_lim_[target_level];
   for (std::size_t i = trail_.size(); i-- > bound;) {
     const Var v = trail_[i].var();
-    phase_[v] = (assign_[v] == LBool::kTrue) ? 1 : 0;
-    assign_[v] = LBool::kUndef;
-    reason_[v] = kNoClause;
-    taint_[v] = 0;
+    phase_[v] = (vars_[v].assign == LBool::kTrue) ? 1 : 0;
+    vars_[v].assign = LBool::kUndef;
+    vars_[v].reason = kNoClause;
+    vars_[v].taint = 0;
     if (heap_pos_[2 * v] < 0) heap_insert(2 * v);
     if (heap_pos_[2 * v + 1] < 0) heap_insert(2 * v + 1);
   }
@@ -459,7 +656,7 @@ std::optional<Lit> CdclSolver::pick_branch() {
     // Random diversification: pick an unassigned variable uniformly.
     for (int tries = 0; tries < 16; ++tries) {
       const Var v = static_cast<Var>(rng_.range(1, num_vars_));
-      if (assign_[v] == LBool::kUndef) {
+      if (vars_[v].assign == LBool::kUndef) {
         return Lit(v, rng_.chance(0.5));
       }
     }
@@ -475,7 +672,7 @@ std::optional<Lit> CdclSolver::pick_branch() {
   }
   // Heap exhausted: variables absent from every clause may remain.
   for (Var v = 1; v <= num_vars_; ++v) {
-    if (assign_[v] == LBool::kUndef) return Lit(v, true);  // default false
+    if (vars_[v].assign == LBool::kUndef) return Lit(v, true);  // default false
   }
   return std::nullopt;
 }
@@ -495,7 +692,7 @@ void CdclSolver::reduce_db() {
     if (arena_.size(r) <= 2) return;  // binaries are cheap and precious
     const Lit first = arena_.lit(r, 0);
     const bool locked =
-        value(first) == LBool::kTrue && reason_[first.var()] == r;
+        value(first) == LBool::kTrue && vars_[first.var()].reason == r;
     if (!locked) candidates.push_back(r);
   });
   std::sort(candidates.begin(), candidates.end(),
@@ -519,9 +716,14 @@ void CdclSolver::drop_all_learned() {
   victims.reserve(arena_.num_learned());
   arena_.for_each([&](ClauseRef r) {
     if (!arena_.learned(r)) return;
-    const cnf::Lit first = arena_.lit(r, 0);
+    // Binary fast-path reasons are unordered, so a binary clause can be
+    // the reason of either of its literals; check both.
+    const auto is_reason = [&](cnf::Lit l) {
+      return value(l) == cnf::LBool::kTrue && vars_[l.var()].reason == r;
+    };
     const bool locked =
-        value(first) == cnf::LBool::kTrue && reason_[first.var()] == r;
+        is_reason(arena_.lit(r, 0)) ||
+        (arena_.binary(r) && is_reason(arena_.lit(r, 1)));
     if (!locked) victims.push_back(r);
   });
   for (const ClauseRef r : victims) {
@@ -542,8 +744,14 @@ void CdclSolver::garbage_collect() {
       assert(w.cref != kNoClause);
     }
   }
+  for (auto& ws : bin_watches_) {
+    for (auto& w : ws) {
+      w.cref = remap(w.cref);
+      assert(w.cref != kNoClause);
+    }
+  }
   for (const Lit p : trail_) {
-    ClauseRef& r = reason_[p.var()];
+    ClauseRef& r = vars_[p.var()].reason;
     if (r != kNoClause && r != kDecisionReason) {
       r = remap(r);
       assert(r != kNoClause);
@@ -594,7 +802,7 @@ bool CdclSolver::simplify_at_level0() {
     const std::size_t level0_end =
         trail_lim_.empty() ? trail_.size() : trail_lim_[0];
     for (std::size_t i = proof_logged_units_; i < level0_end; ++i) {
-      if (!taint_[trail_[i].var()]) {
+      if (!vars_[trail_[i].var()].taint) {
         proof_.add(cnf::Clause{trail_[i]});
       }
     }
@@ -602,11 +810,11 @@ bool CdclSolver::simplify_at_level0() {
   }
   // Reasons of level-0 assignments are never resolved by analyze() and
   // taint bits are already computed, so reason clauses can be unlocked.
-  for (const Lit p : trail_) reason_[p.var()] = kDecisionReason;
+  for (const Lit p : trail_) vars_[p.var()].reason = kDecisionReason;
   std::vector<ClauseRef> satisfied;
   arena_.for_each([&](ClauseRef r) {
     for (const Lit l : arena_.lits(r)) {
-      if (value(l) == LBool::kTrue && level_[l.var()] == 0) {
+      if (value(l) == LBool::kTrue && vars_[l.var()].level == 0) {
         satisfied.push_back(r);
         return;
       }
@@ -699,7 +907,10 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
       }
       const auto decision = pick_branch();
       if (!decision.has_value()) {
-        model_ = assign_;
+        model_.assign(vars_.size(), LBool::kUndef);
+        for (std::size_t v = 1; v < vars_.size(); ++v) {
+          model_[v] = vars_[v].assign;
+        }
         return status_ = SolveStatus::kSat;
       }
       ++stats_.decisions;
@@ -726,6 +937,16 @@ std::size_t CdclSolver::db_bytes() const noexcept {
          static_cast<std::size_t>(num_vars_ + 1) * 24;
 }
 
+bool CdclSolver::probe_assume(Lit p) {
+  assert(!root_conflict_ && status_ != SolveStatus::kSat);
+  if (value(p) != LBool::kUndef) return true;
+  trail_lim_.push_back(trail_.size());
+  enqueue(p, kDecisionReason);
+  return propagate() == kNoClause;
+}
+
+void CdclSolver::probe_reset() { backtrack(0); }
+
 bool CdclSolver::can_split() const noexcept {
   return !root_conflict_ && status_ != SolveStatus::kSat &&
          !trail_lim_.empty();
@@ -746,25 +967,25 @@ Subproblem CdclSolver::split() {
       trail_lim_.size() > 1 ? trail_lim_[1] : trail_.size();
   for (std::size_t i = trail_lim_[0]; i < level1_end; ++i) {
     const Var v = trail_[i].var();
-    level_[v] = 0;
+    vars_[v].level = 0;
     if (i == trail_lim_[0]) {
-      taint_[v] = 1;  // the decision becomes a split assumption
+      vars_[v].taint = 1;  // the decision becomes a split assumption
     } else {
       bool t = false;
-      const ClauseRef r = reason_[v];
+      const ClauseRef r = vars_[v].reason;
       if (r != kNoClause && r != kDecisionReason) {
         for (const Lit q : arena_.lits(r)) {
-          if (q.var() != v && taint_[q.var()]) {
+          if (q.var() != v && vars_[q.var()].taint) {
             t = true;
             break;
           }
         }
       }
-      taint_[v] = t ? 1 : 0;
+      vars_[v].taint = t ? 1 : 0;
     }
   }
   for (const Lit p : trail_) {
-    if (level_[p.var()] >= 2) --level_[p.var()];
+    if (vars_[p.var()].level >= 2) --vars_[p.var()].level;
   }
   trail_lim_.erase(trail_lim_.begin());
   last_simplify_trail_ = 0;  // the new level-0 facts enable fresh pruning
@@ -779,8 +1000,8 @@ Subproblem CdclSolver::to_subproblem() const {
   sp.units.reserve(level0_end);
   for (std::size_t i = 0; i < level0_end; ++i) {
     const Var v = trail_[i].var();
-    sp.units.push_back(SubproblemUnit{trail_[i], taint_[v] != 0});
-    if (taint_[v]) {
+    sp.units.push_back(SubproblemUnit{trail_[i], vars_[v].taint != 0});
+    if (vars_[v].taint) {
       sp.path += (sp.path.empty() ? "" : ".") + cnf::to_string(trail_[i]);
     }
   }
@@ -788,7 +1009,7 @@ Subproblem CdclSolver::to_subproblem() const {
   // (they would be pruned on arrival anyway — don't pay to ship them).
   auto satisfied_at_level0 = [&](ClauseRef r) {
     for (const Lit l : arena_.lits(r)) {
-      if (value(l) == LBool::kTrue && level_[l.var()] == 0) return true;
+      if (value(l) == LBool::kTrue && vars_[l.var()].level == 0) return true;
     }
     return false;
   };
@@ -818,7 +1039,7 @@ std::vector<SubproblemUnit> CdclSolver::level0_units() const {
   std::vector<SubproblemUnit> units;
   units.reserve(level0_end);
   for (std::size_t i = 0; i < level0_end; ++i) {
-    units.push_back(SubproblemUnit{trail_[i], taint_[trail_[i].var()] != 0});
+    units.push_back(SubproblemUnit{trail_[i], vars_[trail_[i].var()].taint != 0});
   }
   return units;
 }
@@ -919,14 +1140,16 @@ std::string CdclSolver::check_invariants() const {
     for (std::size_t d = 0; d < trail_lim_.size(); ++d) {
       if (i >= trail_lim_[d]) expected_level = static_cast<std::uint32_t>(d + 1);
     }
-    if (level_[p.var()] != expected_level) {
+    if (vars_[p.var()].level != expected_level) {
       err << "level mismatch for " << cnf::to_string(p) << ": stored "
-          << level_[p.var()] << " expected " << expected_level;
+          << vars_[p.var()].level << " expected " << expected_level;
       return err.str();
     }
   }
   // Watcher integrity: every live clause of size >= 2 is watched exactly
-  // on its first two literals.
+  // on its first two literals — binary clauses in the binary-implication
+  // store (when the fast path is on), everything else in the general
+  // watch lists, and never in both.
   std::string result;
   arena_.for_each([&](ClauseRef r) {
     if (!result.empty()) return;
@@ -934,23 +1157,58 @@ std::string CdclSolver::check_invariants() const {
       result = "live clause of size < 2 in arena";
       return;
     }
+    const bool binary_store = in_binary_store(r);
     for (const std::uint32_t slot : {0u, 1u}) {
       const Lit w = arena_.lit(r, slot);
+      const Lit other = arena_.lit(r, 1 - slot);
       const auto& ws = watches_[w.code()];
-      const bool found = std::any_of(ws.begin(), ws.end(), [r](const Watcher& x) {
-        return x.cref == r;
-      });
-      if (!found) {
-        result = "clause not present in watch list of its watched literal";
+      const bool in_long = std::any_of(
+          ws.begin(), ws.end(), [r](const Watcher& x) { return x.cref == r; });
+      const auto& bws = bin_watches_[w.code()];
+      const bool in_bin =
+          std::any_of(bws.begin(), bws.end(), [r, other](const BinWatcher& x) {
+            return x.cref == r && x.implied == other;
+          });
+      if (binary_store ? !in_bin : !in_long) {
+        result = binary_store
+                     ? "binary clause not present in the binary store"
+                     : "clause not present in watch list of its watched literal";
+        return;
+      }
+      if (binary_store ? in_long : in_bin) {
+        result = "clause watched by the wrong store";
         return;
       }
     }
   });
   if (!result.empty()) return result;
+  // Occupancy bitmaps: a clear bit is a proof of emptiness that lets the
+  // fast path skip the list lookup, so a clear bit over a non-empty list
+  // would silently drop propagations. (Stale set bits over empty lists
+  // are fine — they only cost the lookup.) Only the fast path maintains
+  // and consults the bitmaps.
+  if (config_.binary_fast_path) {
+    for (std::size_t code = 0; code < watches_.size(); ++code) {
+      const auto c = static_cast<std::uint32_t>(code);
+      if (!bin_watches_[code].empty() && !occupied(bin_occupied_, c)) {
+        err << "binary watch list for code " << code
+            << " non-empty but occupancy bit clear";
+        return err.str();
+      }
+      if (!watches_[code].empty() && !occupied(watch_occupied_, c)) {
+        err << "watch list for code " << code
+            << " non-empty but occupancy bit clear";
+        return err.str();
+      }
+    }
+  }
   // Watched-literal invariant (only meaningful in a fully propagated,
   // conflict-free state): both watches false implies some other literal
   // would have replaced them, so the clause must be satisfied elsewhere.
-  if (qhead_ == trail_.size()) {
+  // A terminal root conflict also leaves qhead_ == trail_.size() but is
+  // not conflict-free — the final falsified clause is allowed to stand.
+  if (qhead_ == trail_.size() && !root_conflict_ &&
+      status_ != SolveStatus::kUnsat) {
     arena_.for_each([&](ClauseRef r) {
       if (!result.empty()) return;
       const Lit w0 = arena_.lit(r, 0);

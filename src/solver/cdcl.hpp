@@ -95,6 +95,20 @@ struct SolverConfig {
   /// paper; off by default for fidelity, toggleable for the ablation).
   bool minimize_learned = false;
 
+  /// Propagate binary clauses from a dedicated implication store instead
+  /// of the general watcher machinery (one contiguous scan per literal,
+  /// no arena dereference, no watch relocation). Post-2003 engineering:
+  /// paper-era zChaff routed binaries through the same watch lists as
+  /// every other clause, so turning this off reproduces the historical
+  /// hot path (and is the ablation baseline for BENCH_solver.json).
+  bool binary_fast_path = true;
+
+  /// Accumulate wall time spent inside propagate() into
+  /// SolverStats::propagation_ns. Off by default: two clock reads per
+  /// propagate() call are cheap but not free, and only the benches need
+  /// the breakdown.
+  bool measure_propagation = false;
+
   /// Record a DRUP-style clausal proof (solver/proof.hpp). Adds every
   /// learned (and imported) clause and every deletion to the log; an
   /// UNSAT run ends the log with the empty clause. Meaningful for
@@ -106,6 +120,7 @@ struct SolverConfig {
 struct SolverStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;   ///< implied assignments
+  std::uint64_t binary_propagations = 0;  ///< subset implied via the binary store
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
@@ -120,6 +135,10 @@ struct SolverStats {
   /// Abstract cost: watcher visits + analysis steps; the discrete-event
   /// simulator converts work units to virtual seconds via host speed.
   std::uint64_t work = 0;
+  /// Wall time spent inside propagate(), accumulated only while
+  /// SolverConfig::measure_propagation is on (used by bench_solver_micro
+  /// to report BCP throughput undiluted by analysis/heap work).
+  std::uint64_t propagation_ns = 0;
   std::size_t peak_db_bytes = 0;
 };
 
@@ -168,6 +187,18 @@ class CdclSolver {
   [[nodiscard]] std::size_t num_assigned() const noexcept {
     return trail_.size();
   }
+
+  // --- BCP probing (bench_solver_micro; failed-literal probing later) ---
+
+  /// Push a decision level, assume p, and propagate to fixpoint. Returns
+  /// false on conflict (state is then mid-conflict; call probe_reset()).
+  /// Already-assigned literals are a no-op returning true. No clause is
+  /// learned: probing leaves the clause database untouched, which is what
+  /// makes it usable as a pure BCP throughput measurement.
+  bool probe_assume(cnf::Lit p);
+
+  /// Abandon all probe levels: backtrack to decision level 0.
+  void probe_reset();
 
   // --- Splitting (paper §3.1, Figure 2) --------------------------------
 
@@ -230,16 +261,16 @@ class CdclSolver {
 
   /// Value of a variable under the current (partial) assignment.
   [[nodiscard]] cnf::LBool value(cnf::Var v) const noexcept {
-    return assign_[v];
+    return vars_[v].assign;
   }
   [[nodiscard]] cnf::LBool value(cnf::Lit l) const noexcept {
-    return l.value_under(assign_[l.var()]);
+    return l.value_under(vars_[l.var()].assign);
   }
   [[nodiscard]] std::uint32_t level_of(cnf::Var v) const noexcept {
-    return level_[v];
+    return vars_[v].level;
   }
   [[nodiscard]] bool tainted(cnf::Var v) const noexcept {
-    return taint_[v] != 0;
+    return vars_[v].taint != 0;
   }
 
   /// Debug invariant check: watched pairs sane, trail consistent. Returns
@@ -255,6 +286,17 @@ class CdclSolver {
     cnf::Lit blocker;  ///< some other literal; clause skipped if true
   };
 
+  /// One entry of the binary-implication store: the list for literal code
+  /// L holds, for every binary clause (¬L ∨ implied), the implied literal
+  /// plus the clause reference (needed as a reason for conflict analysis
+  /// and for proof/DB bookkeeping). Propagating from this 8-byte record
+  /// touches one cache line per few clauses and never dereferences the
+  /// arena on the skip path.
+  struct BinWatcher {
+    cnf::Lit implied;
+    ClauseRef cref;
+  };
+
   void init(cnf::Var num_vars, const std::vector<cnf::Clause>& clauses,
             std::size_t num_problem_clauses,
             const std::vector<SubproblemUnit>& units);
@@ -263,6 +305,14 @@ class CdclSolver {
   bool enqueue(cnf::Lit p, ClauseRef reason);
   bool enqueue_level0(cnf::Lit p, bool tainted);
   ClauseRef propagate();
+  ClauseRef propagate_fast();
+  ClauseRef propagate_legacy();
+  ClauseRef propagate_binary(cnf::Lit falsified, std::uint32_t dl);
+  void enqueue_implied(cnf::Lit p, ClauseRef reason, std::uint32_t dl);
+  /// True when this clause is (or would be) watched by the binary store.
+  [[nodiscard]] bool in_binary_store(ClauseRef cref) const {
+    return config_.binary_fast_path && arena_.size(cref) == 2;
+  }
   void analyze(ClauseRef confl, std::vector<cnf::Lit>& learned,
                std::uint32_t& backjump_level, cnf::Lit& uip);
   void minimize(std::vector<cnf::Lit>& learned);
@@ -306,12 +356,39 @@ class CdclSolver {
 
   ClauseArena arena_;
   std::vector<std::vector<Watcher>> watches_;  ///< indexed by literal code
+  /// Binary-clause implications, indexed by the falsified literal's code;
+  /// disjoint from watches_ while config_.binary_fast_path is on.
+  std::vector<std::vector<BinWatcher>> bin_watches_;
+  /// Occupancy bitmaps (bit per literal code, cache-resident): a clear bit
+  /// proves the corresponding watch list is empty, so propagate_fast()
+  /// skips the (usually cold) list-header load entirely. Conservative:
+  /// bits are set on every insertion and never cleared on removal — a
+  /// stale set bit only costs the lookup it would have cost anyway. The
+  /// legacy ablation path does not consult them.
+  std::vector<std::uint64_t> bin_occupied_;
+  std::vector<std::uint64_t> watch_occupied_;
+
+  static void set_occupied(std::vector<std::uint64_t>& bits,
+                           std::uint32_t code) noexcept {
+    bits[code >> 6] |= std::uint64_t{1} << (code & 63);
+  }
+  [[nodiscard]] static bool occupied(const std::vector<std::uint64_t>& bits,
+                                     std::uint32_t code) noexcept {
+    return ((bits[code >> 6] >> (code & 63)) & 1) != 0;
+  }
+
+  /// Per-variable search state packed into one 12-byte record so the BCP
+  /// enqueue path (assign + level + reason + taint) touches a single
+  /// cache line per variable instead of four parallel arrays.
+  struct VarState {
+    cnf::LBool assign = cnf::LBool::kUndef;
+    std::uint8_t taint = 0;
+    std::uint32_t level = 0;
+    ClauseRef reason = kNoClause;
+  };
 
   // Assignment state, indexed by variable (slot 0 unused).
-  cnf::Assignment assign_;
-  std::vector<std::uint32_t> level_;
-  std::vector<ClauseRef> reason_;
-  std::vector<std::uint8_t> taint_;
+  std::vector<VarState> vars_;
   std::vector<std::uint8_t> phase_;  ///< saved phase (1 = last true)
 
   std::vector<cnf::Lit> trail_;

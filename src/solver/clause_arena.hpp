@@ -75,6 +75,16 @@ class ClauseArena {
             size(r)};
   }
 
+  /// Mutable literal view for the BCP hot loop: lets the watcher scan
+  /// read and reorder a clause through one pointer instead of per-slot
+  /// lit()/swap_lits() calls (each of which re-derives the base offset).
+  [[nodiscard]] std::span<cnf::Lit> lits_mut(ClauseRef r) {
+    static_assert(sizeof(cnf::Lit) == sizeof(std::uint32_t));
+    return {reinterpret_cast<cnf::Lit*>(&data_[r + kHeaderWords]), size(r)};
+  }
+
+  [[nodiscard]] bool binary(ClauseRef r) const { return size(r) == 2; }
+
   [[nodiscard]] float activity(ClauseRef r) const {
     return bits_float(data_[r + 1]);
   }

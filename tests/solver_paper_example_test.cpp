@@ -45,6 +45,11 @@ class PaperExampleTest : public testing::Test {
       const SolveStatus status = solver.solve(1);
       if (status != SolveStatus::kUnknown) break;
     }
+    // Both hooks capture locals of this function by reference; detach them
+    // before returning so later solve() calls on the same solver don't
+    // invoke dangling captures.
+    solver.set_decision_hook({});
+    solver.set_conflict_observer({});
     EXPECT_TRUE(record.has_value()) << "scripted run produced no conflict";
     return record.value_or(ConflictRecord{});
   }

@@ -290,9 +290,11 @@ TEST(SubproblemTest, WireSizeMatchesSerializedSize) {
 }
 
 TEST(SubproblemTest, RoundTrippedSubproblemSolvesIdentically) {
+  // Fine slices: binary-first BCP resolves this instance quickly, so ask
+  // for a split at the earliest opportunity rather than every 200 units.
   const CnfFormula f = gen::graph_coloring(12, 30, 3, 7);
   CdclSolver solver(f);
-  auto other = advance_and_split(solver);
+  auto other = advance_and_split(solver, 20);
   ASSERT_TRUE(other.has_value());
   CdclSolver direct(*other);
   CdclSolver viawire(Subproblem::from_bytes(other->to_bytes()));
