@@ -1,0 +1,116 @@
+// Shared helpers for the thread-parallel bench modes (bench_scaling,
+// bench_sharing_ablation): instance resolution by short name, median
+// aggregation, and one timed ParallelSolver run.
+//
+// The committed artifact these benches produce (BENCH_parallel.json) is
+// JSON Lines: one self-describing row object per line, with a "bench"
+// field naming the producer, so both tools can write into the same file
+// (bench_scaling truncates, bench_sharing_ablation appends — see
+// ROADMAP.md "bench baselines").
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/pigeonhole.hpp"
+#include "gen/random_ksat.hpp"
+#include "gen/suite.hpp"
+#include "gen/xor_chains.hpp"
+#include "solver/parallel.hpp"
+
+namespace gridsat::bench {
+
+/// Resolve a short generator name — "urquhart-18" (optionally
+/// "urquhart-18-s2" for a non-default generator seed), "pigeonhole-9",
+/// "random3sat-v150-s7" — or fall back to the SAT2002-analog suite's
+/// paper file names. The XOR-parity (urquhart) family is the headline
+/// scaling family: splitting plus sharing reduces TOTAL work there, so
+/// speedup does not depend on physical cores.
+inline cnf::CnfFormula resolve_instance(const std::string& name) {
+  const auto num_after = [&name](const char* prefix) -> long {
+    const std::size_t n = std::string(prefix).size();
+    if (name.rfind(prefix, 0) != 0) return -1;
+    return std::stol(name.substr(n));
+  };
+  if (const long n = num_after("urquhart-"); n > 0) {
+    const std::size_t s = name.find("-s", std::string("urquhart-").size());
+    const long seed = s == std::string::npos ? 1 : std::stol(name.substr(s + 2));
+    return gen::urquhart_like(static_cast<std::size_t>(n),
+                              static_cast<std::uint64_t>(seed));
+  }
+  if (const long n = num_after("pigeonhole-"); n > 0) {
+    return gen::pigeonhole_unsat(static_cast<std::size_t>(n));
+  }
+  if (name.rfind("random3sat-v", 0) == 0) {
+    const std::size_t s = name.find("-s");
+    if (s == std::string::npos) {
+      throw std::invalid_argument("random3sat needs -v<vars>-s<seed>: " + name);
+    }
+    const long vars = std::stol(name.substr(12, s - 12));
+    const long seed = std::stol(name.substr(s + 2));
+    // Ratio 4.26: the k=3 hardness phase transition.
+    return gen::random_ksat(static_cast<cnf::Var>(vars),
+                            static_cast<std::size_t>(vars * 4.26), 3,
+                            static_cast<std::uint64_t>(seed));
+  }
+  return gen::suite::by_name(name).make();
+}
+
+inline double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 != 0) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+struct ParallelRun {
+  solver::ParallelResult result;
+  double wall_ms = 0.0;
+};
+
+inline ParallelRun run_parallel_once(const cnf::CnfFormula& f,
+                                     const solver::ParallelOptions& options) {
+  ParallelRun run;
+  solver::ParallelSolver solver(f, options);
+  const auto start = std::chrono::steady_clock::now();
+  run.result = solver.solve();
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+/// Repeat a configuration `reps` times and report the median wall time
+/// next to the (rep-stable) exchange counters of the median-wall run.
+/// Verdicts must agree across repeats; a mismatch is a solver bug worth
+/// crashing a bench over.
+inline ParallelRun run_parallel_median(const cnf::CnfFormula& f,
+                                       const solver::ParallelOptions& options,
+                                       int reps) {
+  std::vector<ParallelRun> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    runs.push_back(run_parallel_once(f, options));
+    if (runs.back().result.status != runs.front().result.status) {
+      throw std::logic_error("verdict changed across bench repeats");
+    }
+  }
+  std::vector<double> walls;
+  walls.reserve(runs.size());
+  for (const ParallelRun& r : runs) walls.push_back(r.wall_ms);
+  const double med = median_of(walls);
+  // Return the run whose wall time is closest to the median so counters
+  // and timing describe the same execution.
+  ParallelRun* best = &runs.front();
+  for (ParallelRun& r : runs) {
+    if (std::fabs(r.wall_ms - med) < std::fabs(best->wall_ms - med)) best = &r;
+  }
+  best->wall_ms = med;
+  return std::move(*best);
+}
+
+}  // namespace gridsat::bench

@@ -1,33 +1,128 @@
 // Ablation D (DESIGN.md): speedup vs resource-pool size, the §4.2 claim
 // that "more resources ... can cover more of the search space during the
-// same time". Runs one hard instance on growing prefixes of the GrADS-34
-// testbed and reports time-to-verdict, splits, and parallel efficiency.
+// same time".
+//
+// Two modes:
+//
+//  * --mode=threads (default): the real thread-parallel solver
+//    (solver/parallel.*) on XOR-parity instances, sweeping thread counts
+//    and reporting median wall time over --reps repeats, speedup vs the
+//    1-thread row, and the clause-exchange counters (published / deduped
+//    / imported / shard contention). With --json=FILE it writes one
+//    JSON-Lines row per (instance, threads) cell — the committed
+//    BENCH_parallel.json artifact (see ROADMAP.md). On the XOR-parity
+//    family the speedup is ALGORITHMIC (splitting + sharing shrink total
+//    work), so it holds even on a single physical core.
+//  * --mode=sim: the original virtual-time campaign sweep over growing
+//    prefixes of the GrADS-34 testbed.
 //
 //   ./bench_scaling
-//   ./bench_scaling --instance=rand_net50-60-5.cnf
+//   ./bench_scaling --quick --json=BENCH_parallel.json
+//   ./bench_scaling --mode=sim --instance=rand_net50-60-5.cnf
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/campaign.hpp"
 #include "core/sequential.hpp"
 #include "core/testbeds.hpp"
 #include "gen/suite.hpp"
+#include "solver/parallel.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 
 using namespace gridsat;  // NOLINT
 
-int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.define_str("instance", "rand_net50-60-5.cnf", "suite row to solve");
-  flags.define_str("pools", "1,2,4,8,16,24,34", "pool sizes to sweep");
-  flags.define_i64("seed", 2003, "campaign seed");
-  if (!flags.parse(argc, argv)) {
-    std::fputs(flags.usage("bench_scaling").c_str(), stderr);
-    return 2;
+namespace {
+
+int run_threads_mode(const util::Flags& flags) {
+  const bool quick = flags.boolean("quick");
+  std::string instances = flags.str("instances");
+  if (instances.empty()) {
+    instances = quick ? "urquhart-14,urquhart-15" : "urquhart-16,urquhart-18";
+  }
+  const int reps = quick ? 1 : std::max(1, static_cast<int>(flags.i64("reps")));
+
+  std::string json_rows;
+  std::printf("Thread-count scaling (reps=%d, median wall)\n\n", reps);
+  std::printf("%-14s %-8s %-8s %12s %8s %11s %9s %9s %10s %9s\n", "instance",
+              "threads", "verdict", "wall_ms", "speedup", "work", "splits",
+              "published", "deduped", "imported");
+  std::printf("%s\n", std::string(106, '-').c_str());
+
+  for (const auto& name : util::split(instances, ',')) {
+    cnf::CnfFormula f;
+    try {
+      f = bench::resolve_instance(name);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "skipping %s: %s\n", name.c_str(), e.what());
+      continue;
+    }
+    double wall_1t = 0.0;
+    for (const auto& token : util::split(flags.str("threads"), ',')) {
+      long long threads = 0;
+      if (!util::parse_i64(token, threads) || threads < 1) continue;
+      solver::ParallelOptions options;
+      options.num_threads = static_cast<std::size_t>(threads);
+      options.share_max_len = static_cast<std::size_t>(flags.i64("share-len"));
+      options.share_max_lbd = static_cast<std::uint32_t>(flags.i64("share-lbd"));
+      if (flags.i64("slice") > 0) {
+        options.slice_work = static_cast<std::uint64_t>(flags.i64("slice"));
+      }
+      const bench::ParallelRun run =
+          bench::run_parallel_median(f, options, reps);
+      if (threads == 1) wall_1t = run.wall_ms;
+      const double speedup =
+          (wall_1t > 0.0 && run.wall_ms > 0.0) ? wall_1t / run.wall_ms : 0.0;
+      const solver::ParallelStats& s = run.result.stats;
+      std::printf("%-14s %-8lld %-8s %12.1f %7.2fx %11llu %9llu %9llu %10llu %9llu\n",
+                  name.c_str(), threads, to_string(run.result.status),
+                  run.wall_ms, speedup,
+                  static_cast<unsigned long long>(s.total_work),
+                  static_cast<unsigned long long>(s.splits),
+                  static_cast<unsigned long long>(s.clauses_published),
+                  static_cast<unsigned long long>(s.clauses_deduped),
+                  static_cast<unsigned long long>(s.clauses_imported));
+      std::fflush(stdout);
+      util::JsonWriter json;
+      json.begin_object()
+          .field("bench", "bench_scaling")
+          .field("instance", name)
+          .field("threads", static_cast<std::int64_t>(threads))
+          .field("reps", static_cast<std::int64_t>(reps))
+          .field("status", solver::to_string(run.result.status))
+          .field("wall_ms", run.wall_ms)
+          .field("speedup_vs_1t", speedup)
+          .field("total_work", s.total_work)
+          .field("splits", s.splits)
+          .field("clauses_published", s.clauses_published)
+          .field("clauses_deduped", s.clauses_deduped)
+          .field("clauses_imported", s.clauses_imported)
+          .field("shard_lock_contention", s.shard_lock_contention)
+          .end_object();
+      json_rows += json.str();
+      json_rows += '\n';
+    }
   }
 
+  const std::string& path = flags.str("json");
+  if (!path.empty()) {
+    std::FILE* out =
+        std::fopen(path.c_str(), flags.boolean("append") ? "a" : "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(json_rows.c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int run_sim_mode(const util::Flags& flags) {
   const auto& row = gen::suite::by_name(flags.str("instance"));
   const cnf::CnfFormula formula = row.make();
 
@@ -81,4 +176,33 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_str("mode", "threads", "threads | sim");
+  // threads mode
+  flags.define_str("instances", "",
+                   "comma list for threads mode (default urquhart pair)");
+  flags.define_str("threads", "1,2,4", "thread counts to sweep");
+  flags.define_i64("reps", 3, "repeats per cell; wall = median");
+  flags.define_i64("share-len", 8, "share filter: max clause length");
+  flags.define_i64("share-lbd", 4, "share filter: max LBD");
+  flags.define_i64("slice", 0, "work units between cooperation points (0 = default)");
+  flags.define_bool("quick", false, "smaller instances, 1 rep (CI smoke)");
+  flags.define_str("json", "", "write JSON-Lines rows to this file");
+  flags.define_bool("append", false, "append to --json instead of truncating");
+  // sim mode
+  flags.define_str("instance", "rand_net50-60-5.cnf",
+                   "suite row to solve (sim mode)");
+  flags.define_str("pools", "1,2,4,8,16,24,34", "pool sizes to sweep (sim)");
+  flags.define_i64("seed", 2003, "campaign seed (sim)");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage("bench_scaling").c_str(), stderr);
+    return 2;
+  }
+  if (flags.str("mode") == "sim") return run_sim_mode(flags);
+  return run_threads_mode(flags);
 }

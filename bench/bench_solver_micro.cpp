@@ -234,6 +234,39 @@ struct BaselineRow {
 /// (assume loop, backtrack walk) cancels in the ratio. A props-target
 /// loop would instead penalise whichever config detects conflicts
 /// earlier.
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 != 0) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Aggregate repeated shots of one (instance, measurement, config) cell.
+/// Search statistics are deterministic across repeats — only the clock
+/// readings vary — so the aggregate keeps the first shot's counters and
+/// takes the MEDIAN of each timing field. The previous min-of-repeats
+/// policy was noise-seeking: on a loaded machine the min of one config
+/// could land in a quiet window while the other config's shots all hit
+/// load spikes, which is how the committed baseline once showed sub-1.0
+/// "speedups" for a strictly-less-work configuration.
+BaselineRow median_row(const std::vector<BaselineRow>& shots) {
+  BaselineRow row = shots.front();
+  std::vector<double> wall;
+  std::vector<double> bcp;
+  wall.reserve(shots.size());
+  bcp.reserve(shots.size());
+  for (const BaselineRow& s : shots) {
+    wall.push_back(s.wall_ms);
+    bcp.push_back(s.propagation_ms);
+  }
+  row.wall_ms = median_of(std::move(wall));
+  row.propagation_ms = median_of(std::move(bcp));
+  row.props_per_sec = row.propagation_ms > 0.0
+                          ? static_cast<double>(row.propagations) * 1000.0 /
+                                row.propagation_ms
+                          : 0.0;
+  return row;
+}
+
 BaselineRow probe_once(const BaselineCase& c, const cnf::CnfFormula& f,
                        bool fast, std::uint64_t rounds) {
   BaselineRow row;
@@ -315,7 +348,7 @@ int run_baseline(int argc, char** argv) {
   flags.define_str("json", "BENCH_solver.json", "write results to this file");
   flags.define_bool("quick", false, "smaller work budget (CI smoke)");
   flags.define_i64("budget", 0, "work units per run (0 = default)");
-  flags.define_i64("repeats", 3, "timed repeats; wall = min");
+  flags.define_i64("repeats", 5, "timed repeats; reported times = median");
   if (!flags.parse(argc, argv)) {
     std::fputs(flags.usage("bench_solver_micro").c_str(), stderr);
     return 2;
@@ -325,7 +358,8 @@ int run_baseline(int argc, char** argv) {
       flags.i64("budget") > 0 ? static_cast<std::uint64_t>(flags.i64("budget"))
                               : (quick ? 1'000'000 : 8'000'000);
   const std::uint64_t target_props = quick ? 200'000 : 500'000;
-  const int repeats = quick ? 1 : static_cast<int>(flags.i64("repeats"));
+  const int repeats =
+      quick ? 3 : std::max(1, static_cast<int>(flags.i64("repeats")));
 
   std::vector<BaselineCase> cases;
   // The random-3SAT formulas carry an at-most-one binary population
@@ -351,6 +385,8 @@ int run_baseline(int argc, char** argv) {
       .field("bench", "bench_solver_micro")
       .field("mode", "baseline")
       .field("work_budget", budget)
+      .field("repeats", static_cast<std::int64_t>(repeats))
+      .field("aggregate", "median")
       .key("rows")
       .begin_array();
   std::printf("%-24s %-11s %-5s %-8s %12s %12s %10s %10s %14s\n", "instance",
@@ -383,22 +419,23 @@ int run_baseline(int argc, char** argv) {
     const std::uint64_t rounds = std::max<std::uint64_t>(
         1, target_props / std::max<cnf::Var>(1, f.num_vars()));
     // Interleave the two configs inside every repeat (off, on, off, on,
-    // ...) and keep each config's fastest shot: machine-load drift on
-    // shared hardware moves slower than one repeat pair, so it cancels
-    // in the ratio instead of biasing whichever config ran later.
-    BaselineRow probe[2];
-    BaselineRow solve[2];
+    // ...) so machine-load drift on shared hardware — which moves slower
+    // than one repeat pair — cancels in the ratio instead of biasing
+    // whichever config ran later. Each cell reports the MEDIAN of its
+    // repeats (see median_row).
+    std::vector<BaselineRow> probe_shots[2];
+    std::vector<BaselineRow> solve_shots[2];
     for (int rep = 0; rep < repeats; ++rep) {
       for (const bool fast : {false, true}) {
-        const BaselineRow p = probe_once(c, f, fast, rounds);
-        const BaselineRow s = solve_once(c, f, fast, budget);
-        if (rep == 0 || p.propagation_ms < probe[fast].propagation_ms) {
-          probe[fast] = p;
-        }
-        if (rep == 0 || s.propagation_ms < solve[fast].propagation_ms) {
-          solve[fast] = s;
-        }
+        probe_shots[fast].push_back(probe_once(c, f, fast, rounds));
+        solve_shots[fast].push_back(solve_once(c, f, fast, budget));
       }
+    }
+    BaselineRow probe[2];
+    BaselineRow solve[2];
+    for (const bool fast : {false, true}) {
+      probe[fast] = median_row(probe_shots[fast]);
+      solve[fast] = median_row(solve_shots[fast]);
     }
     for (const bool fast : {false, true}) {
       emit_row(probe[fast]);

@@ -51,9 +51,12 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   solver_config.max_memory_squeezes = 0;
   solver_ = std::make_unique<solver::CdclSolver>(*sp, solver_config);
   const std::size_t share_cap = campaign_.config().share_max_len;
-  solver_->set_share_callback([this, share_cap](const cnf::Clause& clause) {
-    if (clause.size() <= share_cap) export_buffer_.push_back(clause);
-  });
+  // The simulated campaign keeps the paper's pure length filter (§3.2);
+  // the LBD the solver reports is used only by the thread-parallel path.
+  solver_->set_share_callback(
+      [this, share_cap](const cnf::Clause& clause, std::uint32_t /*lbd*/) {
+        if (clause.size() <= share_cap) export_buffer_.push_back(clause);
+      });
   subproblem_started_ = campaign_.engine().now();
   last_transfer_s_ = transfer_seconds;
   split_requested_ = false;

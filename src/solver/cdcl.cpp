@@ -34,6 +34,11 @@ std::uint64_t luby(std::uint32_t i) {
 constexpr double kActivityRescaleLimit = 1e100;
 constexpr float kClauseActivityRescaleLimit = 1e20f;
 
+/// Learned clauses with LBD at or below this are "glue" (Glucose's term):
+/// they connect two decision levels directly and are never evicted by
+/// reduce_db() (the emergency squeeze may still drop them).
+constexpr std::uint32_t kGlueLbd = 2;
+
 
 }  // namespace
 
@@ -73,6 +78,7 @@ void CdclSolver::init(Var num_vars, const std::vector<cnf::Clause>& clauses,
   activity_.assign(2 * nv, 0.0);
   heap_pos_.assign(2 * nv, -1);
   seen_.assign(nv, 0);
+  lbd_stamp_.assign(nv + 1, 0);  // decision levels range over [0, num_vars]
   heap_.clear();
   heap_.reserve(2 * nv);
   for (Var v = 1; v <= num_vars_; ++v) {
@@ -497,8 +503,22 @@ void CdclSolver::decay_activities() {
   clause_activity_inc_ /= config_.clause_activity_decay;
 }
 
+std::uint32_t CdclSolver::compute_lbd(const std::vector<Lit>& lits) {
+  ++lbd_stamp_counter_;
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const std::uint32_t level = vars_[l.var()].level;
+    if (lbd_stamp_[level] != lbd_stamp_counter_) {
+      lbd_stamp_[level] = lbd_stamp_counter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
 void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
-                         std::uint32_t& backjump_level, Lit& uip) {
+                         std::uint32_t& backjump_level, Lit& uip,
+                         std::uint32_t& lbd) {
   learned.clear();
   learned.push_back(kUndefLit);  // slot for the asserting literal
   analyze_clear_.clear();
@@ -560,6 +580,10 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
 
   if (config_.minimize_learned) minimize(learned);
 
+  // LBD of the final clause (post-minimization), while every literal is
+  // still assigned — backtracking clears the levels this counts.
+  lbd = compute_lbd(learned);
+
   // Backjump level: highest level among the non-asserting literals; keep
   // that literal in slot 1 so it becomes the second watch.
   backjump_level = 0;
@@ -618,7 +642,8 @@ void CdclSolver::backtrack(std::uint32_t target_level) {
   qhead_ = trail_.size();
 }
 
-void CdclSolver::learn_and_attach(const std::vector<Lit>& learned) {
+void CdclSolver::learn_and_attach(const std::vector<Lit>& learned,
+                                  std::uint32_t lbd) {
   ++stats_.learned_clauses;
   stats_.learned_literals += learned.size();
   if (config_.log_proof) {
@@ -626,7 +651,7 @@ void CdclSolver::learn_and_attach(const std::vector<Lit>& learned) {
   }
   if (share_cb_) {
     ++stats_.exported_clauses;
-    share_cb_(cnf::Clause(learned.begin(), learned.end()));
+    share_cb_(cnf::Clause(learned.begin(), learned.end()), lbd);
   }
   if (learned.size() == 1) {
     // A learned unit is a globally valid fact (all assumption
@@ -638,6 +663,7 @@ void CdclSolver::learn_and_attach(const std::vector<Lit>& learned) {
   }
   const ClauseRef cref = arena_.alloc(learned, /*learned=*/true);
   arena_.set_activity(cref, static_cast<float>(clause_activity_inc_));
+  arena_.set_lbd(cref, lbd);
   attach(cref);
   const bool ok = enqueue(learned[0], cref);
   assert(ok);
@@ -690,13 +716,19 @@ void CdclSolver::reduce_db() {
   arena_.for_each([&](ClauseRef r) {
     if (!arena_.learned(r)) return;
     if (arena_.size(r) <= 2) return;  // binaries are cheap and precious
+    if (arena_.lbd(r) <= kGlueLbd) return;  // glue: protected outright
     const Lit first = arena_.lit(r, 0);
     const bool locked =
         value(first) == LBool::kTrue && vars_[first.var()].reason == r;
     if (!locked) candidates.push_back(r);
   });
+  // Tiered eviction: highest LBD goes first (the clauses least likely to
+  // prune future search); activity breaks ties within an LBD band.
   std::sort(candidates.begin(), candidates.end(),
             [this](ClauseRef a, ClauseRef b) {
+              const std::uint32_t la = arena_.lbd(a);
+              const std::uint32_t lb = arena_.lbd(b);
+              if (la != lb) return la > lb;
               return arena_.activity(a) < arena_.activity(b);
             });
   const std::size_t to_delete = candidates.size() / 2;
@@ -854,11 +886,12 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
       }
       std::vector<Lit> learned;
       std::uint32_t backjump_level = 0;
+      std::uint32_t lbd = 0;
       Lit uip = kUndefLit;
-      analyze(confl, learned, backjump_level, uip);
-      record_conflict(confl, learned, uip, backjump_level);
+      analyze(confl, learned, backjump_level, uip, lbd);
+      record_conflict(confl, learned, uip, backjump_level, lbd);
       backtrack(backjump_level);
-      learn_and_attach(learned);
+      learn_and_attach(learned, lbd);
       if (root_conflict_) {
         if (config_.log_proof) proof_.add_empty();
         return status_ = SolveStatus::kUnsat;
@@ -1057,7 +1090,8 @@ std::vector<cnf::Clause> CdclSolver::learned_clauses(std::size_t max_len) const 
 
 void CdclSolver::record_conflict(ClauseRef confl,
                                  const std::vector<Lit>& learned, Lit uip,
-                                 std::uint32_t backjump_level) {
+                                 std::uint32_t backjump_level,
+                                 std::uint32_t lbd) {
   if (!conflict_observer_) return;
   ConflictRecord rec;
   const auto lits = arena_.lits(confl);
@@ -1066,6 +1100,7 @@ void CdclSolver::record_conflict(ClauseRef confl,
   rec.uip = uip;
   rec.conflict_level = decision_level();
   rec.backjump_level = backjump_level;
+  rec.lbd = lbd;
   conflict_observer_(rec);
 }
 

@@ -150,6 +150,10 @@ struct ConflictRecord {
   cnf::Lit uip;                          ///< FirstUIP literal (assignment)
   std::uint32_t conflict_level = 0;
   std::uint32_t backjump_level = 0;
+  /// LBD of the learned clause: number of distinct decision levels among
+  /// its literals at learning time (the clause-quality metric sharing
+  /// and DB reduction tier on).
+  std::uint32_t lbd = 0;
 };
 
 class CdclSolver {
@@ -221,9 +225,11 @@ class CdclSolver {
 
   // --- Clause sharing (paper §3.2) --------------------------------------
 
-  /// Callback invoked for every learned clause (client filters by length
-  /// and forwards on the network). The clause is globally valid.
-  void set_share_callback(std::function<void(const cnf::Clause&)> cb) {
+  /// Callback invoked for every learned clause with its LBD (clients
+  /// filter by quality — LBD and/or length — and forward on the network).
+  /// The clause is globally valid.
+  void set_share_callback(
+      std::function<void(const cnf::Clause&, std::uint32_t lbd)> cb) {
     share_cb_ = std::move(cb);
   }
 
@@ -314,11 +320,16 @@ class CdclSolver {
     return config_.binary_fast_path && arena_.size(cref) == 2;
   }
   void analyze(ClauseRef confl, std::vector<cnf::Lit>& learned,
-               std::uint32_t& backjump_level, cnf::Lit& uip);
+               std::uint32_t& backjump_level, cnf::Lit& uip,
+               std::uint32_t& lbd);
   void minimize(std::vector<cnf::Lit>& learned);
+  /// Number of distinct decision levels among `lits` (the Glucose glue
+  /// metric); every literal must be assigned.
+  [[nodiscard]] std::uint32_t compute_lbd(const std::vector<cnf::Lit>& lits);
   void backtrack(std::uint32_t target_level);
   std::optional<cnf::Lit> pick_branch();
-  void learn_and_attach(const std::vector<cnf::Lit>& learned);
+  void learn_and_attach(const std::vector<cnf::Lit>& learned,
+                        std::uint32_t lbd);
   void attach(ClauseRef cref);
   void detach(ClauseRef cref);
   /// Add a clause at level 0 with standard preprocessing (dedupe,
@@ -349,7 +360,8 @@ class CdclSolver {
   }
 
   void record_conflict(ClauseRef confl, const std::vector<cnf::Lit>& learned,
-                       cnf::Lit uip, std::uint32_t backjump_level);
+                       cnf::Lit uip, std::uint32_t backjump_level,
+                       std::uint32_t lbd);
 
   SolverConfig config_;
   cnf::Var num_vars_ = 0;
@@ -405,6 +417,10 @@ class CdclSolver {
   // Analysis scratch.
   std::vector<std::uint8_t> seen_;
   std::vector<cnf::Lit> analyze_clear_;
+  /// Per-level stamps for compute_lbd(): level L was counted for the
+  /// current clause iff lbd_stamp_[L] == lbd_stamp_counter_. O(1) reset.
+  std::vector<std::uint64_t> lbd_stamp_;
+  std::uint64_t lbd_stamp_counter_ = 0;
 
   // Restart / reduce schedule.
   std::uint64_t conflicts_until_restart_ = 0;
@@ -416,7 +432,7 @@ class CdclSolver {
 
   // Sharing.
   std::vector<cnf::Clause> import_queue_;
-  std::function<void(const cnf::Clause&)> share_cb_;
+  std::function<void(const cnf::Clause&, std::uint32_t)> share_cb_;
 
   std::function<void(const ConflictRecord&)> conflict_observer_;
   std::function<cnf::Lit()> decision_hook_;

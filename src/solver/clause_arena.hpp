@@ -7,7 +7,11 @@
 //
 //   word 0 : size << 3 | learned << 0 | deleted << 1
 //   word 1 : activity (float bits; learned-clause relevance for deletion)
-//   word 2..2+size : literal codes  (words 2 and 3 are the watched pair)
+//   word 2 : LBD — number of distinct decision levels at learning time
+//            (glue metric; drives deletion tiering and the sharing
+//            filter). Clauses whose LBD was never measured (problem
+//            clauses, imports) carry their size as a pessimistic bound.
+//   word 3..3+size : literal codes  (words 3 and 4 are the watched pair)
 //
 // Deletion marks the clause and counts its bytes as garbage; compaction
 // (gc()) happens when the solver is at decision level 0 and rewrites all
@@ -36,16 +40,19 @@ inline constexpr ClauseRef kDecisionReason = 0xfffffffeu;
 
 class ClauseArena {
  public:
-  static constexpr std::uint32_t kHeaderWords = 2;
+  static constexpr std::uint32_t kHeaderWords = 3;
 
   /// Allocate a clause; returns its reference. Literals are stored in the
-  /// given order (callers arrange the watched pair in slots 0/1).
+  /// given order (callers arrange the watched pair in slots 0/1). LBD
+  /// defaults to the clause size — the pessimistic upper bound — until the
+  /// learner calls set_lbd() with the measured value.
   ClauseRef alloc(std::span<const cnf::Lit> lits, bool learned) {
     assert(!lits.empty());
     const ClauseRef ref = static_cast<ClauseRef>(data_.size());
     data_.push_back((static_cast<std::uint32_t>(lits.size()) << 3) |
                     (learned ? 1u : 0u));
     data_.push_back(float_bits(0.0f));
+    data_.push_back(static_cast<std::uint32_t>(lits.size()));
     for (const cnf::Lit l : lits) data_.push_back(l.code());
     live_words_ += kHeaderWords + lits.size();
     if (learned) ++num_learned_;
@@ -89,6 +96,11 @@ class ClauseArena {
     return bits_float(data_[r + 1]);
   }
   void set_activity(ClauseRef r, float a) { data_[r + 1] = float_bits(a); }
+
+  /// Literal-blocks-distance measured when the clause was learned (or its
+  /// size when never measured). Lower = better; <= 2 is "glue".
+  [[nodiscard]] std::uint32_t lbd(ClauseRef r) const { return data_[r + 2]; }
+  void set_lbd(ClauseRef r, std::uint32_t lbd) { data_[r + 2] = lbd; }
 
   /// Mark deleted; bytes counted as garbage until gc().
   void free(ClauseRef r) {

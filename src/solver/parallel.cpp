@@ -14,6 +14,10 @@ ParallelSolver::ParallelSolver(const cnf::CnfFormula& formula,
 }
 
 ParallelResult ParallelSolver::solve() {
+  // One publish shard per worker; the dedup table is shared by all.
+  pool_ = std::make_unique<SharedClausePool>(options_.num_threads);
+  dedup_ = std::make_unique<FingerprintFilter>(options_.dedup_log2_slots);
+
   // Seed the queue with the whole problem.
   Subproblem root;
   root.num_vars = formula_.num_vars();
@@ -38,6 +42,9 @@ ParallelResult ParallelSolver::solve() {
   result_.stats.splits = splits_.load();
   result_.stats.subproblems_refuted = refuted_.load();
   result_.stats.clauses_published = published_.load();
+  result_.stats.clauses_deduped = deduped_.load();
+  result_.stats.clauses_imported = imported_.load();
+  result_.stats.shard_lock_contention = pool_->lock_contention();
   result_.stats.total_work = total_work_.load();
   return result_;
 }
@@ -73,23 +80,23 @@ void ParallelSolver::push_work(Subproblem sp) {
   queue_cv_.notify_one();
 }
 
-void ParallelSolver::publish_clauses(std::vector<cnf::Clause> batch) {
-  if (batch.empty()) return;
-  std::lock_guard<std::mutex> lock(pool_mutex_);
-  published_ += batch.size();
-  clause_pool_.insert(clause_pool_.end(),
-                      std::make_move_iterator(batch.begin()),
-                      std::make_move_iterator(batch.end()));
-}
-
-std::vector<cnf::Clause> ParallelSolver::fetch_clauses_since(
-    std::size_t& cursor) {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
-  std::vector<cnf::Clause> fresh(clause_pool_.begin() +
-                                     static_cast<std::ptrdiff_t>(cursor),
-                                 clause_pool_.end());
-  cursor = clause_pool_.size();
-  return fresh;
+std::size_t ParallelSolver::publish_clauses(std::size_t worker_index,
+                                            std::vector<SharedClause> batch) {
+  if (batch.empty()) return 0;
+  // Duplicate suppression happens before the shard lock: the fingerprint
+  // table is lock-free, so the (global) dedup step adds no serialization.
+  std::vector<SharedClause> fresh;
+  fresh.reserve(batch.size());
+  for (SharedClause& sc : batch) {
+    if (dedup_->insert(clause_fingerprint(sc.lits))) {
+      fresh.push_back(std::move(sc));
+    } else {
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const std::size_t n = pool_->publish(worker_index, std::move(fresh));
+  published_.fetch_add(n, std::memory_order_relaxed);
+  return n;
 }
 
 void ParallelSolver::worker_loop(std::size_t worker_index) {
@@ -113,22 +120,31 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
   SolverConfig config = options_.solver;
   config.seed = options_.solver.seed + worker_index;  // decorrelate ties
   CdclSolver solver(sp, config);
-  std::vector<cnf::Clause> exports;
-  const std::size_t cap = options_.share_max_len;
-  solver.set_share_callback([&exports, cap](const cnf::Clause& c) {
-    if (c.size() <= cap) exports.push_back(c);
-  });
-  std::size_t pool_cursor = 0;
-  // Skip clauses this subproblem inherited? The pool only holds clauses
-  // published during the run; inherited ones arrived via sp.clauses.
-  (void)fetch_clauses_since(pool_cursor);  // start from "now"
+  std::vector<SharedClause> exports;
+  const std::size_t max_len = options_.share_max_len;
+  const std::uint32_t max_lbd = options_.share_max_lbd;
+  solver.set_share_callback(
+      [&exports, max_len, max_lbd](const cnf::Clause& c, std::uint32_t lbd) {
+        // Quality filter: short clauses are always cheap to ship; long
+        // ones must earn it with a low LBD.
+        if ((max_len > 0 && c.size() <= max_len) ||
+            (max_lbd > 0 && lbd <= max_lbd)) {
+          exports.push_back(SharedClause{c, lbd});
+        }
+      });
+  // Start reading from "now": clauses this subproblem should know about
+  // arrived inside sp.clauses; re-importing the pool's history would
+  // mostly ship duplicates.
+  SharedClausePool::Cursor cursor = pool_->make_cursor();
+  pool_->skip_to_now(cursor);
+  std::vector<SharedClause> incoming;
 
   for (;;) {
     if (stop_.load()) return;
     const std::uint64_t before = solver.stats().work;
     const SolveStatus status = solver.solve(options_.slice_work);
     total_work_ += solver.stats().work - before;
-    publish_clauses(std::move(exports));
+    publish_clauses(worker_index, std::move(exports));
     exports.clear();
     switch (status) {
       case SolveStatus::kSat: {
@@ -167,9 +183,16 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
       case SolveStatus::kUnknown:
         break;  // cooperate, then continue
     }
-    // Import what others published while we were solving.
-    auto fresh = fetch_clauses_since(pool_cursor);
-    if (!fresh.empty()) solver.import_clauses(std::move(fresh));
+    // Import what others published while we were solving. Only shards
+    // with news are touched (and only their new suffix is copied).
+    incoming.clear();
+    if (pool_->collect(worker_index, cursor, incoming) > 0) {
+      std::vector<cnf::Clause> fresh;
+      fresh.reserve(incoming.size());
+      for (SharedClause& sc : incoming) fresh.push_back(std::move(sc.lits));
+      imported_.fetch_add(fresh.size(), std::memory_order_relaxed);
+      solver.import_clauses(std::move(fresh));
+    }
     // Feed starving workers.
     if (hungry_workers_.load() > 0 && solver.can_split()) {
       push_work(solver.split());

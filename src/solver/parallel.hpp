@@ -10,10 +10,14 @@
 //
 // Scheduling model: a shared work queue of subproblems. Workers run their
 // solver in fixed work-unit slices; between slices they flush learned
-// clauses (<= share_max_len) to a global pool, import what other workers
-// published, and — when any worker is starving — split their problem and
-// push the complementary branch. SAT anywhere wins; UNSAT everywhere
-// (queue empty, all workers idle) refutes.
+// clauses that pass the quality filter (LBD and/or length — see
+// ParallelOptions) into their own shard of a SharedClausePool, import
+// what other workers published (per-shard cursors; never a full-pool
+// copy), and — when any worker is starving — split their problem and
+// push the complementary branch. A global fingerprint filter suppresses
+// duplicate shipments of the same clause learned by several workers.
+// SAT anywhere wins; UNSAT everywhere (queue empty, all workers idle)
+// refutes. See DESIGN.md §4b for the exchange microarchitecture.
 //
 // Verdicts are deterministic; timings and the discovered model are not
 // (thread interleaving picks the branch that wins).
@@ -23,12 +27,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "cnf/formula.hpp"
 #include "solver/cdcl.hpp"
+#include "solver/sharing.hpp"
 #include "solver/subproblem.hpp"
 
 namespace gridsat::solver {
@@ -36,9 +42,18 @@ namespace gridsat::solver {
 struct ParallelOptions {
   /// 0 = one per hardware thread.
   std::size_t num_threads = 0;
-  std::size_t share_max_len = 10;
+  /// Share filter: a learned clause is exported when
+  ///   (share_max_len > 0 && length <= share_max_len) ||
+  ///   (share_max_lbd > 0 && lbd <= share_max_lbd).
+  /// Length alone is the paper's filter (§3.2, cap 10 then 3); LBD is the
+  /// clause-quality metric (HordeSat/Glucose) that admits long-but-strong
+  /// clauses and rejects long-and-weak ones. Both zero = sharing off.
+  std::size_t share_max_len = 8;
+  std::uint32_t share_max_lbd = 4;
   /// Work units a worker runs between cooperation points.
   std::uint64_t slice_work = 200'000;
+  /// log2 of the duplicate-fingerprint table size (entries, not bytes).
+  std::size_t dedup_log2_slots = 17;
   SolverConfig solver;
 };
 
@@ -46,7 +61,17 @@ struct ParallelStats {
   std::size_t threads = 0;
   std::uint64_t splits = 0;
   std::uint64_t subproblems_refuted = 0;
+  /// Clauses that entered the shared pool (post-filter, post-dedup).
   std::uint64_t clauses_published = 0;
+  /// Export candidates suppressed because another worker (or an earlier
+  /// subproblem) already published an identical literal set.
+  std::uint64_t clauses_deduped = 0;
+  /// Clauses handed to importing solvers (each shipment counts once per
+  /// importing worker).
+  std::uint64_t clauses_imported = 0;
+  /// Times a publisher or importer found a shard mutex already held —
+  /// the residual serialization of the exchange path.
+  std::uint64_t shard_lock_contention = 0;
   std::uint64_t total_work = 0;
 };
 
@@ -71,9 +96,9 @@ class ParallelSolver {
   bool pop_work(Subproblem& out);
   void push_work(Subproblem sp);
 
-  // Shared clause pool (append-only during a run).
-  void publish_clauses(std::vector<cnf::Clause> batch);
-  std::vector<cnf::Clause> fetch_clauses_since(std::size_t& cursor);
+  /// Dedup + append to the worker's own shard; returns clauses admitted.
+  std::size_t publish_clauses(std::size_t worker_index,
+                              std::vector<SharedClause> batch);
 
   const cnf::CnfFormula& formula_;
   ParallelOptions options_;
@@ -84,8 +109,11 @@ class ParallelSolver {
   std::size_t active_workers_ = 0;
   bool finished_ = false;  ///< guarded by queue_mutex_
 
-  std::mutex pool_mutex_;
-  std::vector<cnf::Clause> clause_pool_;
+  // Clause exchange: per-worker publish shards + global duplicate filter
+  // (see solver/sharing.hpp). Constructed in solve() once the thread
+  // count is known.
+  std::unique_ptr<SharedClausePool> pool_;
+  std::unique_ptr<FingerprintFilter> dedup_;
 
   std::mutex result_mutex_;
   ParallelResult result_;
@@ -95,6 +123,8 @@ class ParallelSolver {
   std::atomic<std::uint64_t> splits_{0};
   std::atomic<std::uint64_t> refuted_{0};
   std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> deduped_{0};
+  std::atomic<std::uint64_t> imported_{0};
   std::atomic<std::uint64_t> total_work_{0};
 };
 

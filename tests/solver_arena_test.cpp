@@ -66,6 +66,31 @@ TEST(ClauseArenaTest, ActivityRoundTrip) {
   EXPECT_FLOAT_EQ(arena.activity(r), 3.5f);
 }
 
+TEST(ClauseArenaTest, LbdDefaultsToSizeAndRoundTrips) {
+  ClauseArena arena;
+  const ClauseRef r = arena.alloc(lits({1, 2, 3, 4}), true);
+  // Pessimistic default: LBD == clause length until analyze() refines it.
+  EXPECT_EQ(arena.lbd(r), 4u);
+  arena.set_lbd(r, 2);
+  EXPECT_EQ(arena.lbd(r), 2u);
+  // LBD storage must not disturb its neighbors.
+  EXPECT_EQ(arena.size(r), 4u);
+  EXPECT_FLOAT_EQ(arena.activity(r), 0.0f);
+  EXPECT_EQ(arena.lit(r, 0), Lit::from_dimacs(1));
+}
+
+TEST(ClauseArenaTest, LbdSurvivesGc) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2}), true);
+  const ClauseRef b = arena.alloc(lits({3, 4, 5}), true);
+  arena.set_lbd(b, 2);
+  arena.free(a);
+  const auto remap = arena.gc();
+  const ClauseRef b_new = remap(b);
+  ASSERT_NE(b_new, kNoClause);
+  EXPECT_EQ(arena.lbd(b_new), 2u);
+}
+
 TEST(ClauseArenaTest, ForEachSkipsDeleted) {
   ClauseArena arena;
   const ClauseRef a = arena.alloc(lits({1, 2}), false);

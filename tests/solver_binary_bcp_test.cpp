@@ -201,7 +201,7 @@ TEST(BinaryBcpTest, ExportedBinariesImportSoundly) {
     const bool truth = brute_force_solve(f).has_value();
     CdclSolver exporter(f);
     std::vector<cnf::Clause> shared;
-    exporter.set_share_callback([&](const cnf::Clause& c) {
+    exporter.set_share_callback([&](const cnf::Clause& c, std::uint32_t) {
       if (c.size() <= 2) shared.push_back(c);
     });
     (void)exporter.solve();

@@ -144,7 +144,7 @@ TEST(ProofTest, SharedClausesFromSplitSolversAreRupAgainstOriginal) {
   std::vector<cnf::Clause> database = f.clauses();
   std::size_t checked = 0;
   bool all_rup = true;
-  const auto checker = [&](const cnf::Clause& c) {
+  const auto checker = [&](const cnf::Clause& c, std::uint32_t) {
     // Append in causal order: a clause may resolve on earlier learned
     // clauses (including ones the donor learned before the split, which
     // the branch inherits), so the checker database must contain every

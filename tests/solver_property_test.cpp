@@ -128,7 +128,7 @@ TEST(ImportNoiseTest, DuplicateAndTautologicalImportsTolerated) {
   // it... use clauses from the reference solver to stay sound.
   std::vector<cnf::Clause> sound;
   CdclSolver donor(f);
-  donor.set_share_callback([&](const cnf::Clause& c) {
+  donor.set_share_callback([&](const cnf::Clause& c, std::uint32_t) {
     if (sound.size() < 20) sound.push_back(c);
   });
   donor.solve();

@@ -155,10 +155,10 @@ TEST(SharingSoundnessTest, SharedClausesImpliedByOriginalFormula) {
     CdclSolver b(*other);
 
     std::vector<cnf::Clause> shared;
-    b.set_share_callback([&](const cnf::Clause& c) {
+    b.set_share_callback([&](const cnf::Clause& c, std::uint32_t) {
       if (shared.size() < 50) shared.push_back(c);
     });
-    a.set_share_callback([&](const cnf::Clause& c) {
+    a.set_share_callback([&](const cnf::Clause& c, std::uint32_t) {
       if (shared.size() < 50) shared.push_back(c);
     });
     a.solve();
@@ -183,7 +183,7 @@ TEST(SharingSoundnessTest, DeepSplitChainStillSound) {
   // learns must still be implied by the original formula.
   CdclSolver leaf(branches.back());
   std::vector<cnf::Clause> shared;
-  leaf.set_share_callback([&](const cnf::Clause& c) {
+  leaf.set_share_callback([&](const cnf::Clause& c, std::uint32_t) {
     if (shared.size() < 30) shared.push_back(c);
   });
   leaf.solve(2'000'000);
@@ -201,7 +201,7 @@ TEST(SharingTest, ImportPreservesVerdict) {
     // Harvest clauses from one run, inject into a fresh solver.
     CdclSolver donor(f);
     std::vector<cnf::Clause> harvest;
-    donor.set_share_callback([&](const cnf::Clause& c) {
+    donor.set_share_callback([&](const cnf::Clause& c, std::uint32_t) {
       if (c.size() <= 10 && harvest.size() < 200) harvest.push_back(c);
     });
     donor.solve();
