@@ -18,9 +18,14 @@
 //
 //   ./bench_scaling
 //   ./bench_scaling --quick --json=BENCH_parallel.json
+//   ./bench_scaling --quick --trace=trace.json --metrics-every=50
 //   ./bench_scaling --mode=sim --instance=rand_net50-60-5.cnf
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -28,6 +33,8 @@
 #include "core/sequential.hpp"
 #include "core/testbeds.hpp"
 #include "gen/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/parallel.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
@@ -36,6 +43,114 @@
 using namespace gridsat;  // NOLINT
 
 namespace {
+
+/// Largest value in a comma-separated thread list (0 when none parse).
+long long max_threads_in(const std::string& list) {
+  long long best = 0;
+  for (const auto& token : util::split(list, ',')) {
+    long long t = 0;
+    if (util::parse_i64(token, t) && t > best) best = t;
+  }
+  return best;
+}
+
+/// One fully instrumented run: wall-clock tracer + metric registry on
+/// `threads` workers, with an optional sampler thread folding registry
+/// snapshots into the trace as Chrome counter tracks every
+/// `metrics_every_ms`. Writes the Chrome trace JSON to `path`.
+int run_traced(const cnf::CnfFormula& f, const std::string& instance,
+               solver::ParallelOptions options, long long threads,
+               long long metrics_every_ms, const std::string& path) {
+  if (!obs::kTraceCompiledIn) {
+    std::fprintf(stderr,
+                 "--trace: tracer compiled out (GRIDSAT_TRACE=OFF); "
+                 "no trace written\n");
+    return 0;
+  }
+  options.num_threads = static_cast<std::size_t>(threads);
+  obs::Tracer tracer(1u << 16, obs::Tracer::Clock::kWall);
+  tracer.set_enabled(true);
+  obs::MetricRegistry registry;
+  // Register every lane before any thread can emit: registration mutates
+  // the tracer's ring table, concurrent emission may not.
+  for (long long i = 0; i < threads; ++i) {
+    tracer.register_worker("worker-" + std::to_string(i));
+  }
+  const std::uint32_t sampler_lane = tracer.register_worker("sampler");
+  options.tracer = &tracer;
+  options.metrics = &registry;
+
+  solver::ParallelSolver solver(f, options);
+  std::atomic<bool> stop{false};
+  std::thread sampler;
+  if (metrics_every_ms > 0) {
+    sampler = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(metrics_every_ms));
+        registry.snapshot_to(tracer, sampler_lane);
+      }
+    });
+  }
+  const solver::ParallelResult result = solver.solve();
+  stop.store(true);
+  if (sampler.joinable()) sampler.join();
+  registry.snapshot_to(tracer, sampler_lane);  // final state, always
+
+  if (!obs::write_chrome_trace(tracer, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf(
+      "\ninstrumented run: %s on %lld threads -> %s (verdict %s, "
+      "%llu events, load via chrome://tracing)\n",
+      instance.c_str(), threads, path.c_str(), to_string(result.status),
+      static_cast<unsigned long long>(tracer.total_emitted()));
+  return 0;
+}
+
+/// Tracing-cost measurement: median wall of `reps` runs with the tracer
+/// attached-and-enabled vs detached. Returns the JSON-Lines row.
+std::string measure_trace_overhead(const cnf::CnfFormula& f,
+                                   const std::string& instance,
+                                   solver::ParallelOptions options,
+                                   long long threads, int reps) {
+  options.num_threads = static_cast<std::size_t>(threads);
+
+  std::vector<double> on_walls;
+  std::vector<double> off_walls;
+  for (int i = 0; i < reps; ++i) {
+    obs::Tracer tracer(1u << 16, obs::Tracer::Clock::kWall);
+    tracer.set_enabled(true);
+    for (long long w = 0; w < threads; ++w) {
+      tracer.register_worker("worker-" + std::to_string(w));
+    }
+    solver::ParallelOptions on = options;
+    on.tracer = &tracer;
+    on_walls.push_back(bench::run_parallel_once(f, on).wall_ms);
+    off_walls.push_back(bench::run_parallel_once(f, options).wall_ms);
+  }
+  const double on_ms = bench::median_of(on_walls);
+  const double off_ms = bench::median_of(off_walls);
+  const double overhead_pct =
+      off_ms > 0.0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+  std::printf(
+      "\ntrace overhead: %s on %lld threads, %d reps: "
+      "%.1f ms traced vs %.1f ms untraced (%+.2f%%)\n",
+      instance.c_str(), threads, reps, on_ms, off_ms, overhead_pct);
+
+  util::JsonWriter json;
+  json.begin_object()
+      .field("bench", "trace_overhead")
+      .field("instance", instance)
+      .field("threads", static_cast<std::int64_t>(threads))
+      .field("reps", static_cast<std::int64_t>(reps))
+      .field("wall_ms_trace_on", on_ms)
+      .field("wall_ms_trace_off", off_ms)
+      .field("overhead_pct", overhead_pct)
+      .end_object();
+  return json.str() + '\n';
+}
 
 int run_threads_mode(const util::Flags& flags) {
   const bool quick = flags.boolean("quick");
@@ -46,6 +161,8 @@ int run_threads_mode(const util::Flags& flags) {
   const int reps = quick ? 1 : std::max(1, static_cast<int>(flags.i64("reps")));
 
   std::string json_rows;
+  cnf::CnfFormula probe_formula;  ///< first resolvable instance, reused by
+  std::string probe_name;         ///< --trace / --trace-overhead
   std::printf("Thread-count scaling (reps=%d, median wall)\n\n", reps);
   std::printf("%-14s %-8s %-8s %12s %8s %11s %9s %9s %10s %9s\n", "instance",
               "threads", "verdict", "wall_ms", "speedup", "work", "splits",
@@ -59,6 +176,10 @@ int run_threads_mode(const util::Flags& flags) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "skipping %s: %s\n", name.c_str(), e.what());
       continue;
+    }
+    if (probe_name.empty()) {
+      probe_formula = f;
+      probe_name = name;
     }
     double wall_1t = 0.0;
     for (const auto& token : util::split(flags.str("threads"), ',')) {
@@ -107,6 +228,21 @@ int run_threads_mode(const util::Flags& flags) {
     }
   }
 
+  solver::ParallelOptions base_options;
+  base_options.share_max_len = static_cast<std::size_t>(flags.i64("share-len"));
+  base_options.share_max_lbd =
+      static_cast<std::uint32_t>(flags.i64("share-lbd"));
+  if (flags.i64("slice") > 0) {
+    base_options.slice_work = static_cast<std::uint64_t>(flags.i64("slice"));
+  }
+  const long long probe_threads = max_threads_in(flags.str("threads"));
+
+  if (flags.boolean("trace-overhead") && !probe_name.empty() &&
+      probe_threads > 0) {
+    json_rows += measure_trace_overhead(probe_formula, probe_name,
+                                        base_options, probe_threads, reps);
+  }
+
   const std::string& path = flags.str("json");
   if (!path.empty()) {
     std::FILE* out =
@@ -118,6 +254,12 @@ int run_threads_mode(const util::Flags& flags) {
     std::fputs(json_rows.c_str(), out);
     std::fclose(out);
     std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  const std::string& trace_path = flags.str("trace");
+  if (!trace_path.empty() && !probe_name.empty() && probe_threads > 0) {
+    return run_traced(probe_formula, probe_name, base_options, probe_threads,
+                      flags.i64("metrics-every"), trace_path);
   }
   return 0;
 }
@@ -158,7 +300,19 @@ int run_sim_mode(const util::Flags& flags) {
     config.seed = static_cast<std::uint64_t>(flags.i64("seed"));
     core::Campaign campaign(formula, core::testbeds::kMasterSite, hosts,
                             config);
+    // With --trace, each sweep point overwrites the file: what remains is
+    // the full-testbed (last) campaign's virtual-time trace.
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!flags.str("trace").empty() && obs::kTraceCompiledIn) {
+      tracer = std::make_unique<obs::Tracer>(1u << 16,
+                                             obs::Tracer::Clock::kManual);
+      tracer->set_enabled(true);
+      campaign.set_tracer(tracer.get());
+    }
     const core::GridSatResult result = campaign.run();
+    if (tracer != nullptr) {
+      obs::write_chrome_trace(*tracer, flags.str("trace"));
+    }
     char speedup[24] = "-";
     char efficiency[24] = "-";
     if (result.status == core::CampaignStatus::kSat ||
@@ -194,6 +348,16 @@ int main(int argc, char** argv) {
   flags.define_bool("quick", false, "smaller instances, 1 rep (CI smoke)");
   flags.define_str("json", "", "write JSON-Lines rows to this file");
   flags.define_bool("append", false, "append to --json instead of truncating");
+  // observability
+  flags.define_str("trace", "",
+                   "write a Chrome trace (chrome://tracing) of one "
+                   "instrumented run: first instance, largest thread count");
+  flags.define_i64("metrics-every", 0,
+                   "sample the metric registry into the trace every N ms "
+                   "(0 = only a final snapshot)");
+  flags.define_bool("trace-overhead", false,
+                    "measure tracing cost (on vs off) and emit a "
+                    "\"trace_overhead\" JSON row");
   // sim mode
   flags.define_str("instance", "rand_net50-60-5.cnf",
                    "suite row to solve (sim mode)");

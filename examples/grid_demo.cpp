@@ -3,18 +3,43 @@
 // actually happened on the (virtual) wire, followed by the campaign
 // summary.
 //
-// Run:  ./grid_demo
+// With the obs/ layer attached it also renders the merged virtual-time
+// event timeline (master + clients + wire) and can export the whole run
+// as Chrome trace JSON:
+//
+//   ./grid_demo
+//   ./grid_demo --trace=campaign.json --metrics-every=10
+#include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 #include "core/campaign.hpp"
 #include "core/testbeds.hpp"
 #include "gen/graph_color.hpp"
 #include "gen/pigeonhole.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/flags.hpp"
 #include "util/strings.hpp"
 
 using namespace gridsat;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_str("trace", "",
+                   "write the campaign as Chrome trace JSON "
+                   "(chrome://tracing / ui.perfetto.dev)");
+  flags.define_i64("metrics-every", 0,
+                   "sample campaign metrics into the trace every N virtual "
+                   "seconds (0 = only a final snapshot)");
+  flags.define_i64("timeline-lines", 40,
+                   "virtual-time timeline lines to print (0 = skip)");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage("grid_demo").c_str(), stderr);
+    return 2;
+  }
+
   // A hard UNSAT instance so the scheduler has real work to distribute.
   const cnf::CnfFormula formula = gen::pigeonhole_unsat(8);
 
@@ -38,6 +63,29 @@ int main() {
 
   core::Campaign campaign(formula, "ucsd", hosts, config);
   campaign.bus().enable_trace();
+
+  // Observability: a manual-clock tracer stamped with the sim's virtual
+  // time, plus the campaign's live gauges sampled on the event queue.
+  obs::Tracer tracer(1u << 16, obs::Tracer::Clock::kManual);
+  obs::MetricRegistry registry;
+  if (obs::kTraceCompiledIn) {
+    tracer.set_enabled(true);
+    campaign.set_tracer(&tracer);
+    campaign.set_metrics(&registry);
+    const std::uint32_t sampler_lane = tracer.register_worker("sampler");
+    const auto every = static_cast<double>(flags.i64("metrics-every"));
+    if (every > 0) {
+      // Self-rescheduling virtual-time sampler; run() stops consuming the
+      // queue the moment the campaign reaches a verdict.
+      auto sample = std::make_shared<std::function<void()>>();
+      *sample = [&campaign, &registry, &tracer, sampler_lane, every, sample] {
+        registry.snapshot_to(tracer, sampler_lane);
+        campaign.engine().schedule_in(every, *sample);
+      };
+      campaign.engine().schedule_in(every, *sample);
+    }
+  }
+
   const core::GridSatResult result = campaign.run();
 
   std::printf("--- first split scenario on the wire (cf. Figure 3) ---\n");
@@ -53,6 +101,25 @@ int main() {
                 util::format_bytes(static_cast<double>(record.bytes)).c_str(),
                 record.delivered_at - record.sent_at);
     if (++shown >= 14) break;
+  }
+
+  if (obs::kTraceCompiledIn) {
+    const auto lines = static_cast<std::size_t>(
+        std::max<long long>(0, flags.i64("timeline-lines")));
+    if (lines > 0) {
+      std::printf("\n--- virtual-time event timeline (first %zu lines) ---\n",
+                  lines);
+      std::fputs(obs::text_timeline(tracer, lines).c_str(), stdout);
+    }
+    if (!flags.str("trace").empty()) {
+      if (obs::write_chrome_trace(tracer, flags.str("trace"))) {
+        std::printf("\nwrote %s (%llu events; load via chrome://tracing)\n",
+                    flags.str("trace").c_str(),
+                    static_cast<unsigned long long>(tracer.total_emitted()));
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", flags.str("trace").c_str());
+      }
+    }
   }
 
   std::printf("\n--- campaign summary ---\n");

@@ -20,7 +20,26 @@ constexpr double kMasterMonitorDelay = 1.0;        ///< failure detection lag
 // ===========================================================================
 
 Client::Client(Campaign& campaign, std::size_t host_index, std::string name)
-    : campaign_(campaign), host_index_(host_index), name_(std::move(name)) {}
+    : campaign_(campaign), host_index_(host_index), name_(std::move(name)) {
+  if constexpr (obs::kTraceCompiledIn) {
+    // Same lane name the message bus uses for this endpoint, so solver
+    // and wire events interleave on one timeline row.
+    if (campaign_.tracer_ != nullptr) {
+      trace_worker_ = campaign_.tracer_->register_worker("client:" + name_);
+    }
+  }
+}
+
+void Client::trace_phase(const char* phase) {
+  if constexpr (obs::kTraceCompiledIn) {
+    obs::Tracer* t = campaign_.tracer_;
+    if (t != nullptr && t->enabled()) {
+      t->emit(trace_worker_, obs::EventKind::kPhase, t->intern(phase));
+    }
+  } else {
+    (void)phase;
+  }
+}
 
 std::uint64_t Client::work_done() const noexcept {
   return work_accumulated_ + (solver_ ? solver_->stats().work : 0);
@@ -50,6 +69,8 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   // is granted, so squeezes are unlimited (the 60% rule makes them rare).
   solver_config.max_memory_squeezes = 0;
   solver_ = std::make_unique<solver::CdclSolver>(*sp, solver_config);
+  solver_->set_tracer(campaign_.tracer_, trace_worker_);
+  trace_phase("subproblem-start");
   const std::size_t share_cap = campaign_.config().share_max_len;
   // The simulated campaign keeps the paper's pure length filter (§3.2);
   // the LBD the solver reports is used only by the thread-parallel path.
@@ -232,6 +253,8 @@ void Client::perform_split() {
   split_requested_ = false;
   auto sp = std::make_shared<solver::Subproblem>(solver_->split());
   subproblem_started_ = campaign_.engine().now();  // fresh (folded) problem
+  obs::trace_event(campaign_.tracer_, trace_worker_, obs::EventKind::kSplit,
+                   campaign_.result_.total_splits + 1, peer);
   const std::size_t bytes = sp->wire_size();
   // Message 3 of Figure 3: peer-to-peer subproblem transfer. The transfer
   // time also parameterizes both sides' split timeouts (§3.3).
@@ -265,6 +288,7 @@ void Client::perform_migration() {
   pending_migrate_peer_ = -1;
   split_requested_ = false;
   auto sp = std::make_shared<solver::Subproblem>(solver_->to_subproblem());
+  trace_phase("migrate-out");
   work_accumulated_ += solver_->stats().work;
   solver_.reset();
   export_buffer_.clear();
@@ -296,6 +320,7 @@ void Client::finish_subproblem(SolveStatus status) {
   flush_exports();
   switch (status) {
     case SolveStatus::kSat: {
+      trace_phase("sat-found");
       cnf::Assignment model = solver_->model();
       work_accumulated_ += solver_->stats().work;
       solver_.reset();
@@ -310,6 +335,7 @@ void Client::finish_subproblem(SolveStatus status) {
       break;
     }
     case SolveStatus::kUnsat: {
+      trace_phase("subproblem-unsat");
       work_accumulated_ += solver_->stats().work;
       solver_.reset();
       export_buffer_.clear();
@@ -322,6 +348,7 @@ void Client::finish_subproblem(SolveStatus status) {
     }
     case SolveStatus::kMemOut: {
       // The OS out-of-memory killer takes the client (§3.3 footnote).
+      trace_phase("mem-out");
       work_accumulated_ += solver_->stats().work;
       kill();
       const std::size_t host = host_index_;
@@ -373,6 +400,40 @@ void Campaign::schedule_client_failure(std::size_t host_index, double at) {
     engine_.schedule_in(kMasterMonitorDelay, [this, host_index, was_busy] {
       on_client_died(host_index, was_busy);
     });
+  });
+}
+
+void Campaign::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  engine_.set_tracer(tracer);
+  bus_.set_tracer(tracer);
+  if (tracer_ != nullptr) {
+    master_trace_worker_ = tracer_->register_worker("master");
+  }
+}
+
+void Campaign::set_metrics(obs::MetricRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  // Live master state, readable mid-run through snapshots scheduled on
+  // the sim engine; frozen to plain values when run() returns.
+  metrics_->gauge_fn("campaign.active_clients", [this] {
+    return static_cast<double>(directory_.count_in_state(HostState::kBusy));
+  });
+  metrics_->gauge_fn("campaign.split_backlog", [this] {
+    return static_cast<double>(backlog_.size());
+  });
+  metrics_->gauge_fn("campaign.subproblems_in_flight", [this] {
+    return static_cast<double>(subproblems_in_flight_);
+  });
+  metrics_->gauge_fn("campaign.splits", [this] {
+    return static_cast<double>(result_.total_splits);
+  });
+  metrics_->gauge_fn("campaign.clauses_shared", [this] {
+    return static_cast<double>(result_.clauses_shared);
+  });
+  metrics_->gauge_fn("campaign.messages", [this] {
+    return static_cast<double>(bus_.messages_sent());
   });
 }
 
@@ -754,6 +815,16 @@ void Campaign::finish(CampaignStatus status) {
   done_ = true;
   result_.status = status;
   result_.seconds = engine_.now();
+  if constexpr (obs::kTraceCompiledIn) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      const char* phase = status == CampaignStatus::kSat       ? "verdict-sat"
+                          : status == CampaignStatus::kUnsat   ? "verdict-unsat"
+                          : status == CampaignStatus::kTimeout ? "verdict-timeout"
+                                                               : "verdict-error";
+      tracer_->emit(master_trace_worker_, obs::EventKind::kPhase,
+                    tracer_->intern(phase));
+    }
+  }
   if (batch_ && batch_job_ != 0 && !result_.batch_started) {
     // Solved before the batch job started: cancel the queued request
     // (Table 2: "the job queued from the Blue Horizon is canceled").
@@ -834,6 +905,15 @@ GridSatResult Campaign::run() {
   result_.total_work = 0;
   for (const auto& c : clients_) {
     if (c) result_.total_work += c->work_done();
+  }
+  if (metrics_ != nullptr) {
+    // Freeze the callback gauges: an external registry may outlive this
+    // Campaign, and the closures above read master state.
+    for (const obs::MetricRegistry::Sample& s : metrics_->snapshot()) {
+      if (s.name.rfind("campaign.", 0) == 0) {
+        metrics_->set_gauge(s.name, s.value);
+      }
+    }
   }
   return result_;
 }

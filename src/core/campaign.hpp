@@ -36,6 +36,8 @@
 #include "core/config.hpp"
 #include "core/result.hpp"
 #include "grid/directory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/batch.hpp"
 #include "sim/engine.hpp"
 #include "sim/host.hpp"
@@ -80,6 +82,9 @@ class Client {
   void maybe_checkpoint();
   void check_split_triggers();
   [[nodiscard]] double effective_split_timeout() const;
+  /// Emit a kPhase event on this client's timeline lane (no-op without a
+  /// tracer).
+  void trace_phase(const char* phase);
 
   Campaign& campaign_;
   std::size_t host_index_;
@@ -96,6 +101,7 @@ class Client {
   bool alive_ = true;
   double last_checkpoint_ = 0.0;
   std::size_t checkpointed_level0_ = 0;
+  std::uint32_t trace_worker_ = 0;  ///< lane in the campaign's tracer
 };
 
 struct BatchOptions {
@@ -120,6 +126,16 @@ class Campaign {
 
   /// Test hook: kill the client on `host_index` at virtual time `at`.
   void schedule_client_failure(std::size_t host_index, double at);
+
+  /// Attach a (manual-clock) tracer before run(): the engine drives its
+  /// virtual clock, the bus emits per-message send/recv events, clients
+  /// emit phase/split/solver events on lanes named after their hosts.
+  void set_tracer(obs::Tracer* tracer);
+  /// Attach a metric registry before run(): live campaign state is
+  /// published as callback gauges ("campaign.*"), frozen to plain values
+  /// when run() returns.
+  void set_metrics(obs::MetricRegistry* metrics);
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_; }
 
   /// Run the campaign to a verdict (or the overall timeout).
   GridSatResult run();
@@ -230,6 +246,11 @@ class Campaign {
   std::unique_ptr<sim::BatchSystem> batch_;
   sim::BatchSystem::JobId batch_job_ = 0;
   double batch_started_at_ = -1.0;
+
+  // Observability (not owned; null = off).
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricRegistry* metrics_ = nullptr;
+  std::uint32_t master_trace_worker_ = 0;
 };
 
 }  // namespace gridsat::core

@@ -1,0 +1,111 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/json.hpp"
+
+namespace gridsat::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
+      buckets_(buckets == 0 ? 1 : buckets) {}
+
+void HistogramMetric::observe(double x) noexcept {
+  double idx = (x - lo_) / width_;
+  if (idx < 0.0) idx = 0.0;
+  auto i = static_cast<std::size_t>(idx);
+  if (i >= buckets_.size()) i = buckets_.size() - 1;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of atomic<double>::fetch_add: works on every
+  // toolchain, and histogram observation is not a solver hot path.
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double HistogramMetric::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum_.load(std::memory_order_relaxed) /
+                            static_cast<double>(n);
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricRegistry::histogram(const std::string& name, double lo,
+                                           double hi, std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return *slot;
+}
+
+void MetricRegistry::gauge_fn(const std::string& name,
+                              std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  slot->fn_ = std::move(fn);
+}
+
+void MetricRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  slot->fn_ = nullptr;
+  slot->set(value);
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
+  std::vector<Sample> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size());
+    for (const auto& [name, c] : counters_) {
+      out.push_back({name, static_cast<double>(c->get())});
+    }
+    for (const auto& [name, g] : gauges_) {
+      out.push_back({name, g->fn_ ? g->fn_() : g->get()});
+    }
+    for (const auto& [name, h] : histograms_) {
+      out.push_back({name + ".count", static_cast<double>(h->count())});
+      out.push_back({name + ".mean", h->mean()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+void MetricRegistry::snapshot_to(Tracer& tracer, std::uint32_t worker) const {
+  for (const Sample& s : snapshot()) {
+    tracer.emit(worker, EventKind::kCounter, tracer.intern(s.name),
+                static_cast<std::uint64_t>(std::llround(
+                    std::max(0.0, s.value))));
+  }
+}
+
+std::string MetricRegistry::json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  for (const Sample& s : snapshot()) json.field(s.name, s.value);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace gridsat::obs

@@ -1,0 +1,127 @@
+// Named metric registry: counters, gauges, and histograms shared by the
+// thread-parallel solver, the simulated campaign, and the benches.
+//
+// Handles returned by the registry (Counter&, Gauge&, HistogramMetric&)
+// are stable for the registry's lifetime and safe to update from any
+// thread — increments are relaxed atomics, never locks. The registry
+// mutex covers only registration and snapshotting (cold paths).
+//
+// Snapshots flatten every metric to (name, value) pairs in name order,
+// which makes them deterministic to diff and cheap to emit as Chrome
+// trace counter events (snapshot_to) for "--metrics-every" sampling in
+// wall time (benches) or virtual time (sim campaigns).
+//
+// ParallelStats and the sharding counters stay as the public facade:
+// their values are read out of this registry (and, for live pool state,
+// out of callback gauges) at the end of a solve.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace gridsat::obs {
+
+/// Monotonic counter; add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time value. A gauge may instead carry a callback (registered
+/// via MetricRegistry::gauge_fn) that is evaluated at snapshot time —
+/// used to surface live state (shared-pool size, lock contention)
+/// without copying it on every update.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  std::atomic<double> v_{0.0};
+  std::function<double()> fn_;  ///< guarded by the registry mutex
+};
+
+/// Fixed-bucket linear histogram with atomic bucket counts; observe()
+/// never locks. Out-of-range samples land in the first/last bucket.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  double lo_;
+  double width_;  ///< per-bucket
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricRegistry {
+ public:
+  /// Find-or-create; the reference stays valid for the registry's life.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Find-or-create; lo/hi/buckets apply only on creation.
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+
+  /// Register (or replace) a callback gauge evaluated at snapshot time.
+  void gauge_fn(const std::string& name, std::function<double()> fn);
+  /// Freeze a gauge to a plain value, dropping any callback — call this
+  /// before the state a gauge_fn closure reads is destroyed.
+  void set_gauge(const std::string& name, double value);
+
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+  };
+  /// Every metric flattened to (name, value), sorted by name. Histograms
+  /// contribute "<name>.count" and "<name>.mean".
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Emit the snapshot as kCounter trace events under `worker` (values
+  /// rounded to integers — Chrome counter tracks).
+  void snapshot_to(Tracer& tracer, std::uint32_t worker) const;
+
+  /// One JSON object {"name": value, ...} in name order.
+  [[nodiscard]] std::string json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace gridsat::obs

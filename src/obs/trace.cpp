@@ -1,0 +1,296 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.hpp"
+
+namespace gridsat::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kDecisions: return "decisions";
+    case EventKind::kConflict: return "conflict";
+    case EventKind::kRestart: return "restart";
+    case EventKind::kDbReduce: return "reduce-db";
+    case EventKind::kClausePublish: return "publish";
+    case EventKind::kClauseImport: return "import";
+    case EventKind::kClauseDedup: return "dedup";
+    case EventKind::kSplit: return "split";
+    case EventKind::kMsgSend: return "msg-send";
+    case EventKind::kMsgRecv: return "msg-recv";
+    case EventKind::kPhase: return "phase";
+    case EventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity_per_worker, Clock clock)
+    : capacity_(round_up_pow2(capacity_per_worker)),
+      clock_(clock),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint32_t Tracer::register_worker(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = worker_ids_.find(name);
+  if (it != worker_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(rings_.size());
+  rings_.push_back(std::make_unique<Ring>(capacity_));
+  worker_names_.push_back(name);
+  worker_ids_.emplace(name, id);
+  return id;
+}
+
+double Tracer::now() const noexcept {
+  if (clock_ == Clock::kManual) {
+    return manual_now_.load(std::memory_order_relaxed);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Tracer::emit(std::uint32_t worker, EventKind kind, std::uint64_t a,
+                  std::uint64_t b) noexcept {
+  emit_at(now(), worker, kind, a, b);
+}
+
+void Tracer::emit_at(double ts, std::uint32_t worker, EventKind kind,
+                     std::uint64_t a, std::uint64_t b) noexcept {
+  if (!enabled()) return;
+  if (worker >= rings_.size()) return;  // unregistered: drop
+  Ring& ring = *rings_[worker];
+  TraceEvent& slot = ring.buf[ring.head & (capacity_ - 1)];
+  slot.ts = ts;
+  slot.a = a;
+  slot.b = b;
+  slot.worker = worker;
+  slot.kind = kind;
+  ++ring.head;
+}
+
+std::uint32_t Tracer::intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = intern_ids_.find(s);
+  if (it != intern_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(intern_table_.size());
+  intern_table_.push_back(s);
+  intern_ids_.emplace(s, id);
+  return id;
+}
+
+std::string Tracer::interned(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return id < intern_table_.size() ? intern_table_[id] : std::string("?");
+}
+
+std::size_t Tracer::num_workers() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return rings_.size();
+}
+
+std::string Tracer::worker_name(std::uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return worker < worker_names_.size() ? worker_names_[worker]
+                                       : std::string("?");
+}
+
+std::vector<TraceEvent> Tracer::events(std::uint32_t worker) const {
+  std::vector<TraceEvent> out;
+  if (worker >= rings_.size()) return out;
+  const Ring& ring = *rings_[worker];
+  const std::uint64_t retained = std::min<std::uint64_t>(ring.head, capacity_);
+  out.reserve(static_cast<std::size_t>(retained));
+  for (std::uint64_t i = ring.head - retained; i < ring.head; ++i) {
+    out.push_back(ring.buf[i & (capacity_ - 1)]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::all_events() const {
+  std::vector<TraceEvent> out;
+  for (std::uint32_t w = 0; w < rings_.size(); ++w) {
+    const std::vector<TraceEvent> mine = events(w);
+    out.insert(out.end(), mine.begin(), mine.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.ts < y.ts;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::dropped(std::uint32_t worker) const {
+  if (worker >= rings_.size()) return 0;
+  const std::uint64_t head = rings_[worker]->head;
+  return head > capacity_ ? head - capacity_ : 0;
+}
+
+std::uint64_t Tracer::total_emitted() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->head;
+  return total;
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
+  // Thread-name metadata so chrome://tracing labels each worker row.
+  const std::size_t workers = tracer.num_workers();
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    json.begin_object()
+        .field("ph", "M")
+        .field("name", "thread_name")
+        .field("pid", std::int64_t{0})
+        .field("tid", static_cast<std::int64_t>(w))
+        .key("args")
+        .begin_object()
+        .field("name", tracer.worker_name(w))
+        .end_object()
+        .end_object();
+  }
+  for (const TraceEvent& ev : tracer.all_events()) {
+    const double ts_us = ev.ts * 1e6;
+    json.begin_object();
+    switch (ev.kind) {
+      case EventKind::kCounter:
+        json.field("ph", "C")
+            .field("name", tracer.interned(static_cast<std::uint32_t>(ev.a)))
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .field("ts", ts_us)
+            .key("args")
+            .begin_object()
+            .field("value", ev.b)
+            .end_object();
+        break;
+      case EventKind::kMsgSend:
+      case EventKind::kMsgRecv:
+        json.field("ph", "i")
+            .field("s", "t")
+            .field("name", tracer.interned(static_cast<std::uint32_t>(ev.a)))
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .field("ts", ts_us)
+            .key("args")
+            .begin_object()
+            .field("dir", ev.kind == EventKind::kMsgSend ? "send" : "recv")
+            .field("peer",
+                   tracer.worker_name(static_cast<std::uint32_t>(ev.b)))
+            .end_object();
+        break;
+      case EventKind::kPhase:
+        json.field("ph", "i")
+            .field("s", "t")
+            .field("name", tracer.interned(static_cast<std::uint32_t>(ev.a)))
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .field("ts", ts_us)
+            .key("args")
+            .begin_object()
+            .field("b", ev.b)
+            .end_object();
+        break;
+      default:
+        json.field("ph", "i")
+            .field("s", "t")
+            .field("name", to_string(ev.kind))
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .field("ts", ts_us)
+            .key("args")
+            .begin_object()
+            .field("a", ev.a)
+            .field("b", ev.b)
+            .end_object();
+        break;
+    }
+    json.end_object();
+  }
+  json.end_array().end_object();
+  return json.str();
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const std::string body = chrome_trace_json(tracer);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), out) == body.size();
+  return std::fclose(out) == 0 && ok;
+}
+
+std::string text_timeline(const Tracer& tracer, std::size_t max_lines) {
+  std::string out;
+  char line[256];
+  std::size_t lines = 0;
+  for (const TraceEvent& ev : tracer.all_events()) {
+    if (max_lines != 0 && lines >= max_lines) {
+      out += "  ... (truncated)\n";
+      break;
+    }
+    const std::string who = tracer.worker_name(ev.worker);
+    std::string detail;
+    switch (ev.kind) {
+      case EventKind::kMsgSend:
+        detail = tracer.interned(static_cast<std::uint32_t>(ev.a)) + " -> " +
+                 tracer.worker_name(static_cast<std::uint32_t>(ev.b));
+        break;
+      case EventKind::kMsgRecv:
+        detail = tracer.interned(static_cast<std::uint32_t>(ev.a)) + " <- " +
+                 tracer.worker_name(static_cast<std::uint32_t>(ev.b));
+        break;
+      case EventKind::kPhase:
+        detail = tracer.interned(static_cast<std::uint32_t>(ev.a));
+        break;
+      case EventKind::kCounter:
+        detail = tracer.interned(static_cast<std::uint32_t>(ev.a)) + " = " +
+                 std::to_string(ev.b);
+        break;
+      case EventKind::kConflict:
+        detail = "conflict (lbd=" + std::to_string(ev.a) +
+                 ", level=" + std::to_string(ev.b) + ")";
+        break;
+      case EventKind::kDecisions:
+        detail = "decisions=" + std::to_string(ev.a);
+        break;
+      case EventKind::kRestart:
+        detail = "restart #" + std::to_string(ev.a);
+        break;
+      case EventKind::kDbReduce:
+        detail = "reduce-db (deleted=" + std::to_string(ev.a) +
+                 ", live=" + std::to_string(ev.b) + ")";
+        break;
+      case EventKind::kClausePublish:
+        detail = "publish +" + std::to_string(ev.a) + " clauses";
+        break;
+      case EventKind::kClauseImport:
+        detail = "import +" + std::to_string(ev.a) + " clauses";
+        break;
+      case EventKind::kClauseDedup:
+        detail = "dedup -" + std::to_string(ev.a) + " duplicates";
+        break;
+      case EventKind::kSplit:
+        detail = "split #" + std::to_string(ev.a);
+        break;
+    }
+    std::snprintf(line, sizeof line, "[%10.2fs] %-18s %s\n", ev.ts,
+                  who.c_str(), detail.c_str());
+    out += line;
+    ++lines;
+  }
+  return out;
+}
+
+}  // namespace gridsat::obs

@@ -1,0 +1,191 @@
+// Low-overhead event tracer for solver workers, simulated clients, and
+// the message bus (HordeSat's "cheap always-on statistics" philosophy).
+//
+// Each worker owns a fixed-size ring buffer of POD TraceEvent records;
+// emission is one enabled-flag load, one clock read, and one 32-byte
+// store — no locks, no allocation. When the ring wraps, the oldest
+// events are overwritten (and counted as dropped), so tracing a long run
+// keeps its most recent window instead of failing.
+//
+// Two clocks:
+//   * Clock::kWall   — steady_clock seconds since tracer construction
+//                      (the thread-parallel solver);
+//   * Clock::kManual — virtual seconds set by the discrete-event engine
+//                      (SimEngine::set_tracer updates it before every
+//                      event handler fires), so sim traces are stamped
+//                      with the paper's virtual time.
+//
+// Two costs of "off":
+//   * runtime:  set_enabled(false) (the default) reduces trace_event()
+//               to a pointer test plus one relaxed atomic load;
+//   * compile:  -DGRIDSAT_TRACE=OFF (CMake option) defines
+//               GRIDSAT_TRACE_OFF, and every trace_event() call site
+//               compiles to nothing (kTraceCompiledIn == false).
+//
+// Threading contract: register_worker() and intern() take a mutex and
+// must not race with emit() on a *newly created* worker id — register
+// every concurrent worker before spawning threads (the parallel solver
+// does; the single-threaded sim may register lazily mid-run). A ring is
+// single-writer: only worker w emits under id w. Draining (events(),
+// exports) requires emission to have quiesced (workers joined / sim
+// stopped).
+//
+// Exports: chrome_trace_json() produces Chrome trace_event JSON (load
+// via chrome://tracing or ui.perfetto.dev), text_timeline() renders the
+// merged event stream as the paper's Figure-3 narrative.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace gridsat::obs {
+
+#if defined(GRIDSAT_TRACE_OFF)
+inline constexpr bool kTraceCompiledIn = false;
+#else
+inline constexpr bool kTraceCompiledIn = true;
+#endif
+
+enum class EventKind : std::uint16_t {
+  kDecisions = 0,   ///< a = total decisions so far (emitted every 4096)
+  kConflict,        ///< a = learned-clause LBD, b = conflicting level
+  kRestart,         ///< a = restart count
+  kDbReduce,        ///< a = clauses deleted, b = learned clauses left
+  kClausePublish,   ///< a = clauses admitted to the shard
+  kClauseImport,    ///< a = clauses merged at level 0
+  kClauseDedup,     ///< a = duplicate shipments suppressed
+  kSplit,           ///< a = splits performed so far
+  kMsgSend,         ///< a = interned message kind, b = receiver worker
+  kMsgRecv,         ///< a = interned message kind, b = sender worker
+  kPhase,           ///< a = interned phase name (client lifecycle)
+  kCounter,         ///< a = interned metric name, b = rounded value
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// One trace record. POD by construction: rings are plain arrays of
+/// these, and a drain is a memcpy-ordered copy.
+struct TraceEvent {
+  double ts = 0.0;  ///< seconds (wall since epoch, or virtual)
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t worker = 0;
+  EventKind kind = EventKind::kPhase;
+  std::uint16_t reserved = 0;
+};
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+static_assert(sizeof(TraceEvent) == 32, "keep the hot-path store small");
+
+class Tracer {
+ public:
+  enum class Clock { kWall, kManual };
+
+  /// `capacity_per_worker` is rounded up to a power of two (min 16).
+  explicit Tracer(std::size_t capacity_per_worker = 1u << 16,
+                  Clock clock = Clock::kWall);
+
+  /// Find-or-create a worker id for `name` (also the Chrome trace
+  /// thread name). Ids are dense, in registration order.
+  std::uint32_t register_worker(const std::string& name);
+
+  /// Runtime switch; emission is a no-op while disabled. Off by default.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Virtual clock (Clock::kManual only): subsequent emit() calls are
+  /// stamped with `seconds`.
+  void set_manual_time(double seconds) noexcept {
+    manual_now_.store(seconds, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double now() const noexcept;
+
+  /// Record an event at now(). Unknown worker ids are dropped.
+  void emit(std::uint32_t worker, EventKind kind, std::uint64_t a = 0,
+            std::uint64_t b = 0) noexcept;
+  /// Record an event with an explicit timestamp (the message bus stamps
+  /// a delivery at its future virtual arrival time).
+  void emit_at(double ts, std::uint32_t worker, EventKind kind,
+               std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+  /// Intern a string (message kinds, phase names, metric names) so POD
+  /// events can reference it by id.
+  std::uint32_t intern(const std::string& s);
+  [[nodiscard]] std::string interned(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t num_workers() const;
+  [[nodiscard]] std::string worker_name(std::uint32_t worker) const;
+  [[nodiscard]] std::size_t capacity_per_worker() const noexcept {
+    return capacity_;
+  }
+
+  // --- Drain (after emission has quiesced) -----------------------------
+  /// Events retained for one worker, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events(std::uint32_t worker) const;
+  /// All retained events merged across workers, sorted by timestamp.
+  [[nodiscard]] std::vector<TraceEvent> all_events() const;
+  /// Events overwritten by ring wraparound for one worker.
+  [[nodiscard]] std::uint64_t dropped(std::uint32_t worker) const;
+  [[nodiscard]] std::uint64_t total_emitted() const;
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity) : buf(capacity) {}
+    std::vector<TraceEvent> buf;
+    std::uint64_t head = 0;  ///< total events ever written
+  };
+
+  std::size_t capacity_;  ///< power of two
+  Clock clock_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<double> manual_now_{0.0};
+
+  mutable std::mutex registry_mutex_;  ///< worker names + intern table
+  std::vector<std::unique_ptr<Ring>> rings_;  ///< stable Ring addresses
+  std::vector<std::string> worker_names_;
+  std::vector<std::string> intern_table_;
+  std::map<std::string, std::uint32_t> intern_ids_;
+  std::map<std::string, std::uint32_t> worker_ids_;
+};
+
+/// Hot-path emission helper: compiles to nothing under GRIDSAT_TRACE=OFF
+/// and to a pointer test + relaxed load when runtime-disabled.
+inline void trace_event(Tracer* tracer, std::uint32_t worker, EventKind kind,
+                        std::uint64_t a = 0, std::uint64_t b = 0) noexcept {
+  if constexpr (kTraceCompiledIn) {
+    if (tracer != nullptr && tracer->enabled()) tracer->emit(worker, kind, a, b);
+  } else {
+    (void)tracer;
+    (void)worker;
+    (void)kind;
+    (void)a;
+    (void)b;
+  }
+}
+
+/// Chrome trace_event JSON (chrome://tracing / ui.perfetto.dev): one
+/// instant event per record, counter events for kCounter samples, and
+/// thread-name metadata from the worker registry.
+[[nodiscard]] std::string chrome_trace_json(const Tracer& tracer);
+/// Write chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+/// Plain-text timeline of the merged event stream — with a Clock::kManual
+/// tracer fed by the sim this reproduces the paper's Figure-3 narrative
+/// ("[ 12.50s] client:torc1  SPLIT_REQUEST -> master"). `max_lines` = 0
+/// means unlimited.
+[[nodiscard]] std::string text_timeline(const Tracer& tracer,
+                                        std::size_t max_lines = 0);
+
+}  // namespace gridsat::obs

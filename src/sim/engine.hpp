@@ -13,6 +13,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace gridsat::sim {
 
 /// Virtual seconds since simulation start.
@@ -47,6 +49,13 @@ class SimEngine {
     }
   }
 
+  /// Attach a tracer (not owned): the engine drives its manual clock, so
+  /// events emitted from handlers are stamped with virtual time.
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) tracer_->set_manual_time(now_);
+  }
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending() const noexcept { return live_events_; }
@@ -62,6 +71,9 @@ class SimEngine {
       auto& handler = handlers_[ev.id];
       if (!handler) continue;  // cancelled
       now_ = ev.at;
+      if constexpr (obs::kTraceCompiledIn) {
+        if (tracer_ != nullptr) tracer_->set_manual_time(now_);
+      }
       auto fn = std::move(handler);
       handler = nullptr;
       --live_events_;
@@ -115,6 +127,7 @@ class SimEngine {
   /// events) and keeps event ids stable.
   std::vector<std::function<void()>> handlers_;
   std::size_t live_events_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gridsat::sim

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 
@@ -42,9 +43,27 @@ class MessageBus {
     ++messages_sent_;
     bytes_sent_ += header.bytes;
     if (trace_enabled_) trace_.push_back(record);
+    if constexpr (obs::kTraceCompiledIn) {
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        // One wire event per side: the send under the sender's lane at
+        // sent_at, the receive under the receiver's at delivered_at
+        // (future-stamped; the engine's clock catches up at delivery).
+        const std::uint32_t from_w = tracer_->register_worker(record.from);
+        const std::uint32_t to_w = tracer_->register_worker(record.to);
+        const std::uint64_t kind = tracer_->intern(record.kind);
+        tracer_->emit_at(record.sent_at, from_w, obs::EventKind::kMsgSend,
+                         kind, to_w);
+        tracer_->emit_at(record.delivered_at, to_w, obs::EventKind::kMsgRecv,
+                         kind, from_w);
+      }
+    }
     engine_.schedule_in(delay, std::move(handler));
     return delay;
   }
+
+  /// Attach a tracer (not owned): every send() emits a kMsgSend /
+  /// kMsgRecv pair under lanes named after the endpoints.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   void enable_trace(bool on = true) { trace_enabled_ = on; }
   [[nodiscard]] const std::vector<MessageRecord>& trace() const noexcept {
@@ -69,6 +88,7 @@ class MessageBus {
   std::vector<MessageRecord> trace_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gridsat::sim

@@ -741,6 +741,8 @@ void CdclSolver::reduce_db() {
   max_learned_ = static_cast<std::size_t>(
       static_cast<double>(max_learned_) * config_.reduce_growth);
   garbage_collect();
+  obs::trace_event(tracer_, trace_worker_, obs::EventKind::kDbReduce,
+                   to_delete, arena_.num_learned());
 }
 
 void CdclSolver::drop_all_learned() {
@@ -796,6 +798,8 @@ bool CdclSolver::merge_imports() {
   if (import_queue_.empty()) return true;
   std::vector<cnf::Clause> batch;
   batch.swap(import_queue_);
+  obs::trace_event(tracer_, trace_worker_, obs::EventKind::kClauseImport,
+                   batch.size());
   for (const cnf::Clause& c : batch) {
     ++stats_.imported_clauses;
     if (config_.log_proof) proof_.add(c);
@@ -890,6 +894,8 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
       Lit uip = kUndefLit;
       analyze(confl, learned, backjump_level, uip, lbd);
       record_conflict(confl, learned, uip, backjump_level, lbd);
+      obs::trace_event(tracer_, trace_worker_, obs::EventKind::kConflict, lbd,
+                       decision_level());
       backtrack(backjump_level);
       learn_and_attach(learned, lbd);
       if (root_conflict_) {
@@ -932,6 +938,8 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
       if (config_.restart_base != 0 && conflicts_until_restart_ == 0) {
         ++restart_count_;
         ++stats_.restarts;
+        obs::trace_event(tracer_, trace_worker_, obs::EventKind::kRestart,
+                         stats_.restarts);
         conflicts_until_restart_ = config_.restart_base * luby(restart_count_);
         if (decision_level() > 0) {
           backtrack(0);
@@ -948,6 +956,14 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
       }
       ++stats_.decisions;
       ++stats_.work;
+      if constexpr (obs::kTraceCompiledIn) {
+        // Batched: one event per 4096 decisions keeps the ring usable on
+        // million-decision runs and the cost off the decision path.
+        if ((stats_.decisions & 4095u) == 0) {
+          obs::trace_event(tracer_, trace_worker_, obs::EventKind::kDecisions,
+                           stats_.decisions);
+        }
+      }
       trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
       stats_.max_decision_level =
           std::max<std::uint64_t>(stats_.max_decision_level, decision_level());

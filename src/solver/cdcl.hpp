@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "obs/trace.hpp"
 #include "solver/clause_arena.hpp"
 #include "solver/proof.hpp"
 #include "solver/subproblem.hpp"
@@ -265,6 +266,15 @@ class CdclSolver {
     decision_hook_ = std::move(hook);
   }
 
+  /// Attach an event tracer (obs/trace.hpp): conflicts (with LBD),
+  /// restarts, DB reductions, batched decisions, and level-0 imports are
+  /// emitted under `worker`. Pass nullptr to detach. The tracer is not
+  /// owned and must outlive the solver's use of it.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t worker) noexcept {
+    tracer_ = tracer;
+    trace_worker_ = worker;
+  }
+
   /// Value of a variable under the current (partial) assignment.
   [[nodiscard]] cnf::LBool value(cnf::Var v) const noexcept {
     return vars_[v].assign;
@@ -436,6 +446,10 @@ class CdclSolver {
 
   std::function<void(const ConflictRecord&)> conflict_observer_;
   std::function<cnf::Lit()> decision_hook_;
+
+  // Observability (null = untraced; see obs/trace.hpp for the costs).
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_worker_ = 0;
 
   void proof_delete(ClauseRef cref);
 

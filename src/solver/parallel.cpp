@@ -18,6 +18,43 @@ ParallelResult ParallelSolver::solve() {
   pool_ = std::make_unique<SharedClausePool>(options_.num_threads);
   dedup_ = std::make_unique<FingerprintFilter>(options_.dedup_log2_slots);
 
+  obs::MetricRegistry& reg =
+      options_.metrics != nullptr ? *options_.metrics : own_metrics_;
+  splits_ctr_ = &reg.counter("parallel.splits");
+  refuted_ctr_ = &reg.counter("parallel.subproblems_refuted");
+  published_ctr_ = &reg.counter("parallel.clauses_published");
+  deduped_ctr_ = &reg.counter("parallel.clauses_deduped");
+  imported_ctr_ = &reg.counter("parallel.clauses_imported");
+  work_ctr_ = &reg.counter("parallel.total_work");
+  splits_base_ = splits_ctr_->get();
+  refuted_base_ = refuted_ctr_->get();
+  published_base_ = published_ctr_->get();
+  deduped_base_ = deduped_ctr_->get();
+  imported_base_ = imported_ctr_->get();
+  work_base_ = work_ctr_->get();
+  // Live pool state for mid-run snapshots; frozen to plain values below,
+  // before the pool dies with this call.
+  reg.gauge_fn("sharing.pool_clauses", [this] {
+    return static_cast<double>(pool_->size());
+  });
+  reg.gauge_fn("sharing.shard_lock_contention", [this] {
+    return static_cast<double>(pool_->lock_contention());
+  });
+
+  trace_ids_.clear();
+  if constexpr (obs::kTraceCompiledIn) {
+    if (options_.tracer != nullptr) {
+      // Register every worker before the threads spawn: registration
+      // mutates the tracer's ring table, emission may not.
+      trace_ids_.reserve(options_.num_threads);
+      for (std::size_t i = 0; i < options_.num_threads; ++i) {
+        trace_ids_.push_back(
+            options_.tracer->register_worker("worker-" + std::to_string(i)));
+      }
+      pool_->set_tracer(options_.tracer, trace_ids_);
+    }
+  }
+
   // Seed the queue with the whole problem.
   Subproblem root;
   root.num_vars = formula_.num_vars();
@@ -39,13 +76,18 @@ ParallelResult ParallelSolver::solve() {
     result_.status = SolveStatus::kUnsat;
   }
   result_.stats.threads = options_.num_threads;
-  result_.stats.splits = splits_.load();
-  result_.stats.subproblems_refuted = refuted_.load();
-  result_.stats.clauses_published = published_.load();
-  result_.stats.clauses_deduped = deduped_.load();
-  result_.stats.clauses_imported = imported_.load();
+  result_.stats.splits = splits_ctr_->get() - splits_base_;
+  result_.stats.subproblems_refuted = refuted_ctr_->get() - refuted_base_;
+  result_.stats.clauses_published = published_ctr_->get() - published_base_;
+  result_.stats.clauses_deduped = deduped_ctr_->get() - deduped_base_;
+  result_.stats.clauses_imported = imported_ctr_->get() - imported_base_;
   result_.stats.shard_lock_contention = pool_->lock_contention();
-  result_.stats.total_work = total_work_.load();
+  result_.stats.total_work = work_ctr_->get() - work_base_;
+  // Freeze the callback gauges: their closures read pool_, which does not
+  // outlive this solve for an external registry's purposes.
+  reg.set_gauge("sharing.pool_clauses", static_cast<double>(pool_->size()));
+  reg.set_gauge("sharing.shard_lock_contention",
+                static_cast<double>(pool_->lock_contention()));
   return result_;
 }
 
@@ -87,15 +129,21 @@ std::size_t ParallelSolver::publish_clauses(std::size_t worker_index,
   // table is lock-free, so the (global) dedup step adds no serialization.
   std::vector<SharedClause> fresh;
   fresh.reserve(batch.size());
+  std::size_t dropped = 0;
   for (SharedClause& sc : batch) {
     if (dedup_->insert(clause_fingerprint(sc.lits))) {
       fresh.push_back(std::move(sc));
     } else {
-      deduped_.fetch_add(1, std::memory_order_relaxed);
+      ++dropped;
     }
   }
+  if (dropped > 0) {
+    deduped_ctr_->add(dropped);
+    obs::trace_event(options_.tracer, trace_id(worker_index),
+                     obs::EventKind::kClauseDedup, dropped);
+  }
   const std::size_t n = pool_->publish(worker_index, std::move(fresh));
-  published_.fetch_add(n, std::memory_order_relaxed);
+  published_ctr_->add(n);
   return n;
 }
 
@@ -120,6 +168,7 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
   SolverConfig config = options_.solver;
   config.seed = options_.solver.seed + worker_index;  // decorrelate ties
   CdclSolver solver(sp, config);
+  solver.set_tracer(options_.tracer, trace_id(worker_index));
   std::vector<SharedClause> exports;
   const std::size_t max_len = options_.share_max_len;
   const std::uint32_t max_lbd = options_.share_max_lbd;
@@ -143,7 +192,7 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
     if (stop_.load()) return;
     const std::uint64_t before = solver.stats().work;
     const SolveStatus status = solver.solve(options_.slice_work);
-    total_work_ += solver.stats().work - before;
+    work_ctr_->add(solver.stats().work - before);
     publish_clauses(worker_index, std::move(exports));
     exports.clear();
     switch (status) {
@@ -165,7 +214,7 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
         return;
       }
       case SolveStatus::kUnsat:
-        ++refuted_;
+        refuted_ctr_->add(1);
         return;
       case SolveStatus::kMemOut: {
         // Should not happen without a configured limit; treat the branch
@@ -190,13 +239,16 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
       std::vector<cnf::Clause> fresh;
       fresh.reserve(incoming.size());
       for (SharedClause& sc : incoming) fresh.push_back(std::move(sc.lits));
-      imported_.fetch_add(fresh.size(), std::memory_order_relaxed);
+      imported_ctr_->add(fresh.size());
       solver.import_clauses(std::move(fresh));
     }
     // Feed starving workers.
     if (hungry_workers_.load() > 0 && solver.can_split()) {
       push_work(solver.split());
-      ++splits_;
+      splits_ctr_->add(1);
+      obs::trace_event(options_.tracer, trace_id(worker_index),
+                       obs::EventKind::kSplit,
+                       splits_ctr_->get() - splits_base_);
     }
   }
 }

@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/cdcl.hpp"
 #include "solver/sharing.hpp"
 #include "solver/subproblem.hpp"
@@ -55,6 +57,15 @@ struct ParallelOptions {
   /// log2 of the duplicate-fingerprint table size (entries, not bytes).
   std::size_t dedup_log2_slots = 17;
   SolverConfig solver;
+  /// Optional externally owned metric registry. Counters accumulate under
+  /// "parallel.*" / "sharing.*" names; ParallelStats still reports this
+  /// run's deltas even when the registry is reused across runs. Null =
+  /// the solver keeps a private registry.
+  obs::MetricRegistry* metrics = nullptr;
+  /// Optional event tracer (not owned). Workers are registered as
+  /// "worker-<i>" and emit conflict/restart/share/split events; null (or
+  /// a disabled tracer) costs one pointer test per would-be event.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ParallelStats {
@@ -120,12 +131,31 @@ class ParallelSolver {
 
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> hungry_workers_{0};
-  std::atomic<std::uint64_t> splits_{0};
-  std::atomic<std::uint64_t> refuted_{0};
-  std::atomic<std::uint64_t> published_{0};
-  std::atomic<std::uint64_t> deduped_{0};
-  std::atomic<std::uint64_t> imported_{0};
-  std::atomic<std::uint64_t> total_work_{0};
+
+  // Metrics live in a registry (options_.metrics, or a private one) so an
+  // external sampler can watch a solve in flight. The handles below are
+  // resolved once per solve(); `*_base_` holds each counter's value at
+  // solve() start so ParallelStats reports this run's deltas even when a
+  // caller reuses one registry across runs.
+  obs::MetricRegistry own_metrics_;
+  obs::Counter* splits_ctr_ = nullptr;
+  obs::Counter* refuted_ctr_ = nullptr;
+  obs::Counter* published_ctr_ = nullptr;
+  obs::Counter* deduped_ctr_ = nullptr;
+  obs::Counter* imported_ctr_ = nullptr;
+  obs::Counter* work_ctr_ = nullptr;
+  std::uint64_t splits_base_ = 0;
+  std::uint64_t refuted_base_ = 0;
+  std::uint64_t published_base_ = 0;
+  std::uint64_t deduped_base_ = 0;
+  std::uint64_t imported_base_ = 0;
+  std::uint64_t work_base_ = 0;
+
+  /// worker index -> tracer worker id (empty when no tracer is attached).
+  std::vector<std::uint32_t> trace_ids_;
+  [[nodiscard]] std::uint32_t trace_id(std::size_t worker) const noexcept {
+    return worker < trace_ids_.size() ? trace_ids_[worker] : 0;
+  }
 };
 
 }  // namespace gridsat::solver

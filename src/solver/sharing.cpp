@@ -82,7 +82,17 @@ std::size_t SharedClausePool::publish(std::size_t shard,
     // acquire-load it before touching the vector.
     s.published.store(s.clauses.size(), std::memory_order_release);
   }
+  if (shard < trace_workers_.size()) {
+    obs::trace_event(tracer_, trace_workers_[shard],
+                     obs::EventKind::kClausePublish, n);
+  }
   return n;
+}
+
+void SharedClausePool::set_tracer(obs::Tracer* tracer,
+                                  std::vector<std::uint32_t> worker_ids) {
+  tracer_ = tracer;
+  trace_workers_ = std::move(worker_ids);
 }
 
 void SharedClausePool::skip_to_now(Cursor& cursor) const noexcept {

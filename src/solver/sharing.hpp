@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "obs/trace.hpp"
 
 namespace gridsat::solver {
 
@@ -92,6 +93,11 @@ class SharedClausePool {
   /// Times a reader or publisher found a shard mutex already held.
   [[nodiscard]] std::uint64_t lock_contention() const noexcept;
 
+  /// Attach an event tracer: every publish() emits a kClausePublish
+  /// event under worker_ids[shard]. `worker_ids` must cover all shards;
+  /// the tracer is not owned.
+  void set_tracer(obs::Tracer* tracer, std::vector<std::uint32_t> worker_ids);
+
  private:
   struct Shard {
     std::mutex mutex;
@@ -105,6 +111,9 @@ class SharedClausePool {
 
   std::size_t num_shards_;
   std::unique_ptr<Shard[]> shards_;  // stable addresses (mutexes don't move)
+
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<std::uint32_t> trace_workers_;  ///< shard -> tracer worker id
 };
 
 }  // namespace gridsat::solver

@@ -4,9 +4,30 @@
 
 namespace gridsat::util {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
+std::mutex Log::mutex_;
 std::function<std::string()> Log::clock_;
 std::function<void(const std::string&)> Log::sink_;
+
+void Log::set_clock(std::function<std::string()> clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+void Log::clear_clock() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = nullptr;
+}
+
+void Log::set_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Log::clear_sink() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = nullptr;
+}
 
 namespace {
 const char* level_tag(LogLevel lvl) {
@@ -24,6 +45,9 @@ const char* level_tag(LogLevel lvl) {
 
 void Log::write(LogLevel lvl, const std::string& component,
                 const std::string& message) {
+  // One mutex around format + emit: concurrent workers cannot interleave
+  // a line, and a clock/sink swap cannot race a write in flight.
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream line;
   if (clock_) line << "[" << clock_() << "] ";
   line << level_tag(lvl) << " [" << component << "] " << message;

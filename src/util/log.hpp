@@ -4,7 +4,9 @@
 // which makes GridSAT traces read like the paper's Figure-3 scenario.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -12,32 +14,35 @@ namespace gridsat::util {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
-/// Global logging configuration. Not thread-safe by design: the project is
-/// a single-threaded discrete-event simulation; cross-thread logging would
-/// indicate a bug elsewhere.
+/// Global logging configuration. Thread-safe: the level check is a
+/// relaxed atomic load (the only part on a hot path), and a mutex
+/// serializes clock/sink reconfiguration against write(), so the
+/// thread-parallel solver's workers can log concurrently without
+/// interleaving lines or racing a test's sink swap.
 class Log {
  public:
-  static LogLevel level() noexcept { return level_; }
-  static void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+  static LogLevel level() noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  static void set_level(LogLevel lvl) noexcept {
+    level_.store(lvl, std::memory_order_relaxed);
+  }
 
   /// Hook returning the current timestamp string (the sim installs one
   /// that renders virtual seconds). Empty hook => no timestamp.
-  static void set_clock(std::function<std::string()> clock) {
-    clock_ = std::move(clock);
-  }
-  static void clear_clock() { clock_ = nullptr; }
+  static void set_clock(std::function<std::string()> clock);
+  static void clear_clock();
 
   /// Redirect output (tests capture lines; default writes to stderr).
-  static void set_sink(std::function<void(const std::string&)> sink) {
-    sink_ = std::move(sink);
-  }
-  static void clear_sink() { sink_ = nullptr; }
+  static void set_sink(std::function<void(const std::string&)> sink);
+  static void clear_sink();
 
   static void write(LogLevel lvl, const std::string& component,
                     const std::string& message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
+  static std::mutex mutex_;  ///< guards clock_, sink_, and emission
   static std::function<std::string()> clock_;
   static std::function<void(const std::string&)> sink_;
 };

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstddef>
 #include <deque>
+#include <limits>
 #include <vector>
 
 namespace gridsat::util {

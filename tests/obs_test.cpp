@@ -1,0 +1,424 @@
+// Observability-layer tests: tracer ring semantics, Chrome-trace JSON
+// well-formedness (checked by a small in-test JSON parser — the repo has
+// a writer, deliberately no reader), metric-registry determinism across
+// thread counts, and an instrumented end-to-end parallel solve (the
+// TSAN-matrix entry point for the whole obs wiring).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "gen/pigeonhole.hpp"
+#include "gen/xor_chains.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/host.hpp"
+#include "solver/parallel.hpp"
+
+namespace gridsat::obs {
+namespace {
+
+// --- minimal recursive-descent JSON validator ------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return eat('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    const auto digit_run = [this, &digits] {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    digit_run();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      digit_run();
+    }
+    if (digits && pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      digit_run();
+    }
+    return digits && pos_ > start;
+  }
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonCheckerSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3e2],"b":"x\"y","c":null})").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1,})").valid());
+  EXPECT_FALSE(JsonChecker(R"([1,2)").valid());
+  EXPECT_FALSE(JsonChecker("{} trailing").valid());
+}
+
+// --- tracer -----------------------------------------------------------------
+
+TEST(TracerTest, DisabledByDefaultAndHelperRespectsIt) {
+  Tracer tracer(64);
+  const std::uint32_t w = tracer.register_worker("w");
+  trace_event(&tracer, w, EventKind::kConflict, 3, 4);
+  EXPECT_EQ(tracer.total_emitted(), 0u);
+  tracer.set_enabled(true);
+  trace_event(&tracer, w, EventKind::kConflict, 3, 4);
+  EXPECT_EQ(tracer.total_emitted(), kTraceCompiledIn ? 1u : 0u);
+  trace_event(nullptr, w, EventKind::kConflict);  // null tracer: no-op
+}
+
+TEST(TracerTest, RingWrapsKeepingNewestAndCountingDropped) {
+  Tracer tracer(16);  // already a power of two => capacity 16
+  ASSERT_EQ(tracer.capacity_per_worker(), 16u);
+  tracer.set_enabled(true);
+  const std::uint32_t w = tracer.register_worker("w");
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    tracer.emit(w, EventKind::kRestart, i);
+  }
+  EXPECT_EQ(tracer.dropped(w), 40u - 16u);
+  const std::vector<TraceEvent> events = tracer.events(w);
+  ASSERT_EQ(events.size(), 16u);
+  // Oldest-first drain of the newest window: 24..39.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 24u + i);
+  }
+}
+
+TEST(TracerTest, CapacityRoundsUpToPowerOfTwo) {
+  Tracer tracer(100);
+  EXPECT_EQ(tracer.capacity_per_worker(), 128u);
+  Tracer tiny(1);
+  EXPECT_EQ(tiny.capacity_per_worker(), 16u);  // floor
+}
+
+TEST(TracerTest, RegisterWorkerIsFindOrCreate) {
+  Tracer tracer(16);
+  const std::uint32_t a = tracer.register_worker("alpha");
+  const std::uint32_t b = tracer.register_worker("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.register_worker("alpha"), a);
+  EXPECT_EQ(tracer.num_workers(), 2u);
+  EXPECT_EQ(tracer.worker_name(b), "beta");
+}
+
+TEST(TracerTest, InternRoundTrips) {
+  Tracer tracer(16);
+  const std::uint32_t id = tracer.intern("SPLIT_REQUEST");
+  EXPECT_EQ(tracer.intern("SPLIT_REQUEST"), id);
+  EXPECT_EQ(tracer.interned(id), "SPLIT_REQUEST");
+}
+
+TEST(TracerTest, ManualClockAndEmitAtOrderMergedDrain) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  Tracer tracer(16, Tracer::Clock::kManual);
+  tracer.set_enabled(true);
+  const std::uint32_t a = tracer.register_worker("a");
+  const std::uint32_t b = tracer.register_worker("b");
+  tracer.set_manual_time(5.0);
+  tracer.emit(a, EventKind::kPhase, tracer.intern("mid"));
+  tracer.emit_at(1.0, b, EventKind::kPhase, tracer.intern("early"));
+  tracer.emit_at(9.0, a, EventKind::kPhase, tracer.intern("late"));
+  const std::vector<TraceEvent> all = tracer.all_events();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0].ts, 1.0);
+  EXPECT_DOUBLE_EQ(all[1].ts, 5.0);
+  EXPECT_DOUBLE_EQ(all[2].ts, 9.0);
+  EXPECT_EQ(tracer.interned(static_cast<std::uint32_t>(all[0].a)), "early");
+}
+
+TEST(TracerTest, ChromeTraceJsonIsValidAndNamesLanes) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  Tracer tracer(64, Tracer::Clock::kManual);
+  tracer.set_enabled(true);
+  const std::uint32_t w = tracer.register_worker("client:torc1");
+  tracer.set_manual_time(2.0);
+  tracer.emit(w, EventKind::kConflict, 4, 7);
+  tracer.emit(w, EventKind::kMsgSend, tracer.intern("SPLIT_REQUEST"), 0);
+  tracer.emit(w, EventKind::kCounter, tracer.intern("campaign.splits"), 3);
+  const std::string json = chrome_trace_json(tracer);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("client:torc1"), std::string::npos);
+  EXPECT_NE(json.find("SPLIT_REQUEST"), std::string::npos);
+  EXPECT_NE(json.find("campaign.splits"), std::string::npos);
+}
+
+TEST(TracerTest, TextTimelineRendersFigure3Style) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  Tracer tracer(64, Tracer::Clock::kManual);
+  tracer.set_enabled(true);
+  const std::uint32_t c = tracer.register_worker("client:torc1");
+  const std::uint32_t m = tracer.register_worker("master");
+  tracer.set_manual_time(12.5);
+  tracer.emit(c, EventKind::kMsgSend, tracer.intern("SPLIT_REQUEST"), m);
+  tracer.emit_at(12.6, m, EventKind::kMsgRecv, tracer.intern("SPLIT_REQUEST"),
+                 c);
+  const std::string text = text_timeline(tracer);
+  EXPECT_NE(text.find("client:torc1"), std::string::npos);
+  EXPECT_NE(text.find("SPLIT_REQUEST -> master"), std::string::npos);
+  EXPECT_NE(text.find("SPLIT_REQUEST <- client:torc1"), std::string::npos);
+  const std::string capped = text_timeline(tracer, 1);
+  EXPECT_NE(capped.find("truncated"), std::string::npos);
+}
+
+// --- metric registry --------------------------------------------------------
+
+TEST(MetricRegistryTest, CountersAreExactAcrossThreadCounts) {
+  // The same total arrives regardless of how many threads split the adds,
+  // and snapshots list metrics in one (sorted) order.
+  for (const int threads : {1, 2, 4}) {
+    MetricRegistry registry;
+    Counter& hits = registry.counter("a.hits");
+    registry.counter("b.misses").add(7);
+    constexpr std::uint64_t kPerThread = 10'000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&hits] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) hits.add();
+      });
+    }
+    for (auto& t : pool) t.join();
+    EXPECT_EQ(hits.get(), kPerThread * static_cast<std::uint64_t>(threads));
+    const std::vector<MetricRegistry::Sample> snap = registry.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].name, "a.hits");
+    EXPECT_EQ(snap[1].name, "b.misses");
+    EXPECT_DOUBLE_EQ(snap[1].value, 7.0);
+  }
+}
+
+TEST(MetricRegistryTest, GaugeFnEvaluatesAtSnapshotAndFreezes) {
+  MetricRegistry registry;
+  int live = 41;
+  registry.gauge_fn("pool.size", [&live] { return static_cast<double>(live); });
+  live = 42;
+  EXPECT_DOUBLE_EQ(registry.snapshot()[0].value, 42.0);
+  registry.set_gauge("pool.size", 99.0);  // freeze: callback dropped
+  live = 0;
+  EXPECT_DOUBLE_EQ(registry.snapshot()[0].value, 99.0);
+}
+
+TEST(MetricRegistryTest, HistogramTracksCountAndMean) {
+  MetricRegistry registry;
+  HistogramMetric& h = registry.histogram("lbd", 0.0, 10.0, 10);
+  for (const double x : {2.0, 4.0, 6.0}) h.observe(x);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  const std::vector<MetricRegistry::Sample> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 2u);  // lbd.count + lbd.mean
+  EXPECT_EQ(snap[0].name, "lbd.count");
+  EXPECT_EQ(snap[1].name, "lbd.mean");
+}
+
+TEST(MetricRegistryTest, SnapshotToEmitsCounterEvents) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  MetricRegistry registry;
+  registry.counter("x").add(5);
+  Tracer tracer(16);
+  tracer.set_enabled(true);
+  const std::uint32_t lane = tracer.register_worker("sampler");
+  registry.snapshot_to(tracer, lane);
+  const std::vector<TraceEvent> events = tracer.events(lane);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kCounter);
+  EXPECT_EQ(tracer.interned(static_cast<std::uint32_t>(events[0].a)), "x");
+  EXPECT_EQ(events[0].b, 5u);
+}
+
+// --- end-to-end: instrumented parallel solve (TSAN entry point) ------------
+
+TEST(InstrumentedParallelTest, FourThreadSolveTracesAndCounts) {
+  const cnf::CnfFormula f = gen::urquhart_like(10, 1);
+  Tracer tracer(1u << 12);
+  tracer.set_enabled(true);
+  MetricRegistry registry;
+  solver::ParallelOptions options;
+  options.num_threads = 4;
+  options.slice_work = 2'000;  // frequent cooperation: more events
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  solver::ParallelSolver solver(f, options);
+  const solver::ParallelResult result = solver.solve();
+  EXPECT_EQ(result.status, solver::SolveStatus::kUnsat);
+
+  // The facade must agree with the registry it is read from.
+  EXPECT_EQ(result.stats.total_work,
+            registry.counter("parallel.total_work").get());
+  EXPECT_EQ(result.stats.clauses_published,
+            registry.counter("parallel.clauses_published").get());
+  // Gauges were frozen before the pool died; snapshotting is safe now.
+  for (const MetricRegistry::Sample& s : registry.snapshot()) {
+    if (s.name == "sharing.pool_clauses") {
+      EXPECT_DOUBLE_EQ(
+          s.value, static_cast<double>(result.stats.clauses_published));
+    }
+  }
+
+  if (!kTraceCompiledIn) return;
+  EXPECT_EQ(tracer.num_workers(), 4u);
+  EXPECT_GT(tracer.total_emitted(), 0u);
+  bool saw_conflict = false;
+  for (const TraceEvent& ev : tracer.all_events()) {
+    saw_conflict |= ev.kind == EventKind::kConflict;
+  }
+  EXPECT_TRUE(saw_conflict);
+  EXPECT_TRUE(JsonChecker(chrome_trace_json(tracer)).valid());
+}
+
+TEST(InstrumentedParallelTest, ExternalRegistryReportsPerRunDeltas) {
+  const cnf::CnfFormula f = gen::urquhart_like(8, 1);
+  MetricRegistry registry;
+  solver::ParallelOptions options;
+  options.num_threads = 2;
+  options.metrics = &registry;
+  solver::ParallelSolver first(f, options);
+  const std::uint64_t work_one = first.solve().stats.total_work;
+  solver::ParallelSolver second(f, options);
+  const std::uint64_t work_two = second.solve().stats.total_work;
+  EXPECT_GT(work_one, 0u);
+  EXPECT_GT(work_two, 0u);
+  // The registry accumulates, the per-run facade does not.
+  EXPECT_EQ(registry.counter("parallel.total_work").get(),
+            work_one + work_two);
+}
+
+// --- end-to-end: instrumented sim campaign ---------------------------------
+
+TEST(InstrumentedCampaignTest, VirtualTimeTraceNamesPhasesAndMessages) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  const cnf::CnfFormula f = gen::pigeonhole_unsat(6);
+  core::GridSatConfig config;
+  config.split_timeout_s = 5.0;
+  config.overall_timeout_s = 100000.0;
+  config.min_client_memory = 1 << 20;
+  std::vector<sim::HostSpec> hosts;
+  for (int i = 0; i < 3; ++i) {
+    sim::HostSpec spec;
+    spec.name = "node" + std::to_string(i);
+    spec.site = "utk";
+    spec.speed = 3000.0;
+    spec.memory_bytes = 8u << 20;
+    spec.seed = 7 + i;
+    hosts.push_back(spec);
+  }
+  core::Campaign campaign(f, "utk", std::move(hosts), config);
+  Tracer tracer(1u << 14, Tracer::Clock::kManual);
+  tracer.set_enabled(true);
+  campaign.set_tracer(&tracer);
+  MetricRegistry registry;
+  campaign.set_metrics(&registry);
+  const core::GridSatResult result = campaign.run();
+  EXPECT_EQ(result.status, core::CampaignStatus::kUnsat);
+
+  const std::string timeline = text_timeline(tracer);
+  EXPECT_NE(timeline.find("SUBPROBLEM -> client:node"), std::string::npos);
+  EXPECT_NE(timeline.find("subproblem-start"), std::string::npos);
+  EXPECT_NE(timeline.find("verdict-unsat"), std::string::npos);
+
+  // Timestamps are virtual seconds: monotone in the merged drain and
+  // bounded by the campaign's virtual duration.
+  double prev = 0.0;
+  for (const TraceEvent& ev : tracer.all_events()) {
+    EXPECT_GE(ev.ts, prev);
+    prev = ev.ts;
+  }
+  EXPECT_LE(prev, result.seconds + 1e9);  // delivery events may trail
+
+  // Frozen campaign gauges survive the campaign object.
+  bool saw_splits = false;
+  for (const MetricRegistry::Sample& s : registry.snapshot()) {
+    if (s.name == "campaign.splits") {
+      saw_splits = true;
+      EXPECT_DOUBLE_EQ(s.value, static_cast<double>(result.total_splits));
+    }
+  }
+  EXPECT_TRUE(saw_splits);
+}
+
+}  // namespace
+}  // namespace gridsat::obs

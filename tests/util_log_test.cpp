@@ -1,7 +1,9 @@
-// Logger tests: level filtering, sink capture, virtual-clock prefixes.
+// Logger tests: level filtering, sink capture, virtual-clock prefixes,
+// and write() serialization under concurrent loggers.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/log.hpp"
@@ -57,6 +59,28 @@ TEST_F(LogTest, StreamingOperatorsCompose) {
   LOG_TRACE("x") << "a" << 1 << 'b' << 2.5;
   ASSERT_EQ(lines_.size(), 1u);
   EXPECT_NE(lines_[0].find("a1b2.5"), std::string::npos);
+}
+
+TEST_F(LogTest, ConcurrentWritersNeverInterleave) {
+  // The sink (this fixture's vector push_back) runs under Log's mutex,
+  // so N threads x M lines must land as exactly N*M intact lines.
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        LOG_INFO("worker") << "thread=" << t << " line=" << i;
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  ASSERT_EQ(lines_.size(), static_cast<std::size_t>(kThreads * kLines));
+  for (const std::string& line : lines_) {
+    EXPECT_NE(line.find("thread="), std::string::npos) << line;
+    EXPECT_NE(line.find(" line="), std::string::npos) << line;
+  }
 }
 
 }  // namespace
