@@ -1,0 +1,87 @@
+// Randomized campaign certification fuzzing (see src/core/fuzz.hpp).
+//
+//   ./examples/gridsat_fuzz                     # seeds 1..50
+//   ./examples/gridsat_fuzz --seeds 100 500     # a bigger sweep
+//   ./examples/gridsat_fuzz --seed 17           # reproduce one scenario
+//   ./examples/gridsat_fuzz --seed 17 --drat p.drat   # export refutation
+//   ./examples/gridsat_fuzz --trace-dir /tmp    # Chrome trace per failure
+//
+// Exit status is the number of oracle failures (0 = all scenarios clean).
+// Each failing seed prints its own repro command line.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/fuzz.hpp"
+#include "obs/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridsat;
+
+  std::uint64_t lo = 1;
+  std::uint64_t hi = 50;
+  std::string drat_path;
+  std::string trace_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      lo = hi = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 2 < argc) {
+      lo = std::strtoull(argv[++i], nullptr, 10);
+      hi = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--drat") == 0 && i + 1 < argc) {
+      drat_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N | --seeds LO HI] [--drat FILE] "
+                   "[--trace-dir DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (std::uint64_t seed = lo; seed <= hi; ++seed) {
+    // A tracer is only worth its overhead when we can save the artifact.
+    obs::Tracer tracer(1u << 16, obs::Tracer::Clock::kManual);
+    const bool tracing = !trace_dir.empty();
+    tracer.set_enabled(tracing);
+
+    const core::fuzz::ScenarioOutcome outcome =
+        core::fuzz::run_scenario(seed, tracing ? &tracer : nullptr);
+    std::printf("%s\n", core::fuzz::describe(outcome).c_str());
+
+    if (!outcome.failure.empty()) {
+      ++failures;
+      std::printf("  reproduce with: %s --seed %llu\n", argv[0],
+                  static_cast<unsigned long long>(seed));
+      if (tracing) {
+        const std::string path =
+            trace_dir + "/gridsat_fuzz_seed" + std::to_string(seed) + ".json";
+        if (obs::write_chrome_trace(tracer, path)) {
+          std::printf("  trace artifact: %s\n", path.c_str());
+        }
+      }
+    }
+
+    if (!drat_path.empty() && outcome.proof) {
+      std::ofstream out(drat_path);
+      outcome.proof->write_drat(out);
+      std::printf("  wrote %zu DRAT steps to %s\n", outcome.proof->size(),
+                  drat_path.c_str());
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("\n%d of %llu scenarios FAILED the certification oracle\n",
+                failures, static_cast<unsigned long long>(hi - lo + 1));
+  } else {
+    std::printf("\nall %llu scenarios passed the certification oracle\n",
+                static_cast<unsigned long long>(hi - lo + 1));
+  }
+  return failures;
+}

@@ -70,6 +70,9 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   solver_config.max_memory_squeezes = 0;
   solver_ = std::make_unique<solver::CdclSolver>(*sp, solver_config);
   solver_->set_tracer(campaign_.tracer_, trace_worker_);
+  if (campaign_.proof_builder_) {
+    solver_->set_proof_sink(campaign_.proof_builder_.get());
+  }
   trace_phase("subproblem-start");
   const std::size_t share_cap = campaign_.config().share_max_len;
   // The simulated campaign keeps the paper's pure length filter (§3.2);
@@ -234,6 +237,7 @@ void Client::maybe_checkpoint() {
   Checkpoint cp;
   cp.heavy = (mode == CheckpointMode::kHeavy);
   cp.units = solver_->level0_units();
+  cp.assumptions = solver_->assumptions();
   if (cp.heavy) cp.learned = solver_->learned_clauses();
   checkpointed_level0_ = level0;
   last_checkpoint_ = now;
@@ -336,6 +340,12 @@ void Client::finish_subproblem(SolveStatus status) {
     }
     case SolveStatus::kUnsat: {
       trace_phase("subproblem-unsat");
+      // The refuted guiding path becomes a leaf of the campaign-wide
+      // refutation: ¬(assumptions) is RUP against everything this solver
+      // logged, all of which precedes it in the shared log's event order.
+      if (campaign_.proof_builder_) {
+        campaign_.proof_builder_->add_leaf(solver_->assumptions());
+      }
       work_accumulated_ += solver_->stats().work;
       solver_.reset();
       export_buffer_.clear();
@@ -380,6 +390,9 @@ Campaign::Campaign(cnf::CnfFormula formula, std::string master_site,
     directory_.add(spec);
     hosts_.push_back(std::make_unique<sim::Host>(spec));
     clients_.push_back(nullptr);  // created at launch
+  }
+  if (solver::kProofCompiledIn && config_.solver.log_proof) {
+    proof_builder_ = std::make_unique<solver::DistributedProofBuilder>();
   }
 }
 
@@ -558,6 +571,11 @@ void Campaign::on_subproblem_ack(std::size_t host_index) {
   if (done_) return;
   assert(subproblems_in_flight_ > 0);
   --subproblems_in_flight_;
+  // Any checkpoint still on file for this host describes a *previous*
+  // subproblem (e.g. one it held before dying idle and relaunching);
+  // recovering it after a death on the new assignment would resurrect
+  // search space some other client already owns.
+  checkpoints_.erase(host_index);
   grid::ResourceEntry& entry = directory_.at(host_index);
   entry.state = HostState::kBusy;
   entry.busy_since = engine_.now();
@@ -621,6 +639,9 @@ void Campaign::on_migrated(std::size_t from, std::size_t to) {
   if (done_) return;
   ++result_.migrations;
   outstanding_grants_.erase(from);
+  // The subproblem left this host; its checkpoint now describes search
+  // space the migration target owns.
+  checkpoints_.erase(from);
   grid::ResourceEntry& entry = directory_.at(from);
   entry.state = HostState::kIdle;
   try_dispatch();
@@ -628,6 +649,9 @@ void Campaign::on_migrated(std::size_t from, std::size_t to) {
 
 void Campaign::on_subproblem_unsat(std::size_t host_index) {
   if (done_) return;
+  // The refuted subproblem's checkpoint is spent: recovering it after a
+  // later death would re-open (and double-count) refuted search space.
+  checkpoints_.erase(host_index);
   grid::ResourceEntry& entry = directory_.at(host_index);
   entry.state = HostState::kIdle;
   backlog_.erase(host_index);
@@ -638,6 +662,7 @@ void Campaign::on_subproblem_unsat(std::size_t host_index) {
 
 void Campaign::on_sat_found(std::size_t host_index, cnf::Assignment model) {
   if (done_) return;
+  checkpoints_.erase(host_index);
   grid::ResourceEntry& entry = directory_.at(host_index);
   entry.state = HostState::kIdle;
   // §3.4: the master verifies that the assignment stack satisfies the
@@ -801,6 +826,10 @@ void Campaign::update_peak_active() {
 void Campaign::check_termination() {
   if (done_ || !problem_assigned_) return;
   if (subproblems_in_flight_ > 0) return;
+  // A queued restore is un-refuted search space even though no client is
+  // busy with it yet (its carrier died, was rejected, or was lost in
+  // flight); declaring UNSAT over it would drop part of the search tree.
+  if (!pending_restores_.empty()) return;
   for (std::size_t i = 0; i < directory_.size(); ++i) {
     const HostState s = directory_.at(i).state;
     if (s == HostState::kBusy || s == HostState::kReserved) return;
@@ -815,6 +844,14 @@ void Campaign::finish(CampaignStatus status) {
   done_ = true;
   result_.status = status;
   result_.seconds = engine_.now();
+  if (proof_builder_ && status == CampaignStatus::kUnsat) {
+    result_.proof_stitched = proof_builder_->stitch();
+    if (!result_.proof_stitched) {
+      result_.proof_error = proof_builder_->stitch_error();
+    }
+    result_.proof =
+        std::make_shared<const solver::ProofLog>(proof_builder_->take_log());
+  }
   if constexpr (obs::kTraceCompiledIn) {
     if (tracer_ != nullptr && tracer_->enabled()) {
       const char* phase = status == CampaignStatus::kSat       ? "verdict-sat"
@@ -851,6 +888,25 @@ void Campaign::sample_availability() {
   }
   engine_.schedule_in(config_.availability_sample_interval_s,
                       [this] { sample_availability(); });
+}
+
+solver::ProofCheckResult Campaign::certify() const {
+  solver::ProofCheckResult res;
+  if (result_.status != CampaignStatus::kUnsat) {
+    res.message = "nothing to certify: the campaign did not end UNSAT";
+    return res;
+  }
+  if (!result_.proof) {
+    res.message =
+        "no refutation was recorded (config.solver.log_proof off or "
+        "GRIDSAT_PROOF compiled out)";
+    return res;
+  }
+  if (!result_.proof_stitched) {
+    res.message = "split-tree stitch failed: " + result_.proof_error;
+    return res;
+  }
+  return solver::certify(formula_, *result_.proof);
 }
 
 GridSatResult Campaign::run() {

@@ -140,6 +140,14 @@ class Campaign {
   /// Run the campaign to a verdict (or the overall timeout).
   GridSatResult run();
 
+  /// Validate the stitched campaign-wide refutation against the original
+  /// formula. Meaningful after run() ended kUnsat with
+  /// config.solver.log_proof set (and GRIDSAT_PROOF compiled in); any
+  /// other state yields an invalid result carrying the diagnosis —
+  /// including a failed stitch, which is how the fuzz oracle surfaces a
+  /// dropped subproblem or a stale-checkpoint recovery.
+  [[nodiscard]] solver::ProofCheckResult certify() const;
+
   // Introspection (tests, examples, benches).
   [[nodiscard]] sim::SimEngine& engine() noexcept { return engine_; }
   [[nodiscard]] sim::MessageBus& bus() noexcept { return bus_; }
@@ -240,6 +248,13 @@ class Campaign {
   std::map<std::size_t, Checkpoint> checkpoints_;
   bool done_ = false;
   GridSatResult result_;
+
+  /// Campaign-wide arrival-ordered proof log (null unless
+  /// config.solver.log_proof and GRIDSAT_PROOF). Every client's solver
+  /// forwards its learned clauses and level-0 facts here in sim-event
+  /// order; refuted subproblems contribute their negated guiding paths
+  /// as leaves; finish(kUnsat) stitches the split tree.
+  std::unique_ptr<solver::DistributedProofBuilder> proof_builder_;
 
   // Batch (Blue Horizon) state.
   std::optional<BatchOptions> batch_options_;

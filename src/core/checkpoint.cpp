@@ -17,6 +17,8 @@ std::vector<std::uint8_t> Checkpoint::to_bytes() const {
     out.var_u64(c.size());
     for (const cnf::Lit l : c) out.var_u64(l.code());
   }
+  out.var_u64(assumptions.size());
+  for (const cnf::Lit l : assumptions) out.var_u64(l.code());
   return out.take();
 }
 
@@ -43,6 +45,12 @@ Checkpoint Checkpoint::from_bytes(const std::vector<std::uint8_t>& bytes) {
     }
     cp.learned.push_back(std::move(c));
   }
+  const std::uint64_t num_assumptions = in.var_u64();
+  cp.assumptions.reserve(num_assumptions);
+  for (std::uint64_t i = 0; i < num_assumptions; ++i) {
+    cp.assumptions.push_back(
+        cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
+  }
   return cp;
 }
 
@@ -53,6 +61,7 @@ solver::Subproblem Checkpoint::restore(const cnf::CnfFormula& original) const {
   sp.clauses = original.clauses();
   sp.num_problem_clauses = sp.clauses.size();
   sp.clauses.insert(sp.clauses.end(), learned.begin(), learned.end());
+  sp.assumptions = assumptions;
   sp.path = "checkpoint-restore";
   return sp;
 }

@@ -18,6 +18,10 @@ struct Checkpoint {
   std::vector<solver::SubproblemUnit> units;
   /// Learned clauses; empty for light checkpoints.
   std::vector<cnf::Clause> learned;
+  /// Pure guiding-path assumptions at checkpoint time (see
+  /// solver::Subproblem::assumptions) — recovery must resume under the
+  /// same assumption set or the certification stitch falls apart.
+  std::vector<cnf::Lit> assumptions;
 
   [[nodiscard]] std::size_t wire_size() const;
   [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;

@@ -1,0 +1,58 @@
+// Randomized certification fuzzing — the oracle harness shared by
+// tests/core_certify_fuzz_test.cpp and examples/gridsat_fuzz.cpp.
+//
+// One seed deterministically expands into a whole campaign scenario:
+// instance, testbed shape, scheduling knobs, checkpoint mode, batch
+// system, and injected client failures. The scenario runs with proof
+// logging on and is judged against the certification oracle:
+//   * SAT     => the reported model must satisfy the formula;
+//   * UNSAT   => the stitched refutation must exist and certify();
+//   * ERROR   => honest only when clients were killed (a busy client
+//                died without a usable checkpoint — the paper's stated
+//                limitation);
+//   * TIMEOUT => honest (the virtual cap fired); recorded, not a bug.
+// Anything else — an invalid model, an UNSAT verdict whose proof fails
+// to stitch or certify, an ERROR without a failure injection — is a
+// solver/protocol bug, and the seed is the repro.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/result.hpp"
+#include "obs/trace.hpp"
+
+namespace gridsat::core::fuzz {
+
+struct ScenarioOutcome {
+  std::uint64_t seed = 0;
+  std::string instance;      ///< human-readable instance tag
+  std::size_t hosts = 0;
+  std::size_t failures = 0;  ///< injected client kills
+  bool batch = false;
+  CampaignStatus status = CampaignStatus::kTimeout;
+  double virtual_seconds = 0.0;
+  std::uint64_t splits = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t recoveries = 0;
+  std::size_t proof_steps = 0;
+  /// The stitched campaign refutation, when one was recorded (UNSAT runs
+  /// with proof logging compiled in) — lets the driver export DRAT.
+  std::shared_ptr<const solver::ProofLog> proof;
+  /// Empty when the oracle is satisfied; otherwise the diagnosis.
+  std::string failure;
+
+  [[nodiscard]] bool ok() const noexcept { return failure.empty(); }
+};
+
+/// Deterministically build, run, and judge the campaign scenario derived
+/// from `seed`. `tracer` (optional, manual-clock) is attached to the
+/// campaign so a failing run can be exported as a Chrome trace artifact.
+ScenarioOutcome run_scenario(std::uint64_t seed,
+                             obs::Tracer* tracer = nullptr);
+
+/// One-line summary for driver output / failure messages.
+std::string describe(const ScenarioOutcome& outcome);
+
+}  // namespace gridsat::core::fuzz

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cnf/formula.hpp"
 #include "solver/cdcl.hpp"
+#include "solver/proof.hpp"
 
 namespace gridsat::core {
 
@@ -43,6 +45,16 @@ struct GridSatResult {
   double batch_queue_wait_s = 0.0;
   double batch_run_s = 0.0;  ///< virtual seconds the batch nodes worked
   cnf::Assignment model;     ///< populated and verified when status == kSat
+  /// Campaign-wide refutation stitched over the split tree; present only
+  /// for kUnsat runs with config.solver.log_proof set (and GRIDSAT_PROOF
+  /// compiled in). Validate with Campaign::certify() or
+  /// solver::certify(formula, *proof).
+  std::shared_ptr<const solver::ProofLog> proof;
+  /// False when the split-tree stitch failed (a refuted branch never
+  /// reported, or two branches covered overlapping space); proof_error
+  /// carries the diagnosis and the proof will not certify.
+  bool proof_stitched = false;
+  std::string proof_error;
 };
 
 struct SequentialResult {

@@ -59,6 +59,7 @@ CdclSolver::CdclSolver(const cnf::CnfFormula& formula, SolverConfig config)
 
 CdclSolver::CdclSolver(const Subproblem& subproblem, SolverConfig config)
     : config_(config), rng_(config.seed) {
+  assumptions_ = subproblem.assumptions;
   init(subproblem.num_vars, subproblem.clauses,
        static_cast<std::size_t>(subproblem.num_problem_clauses),
        subproblem.units);
@@ -646,9 +647,7 @@ void CdclSolver::learn_and_attach(const std::vector<Lit>& learned,
                                   std::uint32_t lbd) {
   ++stats_.learned_clauses;
   stats_.learned_literals += learned.size();
-  if (config_.log_proof) {
-    proof_.add(cnf::Clause(learned.begin(), learned.end()));
-  }
+  if (proof_on()) proof_add(cnf::Clause(learned.begin(), learned.end()));
   if (share_cb_) {
     ++stats_.exported_clauses;
     share_cb_(cnf::Clause(learned.begin(), learned.end()), lbd);
@@ -703,10 +702,26 @@ std::optional<Lit> CdclSolver::pick_branch() {
   return std::nullopt;
 }
 
+void CdclSolver::proof_add(cnf::Clause clause) {
+  if (proof_sink_) proof_sink_->proof_add(clause);
+  proof_.add(std::move(clause));
+}
+
 void CdclSolver::proof_delete(ClauseRef cref) {
-  if (!config_.log_proof) return;
+  if (!proof_on()) return;
   const auto lits = arena_.lits(cref);
+  // Deletions stay local: in a distributed proof another worker may still
+  // depend on its own copy of the clause (see solver/proof.hpp).
   proof_.remove(cnf::Clause(lits.begin(), lits.end()));
+}
+
+void CdclSolver::log_terminal() {
+  if (!proof_on() || terminal_logged_) return;
+  terminal_logged_ = true;
+  cnf::Clause leaf;
+  leaf.reserve(assumptions_.size());
+  for (const Lit a : assumptions_) leaf.push_back(~a);
+  proof_.add(std::move(leaf));
 }
 
 void CdclSolver::reduce_db() {
@@ -802,7 +817,9 @@ bool CdclSolver::merge_imports() {
                    batch.size());
   for (const cnf::Clause& c : batch) {
     ++stats_.imported_clauses;
-    if (config_.log_proof) proof_.add(c);
+    // Local log only: the learner's own proof_add already placed this
+    // clause in any shared sink, earlier in arrival order.
+    if (proof_on()) proof_.add(c);
     const std::size_t clauses_before = arena_.num_learned();
     const std::size_t trail_before = trail_.size();
     if (!add_clause_at_level0(c, /*learned=*/true)) {
@@ -829,7 +846,7 @@ bool CdclSolver::simplify_at_level0() {
   }
   if (trail_.size() == last_simplify_trail_) return true;
   last_simplify_trail_ = trail_.size();
-  if (config_.log_proof) {
+  if (proof_on()) {
     // Pruning may delete the clauses that derive the level-0 facts; log
     // those facts as unit additions first (each is RUP right now), so the
     // checker can still propagate them. Tainted literals are guiding-path
@@ -839,7 +856,7 @@ bool CdclSolver::simplify_at_level0() {
         trail_lim_.empty() ? trail_.size() : trail_lim_[0];
     for (std::size_t i = proof_logged_units_; i < level0_end; ++i) {
       if (!vars_[trail_[i].var()].taint) {
-        proof_.add(cnf::Clause{trail_[i]});
+        proof_add(cnf::Clause{trail_[i]});
       }
     }
     proof_logged_units_ = level0_end;
@@ -867,9 +884,7 @@ bool CdclSolver::simplify_at_level0() {
 
 SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
   if (root_conflict_) {
-    if (config_.log_proof && !proof_.ends_with_empty_clause()) {
-      proof_.add_empty();
-    }
+    log_terminal();
     return status_ = SolveStatus::kUnsat;
   }
   if (status_ == SolveStatus::kSat) return status_;
@@ -885,7 +900,7 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
       ++stats_.work;
       if (decision_level() == 0) {
         root_conflict_ = true;
-        if (config_.log_proof) proof_.add_empty();
+        log_terminal();
         return status_ = SolveStatus::kUnsat;
       }
       std::vector<Lit> learned;
@@ -899,7 +914,7 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
       backtrack(backjump_level);
       learn_and_attach(learned, lbd);
       if (root_conflict_) {
-        if (config_.log_proof) proof_.add_empty();
+        log_terminal();
         return status_ = SolveStatus::kUnsat;
       }
       if (stats_.conflicts % config_.decay_interval == 0) decay_activities();
@@ -931,7 +946,7 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
     } else {
       if (decision_level() == 0) {
         if (!merge_imports() || !simplify_at_level0()) {
-          if (config_.log_proof) proof_.add_empty();
+          log_terminal();
           return status_ = SolveStatus::kUnsat;
         }
       }
@@ -1009,6 +1024,7 @@ Subproblem CdclSolver::split() {
   // The complementary branch: level-0 prefix plus ~d1 as an assumption.
   Subproblem other = to_subproblem();
   other.units.push_back(SubproblemUnit{~d1, /*tainted=*/true});
+  other.assumptions.push_back(~d1);
   other.path += (other.path.empty() ? "" : ".") + cnf::to_string(~d1);
 
   // Fold our first decision level into level 0 (Figure 2, left side).
@@ -1038,12 +1054,14 @@ Subproblem CdclSolver::split() {
   }
   trail_lim_.erase(trail_lim_.begin());
   last_simplify_trail_ = 0;  // the new level-0 facts enable fresh pruning
+  assumptions_.push_back(d1);  // we keep the d1 branch
   return other;
 }
 
 Subproblem CdclSolver::to_subproblem() const {
   Subproblem sp;
   sp.num_vars = num_vars_;
+  sp.assumptions = assumptions_;
   const std::size_t level0_end =
       trail_lim_.empty() ? trail_.size() : trail_lim_[0];
   sp.units.reserve(level0_end);

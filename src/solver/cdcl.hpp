@@ -111,10 +111,12 @@ struct SolverConfig {
   bool measure_propagation = false;
 
   /// Record a DRUP-style clausal proof (solver/proof.hpp). Adds every
-  /// learned (and imported) clause and every deletion to the log; an
-  /// UNSAT run ends the log with the empty clause. Meaningful for
-  /// solvers constructed from a full formula (a subproblem refutation
-  /// proves only its own branch).
+  /// learned (and imported) clause and every deletion to the log. An
+  /// UNSAT run ends the log with the refutation terminal: the empty
+  /// clause for a full-formula solver, or the negated-guiding-path
+  /// clause ¬(assumptions) for a solver running under split assumptions
+  /// (the leaf a DistributedProofBuilder stitches on). Compiled out
+  /// entirely when kProofCompiledIn is false (CMake GRIDSAT_PROOF=OFF).
   bool log_proof = false;
 };
 
@@ -296,6 +298,23 @@ class CdclSolver {
   /// The recorded proof (empty unless config.log_proof).
   [[nodiscard]] const ProofLog& proof() const noexcept { return proof_; }
 
+  /// The pure guiding-path assumptions this solver runs under: split
+  /// decisions only, in split order, without their propagated
+  /// consequences. Empty for a full-formula solver. Seeded from
+  /// Subproblem::assumptions and extended by split().
+  [[nodiscard]] const std::vector<cnf::Lit>& assumptions() const noexcept {
+    return assumptions_;
+  }
+
+  /// Stream clause additions into a shared arrival-ordered log: learned
+  /// clauses and logged level-0 units are forwarded; imports are not
+  /// (their learner already contributed them), deletions are not (unsound
+  /// across workers), and neither is the refutation terminal (the
+  /// orchestrator records the leaf via DistributedProofBuilder::add_leaf).
+  /// Not owned; must outlive the solver's use. Only consulted while
+  /// config.log_proof is on.
+  void set_proof_sink(ProofSink* sink) noexcept { proof_sink_ = sink; }
+
  private:
   struct Watcher {
     ClauseRef cref;
@@ -451,10 +470,22 @@ class CdclSolver {
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t trace_worker_ = 0;
 
+  /// Proof hooks. proof_on() folds to a compile-time false under
+  /// GRIDSAT_PROOF=OFF so every logging site vanishes from the hot path.
+  [[nodiscard]] bool proof_on() const noexcept {
+    return kProofCompiledIn && config_.log_proof;
+  }
+  void proof_add(cnf::Clause clause);
   void proof_delete(ClauseRef cref);
+  /// Log the refutation terminal once: ¬(assumptions), which is the empty
+  /// clause for a full-formula solver.
+  void log_terminal();
 
   util::Xoshiro256 rng_;
   ProofLog proof_;
+  ProofSink* proof_sink_ = nullptr;
+  std::vector<cnf::Lit> assumptions_;
+  bool terminal_logged_ = false;
   SolverStats stats_;
   SolveStatus status_ = SolveStatus::kUnknown;
   bool root_conflict_ = false;  ///< formula (or subproblem) refuted

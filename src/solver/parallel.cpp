@@ -17,6 +17,11 @@ ParallelResult ParallelSolver::solve() {
   // One publish shard per worker; the dedup table is shared by all.
   pool_ = std::make_unique<SharedClausePool>(options_.num_threads);
   dedup_ = std::make_unique<FingerprintFilter>(options_.dedup_log2_slots);
+  publish_count_.store(0);
+  proof_builder_.reset();
+  if (kProofCompiledIn && options_.solver.log_proof) {
+    proof_builder_ = std::make_unique<DistributedProofBuilder>();
+  }
 
   obs::MetricRegistry& reg =
       options_.metrics != nullptr ? *options_.metrics : own_metrics_;
@@ -74,6 +79,14 @@ ParallelResult ParallelSolver::solve() {
   if (result_.status == SolveStatus::kUnknown) {
     // Queue drained with every branch refuted.
     result_.status = SolveStatus::kUnsat;
+  }
+  if (proof_builder_ && result_.status == SolveStatus::kUnsat) {
+    result_.proof_stitched = proof_builder_->stitch();
+    if (!result_.proof_stitched) {
+      result_.proof_error = proof_builder_->stitch_error();
+    }
+    result_.proof =
+        std::make_shared<const ProofLog>(proof_builder_->take_log());
   }
   result_.stats.threads = options_.num_threads;
   result_.stats.splits = splits_ctr_->get() - splits_base_;
@@ -144,6 +157,17 @@ std::size_t ParallelSolver::publish_clauses(std::size_t worker_index,
   }
   const std::size_t n = pool_->publish(worker_index, std::move(fresh));
   published_ctr_->add(n);
+  // Dedup epoch: forget all fingerprints every dedup_clear_every admitted
+  // publishes, so a clause every importer has since evicted can be shared
+  // again (see ParallelOptions::dedup_clear_every).
+  if (options_.dedup_clear_every > 0 && n > 0) {
+    const std::uint64_t total =
+        publish_count_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (total / options_.dedup_clear_every !=
+        (total - n) / options_.dedup_clear_every) {
+      dedup_->clear();
+    }
+  }
   return n;
 }
 
@@ -169,6 +193,7 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
   config.seed = options_.solver.seed + worker_index;  // decorrelate ties
   CdclSolver solver(sp, config);
   solver.set_tracer(options_.tracer, trace_id(worker_index));
+  if (proof_builder_) solver.set_proof_sink(proof_builder_.get());
   std::vector<SharedClause> exports;
   const std::size_t max_len = options_.share_max_len;
   const std::uint32_t max_lbd = options_.share_max_lbd;
@@ -215,6 +240,7 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
       }
       case SolveStatus::kUnsat:
         refuted_ctr_->add(1);
+        if (proof_builder_) proof_builder_->add_leaf(solver.assumptions());
         return;
       case SolveStatus::kMemOut: {
         // Should not happen without a configured limit; treat the branch

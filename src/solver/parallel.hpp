@@ -56,6 +56,14 @@ struct ParallelOptions {
   std::uint64_t slice_work = 200'000;
   /// log2 of the duplicate-fingerprint table size (entries, not bytes).
   std::size_t dedup_log2_slots = 17;
+  /// Re-share epoch length: the duplicate filter forgets everything after
+  /// this many admitted publishes. Without it a clause published once is
+  /// suppressed for the whole run, even after every importer evicts its
+  /// copy in reduce_db() — a long-lived run could never re-converge on a
+  /// clause it threw away. 0 = permanent suppression (the pre-epoch
+  /// behaviour). Epoch resets only widen what may be shipped; verdicts
+  /// are unaffected.
+  std::uint64_t dedup_clear_every = 8192;
   SolverConfig solver;
   /// Optional externally owned metric registry. Counters accumulate under
   /// "parallel.*" / "sharing.*" names; ParallelStats still reports this
@@ -90,6 +98,16 @@ struct ParallelResult {
   SolveStatus status = SolveStatus::kUnknown;
   cnf::Assignment model;  ///< verified against the input when kSat
   ParallelStats stats;
+  /// Global arrival-ordered refutation of the input formula, stitched
+  /// over the split tree; present only for kUnsat runs with
+  /// options.solver.log_proof set (and GRIDSAT_PROOF compiled in).
+  /// Validate with certify(formula, *proof).
+  std::shared_ptr<const ProofLog> proof;
+  /// False when the split-tree stitch failed (some refuted branch never
+  /// reported — the proof then lacks its empty clause and will not
+  /// certify); proof_error carries the diagnosis.
+  bool proof_stitched = false;
+  std::string proof_error;
 };
 
 class ParallelSolver {
@@ -125,6 +143,11 @@ class ParallelSolver {
   // count is known.
   std::unique_ptr<SharedClausePool> pool_;
   std::unique_ptr<FingerprintFilter> dedup_;
+  /// Admitted publishes since solve() start, for the dedup epoch clear.
+  std::atomic<std::uint64_t> publish_count_{0};
+
+  /// Shared arrival-ordered proof log (null unless solver.log_proof).
+  std::unique_ptr<DistributedProofBuilder> proof_builder_;
 
   std::mutex result_mutex_;
   ParallelResult result_;

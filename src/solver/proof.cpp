@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "solver/cdcl.hpp"
+
 namespace gridsat::solver {
 
 using cnf::LBool;
@@ -56,6 +58,15 @@ bool propagate_to_conflict(const std::vector<cnf::Clause>& database,
   return false;
 }
 
+bool is_tautology(const cnf::Clause& clause) {
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    for (std::size_t j = i + 1; j < clause.size(); ++j) {
+      if (clause[i] == ~clause[j]) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 bool is_rup(const std::vector<cnf::Clause>& database, cnf::Var num_vars,
@@ -66,11 +77,7 @@ bool is_rup(const std::vector<cnf::Clause>& database, cnf::Var num_vars,
   // contradictory candidate (contains l and ~l) is a tautology: trivially
   // implied, and the assumption set below would be inconsistent, so
   // handle it first.
-  for (std::size_t i = 0; i < clause.size(); ++i) {
-    for (std::size_t j = i + 1; j < clause.size(); ++j) {
-      if (clause[i] == ~clause[j]) return true;
-    }
-  }
+  if (is_tautology(clause)) return true;
   for (const Lit l : clause) {
     if (l.var() > num_vars) return false;
     assignment[l.var()] = (~l).satisfying_value();
@@ -120,6 +127,369 @@ ProofCheckResult check_unsat_proof(const cnf::CnfFormula& formula,
   }
   result.message = "proof ended without deriving the empty clause";
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// ProofChecker — incremental watched-literal RUP
+// ---------------------------------------------------------------------------
+
+ProofChecker::ProofChecker(const cnf::CnfFormula& formula)
+    : num_vars_(formula.num_vars()) {
+  assign_.assign(static_cast<std::size_t>(num_vars_) + 1, LBool::kUndef);
+  watches_.resize((static_cast<std::size_t>(num_vars_) + 1) * 2);
+  for (const cnf::Clause& c : formula.clauses()) add_clause(c);
+}
+
+void ProofChecker::enqueue(Lit l) {
+  assign_[l.var()] = l.satisfying_value();
+  trail_.push_back(l);
+}
+
+bool ProofChecker::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];        // p just became true
+    auto& wl = watches_[(~p).code()];      // clauses watching ~p
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < wl.size(); ++i) {
+      const std::uint32_t id = wl[i];
+      StoredClause& c = clauses_[id];
+      if (c.dead) continue;  // lazily drop deleted clauses from the list
+      auto& lits = c.lits;
+      if (lits[0] == ~p) std::swap(lits[0], lits[1]);
+      if (value(lits[0]) == LBool::kTrue) {
+        wl[out++] = id;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != LBool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[lits[1].code()].push_back(id);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      wl[out++] = id;  // stays watched here
+      if (value(lits[0]) == LBool::kFalse) {
+        // Conflict. Preserve the unvisited tail of the list, then stop.
+        for (std::size_t j = i + 1; j < wl.size(); ++j) {
+          if (!clauses_[wl[j]].dead) wl[out++] = wl[j];
+        }
+        wl.resize(out);
+        qhead_ = trail_.size();
+        return true;
+      }
+      enqueue(lits[0]);
+    }
+    wl.resize(out);
+  }
+  return false;
+}
+
+void ProofChecker::rollback_to_root() {
+  for (std::size_t i = trail_.size(); i > root_size_; --i) {
+    assign_[trail_[i - 1].var()] = LBool::kUndef;
+  }
+  trail_.resize(root_size_);
+  qhead_ = root_size_;
+}
+
+void ProofChecker::add_clause(const cnf::Clause& clause) {
+  cnf::Clause key = clause;
+  std::sort(key.begin(), key.end());
+  const auto id = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back(StoredClause{clause, false});
+  index_[std::move(key)].push_back(id);
+  if (root_falsified_) return;
+
+  // Bring up to two root-non-false literals to the front.
+  auto& lits = clauses_.back().lits;
+  std::size_t non_false = 0;
+  for (std::size_t i = 0; i < lits.size() && non_false < 2; ++i) {
+    if (value(lits[i]) != LBool::kFalse) {
+      std::swap(lits[non_false], lits[i]);
+      ++non_false;
+    }
+  }
+  if (non_false == 0) {
+    root_falsified_ = true;  // conflicts with the persistent root trail
+    return;
+  }
+  if (non_false == 1) {
+    // Unit (or effectively unit) under the root trail: assert and extend
+    // the persistent root level. No watches needed — root literals are
+    // never unassigned, so the clause stays satisfied forever.
+    if (value(lits[0]) == LBool::kUndef) {
+      enqueue(lits[0]);
+      if (propagate()) root_falsified_ = true;
+      root_size_ = trail_.size();
+      qhead_ = root_size_;
+    }
+    return;
+  }
+  watches_[lits[0].code()].push_back(id);
+  watches_[lits[1].code()].push_back(id);
+}
+
+void ProofChecker::delete_clause(const cnf::Clause& clause) {
+  cnf::Clause key = clause;
+  std::sort(key.begin(), key.end());
+  const auto it = index_.find(key);
+  if (it == index_.end() || it->second.empty()) return;  // absent: harmless
+  const std::uint32_t id = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) index_.erase(it);
+  clauses_[id].dead = true;  // watch lists skip-and-drop it lazily
+}
+
+bool ProofChecker::rup(const cnf::Clause& clause) {
+  if (root_falsified_) return true;  // everything is implied already
+  if (is_tautology(clause)) return true;
+  for (const Lit l : clause) {
+    if (l.var() > num_vars_) return false;
+  }
+  bool conflict = false;
+  for (const Lit l : clause) {
+    const LBool v = value(l);
+    if (v == LBool::kTrue) {
+      conflict = true;  // ~l contradicts the trail: immediate conflict
+      break;
+    }
+    if (v == LBool::kUndef) enqueue(~l);
+  }
+  if (!conflict) conflict = propagate();
+  rollback_to_root();
+  return conflict;
+}
+
+ProofCheckResult ProofChecker::check(const ProofLog& proof) {
+  ProofCheckResult result;
+  for (std::size_t i = 0; i < proof.steps().size(); ++i) {
+    const ProofStep& step = proof.steps()[i];
+    if (step.deletion) {
+      delete_clause(step.clause);
+      ++result.steps_checked;
+      continue;
+    }
+    if (!rup(step.clause)) {
+      std::ostringstream msg;
+      msg << "step " << i << " is not RUP (clause of " << step.clause.size()
+          << " literals)";
+      result.failed_step = i;
+      result.message = msg.str();
+      return result;
+    }
+    ++result.steps_checked;
+    if (step.clause.empty()) {
+      result.valid = true;
+      return result;
+    }
+    add_clause(step.clause);
+  }
+  result.message = "proof ended without deriving the empty clause";
+  return result;
+}
+
+ProofCheckResult certify(const cnf::CnfFormula& formula,
+                         const ProofLog& proof) {
+  ProofChecker checker(formula);
+  return checker.check(proof);
+}
+
+// ---------------------------------------------------------------------------
+// DistributedProofBuilder — arrival-ordered global log + split-tree stitch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Fallback for leaf sets that are not one split tree: a
+/// checkpoint-recovered client re-solves its subtree under a fresh decision
+/// order, so the surviving leaves may form overlapping trees whose union
+/// covers the cube without ever containing an exact sibling pair. The
+/// leaves still cover the whole assumption space iff their negated-path
+/// clauses are jointly unsatisfiable over the split variables, so refute
+/// that residual CNF with a proof-logging solver and splice the derivation
+/// into the global log: every spliced step is RUP against the leaf clauses,
+/// all of which precede it. A model instead names the exact guiding path no
+/// leaf refutes.
+bool refute_residual_cover(const std::set<std::vector<std::uint32_t>>& sets,
+                           ProofLog& log, std::string& error) {
+  cnf::Var max_var = 0;
+  for (const std::vector<std::uint32_t>& s : sets) {
+    for (const std::uint32_t code : s) {
+      max_var = std::max(max_var, Lit::from_code(code).var());
+    }
+  }
+  cnf::CnfFormula residual(max_var);
+  for (const std::vector<std::uint32_t>& s : sets) {
+    cnf::Clause clause;
+    clause.reserve(s.size());
+    for (const std::uint32_t code : s) {
+      clause.push_back(~Lit::from_code(code));
+    }
+    residual.add_clause(std::move(clause));
+  }
+
+  SolverConfig config;
+  config.log_proof = true;
+  CdclSolver refuter(residual, config);
+  if (refuter.solve() != SolveStatus::kUnsat) {
+    // The model, restricted to the split variables, is a guiding path that
+    // no recorded leaf refutes: a subproblem was dropped outright or a
+    // stale checkpoint was recovered over fresher work.
+    const cnf::Assignment& model = refuter.model();
+    std::ostringstream msg;
+    msg << "split-tree stitch incomplete: " << sets.size()
+        << " leaf set(s) have no sibling cover and guiding path {";
+    std::size_t listed = 0;
+    for (cnf::Var v = 1; v <= max_var; ++v) {
+      if (v >= model.size() || model[v] == LBool::kUndef) continue;
+      if (listed > 0) msg << ' ';
+      if (++listed > 16) {
+        msg << "...";
+        break;
+      }
+      msg << cnf::to_string(Lit(v, model[v] == LBool::kFalse));
+    }
+    msg << "} was never refuted";
+    error = msg.str();
+    return false;
+  }
+  if (!kProofCompiledIn) {
+    // The verdict above is sound, but without compiled-in proof hooks the
+    // refuter cannot supply the derivation the global log needs.
+    error =
+        "split-tree stitch of overlapping split trees needs GRIDSAT_PROOF "
+        "compiled in";
+    return false;
+  }
+  for (const ProofStep& step : refuter.proof().steps()) {
+    if (step.deletion) continue;  // deletions are local to the refuter
+    log.add(step.clause);
+  }
+  return true;
+}
+
+}  // namespace
+
+void DistributedProofBuilder::proof_add(const cnf::Clause& clause) {
+  const std::scoped_lock lock(mu_);
+  log_.add(clause);
+}
+
+void DistributedProofBuilder::add_leaf(
+    const std::vector<cnf::Lit>& assumptions) {
+  const std::scoped_lock lock(mu_);
+  cnf::Clause leaf;
+  leaf.reserve(assumptions.size());
+  LitSet set;
+  set.reserve(assumptions.size());
+  for (const Lit a : assumptions) {
+    leaf.push_back(~a);
+    set.push_back(a.code());
+  }
+  std::sort(set.begin(), set.end());
+  log_.add(std::move(leaf));
+  ++leaves_;
+  insert_reduced(std::move(set));
+}
+
+std::size_t DistributedProofBuilder::leaf_count() const {
+  const std::scoped_lock lock(mu_);
+  return leaves_;
+}
+
+void DistributedProofBuilder::insert_reduced(LitSet s) {
+  // Skip if an existing set subsumes s (its clause is at least as strong:
+  // a checkpoint-recovered ancestor already covers this subtree).
+  for (const LitSet& existing : sets_) {
+    if (existing.size() <= s.size() &&
+        std::includes(s.begin(), s.end(), existing.begin(), existing.end())) {
+      return;
+    }
+  }
+  // Drop existing sets that s subsumes.
+  for (auto it = sets_.begin(); it != sets_.end();) {
+    if (it->size() >= s.size() &&
+        std::includes(it->begin(), it->end(), s.begin(), s.end())) {
+      it = sets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sets_.insert(std::move(s));
+}
+
+bool DistributedProofBuilder::stitch() {
+  const std::scoped_lock lock(mu_);
+  if (stitched_) return stitch_ok_;
+  stitched_ = true;
+
+  if (leaves_ == 0) {
+    stitch_error_ = "no refuted leaves were recorded";
+    return stitch_ok_ = false;
+  }
+
+  // Fast path: resolve the deepest set against its sibling until the empty
+  // set falls out. For a subsumption-reduced cover of a SINGLE split tree
+  // this greedy rule is complete: a maximal-depth node's sibling subtree
+  // can only be covered by the sibling itself (any other coverer would be
+  // an ancestor of both siblings and would have subsumed the node away).
+  // Covers made of overlapping trees fall through to
+  // refute_residual_cover() below.
+  while (!sets_.empty()) {
+    // std::set orders lexicographically, so the empty set sorts first.
+    if (sets_.begin()->empty()) break;  // empty set derived
+    // Find a deepest set.
+    auto deepest = sets_.begin();
+    for (auto it = sets_.begin(); it != sets_.end(); ++it) {
+      if (it->size() > deepest->size()) deepest = it;
+    }
+    // Look for a sibling: the same set with exactly one literal flipped.
+    bool resolved = false;
+    for (std::size_t k = 0; k < deepest->size() && !resolved; ++k) {
+      LitSet sibling = *deepest;
+      sibling[k] ^= 1u;  // Lit code negation
+      std::sort(sibling.begin(), sibling.end());
+      const auto sib_it = sets_.find(sibling);
+      if (sib_it == sets_.end()) continue;
+      LitSet parent = *deepest;
+      parent.erase(parent.begin() + static_cast<std::ptrdiff_t>(k));
+      sets_.erase(sib_it);
+      sets_.erase(deepest);
+      cnf::Clause resolvent;
+      resolvent.reserve(parent.size());
+      for (const std::uint32_t code : parent) {
+        resolvent.push_back(~Lit::from_code(code));
+      }
+      log_.add(std::move(resolvent));
+      insert_reduced(std::move(parent));
+      resolved = true;
+    }
+    if (!resolved) {
+      // No exact sibling pair left, yet the leaves may still cover the
+      // cube as overlapping split trees (checkpoint recovery re-splits
+      // under a fresh decision order). Hand the residual sets to the
+      // complete refutation fallback.
+      if (!refute_residual_cover(sets_, log_, stitch_error_)) {
+        return stitch_ok_ = false;
+      }
+      if (!log_.ends_with_empty_clause()) log_.add_empty();
+      return stitch_ok_ = true;
+    }
+  }
+
+  if (sets_.empty() || !sets_.begin()->empty()) {
+    stitch_error_ = "split-tree stitch did not derive the empty clause";
+    return stitch_ok_ = false;
+  }
+  if (!log_.ends_with_empty_clause()) {
+    // Reachable only when leaves kept arriving after a refuted root; the
+    // checker stops at the first empty clause, so the tail is harmless.
+    log_.add_empty();
+  }
+  return stitch_ok_ = true;
 }
 
 }  // namespace gridsat::solver

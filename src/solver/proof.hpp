@@ -13,15 +13,51 @@
 // solver (under guiding-path assumptions) check as RUP against the
 // ORIGINAL formula, because tainted level-0 literals stay in the clause
 // (see cdcl.hpp).
+//
+// Distributed runs (ParallelSolver, Campaign) extend this to a single
+// global refutation (DESIGN.md §4d):
+//   * every solver streams its clause additions, in arrival order, into
+//     one shared adds-only log (a DistributedProofBuilder); deletions are
+//     dropped — RUP is monotone under database growth, and a deletion
+//     replayed from one worker would remove the single shared copy other
+//     workers still depend on;
+//   * a subproblem refuted under guiding-path assumptions contributes the
+//     *negated-assumption* clause as its leaf;
+//   * stitch() resolves sibling leaves bottom-up (¬(P∧d) and ¬(P∧¬d)
+//     yield ¬P, which is RUP given both) until the empty clause falls
+//     out. When checkpoint recovery re-splits a subtree under a fresh
+//     decision order the leaves form OVERLAPPING trees with no exact
+//     siblings; stitch() then refutes the residual leaf clauses with a
+//     proof-logging CdclSolver and splices that derivation in (each step
+//     is RUP against the leaf clauses preceding it). A genuinely
+//     incomplete leaf cover — the signature of a dropped subproblem or a
+//     stale checkpoint — makes stitch() fail and name the never-refuted
+//     guiding path, which is exactly what the certification fuzz oracle
+//     looks for.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "cnf/formula.hpp"
 
 namespace gridsat::solver {
+
+/// Compile-time kill switch for the proof hooks on the solver hot path
+/// (CMake option GRIDSAT_PROOF, default ON). Mirrors obs::kTraceCompiledIn:
+/// with the option OFF every `log_proof` check constant-folds to false, so
+/// the overhead guard can compare the runtime-disabled default against a
+/// build with no hooks at all.
+#if defined(GRIDSAT_PROOF_OFF)
+inline constexpr bool kProofCompiledIn = false;
+#else
+inline constexpr bool kProofCompiledIn = true;
+#endif
 
 struct ProofStep {
   bool deletion = false;
@@ -68,7 +104,8 @@ struct ProofCheckResult {
 /// Replay a refutation against `formula`: every addition must be RUP with
 /// respect to the current clause database; deletions shrink it; the proof
 /// must end with (or reach) the empty clause. O(steps x database) — a
-/// reference checker, not a competition one.
+/// reference checker, not a competition one. Use certify() for anything
+/// bigger than a unit test.
 ProofCheckResult check_unsat_proof(const cnf::CnfFormula& formula,
                                    const ProofLog& proof);
 
@@ -76,5 +113,118 @@ ProofCheckResult check_unsat_proof(const cnf::CnfFormula& formula,
 /// (exposed for the sharing-soundness property tests).
 bool is_rup(const std::vector<cnf::Clause>& database, cnf::Var num_vars,
             const cnf::Clause& clause);
+
+/// Incremental watched-literal RUP checker. Same verdicts as
+/// check_unsat_proof on adds-only proofs, but O(propagations) per step
+/// instead of O(database^2): the root trail persists across steps,
+/// assumption literals are pushed and rolled back per check, and
+/// deletions detach lazily. One difference from the reference checker is
+/// deliberate: root-level implications survive the deletion of their
+/// antecedent clause (sound — the implication was already derived), so
+/// this checker accepts a superset of what the reference accepts.
+class ProofChecker {
+ public:
+  explicit ProofChecker(const cnf::CnfFormula& formula);
+
+  /// Replay a whole proof from the post-construction state. A fresh
+  /// checker is required per proof (state is consumed).
+  ProofCheckResult check(const ProofLog& proof);
+
+ private:
+  struct StoredClause {
+    std::vector<cnf::Lit> lits;
+    bool dead = false;
+  };
+
+  [[nodiscard]] cnf::LBool value(cnf::Lit l) const noexcept {
+    return l.value_under(assign_[l.var()]);
+  }
+  void enqueue(cnf::Lit l);
+  bool propagate();  // true iff a conflict was reached
+  void rollback_to_root();
+  void add_clause(const cnf::Clause& clause);
+  void delete_clause(const cnf::Clause& clause);
+  bool rup(const cnf::Clause& clause);
+
+  cnf::Var num_vars_ = 0;
+  std::vector<StoredClause> clauses_;
+  std::vector<std::vector<std::uint32_t>> watches_;  // indexed by lit code
+  std::vector<cnf::LBool> assign_;                   // indexed by var
+  std::vector<cnf::Lit> trail_;
+  std::size_t qhead_ = 0;
+  std::size_t root_size_ = 0;    // trail prefix that persists across checks
+  bool root_falsified_ = false;  // formula already refuted at level 0
+  std::map<cnf::Clause, std::vector<std::uint32_t>> index_;  // sorted -> ids
+};
+
+/// One-call certification with the watched-literal checker.
+ProofCheckResult certify(const cnf::CnfFormula& formula,
+                         const ProofLog& proof);
+
+/// Where a solver streams its proof additions when it is one voice in a
+/// distributed refutation (implemented by DistributedProofBuilder).
+class ProofSink {
+ public:
+  virtual ~ProofSink() = default;
+  virtual void proof_add(const cnf::Clause& clause) = 0;
+};
+
+/// Accumulates the global arrival-ordered adds-only proof of a
+/// distributed UNSAT run, then stitches the split tree shut.
+///
+/// Usage: hand the builder (as a ProofSink) to every solver; call
+/// add_leaf(assumptions) each time a subproblem is refuted; after the
+/// run's verdict, call stitch() and check the log with certify().
+/// proof_add/add_leaf are mutex-serialized so ParallelSolver workers can
+/// share one builder; the Campaign's virtual-time loop is single-threaded
+/// and pays one uncontended lock per event.
+class DistributedProofBuilder final : public ProofSink {
+ public:
+  /// Arrival-ordered clause addition (learned or imported). Deletions are
+  /// intentionally not representable here — see the header comment.
+  void proof_add(const cnf::Clause& clause) override;
+
+  /// Record that a subproblem with this guiding-path assumption set was
+  /// refuted, and append its negated-assumption clause to the log. An
+  /// empty assumption set is the root: its leaf is the empty clause.
+  void add_leaf(const std::vector<cnf::Lit>& assumptions);
+
+  [[nodiscard]] std::size_t leaf_count() const;
+
+  /// Resolve sibling leaves bottom-up and append the resolvents (and the
+  /// final empty clause) to the log; leaves that form overlapping split
+  /// trees (checkpoint recovery re-splits under a fresh decision order)
+  /// are closed by refuting the residual leaf clauses with a
+  /// proof-logging solver and splicing that derivation in. Returns false
+  /// — leaving the log without an empty clause — when the recorded leaves
+  /// do not cover the split tree; stitch_error() then names the
+  /// never-refuted guiding path. Duplicate and ancestor-subsumed leaves
+  /// are pruned. Idempotent: a second call returns the first call's
+  /// verdict.
+  bool stitch();
+
+  [[nodiscard]] const std::string& stitch_error() const noexcept {
+    return stitch_error_;
+  }
+  [[nodiscard]] const ProofLog& log() const noexcept { return log_; }
+  [[nodiscard]] ProofLog take_log() { return std::move(log_); }
+
+ private:
+  // Assumption sets as sorted literal-code vectors.
+  using LitSet = std::vector<std::uint32_t>;
+
+  /// Subsumption-reducing insert: skipped if a subset is present; erases
+  /// supersets. Returns true if the collection now contains a set that is
+  /// a subset of (or equal to) `s`.
+  void insert_reduced(LitSet s);
+
+  mutable std::mutex mu_;
+  ProofLog log_;
+  std::set<LitSet> sets_;
+  std::size_t leaves_ = 0;
+  bool stitched_ = false;
+  bool stitch_ok_ = false;
+  std::string stitch_error_;
+};
 
 }  // namespace gridsat::solver

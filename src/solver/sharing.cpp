@@ -56,6 +56,10 @@ bool FingerprintFilter::insert(std::uint64_t fp) noexcept {
   return true;
 }
 
+void FingerprintFilter::clear() noexcept {
+  for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
+}
+
 SharedClausePool::SharedClausePool(std::size_t num_shards)
     : num_shards_(num_shards), shards_(new Shard[num_shards]) {}
 

@@ -47,6 +47,15 @@ class FingerprintFilter {
   /// duplicate. Thread-safe, lock-free.
   bool insert(std::uint64_t fp) noexcept;
 
+  /// Start a new suppression epoch: forget every fingerprint. Without
+  /// this, a clause published once is suppressed for the whole run even
+  /// after every importer evicts its copy in reduce_db(). Safe (but not
+  /// atomic) under concurrent insert(): a racing insert may land in an
+  /// already-swept slot and survive, or be swept and re-admitted later —
+  /// either way the filter stays a best-effort duplicate suppressor,
+  /// which is all it ever was.
+  void clear() noexcept;
+
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
  private:

@@ -15,6 +15,8 @@ void Subproblem::serialize(util::ByteWriter& out) const {
     out.var_u64(c.size());
     for (const cnf::Lit l : c) out.var_u64(l.code());
   }
+  out.var_u64(assumptions.size());
+  for (const cnf::Lit l : assumptions) out.var_u64(l.code());
   out.str(path);
 }
 
@@ -41,6 +43,12 @@ Subproblem Subproblem::deserialize(util::ByteReader& in) {
     }
     sp.clauses.push_back(std::move(c));
   }
+  const std::uint64_t num_assumptions = in.var_u64();
+  sp.assumptions.reserve(num_assumptions);
+  for (std::uint64_t i = 0; i < num_assumptions; ++i) {
+    sp.assumptions.push_back(
+        cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
+  }
   sp.path = in.str();
   return sp;
 }
@@ -65,6 +73,8 @@ std::size_t Subproblem::wire_size() const {
     bytes += varint_len(c.size());
     for (const cnf::Lit l : c) bytes += varint_len(l.code());
   }
+  bytes += varint_len(assumptions.size());
+  for (const cnf::Lit l : assumptions) bytes += varint_len(l.code());
   bytes += varint_len(path.size()) + path.size();
   return bytes;
 }

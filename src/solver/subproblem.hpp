@@ -39,6 +39,14 @@ struct Subproblem {
   /// DB reduction); the rest are learned and reducible.
   std::vector<cnf::Clause> clauses;
   std::uint64_t num_problem_clauses = 0;
+  /// The *pure* guiding-path assumptions: the split decisions themselves,
+  /// in split order, without the tainted consequences that `units` also
+  /// carries. Certification needs exactly this set — a refuted subproblem
+  /// contributes ¬(assumptions) as its proof leaf, and sibling leaves
+  /// (¬(P∧d), ¬(P∧¬d)) only resolve when consequences are excluded
+  /// (consequences are re-derivable by unit propagation, so dropping them
+  /// keeps the leaf RUP).
+  std::vector<cnf::Lit> assumptions;
   /// Human-readable guiding path, e.g. "~V10.V7" (for traces and tests).
   std::string path;
 

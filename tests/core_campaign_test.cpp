@@ -271,6 +271,230 @@ TEST(CampaignFailureTest, LightCheckpointRecoveryCompletesRun) {
   EXPECT_EQ(result.status, CampaignStatus::kUnsat);
 }
 
+// --- Certification: campaign-wide stitched refutations -----------------
+
+GridSatConfig certify_config() {
+  GridSatConfig config = fast_split_config();
+  config.split_timeout_s = 2.0;
+  config.solver.log_proof = true;
+  return config;
+}
+
+// Certification end-to-ends are meaningless without the proof hooks
+// (-DGRIDSAT_PROOF=OFF).
+#define REQUIRE_PROOF_HOOKS() \
+  if (!solver::kProofCompiledIn) GTEST_SKIP() << "GRIDSAT_PROOF is off"
+
+TEST(CampaignCertifyTest, RefutationAcrossSplitsCertifies) {
+  REQUIRE_PROOF_HOOKS();
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  Campaign campaign(f, "east", tiny_testbed(), certify_config());
+  const GridSatResult result = campaign.run();
+  ASSERT_EQ(result.status, CampaignStatus::kUnsat);
+  EXPECT_GT(result.total_splits, 0u);  // a genuinely distributed run
+  ASSERT_TRUE(result.proof != nullptr);
+  ASSERT_TRUE(result.proof_stitched) << result.proof_error;
+  const solver::ProofCheckResult check = campaign.certify();
+  EXPECT_TRUE(check.valid) << check.message << " at step "
+                           << check.failed_step;
+  EXPECT_GT(check.steps_checked, 0u);
+}
+
+TEST(CampaignCertifyTest, XorChainRefutationCertifies) {
+  REQUIRE_PROOF_HOOKS();
+  const CnfFormula f = gen::urquhart_like(9, 4);
+  Campaign campaign(f, "east", tiny_testbed(), certify_config());
+  const GridSatResult result = campaign.run();
+  ASSERT_EQ(result.status, CampaignStatus::kUnsat);
+  ASSERT_TRUE(result.proof != nullptr);
+  const solver::ProofCheckResult check = campaign.certify();
+  EXPECT_TRUE(check.valid) << check.message;
+}
+
+TEST(CampaignCertifyTest, RecoveredRunStillCertifies) {
+  // A busy client dies mid-run; the checkpoint-recovered re-solve must
+  // still stitch into one certifiable refutation (the recovered leaf
+  // subsumes or pairs with the dead client's search space).
+  REQUIRE_PROOF_HOOKS();
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  GridSatConfig config = certify_config();
+  config.checkpoint = CheckpointMode::kHeavy;
+  config.checkpoint_interval_s = 1.0;
+  config.recover_from_checkpoints = true;
+  Campaign campaign(f, "east", tiny_testbed(), config);
+  campaign.schedule_client_failure(0, 10.0);
+  const GridSatResult result = campaign.run();
+  ASSERT_EQ(result.status, CampaignStatus::kUnsat);
+  EXPECT_GE(result.checkpoint_recoveries, 1u);
+  const solver::ProofCheckResult check = campaign.certify();
+  EXPECT_TRUE(check.valid) << check.message;
+}
+
+TEST(CampaignCertifyTest, NoProofWhenLoggingOff) {
+  const CnfFormula f = gen::pigeonhole_unsat(7);
+  Campaign campaign(f, "east", tiny_testbed(), fast_split_config());
+  const GridSatResult result = campaign.run();
+  ASSERT_EQ(result.status, CampaignStatus::kUnsat);
+  EXPECT_EQ(result.proof, nullptr);
+  EXPECT_FALSE(campaign.certify().valid);
+}
+
+// --- Regression: premature UNSAT with a split payload in flight --------
+
+TEST(CampaignFailureTest, InFlightSplitPayloadBlocksPrematureUnsat) {
+  // Race (Figure 3): the donor refutes its own half while message (3) —
+  // the complementary half — is still crossing a slow inter-site link.
+  // The master then sees every client idle; it must NOT declare UNSAT
+  // over the in-flight (and later requeued) payload. Calibrate the
+  // timeline from an unperturbed run, then kill the receiver and the
+  // (by then idle) donor while the payload is in flight: the requeued
+  // subproblem sits in pending_restores_ with no client busy, the exact
+  // state the premature-UNSAT bug fired in.
+  const CnfFormula f = gen::pigeonhole_unsat(7);
+  std::vector<sim::HostSpec> hosts;
+  for (int i = 0; i < 2; ++i) {
+    sim::HostSpec spec;
+    spec.name = "h" + std::to_string(i);
+    spec.site = i == 0 ? "east" : "west";
+    spec.speed = 3000.0;
+    spec.memory_bytes = 32 * kMiB;
+    spec.seed = 100 + i;
+    hosts.push_back(spec);
+  }
+  GridSatConfig config = certify_config();
+  config.split_timeout_s = 2.0;
+  config.checkpoint = CheckpointMode::kLight;
+  config.recover_from_checkpoints = true;
+  config.overall_timeout_s = 1e6;
+  const sim::LinkSpec thin{2.0, 16.0};  // 2 s latency, 16 B/s
+
+  // Pass 1: unperturbed timeline on the same network.
+  Campaign probe(f, "east", hosts, config);
+  probe.network().set_link("east", "west", thin);
+  probe.bus().enable_trace();
+  ASSERT_EQ(probe.run().status, CampaignStatus::kUnsat);
+  double payload_sent = -1.0;
+  double payload_arrives = -1.0;
+  double donor_idle = -1.0;
+  for (const auto& r : probe.bus().trace()) {
+    if (payload_sent < 0 && r.kind == "SUBPROBLEM" && r.from != "master") {
+      payload_sent = r.sent_at;
+      payload_arrives = r.delivered_at;
+    }
+    if (donor_idle < 0 && r.kind == "SUBPROBLEM_UNSAT") {
+      donor_idle = r.sent_at;
+    }
+  }
+  ASSERT_GT(payload_sent, 0.0) << "no peer-to-peer split in the probe run";
+  ASSERT_GT(donor_idle, 0.0);
+  // The calibration this regression needs: the donor goes idle while the
+  // payload is still on the wire.
+  ASSERT_LT(donor_idle, payload_arrives - 3.0)
+      << "timeline drifted; widen the link or shrink the instance";
+
+  // Pass 2: same timeline, but both clients die before the payload lands.
+  const double kill_receiver = donor_idle + 0.5;
+  const double kill_donor = donor_idle + 1.0;
+  ASSERT_LT(kill_donor + 1.5, payload_arrives);  // monitor lag included
+  Campaign campaign(f, "east", hosts, config);
+  campaign.network().set_link("east", "west", thin);
+  campaign.schedule_client_failure(1, kill_receiver);
+  campaign.schedule_client_failure(0, kill_donor);
+  const GridSatResult result = campaign.run();
+  ASSERT_EQ(result.status, CampaignStatus::kUnsat);
+  // The verdict must postdate the payload's requeue and re-solve; the
+  // premature bug declared UNSAT the moment the payload was lost.
+  EXPECT_GT(result.seconds, payload_arrives + config.client_launch_s);
+  EXPECT_GE(result.checkpoint_recoveries, 1u);
+  // And the stitched proof covers the requeued half: the oracle that
+  // flushed this bug out in the first place.
+  if (solver::kProofCompiledIn) {
+    const solver::ProofCheckResult check = campaign.certify();
+    EXPECT_TRUE(check.valid) << check.message;
+  }
+}
+
+// --- Regression: stale checkpoint recovered on a reused host -----------
+
+TEST(CampaignFailureTest, StaleCheckpointIsNotRecoveredOnReusedHost) {
+  // A host refutes subproblem A (checkpointing along the way), is handed
+  // subproblem B, and dies before B's first checkpoint. The master used
+  // to keep A's checkpoint on file and "recover" it — resurrecting
+  // already-refuted space while silently dropping B. With the fix the
+  // spent checkpoint is erased, so the death is an honest kError (no
+  // checkpoint exists for B yet).
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  std::vector<sim::HostSpec> hosts;
+  for (int i = 0; i < 2; ++i) {
+    sim::HostSpec spec;
+    spec.name = "h" + std::to_string(i);
+    spec.site = "east";
+    spec.speed = 3000.0 + 500.0 * i;
+    spec.memory_bytes = 32 * kMiB;
+    spec.seed = 100 + i;
+    hosts.push_back(spec);
+  }
+  GridSatConfig config = certify_config();
+  config.split_timeout_s = 2.0;
+  config.checkpoint = CheckpointMode::kLight;
+  config.recover_from_checkpoints = true;
+
+  // Pass 1: find a host that finishes one subproblem and acks another,
+  // with a checkpoint on file from the first.
+  Campaign probe(f, "east", hosts, config);
+  probe.bus().enable_trace();
+  ASSERT_EQ(probe.run().status, CampaignStatus::kUnsat);
+  std::size_t victim = 0;
+  double ack_at = -1.0;
+  double next_checkpoint_at = -1.0;
+  for (std::size_t h = 0; h < hosts.size() && ack_at < 0; ++h) {
+    const std::string from = "client:" + hosts[h].name;
+    bool checkpointed = false;
+    bool finished = false;
+    for (const auto& r : probe.bus().trace()) {
+      if (r.from != from) continue;
+      if (r.kind == "CHECKPOINT") {
+        if (finished && ack_at >= 0) {
+          next_checkpoint_at = r.sent_at;
+          break;
+        }
+        checkpointed = true;
+      } else if (r.kind == "SUBPROBLEM_UNSAT" && checkpointed) {
+        finished = true;
+      } else if (r.kind == "SUBPROBLEM_ACK" && finished) {
+        ack_at = r.sent_at;
+        victim = h;
+      }
+    }
+    if (ack_at >= 0 && next_checkpoint_at < 0) ack_at = -1.0;  // no window
+  }
+  ASSERT_GT(ack_at, 0.0)
+      << "no host was reused after refuting a checkpointed subproblem; "
+         "timeline drifted — adjust the instance or split timeout";
+  ASSERT_GT(next_checkpoint_at, ack_at);
+
+  // Pass 2: kill the victim inside the (ack, first-checkpoint) window.
+  Campaign campaign(f, "east", hosts, config);
+  campaign.schedule_client_failure(victim,
+                                   (ack_at + next_checkpoint_at) / 2.0);
+  const GridSatResult result = campaign.run();
+  // The stale-checkpoint bug produced kUnsat here (with part of the
+  // search space silently dropped and an uncertifiable proof). Honest
+  // outcomes are kError (no checkpoint for the new subproblem) — or, if
+  // the timeline drifts, a certified kUnsat.
+  if (result.status == CampaignStatus::kUnsat) {
+    if (solver::kProofCompiledIn) {
+      const solver::ProofCheckResult check = campaign.certify();
+      EXPECT_TRUE(check.valid)
+          << "UNSAT verdict with an uncertifiable proof: stale checkpoint "
+             "recovery dropped part of the search space: " << check.message;
+    }
+  } else {
+    EXPECT_EQ(result.status, CampaignStatus::kError);
+    EXPECT_EQ(result.checkpoint_recoveries, 0u);
+  }
+}
+
 TEST(CampaignBatchTest, BatchNodesJoinAndHelp) {
   const CnfFormula f = gen::pigeonhole_unsat(9);
   GridSatConfig config = fast_split_config();

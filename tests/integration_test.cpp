@@ -109,6 +109,7 @@ TEST(IntegrationTest, DimacsFileThroughWholePipeline) {
 }
 
 TEST(IntegrationTest, SequentialProofForCampaignRefutedInstance) {
+  if (!solver::kProofCompiledIn) GTEST_SKIP() << "GRIDSAT_PROOF is off";
   // The campaign refutes it; an independent proof-logging sequential run
   // certifies the UNSAT verdict mechanically.
   const CnfFormula f = gen::pigeonhole_unsat(6);

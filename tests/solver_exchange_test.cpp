@@ -156,6 +156,36 @@ TEST(FingerprintFilterTest, ManyDistinctInsertsMostlyAdmitted) {
   EXPECT_EQ(readmitted, 0u);
 }
 
+TEST(FingerprintFilterTest, ClearStartsANewSuppressionEpoch) {
+  // Without clear(), one publish suppresses a clause for the rest of the
+  // run — even after every importer has evicted its copy in reduce_db().
+  // clear() must make the filter forget, so the clause can ship again.
+  FingerprintFilter filter(8);
+  const std::uint64_t fp = clause_fingerprint(make_clause({4, -7, 9}));
+  EXPECT_TRUE(filter.insert(fp));
+  EXPECT_FALSE(filter.insert(fp));  // suppressed within the epoch
+  filter.clear();
+  EXPECT_TRUE(filter.insert(fp));  // a new epoch re-admits it
+  EXPECT_FALSE(filter.insert(fp));
+}
+
+TEST(FingerprintFilterTest, ClearEmptiesAFullTable) {
+  // Fill a tiny table until probe windows saturate, then clear: every
+  // fingerprint must be treated as fresh again (no stale residue).
+  FingerprintFilter filter(4);  // 16 slots
+  for (int i = 1; i <= 16; ++i) {
+    (void)filter.insert(clause_fingerprint(make_clause({i, -(i + 1)})));
+  }
+  filter.clear();
+  std::size_t admitted = 0;
+  for (int i = 1; i <= 12; ++i) {
+    if (filter.insert(clause_fingerprint(make_clause({i, -(i + 1)})))) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 12u);
+}
+
 TEST(FingerprintFilterTest, ConcurrentInsertersAgreeOnOneWinner) {
   FingerprintFilter filter(12);
   constexpr int kClauses = 1000;
@@ -280,6 +310,43 @@ TEST(ExchangeDeterminismTest, VerdictIdenticalAcross1248Threads) {
       }
     }
   }
+}
+
+TEST(ExchangeDeterminismTest, VerdictUnaffectedByDedupEpochLength) {
+  // Re-share epochs only widen what may be shipped; the verdict must be
+  // identical whether the filter forgets constantly, occasionally, or
+  // never (dedup_clear_every = 0, the pre-epoch behaviour).
+  for (const std::uint64_t seed : {21u, 77u, 140u}) {
+    const CnfFormula f = gen::random_ksat(13, 55, 3, seed);
+    const bool truth = brute_force_solve(f).has_value();
+    for (const std::uint64_t epoch : {0u, 16u, 4096u}) {
+      ParallelOptions options;
+      options.num_threads = 4;
+      options.slice_work = 5'000;
+      options.dedup_clear_every = epoch;
+      ParallelSolver solver(f, options);
+      const ParallelResult result = solver.solve();
+      EXPECT_EQ(result.status,
+                truth ? SolveStatus::kSat : SolveStatus::kUnsat)
+          << "seed " << seed << " epoch " << epoch;
+    }
+  }
+}
+
+TEST(ExchangeDeterminismTest, TinyDedupEpochKeepsCountersCoherent) {
+  // With a 16-publish epoch the filter clears constantly; the accounting
+  // identities must still hold (re-shares are counted as publishes).
+  const CnfFormula f = gen::urquhart_like(10, 3);
+  ParallelOptions options;
+  options.num_threads = 4;
+  options.slice_work = 10'000;
+  options.dedup_clear_every = 16;
+  ParallelSolver solver(f, options);
+  const ParallelResult result = solver.solve();
+  EXPECT_EQ(result.status, SolveStatus::kUnsat);
+  EXPECT_GT(result.stats.clauses_published, 0u);
+  EXPECT_LE(result.stats.clauses_imported,
+            result.stats.clauses_published * (options.num_threads - 1));
 }
 
 TEST(ExchangeDeterminismTest, SharingInstanceExercisesExchangeCounters) {

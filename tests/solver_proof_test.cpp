@@ -13,6 +13,7 @@
 #include "gen/xor_chains.hpp"
 #include "solver/brute_force.hpp"
 #include "solver/cdcl.hpp"
+#include "solver/parallel.hpp"
 #include "solver/proof.hpp"
 
 namespace gridsat::solver {
@@ -27,7 +28,13 @@ SolverConfig proof_config() {
   return config;
 }
 
+// Tests that need the solver itself to emit DRUP steps are meaningless
+// when the hooks are compiled out (-DGRIDSAT_PROOF=OFF).
+#define REQUIRE_PROOF_HOOKS() \
+  if (!kProofCompiledIn) GTEST_SKIP() << "GRIDSAT_PROOF is off"
+
 TEST(ProofTest, PigeonholeRefutationChecks) {
+  REQUIRE_PROOF_HOOKS();
   const CnfFormula f = gen::pigeonhole_unsat(5);
   CdclSolver solver(f, proof_config());
   ASSERT_EQ(solver.solve(), SolveStatus::kUnsat);
@@ -38,6 +45,7 @@ TEST(ProofTest, PigeonholeRefutationChecks) {
 }
 
 TEST(ProofTest, TrivialContradictionChecks) {
+  REQUIRE_PROOF_HOOKS();
   CnfFormula f;
   f.add_dimacs_clause({1});
   f.add_dimacs_clause({-1});
@@ -50,6 +58,7 @@ TEST(ProofTest, TrivialContradictionChecks) {
 class ProofSweep : public testing::TestWithParam<int> {};
 
 TEST_P(ProofSweep, RandomUnsatRefutationsCheck) {
+  REQUIRE_PROOF_HOOKS();
   const int seed = GetParam();
   const CnfFormula f = gen::random_ksat(16, 90, 3, seed * 523 + 7);
   CdclSolver solver(f, proof_config());
@@ -63,6 +72,7 @@ TEST_P(ProofSweep, RandomUnsatRefutationsCheck) {
 INSTANTIATE_TEST_SUITE_P(Sweep, ProofSweep, testing::Range(0, 10));
 
 TEST(ProofTest, ProofWithDbReductionsStillChecks) {
+  REQUIRE_PROOF_HOOKS();
   // Force reductions mid-run so deletion steps appear in the log.
   const CnfFormula f = gen::pigeonhole_unsat(7);
   SolverConfig config = proof_config();
@@ -170,6 +180,267 @@ TEST(ProofTest, SharedClausesFromSplitSolversAreRupAgainstOriginal) {
   EXPECT_TRUE(all_rup)
       << "a split solver exported a clause not implied-by-UP from the "
          "original formula";
+}
+
+TEST(ProofTest, ImportedClausesKeepExportsRupAgainstOriginal) {
+  // The import-path mirror of the split-export test above: clauses flow
+  // donor -> SharedClausePool -> importing branch solver, and everything
+  // the importer subsequently exports must still be RUP against the
+  // ORIGINAL formula extended by previously exported clauses — imported
+  // clauses become antecedents of the importer's learned clauses, so an
+  // unsound import would surface here.
+  const CnfFormula f = gen::pigeonhole_unsat(6);
+  std::vector<cnf::Clause> database = f.clauses();
+  std::size_t checked = 0;
+  bool all_rup = true;
+  const auto checker = [&](const cnf::Clause& c, std::uint32_t) {
+    if (checked < 60) {
+      ++checked;
+      if (!is_rup(database, f.num_vars(), c)) all_rup = false;
+    }
+    database.push_back(c);
+  };
+
+  SharedClausePool pool(2);
+  CdclSolver donor(f);
+  donor.set_share_callback([&](const cnf::Clause& c, std::uint32_t lbd) {
+    checker(c, lbd);
+    pool.publish(0, {SharedClause{c, lbd}});
+  });
+  while (!donor.can_split() && donor.solve(200) == SolveStatus::kUnknown) {
+  }
+  ASSERT_TRUE(donor.can_split());
+  const Subproblem branch = donor.split();
+  (void)donor.solve(150'000);  // populate the pool with donor exports
+
+  CdclSolver importer(branch);
+  importer.set_share_callback(checker);
+  auto cursor = pool.make_cursor();
+  std::vector<SharedClause> incoming;
+  ASSERT_GT(pool.collect(/*self=*/1, cursor, incoming), 0u);
+  std::vector<cnf::Clause> fresh;
+  for (SharedClause& sc : incoming) fresh.push_back(std::move(sc.lits));
+  importer.import_clauses(std::move(fresh));
+  (void)importer.solve(400'000);
+  ASSERT_GT(checked, 0u);
+  EXPECT_TRUE(all_rup)
+      << "an importing split solver exported a clause not implied-by-UP "
+         "from the original formula";
+}
+
+// --- ProofChecker (the watched-literal checker behind certify()) -------
+
+TEST(ProofCheckerTest, AgreesWithReferenceCheckerOnRealProofs) {
+  REQUIRE_PROOF_HOOKS();
+  // certify() must accept exactly what the naive reference checker
+  // accepts on solver-produced refutations, including ones with
+  // deletions.
+  SolverConfig config = proof_config();
+  config.reduce_base = 50;
+  config.reduce_growth = 1.05;
+  for (const int n : {5, 6}) {
+    const CnfFormula f = gen::pigeonhole_unsat(n);
+    CdclSolver solver(f, config);
+    ASSERT_EQ(solver.solve(), SolveStatus::kUnsat);
+    const ProofCheckResult naive = check_unsat_proof(f, solver.proof());
+    const ProofCheckResult fast = certify(f, solver.proof());
+    EXPECT_TRUE(naive.valid) << naive.message;
+    EXPECT_TRUE(fast.valid) << fast.message;
+    EXPECT_EQ(naive.steps_checked, fast.steps_checked);
+  }
+}
+
+TEST(ProofCheckerTest, RejectsWhatTheReferenceCheckerRejects) {
+  CnfFormula f(3);
+  f.add_dimacs_clause({1, 2});
+  ProofLog bogus;
+  bogus.add(cnf::Clause{Lit(3, false)});  // free variable: not RUP
+  bogus.add_empty();
+  const ProofCheckResult result = certify(f, bogus);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.failed_step, 0u);
+
+  ProofLog truncated;  // never derives the empty clause
+  truncated.add(cnf::Clause{Lit(1, false)});
+  const ProofCheckResult t = certify(f, truncated);
+  EXPECT_FALSE(t.valid);
+  EXPECT_FALSE(t.message.empty());
+}
+
+TEST(ProofCheckerTest, RandomSweepAgreement) {
+  for (int seed = 0; seed < 10; ++seed) {
+    const CnfFormula f = gen::random_ksat(16, 90, 3, seed * 523 + 7);
+    CdclSolver solver(f, proof_config());
+    if (solver.solve() != SolveStatus::kUnsat) continue;
+    const ProofCheckResult naive = check_unsat_proof(f, solver.proof());
+    const ProofCheckResult fast = certify(f, solver.proof());
+    EXPECT_EQ(naive.valid, fast.valid) << "seed " << seed;
+  }
+}
+
+// --- DistributedProofBuilder: split-tree stitching ---------------------
+
+TEST(DistributedProofBuilderTest, StitchesSiblingLeaves) {
+  // Leaves ¬(d1) and ¬(¬d1) resolve to the empty clause.
+  const Lit d1(1, false);
+  DistributedProofBuilder builder;
+  builder.add_leaf({d1});
+  builder.add_leaf({~d1});
+  EXPECT_EQ(builder.leaf_count(), 2u);
+  EXPECT_TRUE(builder.stitch()) << builder.stitch_error();
+  EXPECT_TRUE(builder.log().ends_with_empty_clause());
+}
+
+TEST(DistributedProofBuilderTest, StitchesADeeperTree) {
+  // Four leaves covering the full (d1, d2) split tree, in a scrambled
+  // arrival order, plus an ancestor re-solve that subsumption removes.
+  const Lit d1(1, false);
+  const Lit d2(2, false);
+  DistributedProofBuilder builder;
+  builder.add_leaf({d1, d2});
+  builder.add_leaf({~d1});
+  builder.add_leaf({d1, ~d2});
+  builder.add_leaf({d1, d2});  // a recovered subproblem refuted twice
+  EXPECT_TRUE(builder.stitch()) << builder.stitch_error();
+  EXPECT_TRUE(builder.log().ends_with_empty_clause());
+}
+
+TEST(DistributedProofBuilderTest, RootLeafAloneSuffices) {
+  DistributedProofBuilder builder;
+  builder.add_leaf({});  // the root itself was refuted
+  EXPECT_TRUE(builder.stitch()) << builder.stitch_error();
+  EXPECT_TRUE(builder.log().ends_with_empty_clause());
+}
+
+TEST(DistributedProofBuilderTest, StitchesOverlappingRecoveredTrees) {
+  // Regression: flushed out by the certification oracle on pigeonhole-8
+  // with two client kills and heavy-checkpoint recovery. A recovered
+  // client re-splits its subtree under a fresh decision order, so the
+  // surviving leaves cover the cube as two OVERLAPPING split trees with
+  // no sibling for the deepest set, where the greedy deepest-first rule
+  // used to give up (even though {~V2 V3}/{~V2 ~V3} ARE siblings, and
+  // the verdict itself was sound). The stitch must fall back to refuting
+  // the residual leaf clauses and splicing that derivation into the log.
+  REQUIRE_PROOF_HOOKS();  // the fallback needs a proof-logging refuter
+  const Lit v1(1, false);
+  const Lit v2(2, false);
+  const Lit v3(3, false);
+  DistributedProofBuilder builder;
+  // The exact residual cover observed in the failing campaign:
+  //   {V1 V2} {~V1 V2 V3} {V2 ~V3} {~V2 V3} {~V2 ~V3}
+  builder.add_leaf({v1, v2});
+  builder.add_leaf({~v1, v2, v3});
+  builder.add_leaf({v2, ~v3});
+  builder.add_leaf({~v2, v3});
+  builder.add_leaf({~v2, ~v3});
+  ASSERT_TRUE(builder.stitch()) << builder.stitch_error();
+  EXPECT_TRUE(builder.log().ends_with_empty_clause());
+  // The spliced derivation must be RUP against the leaf clauses alone:
+  // replaying the log against a formula holding exactly those clauses
+  // makes the leaf adds trivially RUP and checks everything after them.
+  CnfFormula leaves(3);
+  leaves.add_clause({~v1, ~v2});
+  leaves.add_clause({v1, ~v2, ~v3});
+  leaves.add_clause({~v2, v3});
+  leaves.add_clause({v2, ~v3});
+  leaves.add_clause({v2, v3});
+  const ProofCheckResult check = certify(leaves, builder.log());
+  EXPECT_TRUE(check.valid) << check.message << " at step "
+                           << check.failed_step;
+}
+
+TEST(DistributedProofBuilderTest, MissingSiblingFailsTheStitch) {
+  // Only one half of the split reported: the stitch must refuse — this
+  // is exactly how the oracle catches a dropped subproblem or a stale
+  // checkpoint recovery — and name the guiding path it never saw
+  // refuted.
+  const Lit d1(1, false);
+  DistributedProofBuilder builder;
+  builder.add_leaf({d1});
+  EXPECT_FALSE(builder.stitch());
+  EXPECT_NE(builder.stitch_error().find("no sibling cover"),
+            std::string::npos)
+      << builder.stitch_error();
+  EXPECT_NE(builder.stitch_error().find("~V1"), std::string::npos)
+      << builder.stitch_error();
+}
+
+TEST(DistributedProofBuilderTest, NoLeavesFailsTheStitch) {
+  DistributedProofBuilder builder;
+  EXPECT_FALSE(builder.stitch());
+  EXPECT_FALSE(builder.stitch_error().empty());
+}
+
+// --- End-to-end: the thread-parallel solver's stitched refutation ------
+
+TEST(DistributedProofTest, ParallelRefutationCertifies) {
+  REQUIRE_PROOF_HOOKS();
+  const CnfFormula f = gen::pigeonhole_unsat(7);
+  ParallelOptions options;
+  options.num_threads = 4;
+  options.slice_work = 20'000;  // force splits and sharing
+  options.solver.log_proof = true;
+  ParallelSolver solver(f, options);
+  const ParallelResult result = solver.solve();
+  ASSERT_EQ(result.status, SolveStatus::kUnsat);
+  ASSERT_TRUE(result.proof != nullptr);
+  ASSERT_TRUE(result.proof_stitched) << result.proof_error;
+  const ProofCheckResult check = certify(f, *result.proof);
+  EXPECT_TRUE(check.valid) << check.message << " at step "
+                           << check.failed_step;
+  EXPECT_GT(check.steps_checked, 0u);
+}
+
+TEST(DistributedProofTest, ParallelXorChainRefutationCertifies) {
+  REQUIRE_PROOF_HOOKS();
+  const CnfFormula f = gen::urquhart_like(10, 3);
+  ParallelOptions options;
+  options.num_threads = 4;
+  options.slice_work = 10'000;
+  options.solver.log_proof = true;
+  ParallelSolver solver(f, options);
+  const ParallelResult result = solver.solve();
+  ASSERT_EQ(result.status, SolveStatus::kUnsat);
+  ASSERT_TRUE(result.proof != nullptr);
+  ASSERT_TRUE(result.proof_stitched) << result.proof_error;
+  const ProofCheckResult check = certify(f, *result.proof);
+  EXPECT_TRUE(check.valid) << check.message;
+}
+
+TEST(DistributedProofTest, NoProofWithoutLogProof) {
+  const CnfFormula f = gen::pigeonhole_unsat(6);
+  ParallelOptions options;
+  options.num_threads = 2;
+  ParallelSolver solver(f, options);
+  const ParallelResult result = solver.solve();
+  ASSERT_EQ(result.status, SolveStatus::kUnsat);
+  EXPECT_EQ(result.proof, nullptr);
+}
+
+TEST(DistributedProofTest, StitchedProofExportsWellFormedDrat) {
+  REQUIRE_PROOF_HOOKS();
+  const CnfFormula f = gen::pigeonhole_unsat(6);
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.solver.log_proof = true;
+  ParallelSolver solver(f, options);
+  const ParallelResult result = solver.solve();
+  ASSERT_EQ(result.status, SolveStatus::kUnsat);
+  ASSERT_TRUE(result.proof != nullptr);
+  std::ostringstream out;
+  result.proof->write_drat(out);
+  const std::string drat = out.str();
+  ASSERT_FALSE(drat.empty());
+  // Every line is "[d] lit ... 0"; the last non-deletion line is "0".
+  std::istringstream in(drat);
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '0') << line;
+    if (line.rfind("d ", 0) != 0) last = line;
+  }
+  EXPECT_EQ(last, "0") << "DRAT must end at the empty clause";
 }
 
 TEST(ProofTest, DratRendering) {
