@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/circuit_families.hpp"
 #include "gen/pigeonhole.hpp"
 #include "gen/random_ksat.hpp"
 #include "gen/suite.hpp"
@@ -27,10 +28,13 @@ namespace gridsat::bench {
 
 /// Resolve a short generator name — "urquhart-18" (optionally
 /// "urquhart-18-s2" for a non-default generator seed), "pigeonhole-9",
-/// "random3sat-v150-s7" — or fall back to the SAT2002-analog suite's
-/// paper file names. The XOR-parity (urquhart) family is the headline
-/// scaling family: splitting plus sharing reduces TOTAL work there, so
-/// speedup does not depend on physical cores.
+/// "random3sat-v150-s7", "adder-miter-24", "mult-comm-5" — or fall back
+/// to the SAT2002-analog suite's paper file names. The XOR-parity
+/// (urquhart) family is the headline scaling family: splitting plus
+/// sharing reduces TOTAL work there, so speedup does not depend on
+/// physical cores. The circuit miters are the large-formula family:
+/// their problem-clause block dwarfs a young learned-clause DB, which
+/// is the regime where base-formula caching pays.
 inline cnf::CnfFormula resolve_instance(const std::string& name) {
   const auto num_after = [&name](const char* prefix) -> long {
     const std::size_t n = std::string(prefix).size();
@@ -45,6 +49,12 @@ inline cnf::CnfFormula resolve_instance(const std::string& name) {
   }
   if (const long n = num_after("pigeonhole-"); n > 0) {
     return gen::pigeonhole_unsat(static_cast<std::size_t>(n));
+  }
+  if (const long n = num_after("adder-miter-"); n > 0) {
+    return gen::adder_miter(static_cast<std::size_t>(n), false, 7);
+  }
+  if (const long n = num_after("mult-comm-"); n > 0) {
+    return gen::mult_comm_miter(static_cast<std::size_t>(n));
   }
   if (name.rfind("random3sat-v", 0) == 0) {
     const std::size_t s = name.find("-s");

@@ -218,6 +218,7 @@ struct BaselineRow {
   std::string instance;
   std::string measurement;  ///< "bcp-probe" or "full-solve"
   bool binary_fast_path = false;
+  bool minimize_learned = false;
   std::string status;
   std::uint64_t work = 0;
   std::uint64_t propagations = 0;
@@ -313,13 +314,15 @@ BaselineRow probe_once(const BaselineCase& c, const cnf::CnfFormula& f,
 /// One timed budgeted solve. Deterministic: every shot of a config
 /// produces identical search statistics; only the timings vary.
 BaselineRow solve_once(const BaselineCase& c, const cnf::CnfFormula& f,
-                       bool fast, std::uint64_t budget) {
+                       bool fast, bool minimize, std::uint64_t budget) {
   BaselineRow row;
   row.instance = c.name;
   row.measurement = "full-solve";
   row.binary_fast_path = fast;
+  row.minimize_learned = minimize;
   solver::SolverConfig config;
   config.binary_fast_path = fast;
+  config.minimize_learned = minimize;
   config.measure_propagation = true;
   solver::CdclSolver solver(f, config);
   const auto start = std::chrono::steady_clock::now();
@@ -349,6 +352,8 @@ int run_baseline(int argc, char** argv) {
   flags.define_bool("quick", false, "smaller work budget (CI smoke)");
   flags.define_i64("budget", 0, "work units per run (0 = default)");
   flags.define_i64("repeats", 5, "timed repeats; reported times = median");
+  flags.define_bool("minimize", solver::SolverConfig{}.minimize_learned,
+                    "learned-clause minimization in full-solve runs");
   if (!flags.parse(argc, argv)) {
     std::fputs(flags.usage("bench_solver_micro").c_str(), stderr);
     return 2;
@@ -403,6 +408,7 @@ int run_baseline(int argc, char** argv) {
         .field("instance", row.instance)
         .field("measurement", row.measurement)
         .field("binary_fast_path", row.binary_fast_path)
+        .field("minimize_learned", row.minimize_learned)
         .field("status", row.status)
         .field("work", row.work)
         .field("propagations", row.propagations)
@@ -428,7 +434,8 @@ int run_baseline(int argc, char** argv) {
     for (int rep = 0; rep < repeats; ++rep) {
       for (const bool fast : {false, true}) {
         probe_shots[fast].push_back(probe_once(c, f, fast, rounds));
-        solve_shots[fast].push_back(solve_once(c, f, fast, budget));
+        solve_shots[fast].push_back(
+            solve_once(c, f, fast, flags.boolean("minimize"), budget));
       }
     }
     BaselineRow probe[2];

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 
+#include "cnf/wire.hpp"
+#include "solver/sharing.hpp"
+#include "util/bytes.hpp"
 #include "util/log.hpp"
 
 namespace gridsat::core {
@@ -46,7 +50,8 @@ std::uint64_t Client::work_done() const noexcept {
 }
 
 void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
-                              double transfer_seconds) {
+                              double transfer_seconds,
+                              solver::WireMode mode) {
   if (!alive_ || campaign_.done()) return;
   if (solver_) {
     // Collision: a second subproblem arrived while this client is still
@@ -60,6 +65,22 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
                              });
     return;
   }
+  if (mode == solver::WireMode::kBaseRef &&
+      base_cached_ != campaign_.base_fingerprint()) {
+    // The payload referenced a base this client does not hold (it
+    // relaunched after the master recorded residency, so the cache the
+    // sender assumed is gone). Renegotiate: the master degrades the ship
+    // to a base-block transfer followed by a full start — a stale cache
+    // can cost a round trip, never a wrong formula.
+    const std::size_t host = host_index_;
+    campaign_.send_to_master(host_index_, "BASE_MISS", kControlMessageBytes,
+                             [&c = campaign_, host, sp] {
+                               c.on_base_miss(host, sp);
+                             });
+    return;
+  }
+  base_cached_ = campaign_.base_fingerprint();
+  campaign_.note_base_resident(host_index_);
   solver::SolverConfig solver_config = campaign_.config().solver;
   solver_config.memory_limit_bytes =
       campaign_.host(host_index_).memory_bytes();
@@ -75,21 +96,39 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   }
   trace_phase("subproblem-start");
   const std::size_t share_cap = campaign_.config().share_max_len;
+  const bool collect_deltas =
+      campaign_.config().checkpoint == CheckpointMode::kHeavy &&
+      campaign_.config().incremental_checkpoints;
   // The simulated campaign keeps the paper's pure length filter (§3.2);
   // the LBD the solver reports is used only by the thread-parallel path.
   solver_->set_share_callback(
-      [this, share_cap](const cnf::Clause& clause, std::uint32_t /*lbd*/) {
+      [this, share_cap, collect_deltas](const cnf::Clause& clause,
+                                        std::uint32_t /*lbd*/) {
         if (clause.size() <= share_cap) export_buffer_.push_back(clause);
+        if (collect_deltas) ckpt_fresh_.push_back(clause);
       });
   subproblem_started_ = campaign_.engine().now();
   last_transfer_s_ = transfer_seconds;
   split_requested_ = false;
   checkpointed_level0_ = 0;
   last_checkpoint_ = campaign_.engine().now();
-  // Message 4 of Figure 3: acknowledge receipt to the master.
+  ckpt_incarnation_ = campaign_.next_incarnation();
+  ckpt_epoch_ = 0;
+  ckpt_acked_epoch_ = 0;
+  ckpt_deltas_since_full_ = 0;
+  ckpt_force_full_ = false;
+  ckpt_unacked_.clear();
+  ckpt_fresh_.clear();
+  // Message 4 of Figure 3: acknowledge receipt to the master. The ack
+  // announces this tenancy's incarnation nonce; the master refuses
+  // checkpoints carrying any other incarnation, so a stale checkpoint
+  // reordered past its own ack can never poison the new chain.
   const std::size_t host = host_index_;
+  const std::uint64_t incarnation = ckpt_incarnation_;
   campaign_.send_to_master(host_index_, "SUBPROBLEM_ACK", kControlMessageBytes,
-                           [&c = campaign_, host] { c.on_subproblem_ack(host); });
+                           [&c = campaign_, host, incarnation] {
+                             c.on_subproblem_ack(host, incarnation);
+                           });
   if (!slice_scheduled_) {
     slice_scheduled_ = true;
     campaign_.engine().schedule_in(0.0, [this] {
@@ -236,9 +275,44 @@ void Client::maybe_checkpoint() {
   if (!level0_grew && !periodic_due) return;
   Checkpoint cp;
   cp.heavy = (mode == CheckpointMode::kHeavy);
+  cp.incarnation = ckpt_incarnation_;
   cp.units = solver_->level0_units();
   cp.assumptions = solver_->assumptions();
-  if (cp.heavy) cp.learned = solver_->learned_clauses();
+  // Incremental heavy checkpoints (DESIGN.md §4e): one full snapshot per
+  // incarnation, then deltas carrying only clauses learned since the
+  // last master-acked epoch. Fall back to a full snapshot until the
+  // first ship is acked, after a NACK, and every checkpoint_chain_max
+  // deltas (bounding chain memory and recovery replay length).
+  const bool delta = cp.heavy && campaign_.config().incremental_checkpoints &&
+                     ckpt_acked_epoch_ > 0 && !ckpt_force_full_ &&
+                     ckpt_deltas_since_full_ <
+                         campaign_.config().checkpoint_chain_max;
+  cp.epoch = ++ckpt_epoch_;
+  if (!cp.heavy) {
+    ++campaign_.result_.checkpoints_full;
+  } else if (delta) {
+    cp.delta = true;
+    cp.base_epoch = ckpt_acked_epoch_;
+    // The master truncates its chain back to base_epoch before
+    // appending, so the delta must cover the whole unacked gap plus the
+    // fresh clauses on its own.
+    for (const auto& [epoch, clauses] : ckpt_unacked_) {
+      cp.learned.insert(cp.learned.end(), clauses.begin(), clauses.end());
+    }
+    cp.learned.insert(cp.learned.end(), ckpt_fresh_.begin(),
+                      ckpt_fresh_.end());
+    ckpt_unacked_.emplace_back(cp.epoch, std::move(ckpt_fresh_));
+    ckpt_fresh_.clear();
+    ++ckpt_deltas_since_full_;
+    ++campaign_.result_.checkpoints_delta;
+  } else {
+    cp.learned = solver_->learned_clauses();
+    ckpt_unacked_.clear();
+    ckpt_fresh_.clear();
+    ckpt_force_full_ = false;
+    ckpt_deltas_since_full_ = 0;
+    ++campaign_.result_.checkpoints_full;
+  }
   checkpointed_level0_ = level0;
   last_checkpoint_ = now;
   const std::size_t bytes = cp.wire_size();
@@ -250,6 +324,21 @@ void Client::maybe_checkpoint() {
       });
 }
 
+void Client::checkpoint_acked(std::uint64_t incarnation, std::uint64_t epoch) {
+  if (!alive_ || incarnation != ckpt_incarnation_) return;  // stale tenancy
+  ckpt_acked_epoch_ = std::max(ckpt_acked_epoch_, epoch);
+  std::erase_if(ckpt_unacked_, [this](const auto& entry) {
+    return entry.first <= ckpt_acked_epoch_;
+  });
+}
+
+void Client::checkpoint_nacked(std::uint64_t incarnation) {
+  if (!alive_ || incarnation != ckpt_incarnation_) return;
+  // The master refused a delta (its chain lost the base we built on):
+  // the next checkpoint re-ships a full snapshot.
+  ckpt_force_full_ = true;
+}
+
 void Client::perform_split() {
   assert(solver_ && solver_->can_split());
   const auto peer = static_cast<std::size_t>(pending_split_peer_);
@@ -259,20 +348,21 @@ void Client::perform_split() {
   subproblem_started_ = campaign_.engine().now();  // fresh (folded) problem
   obs::trace_event(campaign_.tracer_, trace_worker_, obs::EventKind::kSplit,
                    campaign_.result_.total_splits + 1, peer);
-  const std::size_t bytes = sp->wire_size();
+  const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
   // Message 3 of Figure 3: peer-to-peer subproblem transfer. The transfer
   // time also parameterizes both sides' split timeouts (§3.3).
   const std::string& my_site = campaign_.host(host_index_).site();
   const std::string& peer_site = campaign_.host(peer).site();
   const double transfer =
-      campaign_.network().transfer_time(bytes, my_site, peer_site);
+      campaign_.network().transfer_time(plan.bytes, my_site, peer_site);
   campaign_.note_subproblem_in_flight();
   campaign_.send("client:" + name_, my_site,
                  "client:" + campaign_.client(peer)->name(), peer_site,
-                 "SUBPROBLEM", bytes, [&c = campaign_, peer, sp, transfer] {
+                 "SUBPROBLEM", plan.bytes,
+                 [&c = campaign_, peer, sp, transfer, mode = plan.mode] {
                    Client* target = c.client(peer);
                    if (target != nullptr && target->alive()) {
-                     target->start_subproblem(sp, transfer);
+                     target->start_subproblem(sp, transfer, mode);
                    } else {
                      c.on_lost_subproblem(sp, peer);
                    }
@@ -296,18 +386,19 @@ void Client::perform_migration() {
   work_accumulated_ += solver_->stats().work;
   solver_.reset();
   export_buffer_.clear();
-  const std::size_t bytes = sp->wire_size();
+  const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
   const std::string& my_site = campaign_.host(host_index_).site();
   const std::string& peer_site = campaign_.host(peer).site();
   const double transfer =
-      campaign_.network().transfer_time(bytes, my_site, peer_site);
+      campaign_.network().transfer_time(plan.bytes, my_site, peer_site);
   campaign_.note_subproblem_in_flight();
   campaign_.send("client:" + name_, my_site,
                  "client:" + campaign_.client(peer)->name(), peer_site,
-                 "SUBPROBLEM", bytes, [&c = campaign_, peer, sp, transfer] {
+                 "SUBPROBLEM", plan.bytes,
+                 [&c = campaign_, peer, sp, transfer, mode = plan.mode] {
                    Client* target = c.client(peer);
                    if (target != nullptr && target->alive()) {
-                     target->start_subproblem(sp, transfer);
+                     target->start_subproblem(sp, transfer, mode);
                    } else {
                      c.on_lost_subproblem(sp, peer);
                    }
@@ -394,6 +485,13 @@ Campaign::Campaign(cnf::CnfFormula formula, std::string master_site,
   if (solver::kProofCompiledIn && config_.solver.log_proof) {
     proof_builder_ = std::make_unique<solver::DistributedProofBuilder>();
   }
+  // Base-formula caching (DESIGN.md §4e): the fingerprint keys per-host
+  // residency; the base-block cost is what a renegotiated BASE_MISS ships.
+  base_fingerprint_ = solver::formula_fingerprint(formula_);
+  util::ByteCounter counter;
+  cnf::encode_clause_stream(
+      counter, std::span<const cnf::Clause>(formula_.clauses()));
+  base_block_bytes_ = counter.size() + kControlMessageBytes;
 }
 
 Campaign::~Campaign() = default;
@@ -447,6 +545,29 @@ void Campaign::set_metrics(obs::MetricRegistry* metrics) {
   });
   metrics_->gauge_fn("campaign.messages", [this] {
     return static_cast<double>(bus_.messages_sent());
+  });
+  // Wire-transfer accounting (DESIGN.md §4e): bytes actually shipped and
+  // bytes the base-ref cache avoided shipping.
+  metrics_->gauge_fn("campaign.wire.bytes_sent", [this] {
+    return static_cast<double>(bus_.bytes_sent());
+  });
+  metrics_->gauge_fn("campaign.wire.base_ref_transfers", [this] {
+    return static_cast<double>(result_.base_ref_transfers);
+  });
+  metrics_->gauge_fn("campaign.wire.base_ref_bytes_saved", [this] {
+    return static_cast<double>(result_.base_ref_bytes_saved);
+  });
+  metrics_->gauge_fn("campaign.wire.ship_learned_trimmed", [this] {
+    return static_cast<double>(result_.ship_learned_trimmed);
+  });
+  metrics_->gauge_fn("campaign.wire.base_renegotiations", [this] {
+    return static_cast<double>(result_.base_renegotiations);
+  });
+  metrics_->gauge_fn("campaign.wire.checkpoints_full", [this] {
+    return static_cast<double>(result_.checkpoints_full);
+  });
+  metrics_->gauge_fn("campaign.wire.checkpoints_delta", [this] {
+    return static_cast<double>(result_.checkpoints_delta);
   });
 }
 
@@ -540,19 +661,75 @@ void Campaign::assign_subproblem(std::size_t host_index,
                                  const std::string& from,
                                  const std::string& from_site) {
   ++subproblems_in_flight_;
-  const std::size_t bytes = sp->wire_size();
+  const ShipPlan plan = plan_subproblem_ship(host_index, *sp);
   const double transfer = network_.transfer_time(
-      bytes, from_site, hosts_[host_index]->site());
+      plan.bytes, from_site, hosts_[host_index]->site());
   send(from, from_site, "client:" + hosts_[host_index]->name(),
-       hosts_[host_index]->site(), "SUBPROBLEM", bytes,
-       [this, host_index, sp, transfer] {
+       hosts_[host_index]->site(), "SUBPROBLEM", plan.bytes,
+       [this, host_index, sp, transfer, mode = plan.mode] {
          Client* target = client(host_index);
          if (target != nullptr && target->alive()) {
-           target->start_subproblem(sp, transfer);
+           target->start_subproblem(sp, transfer, mode);
          } else {
            on_lost_subproblem(sp, host_index);
          }
        });
+}
+
+Campaign::ShipPlan Campaign::plan_subproblem_ship(std::size_t to_host,
+                                                  solver::Subproblem& sp) {
+  sp.base_fingerprint = base_fingerprint_;
+  // What the pre-overhaul format would ship for this transfer: the whole
+  // learned block plus the problem-clause block.
+  const std::size_t pre_trim_bytes = sp.wire_size(solver::WireMode::kFull);
+  std::size_t full_bytes = pre_trim_bytes;
+  if (const std::size_t budget = config_.split_learned_budget_bytes;
+      budget > 0) {
+    if (const std::size_t dropped = sp.trim_learned(budget); dropped > 0) {
+      result_.ship_learned_trimmed += dropped;
+      full_bytes = sp.wire_size(solver::WireMode::kFull);
+      result_.ship_trim_bytes_saved += pre_trim_bytes - full_bytes;
+    }
+  }
+  const auto resident = base_resident_.find(to_host);
+  if (config_.base_ref_caching && resident != base_resident_.end() &&
+      resident->second == base_fingerprint_) {
+    const std::size_t ref_bytes = sp.wire_size(solver::WireMode::kBaseRef);
+    ++result_.base_ref_transfers;
+    result_.base_ref_bytes_saved += full_bytes - ref_bytes;
+    result_.base_ref_payload_bytes += ref_bytes;
+    result_.warm_ship_bytes_v1 += pre_trim_bytes;
+    return {solver::WireMode::kBaseRef, ref_bytes};
+  }
+  return {solver::WireMode::kFull, full_bytes};
+}
+
+void Campaign::note_base_resident(std::size_t host_index) {
+  base_resident_[host_index] = base_fingerprint_;
+}
+
+void Campaign::on_base_miss(std::size_t host_index,
+                            std::shared_ptr<solver::Subproblem> sp) {
+  if (done_) return;
+  ++result_.base_renegotiations;
+  base_resident_.erase(host_index);
+  // Degrade to a full ship: the base block travels master -> host, then
+  // the payload restarts in full mode (the in-memory subproblem still
+  // carries its problem clauses; only bytes and time are charged). The
+  // subproblem stays in flight throughout, so termination accounting is
+  // unchanged.
+  const double transfer = network_.transfer_time(
+      base_block_bytes_, master_site_, hosts_[host_index]->site());
+  send_to_client(host_index, "BASE_SHIP", base_block_bytes_,
+                 [this, host_index, sp, transfer] {
+                   Client* target = client(host_index);
+                   if (target != nullptr && target->alive()) {
+                     target->start_subproblem(sp, transfer,
+                                              solver::WireMode::kFull);
+                   } else {
+                     on_lost_subproblem(sp, host_index);
+                   }
+                 });
 }
 
 void Campaign::on_subproblem_rejected(
@@ -567,15 +744,20 @@ void Campaign::on_subproblem_rejected(
   check_termination();
 }
 
-void Campaign::on_subproblem_ack(std::size_t host_index) {
+void Campaign::on_subproblem_ack(std::size_t host_index,
+                                 std::uint64_t incarnation) {
   if (done_) return;
   assert(subproblems_in_flight_ > 0);
   --subproblems_in_flight_;
-  // Any checkpoint still on file for this host describes a *previous*
-  // subproblem (e.g. one it held before dying idle and relaunching);
-  // recovering it after a death on the new assignment would resurrect
-  // search space some other client already owns.
-  checkpoints_.erase(host_index);
+  // Any checkpoint chain still on file for this host describes a
+  // *previous* subproblem (e.g. one it held before dying idle and
+  // relaunching); recovering it after a death on the new assignment would
+  // resurrect search space some other client already owns. The ack's
+  // incarnation nonce becomes the only one checkpoints may carry, which
+  // also refuses stale checkpoints whose delivery was reordered past
+  // this ack (small messages overtake large ones).
+  checkpoint_chains_.erase(host_index);
+  expected_incarnation_[host_index] = incarnation;
   grid::ResourceEntry& entry = directory_.at(host_index);
   entry.state = HostState::kBusy;
   entry.busy_since = engine_.now();
@@ -639,9 +821,9 @@ void Campaign::on_migrated(std::size_t from, std::size_t to) {
   if (done_) return;
   ++result_.migrations;
   outstanding_grants_.erase(from);
-  // The subproblem left this host; its checkpoint now describes search
-  // space the migration target owns.
-  checkpoints_.erase(from);
+  // The subproblem left this host; its checkpoint chain now describes
+  // search space the migration target owns.
+  drop_checkpoints(from);
   grid::ResourceEntry& entry = directory_.at(from);
   entry.state = HostState::kIdle;
   try_dispatch();
@@ -649,9 +831,9 @@ void Campaign::on_migrated(std::size_t from, std::size_t to) {
 
 void Campaign::on_subproblem_unsat(std::size_t host_index) {
   if (done_) return;
-  // The refuted subproblem's checkpoint is spent: recovering it after a
-  // later death would re-open (and double-count) refuted search space.
-  checkpoints_.erase(host_index);
+  // The refuted subproblem's checkpoint chain is spent: recovering it
+  // after a later death would re-open (and double-count) refuted space.
+  drop_checkpoints(host_index);
   grid::ResourceEntry& entry = directory_.at(host_index);
   entry.state = HostState::kIdle;
   backlog_.erase(host_index);
@@ -662,7 +844,7 @@ void Campaign::on_subproblem_unsat(std::size_t host_index) {
 
 void Campaign::on_sat_found(std::size_t host_index, cnf::Assignment model) {
   if (done_) return;
-  checkpoints_.erase(host_index);
+  drop_checkpoints(host_index);
   grid::ResourceEntry& entry = directory_.at(host_index);
   entry.state = HostState::kIdle;
   // §3.4: the master verifies that the assignment stack satisfies the
@@ -696,9 +878,65 @@ void Campaign::on_client_clauses(
   }
 }
 
+void Campaign::drop_checkpoints(std::size_t host_index) {
+  checkpoint_chains_.erase(host_index);
+  expected_incarnation_.erase(host_index);
+}
+
+void Campaign::send_checkpoint_nack(std::size_t host_index,
+                                    std::uint64_t incarnation) {
+  send_to_client(host_index, "CHECKPOINT_NACK", kControlMessageBytes,
+                 [this, host_index, incarnation] {
+                   Client* target = client(host_index);
+                   if (target != nullptr) {
+                     target->checkpoint_nacked(incarnation);
+                   }
+                 });
+}
+
 void Campaign::on_checkpoint(std::size_t host_index, Checkpoint cp) {
   if (done_) return;
-  checkpoints_[host_index] = std::move(cp);
+  const auto expected = expected_incarnation_.find(host_index);
+  if (expected == expected_incarnation_.end() ||
+      expected->second != cp.incarnation) {
+    // Stale tenancy: a checkpoint from a previous assignment (possibly
+    // reordered past its own SUBPROBLEM_ACK) must never enter the chain —
+    // recovering it would resurrect search space another client owns.
+    ++result_.checkpoint_deltas_refused;
+    send_checkpoint_nack(host_index, cp.incarnation);
+    return;
+  }
+  auto& chain = checkpoint_chains_[host_index];
+  if (!cp.delta) {
+    // A full snapshot supersedes the whole chain.
+    chain.clear();
+    chain.push_back(std::move(cp));
+  } else {
+    // Entries newer than the delta's base were superseded: the delta
+    // carries every clause learned since base_epoch on its own.
+    while (!chain.empty() && chain.back().epoch > cp.base_epoch) {
+      chain.pop_back();
+    }
+    if (chain.empty()) {
+      // The full snapshot this delta builds on never arrived (or was
+      // itself truncated away): refuse it; the NACK makes the client
+      // re-ship a full snapshot.
+      ++result_.checkpoint_deltas_refused;
+      checkpoint_chains_.erase(host_index);
+      send_checkpoint_nack(host_index, cp.incarnation);
+      return;
+    }
+    chain.push_back(std::move(cp));
+  }
+  const std::uint64_t incarnation = chain.back().incarnation;
+  const std::uint64_t epoch = chain.back().epoch;
+  send_to_client(host_index, "CHECKPOINT_ACK", kControlMessageBytes,
+                 [this, host_index, incarnation, epoch] {
+                   Client* target = client(host_index);
+                   if (target != nullptr) {
+                     target->checkpoint_acked(incarnation, epoch);
+                   }
+                 });
 }
 
 void Campaign::on_mem_out(std::size_t host_index) {
@@ -713,6 +951,9 @@ void Campaign::on_client_died(std::size_t host_index, bool was_busy) {
   backlog_.erase(host_index);
   release_grant(host_index);
   clients_[host_index].reset();
+  // The process that held the cached base block is gone: later ships to
+  // a relaunched client on this host must carry the clauses again.
+  base_resident_.erase(host_index);
   if (!was_busy) {
     // §3.3: an idle client's death is tolerated; the resource is marked
     // free and may be restarted on demand.
@@ -721,15 +962,19 @@ void Campaign::on_client_died(std::size_t host_index, bool was_busy) {
   }
   // A busy client died: its share of the search space is gone.
   entry.state = HostState::kFree;
-  const auto cp = checkpoints_.find(host_index);
-  if (config_.recover_from_checkpoints && cp != checkpoints_.end()) {
+  const auto chain = checkpoint_chains_.find(host_index);
+  if (config_.recover_from_checkpoints && chain != checkpoint_chains_.end() &&
+      !chain->second.empty()) {
     ++result_.checkpoint_recoveries;
+    // Replay base snapshot + delta chain (units/assumptions from the
+    // newest entry, learned clauses accumulated across the chain).
     pending_restores_.push_back(std::make_shared<solver::Subproblem>(
-        cp->second.restore(formula_)));
-    checkpoints_.erase(cp);
+        restore_chain(chain->second, formula_)));
+    drop_checkpoints(host_index);
     try_dispatch();
     return;
   }
+  drop_checkpoints(host_index);
   // Paper §3.4: "The current implementation ... will not tolerate a
   // machine crash ... for clients which are working on a subproblem."
   finish(CampaignStatus::kError);

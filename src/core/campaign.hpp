@@ -56,10 +56,13 @@ class Client {
 
   // Delivered messages (invoked by Campaign at delivery time).
   void start_subproblem(std::shared_ptr<solver::Subproblem> sp,
-                        double transfer_seconds);
+                        double transfer_seconds,
+                        solver::WireMode mode = solver::WireMode::kFull);
   void receive_clauses(std::shared_ptr<std::vector<cnf::Clause>> batch);
   void grant_split(std::size_t peer_host);
   void order_migration(std::size_t peer_host);
+  void checkpoint_acked(std::uint64_t incarnation, std::uint64_t epoch);
+  void checkpoint_nacked(std::uint64_t incarnation);
   void kill();
 
   [[nodiscard]] bool busy() const noexcept { return solver_ != nullptr; }
@@ -101,6 +104,27 @@ class Client {
   bool alive_ = true;
   double last_checkpoint_ = 0.0;
   std::size_t checkpointed_level0_ = 0;
+  /// Fingerprint of the base formula this client holds (0 = none): the
+  /// receiving-side truth for base-ref payloads. A relaunched client
+  /// starts at 0, so a stale in-flight base-ref triggers renegotiation.
+  std::uint64_t base_cached_ = 0;
+  // Incremental heavy-checkpoint chain state (DESIGN.md §4e). The
+  // incarnation is a campaign-unique nonce per subproblem tenancy; the
+  // master refuses checkpoints whose incarnation does not match the one
+  // announced in this tenancy's SUBPROBLEM_ACK, so reordered stale
+  // checkpoints can never poison a new chain.
+  std::uint64_t ckpt_incarnation_ = 0;
+  std::uint64_t ckpt_epoch_ = 0;        ///< last shipped epoch (starts at 1)
+  std::uint64_t ckpt_acked_epoch_ = 0;  ///< newest master-acked epoch
+  std::uint64_t ckpt_deltas_since_full_ = 0;
+  bool ckpt_force_full_ = false;  ///< set by CHECKPOINT_NACK
+  /// Shipped-but-unacked delta contents by epoch: a delta must cover
+  /// everything since the acked base on its own, because the master
+  /// truncates its chain back to base_epoch before appending.
+  std::vector<std::pair<std::uint64_t, std::vector<cnf::Clause>>>
+      ckpt_unacked_;
+  /// Clauses learned since the last checkpoint ship (delta payload).
+  std::vector<cnf::Clause> ckpt_fresh_;
   std::uint32_t trace_worker_ = 0;  ///< lane in the campaign's tracer
 };
 
@@ -126,6 +150,17 @@ class Campaign {
 
   /// Test hook: kill the client on `host_index` at virtual time `at`.
   void schedule_client_failure(std::size_t host_index, double at);
+
+  /// Test hook: force the master's base-residency record for a host, as
+  /// if a full ship had already been delivered there. Marking a host
+  /// whose client does not actually hold the base exercises the
+  /// renegotiate-on-mismatch fallback.
+  void debug_mark_base_resident(std::size_t host_index) {
+    note_base_resident(host_index);
+  }
+  [[nodiscard]] std::uint64_t base_fingerprint() const noexcept {
+    return base_fingerprint_;
+  }
 
   /// Attach a (manual-clock) tracer before run(): the engine drives its
   /// virtual clock, the bus emits per-message send/recv events, clients
@@ -189,7 +224,8 @@ class Campaign {
   void on_lost_subproblem(std::shared_ptr<solver::Subproblem> sp,
                           std::size_t host_index);
   void note_subproblem_in_flight() { ++subproblems_in_flight_; }
-  void on_subproblem_ack(std::size_t host_index);             ///< msg 4
+  void on_subproblem_ack(std::size_t host_index,
+                         std::uint64_t incarnation);           ///< msg 4
   /// Receiver was already busy: requeue the payload for another client.
   void on_subproblem_rejected(std::shared_ptr<solver::Subproblem> sp,
                               std::size_t host_index);
@@ -198,6 +234,15 @@ class Campaign {
   void on_client_clauses(std::size_t from,
                          std::shared_ptr<std::vector<cnf::Clause>> batch);
   void on_checkpoint(std::size_t host_index, Checkpoint cp);
+  void send_checkpoint_nack(std::size_t host_index, std::uint64_t incarnation);
+  /// Forget a host's checkpoint chain and tenancy nonce (PR-4 erase rules
+  /// applied chain-wide: unsat/sat verdict, migration, new assignment).
+  void drop_checkpoints(std::size_t host_index);
+  /// A base-ref payload arrived at a host without the base (stale cache
+  /// after a relaunch): ship the base block, then restart the payload as
+  /// a full ship. The subproblem stays in flight throughout.
+  void on_base_miss(std::size_t host_index,
+                    std::shared_ptr<solver::Subproblem> sp);
   void on_client_died(std::size_t host_index, bool was_busy);
   void on_mem_out(std::size_t host_index);
   void try_dispatch();
@@ -209,6 +254,18 @@ class Campaign {
   void assign_subproblem(std::size_t host_index,
                          std::shared_ptr<solver::Subproblem> sp,
                          const std::string& from, const std::string& from_site);
+  /// Decide how a subproblem ships to `to_host` and charge the wire
+  /// accounting: a host whose resident base matches the campaign
+  /// fingerprint receives a base reference (no problem-clause bytes).
+  /// Stamps the campaign fingerprint onto the payload either way.
+  struct ShipPlan {
+    solver::WireMode mode;
+    std::size_t bytes;
+  };
+  [[nodiscard]] ShipPlan plan_subproblem_ship(std::size_t to_host,
+                                              solver::Subproblem& sp);
+  void note_base_resident(std::size_t host_index);
+  std::uint64_t next_incarnation() noexcept { return ++last_incarnation_; }
   void sample_availability();
   [[nodiscard]] std::size_t idle_at_site(const std::string& site) const;
   void update_peak_active();
@@ -245,7 +302,19 @@ class Campaign {
   /// requester's demise).
   std::map<std::size_t, std::size_t> outstanding_grants_;
   std::deque<std::shared_ptr<solver::Subproblem>> pending_restores_;
-  std::map<std::size_t, Checkpoint> checkpoints_;
+  /// Per-host checkpoint chains: entry 0 is a full snapshot, later
+  /// entries are deltas (restore_chain replays base + deltas). PR-4's
+  /// erase rules apply to the whole chain.
+  std::map<std::size_t, std::vector<Checkpoint>> checkpoint_chains_;
+  /// Tenancy nonce announced by each host's latest SUBPROBLEM_ACK;
+  /// checkpoints carrying any other incarnation are refused.
+  std::map<std::size_t, std::uint64_t> expected_incarnation_;
+  std::uint64_t last_incarnation_ = 0;
+  /// Base-formula residency: hosts that hold the problem-clause block
+  /// under the campaign fingerprint (cleared when the client dies).
+  std::map<std::size_t, std::uint64_t> base_resident_;
+  std::uint64_t base_fingerprint_ = 0;
+  std::size_t base_block_bytes_ = 0;  ///< renegotiation base-ship cost
   bool done_ = false;
   GridSatResult result_;
 

@@ -1,67 +1,80 @@
 #include "core/checkpoint.hpp"
 
+#include <cassert>
+#include <string>
+
 namespace gridsat::core {
 
-std::size_t Checkpoint::wire_size() const { return to_bytes().size(); }
+std::size_t Checkpoint::wire_size() const {
+  util::ByteCounter counter;
+  serialize_to(counter);
+  return counter.size();
+}
 
 std::vector<std::uint8_t> Checkpoint::to_bytes() const {
   util::ByteWriter out;
-  out.u8(heavy ? 1 : 0);
-  out.var_u64(units.size());
-  for (const auto& u : units) {
-    out.var_u64(u.lit.code());
-    out.u8(u.tainted ? 1 : 0);
-  }
-  out.var_u64(learned.size());
-  for (const auto& c : learned) {
-    out.var_u64(c.size());
-    for (const cnf::Lit l : c) out.var_u64(l.code());
-  }
-  out.var_u64(assumptions.size());
-  for (const cnf::Lit l : assumptions) out.var_u64(l.code());
+  serialize_to(out);
   return out.take();
 }
 
 Checkpoint Checkpoint::from_bytes(const std::vector<std::uint8_t>& bytes) {
   util::ByteReader in(bytes);
+  const std::uint8_t version = in.u8();
+  if (version != cnf::kWireFormatVersion) {
+    throw util::DecodeError("unsupported checkpoint wire version " +
+                            std::to_string(version));
+  }
+  const std::uint8_t flags = in.u8();
+  if ((flags & ~3u) != 0) throw util::DecodeError("unknown checkpoint flags");
   Checkpoint cp;
-  cp.heavy = in.u8() != 0;
+  cp.heavy = (flags & 1u) != 0;
+  cp.delta = (flags & 2u) != 0;
+  cp.incarnation = in.var_u64();
+  cp.epoch = in.var_u64();
+  cp.base_epoch = in.var_u64();
   const std::uint64_t num_units = in.var_u64();
+  if (num_units > in.remaining()) {
+    throw util::DecodeError("unit count exceeds buffer");
+  }
   cp.units.reserve(num_units);
   for (std::uint64_t i = 0; i < num_units; ++i) {
+    const std::uint64_t code = in.var_u64();
+    if (code < 2 || code > UINT32_MAX) {
+      throw util::DecodeError("unit literal code out of range");
+    }
     solver::SubproblemUnit u;
-    u.lit = cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64()));
-    u.tainted = in.u8() != 0;
+    u.lit = cnf::Lit::from_code(static_cast<std::uint32_t>(code));
     cp.units.push_back(u);
   }
-  const std::uint64_t num_learned = in.var_u64();
-  cp.learned.reserve(num_learned);
-  for (std::uint64_t i = 0; i < num_learned; ++i) {
-    cnf::Clause c;
-    const std::uint64_t len = in.var_u64();
-    c.reserve(len);
-    for (std::uint64_t j = 0; j < len; ++j) {
-      c.push_back(cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
+  for (std::uint64_t i = 0; i < num_units; i += 8) {
+    const std::uint8_t byte = in.u8();
+    for (std::uint64_t b = 0; b < 8 && i + b < num_units; ++b) {
+      cp.units[i + b].tainted = ((byte >> b) & 1u) != 0;
     }
-    cp.learned.push_back(std::move(c));
   }
-  const std::uint64_t num_assumptions = in.var_u64();
-  cp.assumptions.reserve(num_assumptions);
-  for (std::uint64_t i = 0; i < num_assumptions; ++i) {
-    cp.assumptions.push_back(
-        cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
-  }
+  cnf::decode_lit_array(in, cp.assumptions);
+  cnf::decode_clause_stream(in, cp.learned);
   return cp;
 }
 
 solver::Subproblem Checkpoint::restore(const cnf::CnfFormula& original) const {
+  return restore_chain({this, 1}, original);
+}
+
+solver::Subproblem restore_chain(std::span<const Checkpoint> chain,
+                                 const cnf::CnfFormula& original) {
+  assert(!chain.empty());
+  assert(!chain.front().delta);
+  const Checkpoint& tip = chain.back();
   solver::Subproblem sp;
   sp.num_vars = original.num_vars();
-  sp.units = units;
+  sp.units = tip.units;
   sp.clauses = original.clauses();
   sp.num_problem_clauses = sp.clauses.size();
-  sp.clauses.insert(sp.clauses.end(), learned.begin(), learned.end());
-  sp.assumptions = assumptions;
+  for (const Checkpoint& cp : chain) {
+    sp.clauses.insert(sp.clauses.end(), cp.learned.begin(), cp.learned.end());
+  }
+  sp.assumptions = tip.assumptions;
   sp.path = "checkpoint-restore";
   return sp;
 }

@@ -108,6 +108,17 @@ ScenarioOutcome run_scenario(std::uint64_t seed, obs::Tracer* tracer) {
       break;
   }
   config.recover_from_checkpoints = !rng.chance(4);
+  // Wire-transfer dimensions (DESIGN.md §4e): base-ref caching and
+  // incremental checkpoint chains interleave with kills/recoveries so the
+  // proof oracle sweeps chain restores and renegotiated base ships.
+  config.base_ref_caching = !rng.chance(4);
+  config.incremental_checkpoints = !rng.chance(4);
+  config.checkpoint_chain_max = rng.range(1, 8);
+  // Bounded split payloads: trimming the shipped learned block must never
+  // change a verdict (dropped clauses are consequences), including at
+  // budgets small enough to drop everything.
+  config.split_learned_budget_bytes =
+      rng.chance(3) ? 0 : static_cast<std::size_t>(rng.range(64, 4096));
 
   Campaign campaign(formula, "east", hosts, config);
   if (tracer != nullptr) campaign.set_tracer(tracer);

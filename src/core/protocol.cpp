@@ -1,5 +1,7 @@
 #include "core/protocol.hpp"
 
+#include "cnf/wire.hpp"
+
 namespace gridsat::core::protocol {
 
 const char* to_string(MessageType t) noexcept {
@@ -19,6 +21,9 @@ const char* to_string(MessageType t) noexcept {
     case MessageType::kSubproblemUnsat: return "SUBPROBLEM_UNSAT";
     case MessageType::kCheckpoint: return "CHECKPOINT";
     case MessageType::kSubproblemReject: return "SUBPROBLEM_REJECT";
+    case MessageType::kCheckpointAck: return "CHECKPOINT_ACK";
+    case MessageType::kCheckpointNack: return "CHECKPOINT_NACK";
+    case MessageType::kBaseMiss: return "BASE_MISS";
   }
   return "?";
 }
@@ -31,27 +36,14 @@ namespace {
 
 void encode_clauses(util::ByteWriter& out,
                     const std::vector<cnf::Clause>& clauses) {
-  out.var_u64(clauses.size());
-  for (const auto& clause : clauses) {
-    out.var_u64(clause.size());
-    for (const cnf::Lit l : clause) out.var_u64(l.code());
-  }
+  // Shared-pool batches ride the same delta/run stream as subproblem and
+  // checkpoint clause sections (cnf/wire.hpp).
+  cnf::encode_clause_stream(out, std::span<const cnf::Clause>(clauses));
 }
 
 std::vector<cnf::Clause> decode_clauses(util::ByteReader& in) {
   std::vector<cnf::Clause> clauses;
-  const std::uint64_t count = in.var_u64();
-  clauses.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    cnf::Clause clause;
-    const std::uint64_t len = in.var_u64();
-    clause.reserve(len);
-    for (std::uint64_t j = 0; j < len; ++j) {
-      clause.push_back(
-          cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
-    }
-    clauses.push_back(std::move(clause));
-  }
+  cnf::decode_clause_stream(in, clauses);
   return clauses;
 }
 
@@ -77,7 +69,9 @@ struct Encoder {
 
   void operator()(const Launch&) {}
   void operator()(const Register& m) { out.u32(m.host_index); }
-  void operator()(const SubproblemMsg& m) { m.subproblem.serialize(out); }
+  void operator()(const SubproblemMsg& m) {
+    m.subproblem.serialize(out, m.mode);
+  }
   void operator()(const SubproblemAck& m) { out.u32(m.host_index); }
   void operator()(const SplitRequest& m) {
     out.u32(m.host_index);
@@ -113,6 +107,19 @@ struct Encoder {
     out.u32(m.host_index);
     m.subproblem.serialize(out);
   }
+  void operator()(const CheckpointAck& m) {
+    out.u32(m.host_index);
+    out.var_u64(m.incarnation);
+    out.var_u64(m.epoch);
+  }
+  void operator()(const CheckpointNack& m) {
+    out.u32(m.host_index);
+    out.var_u64(m.incarnation);
+  }
+  void operator()(const BaseMiss& m) {
+    out.u32(m.host_index);
+    out.u64(m.fingerprint);
+  }
 };
 
 Message decode_payload(MessageType type, util::ByteReader& in) {
@@ -121,8 +128,13 @@ Message decode_payload(MessageType type, util::ByteReader& in) {
       return Launch{};
     case MessageType::kRegister:
       return Register{in.u32()};
-    case MessageType::kSubproblem:
-      return SubproblemMsg{solver::Subproblem::deserialize(in)};
+    case MessageType::kSubproblem: {
+      SubproblemMsg m;
+      m.subproblem = solver::Subproblem::deserialize(in);
+      m.mode = m.subproblem.needs_base ? solver::WireMode::kBaseRef
+                                       : solver::WireMode::kFull;
+      return m;
+    }
     case MessageType::kSubproblemAck:
       return SubproblemAck{in.u32()};
     case MessageType::kSplitRequest: {
@@ -181,6 +193,25 @@ Message decode_payload(MessageType type, util::ByteReader& in) {
       m.subproblem = solver::Subproblem::deserialize(in);
       return m;
     }
+    case MessageType::kCheckpointAck: {
+      CheckpointAck m;
+      m.host_index = in.u32();
+      m.incarnation = in.var_u64();
+      m.epoch = in.var_u64();
+      return m;
+    }
+    case MessageType::kCheckpointNack: {
+      CheckpointNack m;
+      m.host_index = in.u32();
+      m.incarnation = in.var_u64();
+      return m;
+    }
+    case MessageType::kBaseMiss: {
+      BaseMiss m;
+      m.host_index = in.u32();
+      m.fingerprint = in.u64();
+      return m;
+    }
   }
   throw util::DecodeError("unknown message type");
 }
@@ -191,6 +222,7 @@ std::vector<std::uint8_t> encode(const Message& message) {
   util::ByteWriter payload;
   std::visit(Encoder{payload}, message);
   util::ByteWriter out;
+  out.u8(cnf::kWireFormatVersion);
   out.u8(static_cast<std::uint8_t>(type_of(message)));
   out.u32(static_cast<std::uint32_t>(payload.size()));
   out.bytes(payload.data());
@@ -200,9 +232,10 @@ std::vector<std::uint8_t> encode(const Message& message) {
 std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
   try {
     util::ByteReader in(bytes);
+    if (in.u8() != cnf::kWireFormatVersion) return std::nullopt;
     const std::uint8_t raw_type = in.u8();
     if (raw_type < 1 ||
-        raw_type > static_cast<std::uint8_t>(MessageType::kSubproblemReject)) {
+        raw_type > static_cast<std::uint8_t>(MessageType::kBaseMiss)) {
       return std::nullopt;
     }
     const std::uint32_t length = in.u32();

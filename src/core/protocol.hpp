@@ -36,6 +36,12 @@ enum class MessageType : std::uint8_t {
   kSubproblemUnsat = 13,
   kCheckpoint = 14,
   kSubproblemReject = 15,
+  kCheckpointAck = 16,   ///< master acked (incarnation, epoch); advances the
+                         ///< delta base for incremental checkpoints
+  kCheckpointNack = 17,  ///< master refused a delta (stale incarnation or
+                         ///< epoch gap); client must re-ship a full checkpoint
+  kBaseMiss = 18,        ///< receiver of a base-ref payload does not hold the
+                         ///< referenced base; master degrades to a full ship
 };
 
 const char* to_string(MessageType t) noexcept;
@@ -46,6 +52,10 @@ struct Register {
 };
 struct SubproblemMsg {
   solver::Subproblem subproblem;
+  /// kBaseRef ships the base-formula fingerprint instead of the problem
+  /// clauses; the decoded subproblem comes back with needs_base set and
+  /// must be rehydrate()d from the receiver's cached base.
+  solver::WireMode mode = solver::WireMode::kFull;
 };
 struct SubproblemAck {
   std::uint32_t host_index = 0;
@@ -93,17 +103,32 @@ struct SubproblemReject {
   std::uint32_t host_index = 0;
   solver::Subproblem subproblem;
 };
+struct CheckpointAck {
+  std::uint32_t host_index = 0;
+  std::uint64_t incarnation = 0;
+  std::uint64_t epoch = 0;
+};
+struct CheckpointNack {
+  std::uint32_t host_index = 0;
+  std::uint64_t incarnation = 0;
+};
+struct BaseMiss {
+  std::uint32_t host_index = 0;
+  std::uint64_t fingerprint = 0;
+};
 
 using Message =
     std::variant<Launch, Register, SubproblemMsg, SubproblemAck, SplitRequest,
                  SplitGrant, SplitDone, SplitFailed, MigrateOrder, Migrated,
                  ClauseBatch, SatFound, SubproblemUnsat, CheckpointMsg,
-                 SubproblemReject>;
+                 SubproblemReject, CheckpointAck, CheckpointNack, BaseMiss>;
 
 [[nodiscard]] MessageType type_of(const Message& message) noexcept;
 
-/// Encode with a 5-byte header (type + payload length) followed by the
-/// typed payload.
+/// Encode with a 6-byte header (format version + type + payload length)
+/// followed by the typed payload. The version byte makes any future
+/// encoding change a deliberate bump of cnf::kWireFormatVersion rather
+/// than a silent break (the golden-bytes tests pin the current layout).
 std::vector<std::uint8_t> encode(const Message& message);
 
 /// Decode; nullopt on malformed input (bad type, truncated payload,

@@ -38,6 +38,33 @@ struct GridSatResult {
   std::uint64_t total_work = 0;
   std::uint64_t client_deaths = 0;
   std::uint64_t checkpoint_recoveries = 0;
+  /// Wire-transfer accounting (DESIGN.md §4e). Subproblem transfers that
+  /// shipped a base reference instead of the problem-clause block, and
+  /// the bytes that saved vs. a full ship of the same payload.
+  std::uint64_t base_ref_transfers = 0;
+  std::uint64_t base_ref_bytes_saved = 0;
+  /// Bytes actually shipped by base-ref transfers (the drop factor on a
+  /// warm repeat transfer is (payload + saved) / payload).
+  std::uint64_t base_ref_payload_bytes = 0;
+  /// Base-ref transfers that arrived at a host without the base (stale
+  /// cache after a relaunch) and were renegotiated to a full ship.
+  std::uint64_t base_renegotiations = 0;
+  /// Learned clauses dropped from split/migration payloads by the
+  /// `split_learned_budget_bytes` cap (bounded exchange buffers), and the
+  /// serialized bytes that trimming removed across all ships.
+  std::uint64_t ship_learned_trimmed = 0;
+  std::uint64_t ship_trim_bytes_saved = 0;
+  /// Bytes the pre-overhaul format (untrimmed payload + problem block)
+  /// would have shipped on the repeat transfers that actually went out as
+  /// base-refs; the warm-transfer drop factor is
+  /// warm_ship_bytes_v1 / base_ref_payload_bytes.
+  std::uint64_t warm_ship_bytes_v1 = 0;
+  /// Heavy-checkpoint chain accounting: full vs. incremental entries
+  /// shipped, and deltas the master refused (stale incarnation/epoch gap;
+  /// the client re-ships a full snapshot).
+  std::uint64_t checkpoints_full = 0;
+  std::uint64_t checkpoints_delta = 0;
+  std::uint64_t checkpoint_deltas_refused = 0;
   /// Batch (Blue Horizon) bookkeeping for Table 2.
   bool batch_submitted = false;
   bool batch_started = false;

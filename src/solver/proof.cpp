@@ -448,7 +448,7 @@ bool DistributedProofBuilder::stitch() {
     }
     // Look for a sibling: the same set with exactly one literal flipped.
     bool resolved = false;
-    for (std::size_t k = 0; k < deepest->size() && !resolved; ++k) {
+    for (std::size_t k = 0; k < deepest->size(); ++k) {
       LitSet sibling = *deepest;
       sibling[k] ^= 1u;  // Lit code negation
       std::sort(sibling.begin(), sibling.end());
@@ -466,6 +466,7 @@ bool DistributedProofBuilder::stitch() {
       log_.add(std::move(resolvent));
       insert_reduced(std::move(parent));
       resolved = true;
+      break;  // `deepest` is gone; the loop condition must not read it
     }
     if (!resolved) {
       // No exact sibling pair left, yet the leaves may still cover the

@@ -31,6 +31,23 @@ std::uint64_t clause_fingerprint(std::span<const cnf::Lit> lits) noexcept {
   return fp == 0 ? 1 : fp;
 }
 
+std::uint64_t formula_fingerprint(const cnf::CnfFormula& formula) noexcept {
+  // Same commutative sum/xor pairing as clause_fingerprint, one level up:
+  // clause order in the file cannot matter, but the clause *multiset* and
+  // the variable universe both do.
+  std::uint64_t sum = 0;
+  std::uint64_t xorm = 0;
+  for (const cnf::Clause& c : formula.clauses()) {
+    const std::uint64_t m = clause_fingerprint(c);
+    sum += m;
+    xorm ^= mix64(m);
+  }
+  std::uint64_t fp = mix64(sum ^ xorm ^ mix64(formula.num_vars()) ^
+                           (static_cast<std::uint64_t>(formula.num_clauses())
+                            << 32));
+  return fp == 0 ? 1 : fp;
+}
+
 FingerprintFilter::FingerprintFilter(std::size_t log2_slots)
     : slots_(std::size_t{1} << log2_slots),
       mask_((std::size_t{1} << log2_slots) - 1) {}

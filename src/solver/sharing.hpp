@@ -35,6 +35,15 @@ namespace gridsat::solver {
 [[nodiscard]] std::uint64_t clause_fingerprint(
     std::span<const cnf::Lit> lits) noexcept;
 
+/// Order-insensitive fingerprint of a whole formula (variable count +
+/// clause multiset), built from the per-clause fingerprints. Keys the
+/// base-formula transfer cache (DESIGN.md §4e): a host advertising this
+/// value holds a byte-equivalent copy of the original problem clauses,
+/// so the master may ship a base reference instead of the clause block.
+/// Never returns 0 (0 means "no base cached").
+[[nodiscard]] std::uint64_t formula_fingerprint(
+    const cnf::CnfFormula& formula) noexcept;
+
 /// Fixed-size open-addressed set of fingerprints with CAS insertion.
 /// Concurrent insert() calls never block; the table never grows. When a
 /// probe window is full of other fingerprints the clause is admitted as

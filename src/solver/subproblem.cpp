@@ -1,93 +1,110 @@
 #include "solver/subproblem.hpp"
 
+#include <algorithm>
+
 namespace gridsat::solver {
 
-void Subproblem::serialize(util::ByteWriter& out) const {
-  out.u32(num_vars);
-  out.var_u64(units.size());
-  for (const auto& u : units) {
-    out.var_u64(u.lit.code());
-    out.u8(u.tainted ? 1 : 0);
-  }
-  out.var_u64(clauses.size());
-  out.var_u64(num_problem_clauses);
-  for (const auto& c : clauses) {
-    out.var_u64(c.size());
-    for (const cnf::Lit l : c) out.var_u64(l.code());
-  }
-  out.var_u64(assumptions.size());
-  for (const cnf::Lit l : assumptions) out.var_u64(l.code());
-  out.str(path);
+std::size_t Subproblem::wire_size(WireMode mode) const {
+  util::ByteCounter counter;
+  serialize_to(counter, mode);
+  return counter.size();
+}
+
+void Subproblem::serialize(util::ByteWriter& out, WireMode mode) const {
+  serialize_to(out, mode);
 }
 
 Subproblem Subproblem::deserialize(util::ByteReader& in) {
+  const std::uint8_t version = in.u8();
+  if (version != cnf::kWireFormatVersion) {
+    throw util::DecodeError("unsupported subproblem wire version " +
+                            std::to_string(version));
+  }
+  const std::uint8_t flags = in.u8();
+  if ((flags & ~detail::kSubproblemFlagBaseRef) != 0) {
+    throw util::DecodeError("unknown subproblem flags");
+  }
   Subproblem sp;
   sp.num_vars = in.u32();
   const std::uint64_t num_units = in.var_u64();
+  if (num_units > in.remaining()) {
+    throw util::DecodeError("unit count exceeds buffer");
+  }
   sp.units.reserve(num_units);
   for (std::uint64_t i = 0; i < num_units; ++i) {
+    const std::uint64_t code = in.var_u64();
+    if (code < 2 || code > UINT32_MAX) {
+      throw util::DecodeError("unit literal code out of range");
+    }
     SubproblemUnit u;
-    u.lit = cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64()));
-    u.tainted = in.u8() != 0;
+    u.lit = cnf::Lit::from_code(static_cast<std::uint32_t>(code));
     sp.units.push_back(u);
   }
-  const std::uint64_t num_clauses = in.var_u64();
-  sp.num_problem_clauses = in.var_u64();
-  sp.clauses.reserve(num_clauses);
-  for (std::uint64_t i = 0; i < num_clauses; ++i) {
-    cnf::Clause c;
-    const std::uint64_t len = in.var_u64();
-    c.reserve(len);
-    for (std::uint64_t j = 0; j < len; ++j) {
-      c.push_back(cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
+  for (std::uint64_t i = 0; i < num_units; i += 8) {
+    const std::uint8_t byte = in.u8();
+    for (std::uint64_t b = 0; b < 8 && i + b < num_units; ++b) {
+      sp.units[i + b].tainted = ((byte >> b) & 1u) != 0;
     }
-    sp.clauses.push_back(std::move(c));
   }
-  const std::uint64_t num_assumptions = in.var_u64();
-  sp.assumptions.reserve(num_assumptions);
-  for (std::uint64_t i = 0; i < num_assumptions; ++i) {
-    sp.assumptions.push_back(
-        cnf::Lit::from_code(static_cast<std::uint32_t>(in.var_u64())));
-  }
+  cnf::decode_lit_array(in, sp.assumptions);
   sp.path = in.str();
+  sp.base_fingerprint = in.u64();
+  if ((flags & detail::kSubproblemFlagBaseRef) != 0) {
+    sp.needs_base = true;
+    sp.num_problem_clauses = 0;
+  } else {
+    cnf::decode_clause_stream(in, sp.clauses);
+    sp.num_problem_clauses = sp.clauses.size();
+  }
+  cnf::decode_clause_stream(in, sp.clauses);
   return sp;
 }
 
-std::size_t Subproblem::wire_size() const {
-  // Exact serialization size without materializing the buffer; called on
-  // every scheduling decision, so keep it O(literals) with no allocation.
-  auto varint_len = [](std::uint64_t v) {
-    std::size_t n = 1;
-    while (v >= 0x80) {
-      v >>= 7;
-      ++n;
-    }
-    return n;
-  };
-  std::size_t bytes = 4;  // num_vars
-  bytes += varint_len(units.size());
-  for (const auto& u : units) bytes += varint_len(u.lit.code()) + 1;
-  bytes += varint_len(clauses.size());
-  bytes += varint_len(num_problem_clauses);
-  for (const auto& c : clauses) {
-    bytes += varint_len(c.size());
-    for (const cnf::Lit l : c) bytes += varint_len(l.code());
-  }
-  bytes += varint_len(assumptions.size());
-  for (const cnf::Lit l : assumptions) bytes += varint_len(l.code());
-  bytes += varint_len(path.size()) + path.size();
-  return bytes;
-}
-
-std::vector<std::uint8_t> Subproblem::to_bytes() const {
+std::vector<std::uint8_t> Subproblem::to_bytes(WireMode mode) const {
   util::ByteWriter out;
-  serialize(out);
+  serialize(out, mode);
   return out.take();
 }
 
 Subproblem Subproblem::from_bytes(const std::vector<std::uint8_t>& bytes) {
   util::ByteReader in(bytes);
   return deserialize(in);
+}
+
+void Subproblem::rehydrate(std::span<const cnf::Clause> base) {
+  clauses.insert(clauses.begin(), base.begin(), base.end());
+  num_problem_clauses = base.size();
+  needs_base = false;
+}
+
+std::size_t Subproblem::trim_learned(std::size_t budget_bytes) {
+  const auto first = static_cast<std::size_t>(num_problem_clauses);
+  if (first >= clauses.size()) return 0;
+  std::stable_sort(clauses.begin() + static_cast<std::ptrdiff_t>(first),
+                   clauses.end(),
+                   [](const cnf::Clause& a, const cnf::Clause& b) {
+                     return a.size() < b.size();
+                   });
+  // Per-clause cost is over-estimated (raw literal-code varints; the gap
+  // encoding on the wire is tighter), so the encoded block always fits
+  // the budget.
+  const auto varint_size = [](std::uint64_t v) {
+    std::size_t n = 1;
+    while ((v >>= 7) != 0) ++n;
+    return n;
+  };
+  std::size_t spent = 0;
+  std::size_t keep = first;
+  while (keep < clauses.size()) {
+    std::size_t cost = 1;  // length/run bookkeeping upper bound
+    for (const cnf::Lit l : clauses[keep]) cost += varint_size(l.code());
+    if (spent + cost > budget_bytes) break;
+    spent += cost;
+    ++keep;
+  }
+  const std::size_t dropped = clauses.size() - keep;
+  clauses.resize(keep);
+  return dropped;
 }
 
 }  // namespace gridsat::solver

@@ -10,14 +10,22 @@
 //
 // This is the payload of the Figure-3 message (3): "10 KBytes to 500
 // MBytes ... 100s of MBytes on average" in the paper; serialized size is
-// what the simulated network charges for.
+// what the simulated network charges for. Two wire forms exist
+// (DESIGN.md §4e): the full form carries the problem-clause block, and
+// the base-ref form replaces it with the original formula's fingerprint
+// for hosts that already hold the base — the receiver splices its cached
+// copy back in with rehydrate().
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "cnf/wire.hpp"
+#include "solver/clause_arena.hpp"
 #include "util/bytes.hpp"
 
 namespace gridsat::solver {
@@ -28,6 +36,54 @@ struct SubproblemUnit {
 
   friend bool operator==(const SubproblemUnit&, const SubproblemUnit&) = default;
 };
+
+/// How a subproblem goes on the wire: kFull ships the problem-clause
+/// block; kBaseRef replaces it with the base-formula fingerprint (only
+/// valid when the receiver's cached base matches — the master tracks
+/// residency and falls back to kFull on any doubt).
+enum class WireMode : std::uint8_t { kFull = 0, kBaseRef = 1 };
+
+namespace detail {
+
+inline constexpr std::uint8_t kSubproblemFlagBaseRef = 0x01;
+
+/// Shared layout for Subproblem::serialize_to and serialize_from_arena:
+/// the two clause sections are pluggable so one caller encodes from
+/// std::vector<cnf::Clause> and the other straight out of a ClauseArena,
+/// with byte-identical output.
+template <class W, class EncodeProblem, class EncodeLearned>
+void serialize_subproblem_parts(W& out, cnf::Var num_vars,
+                                std::span<const SubproblemUnit> units,
+                                std::span<const cnf::Lit> assumptions,
+                                std::string_view path,
+                                std::uint64_t base_fingerprint, WireMode mode,
+                                EncodeProblem&& encode_problem,
+                                EncodeLearned&& encode_learned) {
+  out.u8(cnf::kWireFormatVersion);
+  out.u8(mode == WireMode::kBaseRef ? kSubproblemFlagBaseRef : 0);
+  out.u32(num_vars);
+  out.var_u64(units.size());
+  for (const SubproblemUnit& u : units) out.var_u64(u.lit.code());
+  // Taint flags as a bitmap (LSB-first) instead of one byte per unit.
+  std::uint8_t acc = 0;
+  int bits = 0;
+  for (const SubproblemUnit& u : units) {
+    acc = static_cast<std::uint8_t>(acc | ((u.tainted ? 1u : 0u) << bits));
+    if (++bits == 8) {
+      out.u8(acc);
+      acc = 0;
+      bits = 0;
+    }
+  }
+  if (bits != 0) out.u8(acc);
+  cnf::encode_lit_array(out, assumptions);
+  out.str(path);
+  out.u64(base_fingerprint);
+  if (mode == WireMode::kFull) encode_problem(out);
+  encode_learned(out);
+}
+
+}  // namespace detail
 
 struct Subproblem {
   cnf::Var num_vars = 0;
@@ -49,19 +105,84 @@ struct Subproblem {
   std::vector<cnf::Lit> assumptions;
   /// Human-readable guiding path, e.g. "~V10.V7" (for traces and tests).
   std::string path;
+  /// splitmix64 fingerprint of the original formula every clause here is
+  /// valid for (solver::formula_fingerprint). Keys the base-formula cache.
+  std::uint64_t base_fingerprint = 0;
+  /// True after decoding a kBaseRef payload: the problem-clause block is
+  /// absent until rehydrate() splices the receiver's cached base back in.
+  bool needs_base = false;
 
   [[nodiscard]] bool empty() const noexcept {
     return units.empty() && clauses.empty();
   }
 
   /// Serialized size in bytes — the network transfer cost in the sim.
-  [[nodiscard]] std::size_t wire_size() const;
+  /// Runs the real encoder against util::ByteCounter, so it equals
+  /// serialize().size() by construction.
+  [[nodiscard]] std::size_t wire_size(WireMode mode = WireMode::kFull) const;
 
-  void serialize(util::ByteWriter& out) const;
+  template <class W>
+  void serialize_to(W& out, WireMode mode = WireMode::kFull) const {
+    const std::span<const cnf::Clause> all(clauses);
+    detail::serialize_subproblem_parts(
+        out, num_vars, units, assumptions, path, base_fingerprint, mode,
+        [&](W& w) {
+          cnf::encode_clause_stream(
+              w, all.subspan(0, static_cast<std::size_t>(num_problem_clauses)));
+        },
+        [&](W& w) {
+          cnf::encode_clause_stream(
+              w, all.subspan(static_cast<std::size_t>(num_problem_clauses)));
+        });
+  }
+
+  void serialize(util::ByteWriter& out, WireMode mode = WireMode::kFull) const;
   static Subproblem deserialize(util::ByteReader& in);
 
-  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes(
+      WireMode mode = WireMode::kFull) const;
   static Subproblem from_bytes(const std::vector<std::uint8_t>& bytes);
+
+  /// Splice the cached base (the original formula's clauses) back into a
+  /// decoded kBaseRef payload. The caller must have verified the
+  /// fingerprint; a mismatch is renegotiated to a full ship, never
+  /// rehydrated (DESIGN.md §4e).
+  void rehydrate(std::span<const cnf::Clause> base);
+
+  /// Bound the learned-clause block to ~`budget_bytes` of encoded size,
+  /// keeping the shortest (strongest) clauses. Learned clauses are
+  /// consequences of the original formula, so dropping any subset is
+  /// always sound — the receiver re-derives what it needs and the
+  /// sharing layer keeps streaming high-value clauses anyway. Returns
+  /// the number of clauses dropped.
+  std::size_t trim_learned(std::size_t budget_bytes);
+
+  /// Encode a split/migration payload straight out of a ClauseArena —
+  /// byte-identical to materializing the clause vectors and calling
+  /// serialize(), without the std::vector<cnf::Clause> copy. The refs
+  /// name the live problem/learned clauses to ship, in arena order.
+  template <class W>
+  static void serialize_from_arena(
+      W& out, cnf::Var num_vars, std::span<const SubproblemUnit> units,
+      std::span<const cnf::Lit> assumptions, std::string_view path,
+      std::uint64_t base_fingerprint, WireMode mode, const ClauseArena& arena,
+      std::span<const ClauseRef> problem_refs,
+      std::span<const ClauseRef> learned_refs) {
+    const auto stream = [&arena](W& w, std::span<const ClauseRef> refs) {
+      cnf::encode_clause_stream(
+          w, refs.size(),
+          [&](std::uint32_t i) { return arena.size(refs[i]); },
+          [&](std::uint32_t i, std::vector<std::uint32_t>& codes) {
+            for (const cnf::Lit l : arena.lits(refs[i])) {
+              codes.push_back(l.code());
+            }
+          });
+    };
+    detail::serialize_subproblem_parts(
+        out, num_vars, units, assumptions, path, base_fingerprint, mode,
+        [&](W& w) { stream(w, problem_refs); },
+        [&](W& w) { stream(w, learned_refs); });
+  }
 
   friend bool operator==(const Subproblem&, const Subproblem&) = default;
 };

@@ -81,6 +81,49 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
+/// Drop-in stand-in for ByteWriter that only counts bytes. Payload
+/// encoders are templates over the writer type (`serialize_to<W>`), so
+/// `wire_size()` runs the exact encoding logic against a counter and is
+/// equal to `serialize().size()` by construction — the scheduler and the
+/// simulated network both bill transfers off this number, so it must
+/// never drift from the real encoder.
+class ByteCounter {
+ public:
+  ByteCounter() = default;
+
+  void u8(std::uint8_t) { ++size_; }
+  void u16(std::uint16_t) { size_ += 2; }
+  void u32(std::uint32_t) { size_ += 4; }
+  void u64(std::uint64_t) { size_ += 8; }
+  void i64(std::int64_t) { size_ += 8; }
+  void f64(double) { size_ += 8; }
+
+  void var_u64(std::uint64_t v) {
+    ++size_;
+    while (v >= 0x80) {
+      ++size_;
+      v >>= 7;
+    }
+  }
+
+  void var_i64(std::int64_t v) {
+    var_u64((static_cast<std::uint64_t>(v) << 1) ^
+            static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void str(std::string_view s) {
+    var_u64(s.size());
+    size_ += s.size();
+  }
+
+  void bytes(std::span<const std::uint8_t> data) { size_ += data.size(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_ = 0;
+};
+
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) noexcept

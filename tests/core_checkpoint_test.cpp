@@ -15,10 +15,31 @@ using cnf::Lit;
 TEST(CheckpointTest, RoundTrip) {
   Checkpoint cp;
   cp.heavy = true;
+  cp.delta = true;
+  cp.incarnation = 7;
+  cp.epoch = 3;
+  cp.base_epoch = 2;
   cp.units = {{Lit(1, false), false}, {Lit(5, true), true}};
-  cp.learned = {{Lit(2, false), Lit(3, true)}, {Lit(4, true)}};
+  // Canonical wire order: clauses ascending by length, literal codes
+  // sorted within a clause (the codec is free to reorder both — watch
+  // order is rebuilt on attach).
+  cp.learned = {{Lit(4, true)}, {Lit(2, false), Lit(3, true)}};
   const Checkpoint back = Checkpoint::from_bytes(cp.to_bytes());
   EXPECT_EQ(back, cp);
+}
+
+TEST(CheckpointTest, RoundTripCanonicalizesClauseOrder) {
+  Checkpoint cp;
+  cp.heavy = true;
+  cp.learned = {{Lit(3, true), Lit(2, false)}, {Lit(4, true)}};
+  const Checkpoint back = Checkpoint::from_bytes(cp.to_bytes());
+  // Same clause multiset, canonical order: short clauses first, sorted
+  // literal codes inside each clause.
+  const std::vector<cnf::Clause> expect = {{Lit(4, true)},
+                                           {Lit(2, false), Lit(3, true)}};
+  EXPECT_EQ(back.learned, expect);
+  // Round-tripping the canonical form is a fixpoint.
+  EXPECT_EQ(Checkpoint::from_bytes(back.to_bytes()), back);
 }
 
 TEST(CheckpointTest, EmptyRoundTrip) {

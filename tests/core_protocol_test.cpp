@@ -6,6 +6,7 @@
 #include "core/protocol.hpp"
 #include "gen/pigeonhole.hpp"
 #include "solver/cdcl.hpp"
+#include "solver/sharing.hpp"
 #include "util/rng.hpp"
 
 namespace gridsat::core::protocol {
@@ -67,14 +68,52 @@ TEST(ProtocolTest, SubproblemPayloadRoundTrips) {
   ASSERT_TRUE(solver.can_split());
   SubproblemMsg msg{solver.split()};
   const auto back = roundtrip<SubproblemMsg>(msg);
-  EXPECT_EQ(back.subproblem, msg.subproblem);
+  // The codec reorders clauses into canonical wire order (length runs,
+  // sorted literals), so compare canonical serializations rather than
+  // in-memory layout; decoding canonical bytes is the identity.
+  EXPECT_EQ(back.subproblem.to_bytes(), msg.subproblem.to_bytes());
+  EXPECT_EQ(back.subproblem.units, msg.subproblem.units);
+  EXPECT_EQ(back.subproblem.assumptions, msg.subproblem.assumptions);
+  EXPECT_EQ(back.subproblem.num_problem_clauses,
+            msg.subproblem.num_problem_clauses);
+  const auto again = roundtrip<SubproblemMsg>(back);
+  EXPECT_EQ(again.subproblem, back.subproblem);
 
   SubproblemReject reject;
   reject.host_index = 11;
   reject.subproblem = msg.subproblem;
   const auto reject_back = roundtrip<SubproblemReject>(reject);
   EXPECT_EQ(reject_back.host_index, 11u);
-  EXPECT_EQ(reject_back.subproblem, msg.subproblem);
+  EXPECT_EQ(reject_back.subproblem.to_bytes(), msg.subproblem.to_bytes());
+}
+
+TEST(ProtocolTest, SubproblemBaseRefRoundTrips) {
+  const auto f = gen::pigeonhole_unsat(6);
+  solver::CdclSolver solver(f);
+  while (!solver.can_split() &&
+         solver.solve(200) == solver::SolveStatus::kUnknown) {
+  }
+  ASSERT_TRUE(solver.can_split());
+  SubproblemMsg msg{solver.split(), solver::WireMode::kBaseRef};
+  msg.subproblem.base_fingerprint = solver::formula_fingerprint(f);
+
+  const auto back = roundtrip<SubproblemMsg>(msg);
+  EXPECT_EQ(back.mode, solver::WireMode::kBaseRef);
+  EXPECT_TRUE(back.subproblem.needs_base);
+  EXPECT_EQ(back.subproblem.num_problem_clauses, 0u);
+  EXPECT_EQ(back.subproblem.base_fingerprint, msg.subproblem.base_fingerprint);
+  EXPECT_EQ(back.subproblem.units, msg.subproblem.units);
+  EXPECT_EQ(back.subproblem.assumptions, msg.subproblem.assumptions);
+
+  // The base-ref form must be strictly smaller than the full ship.
+  EXPECT_LT(msg.subproblem.wire_size(solver::WireMode::kBaseRef),
+            msg.subproblem.wire_size(solver::WireMode::kFull));
+
+  // Rehydrating from the cached base restores the full problem block.
+  SubproblemMsg hydrated = back;
+  hydrated.subproblem.rehydrate(f.clauses());
+  EXPECT_FALSE(hydrated.subproblem.needs_base);
+  EXPECT_EQ(hydrated.subproblem.num_problem_clauses, f.num_clauses());
 }
 
 TEST(ProtocolTest, ClauseBatchRoundTrips) {
@@ -83,7 +122,12 @@ TEST(ProtocolTest, ClauseBatchRoundTrips) {
                    {Lit(3, false)},
                    {Lit(4, true), Lit(5, false), Lit(6, true)}};
   const auto back = roundtrip<ClauseBatch>(batch);
-  EXPECT_EQ(back.clauses, batch.clauses);
+  // Canonical wire order: ascending clause length (stable), sorted codes.
+  const std::vector<cnf::Clause> expect = {
+      {Lit(3, false)},
+      {Lit(1, false), Lit(2, true)},
+      {Lit(4, true), Lit(5, false), Lit(6, true)}};
+  EXPECT_EQ(back.clauses, expect);
 }
 
 TEST(ProtocolTest, SatFoundCarriesModel) {
