@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cmath>
 #include <random>
 #include <sstream>
 #include <string_view>
@@ -219,14 +220,41 @@ struct BaselineRow {
   std::string measurement;  ///< "bcp-probe" or "full-solve"
   bool binary_fast_path = false;
   bool minimize_learned = false;
+  std::string minimize;  ///< "off", "basic", or "recursive"
   std::string status;
   std::uint64_t work = 0;
   std::uint64_t propagations = 0;
   std::uint64_t binary_propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned_literals = 0;
   double wall_ms = 0.0;
   double propagation_ms = 0.0;
   double props_per_sec = 0.0;  ///< propagations per second of BCP time
 };
+
+/// The three learned-clause minimization tiers of the --minimize flag and
+/// the minimize_ablation rows. "recursive" is the shipping default and
+/// includes binary-resolution strengthening; "basic" is the one-reason-
+/// deep check alone; "off" is the paper-era baseline.
+solver::SolverConfig minimize_mode_config(std::string_view mode) {
+  solver::SolverConfig config;
+  if (mode == "off") {
+    config.minimize_learned = false;
+  } else if (mode == "basic") {
+    config.minimize_learned = true;
+    config.minimize_recursive = false;
+    config.minimize_bin = false;
+  } else {  // "recursive"
+    config.minimize_learned = true;
+    config.minimize_recursive = true;
+    config.minimize_bin = true;
+  }
+  return config;
+}
+
+bool valid_minimize_mode(std::string_view mode) {
+  return mode == "off" || mode == "basic" || mode == "recursive";
+}
 
 /// One timed probe shot. The round COUNT is fixed up front (derived only
 /// from the props target and instance size) so both configs replay the
@@ -314,15 +342,16 @@ BaselineRow probe_once(const BaselineCase& c, const cnf::CnfFormula& f,
 /// One timed budgeted solve. Deterministic: every shot of a config
 /// produces identical search statistics; only the timings vary.
 BaselineRow solve_once(const BaselineCase& c, const cnf::CnfFormula& f,
-                       bool fast, bool minimize, std::uint64_t budget) {
+                       bool fast, std::string_view minimize,
+                       std::uint64_t budget) {
   BaselineRow row;
   row.instance = c.name;
   row.measurement = "full-solve";
   row.binary_fast_path = fast;
-  row.minimize_learned = minimize;
-  solver::SolverConfig config;
+  row.minimize = minimize;
+  solver::SolverConfig config = minimize_mode_config(minimize);
+  row.minimize_learned = config.minimize_learned;
   config.binary_fast_path = fast;
-  config.minimize_learned = minimize;
   config.measure_propagation = true;
   solver::CdclSolver solver(f, config);
   const auto start = std::chrono::steady_clock::now();
@@ -334,6 +363,8 @@ BaselineRow solve_once(const BaselineCase& c, const cnf::CnfFormula& f,
   row.work = solver.stats().work;
   row.propagations = solver.stats().propagations;
   row.binary_propagations = solver.stats().binary_propagations;
+  row.conflicts = solver.stats().conflicts;
+  row.learned_literals = solver.stats().learned_literals;
   row.propagation_ms =
       static_cast<double>(solver.stats().propagation_ns) * 1e-6;
   // Throughput over time spent in propagate() itself: the quantity the
@@ -352,9 +383,9 @@ int run_baseline(int argc, char** argv) {
   flags.define_bool("quick", false, "smaller work budget (CI smoke)");
   flags.define_i64("budget", 0, "work units per run (0 = default)");
   flags.define_i64("repeats", 5, "timed repeats; reported times = median");
-  flags.define_bool("minimize", solver::SolverConfig{}.minimize_learned,
-                    "learned-clause minimization in full-solve runs");
-  if (!flags.parse(argc, argv)) {
+  flags.define_str("minimize", "recursive",
+                   "minimization tier in full-solve runs: off|basic|recursive");
+  if (!flags.parse(argc, argv) || !valid_minimize_mode(flags.str("minimize"))) {
     std::fputs(flags.usage("bench_solver_micro").c_str(), stderr);
     return 2;
   }
@@ -409,6 +440,7 @@ int run_baseline(int argc, char** argv) {
         .field("measurement", row.measurement)
         .field("binary_fast_path", row.binary_fast_path)
         .field("minimize_learned", row.minimize_learned)
+        .field("minimize", row.minimize)
         .field("status", row.status)
         .field("work", row.work)
         .field("propagations", row.propagations)
@@ -435,7 +467,7 @@ int run_baseline(int argc, char** argv) {
       for (const bool fast : {false, true}) {
         probe_shots[fast].push_back(probe_once(c, f, fast, rounds));
         solve_shots[fast].push_back(
-            solve_once(c, f, fast, flags.boolean("minimize"), budget));
+            solve_once(c, f, fast, flags.str("minimize"), budget));
       }
     }
     BaselineRow probe[2];
@@ -476,9 +508,203 @@ int run_baseline(int argc, char** argv) {
   return 0;
 }
 
+// Minimization-tier ablation (ISSUE 6 / DESIGN.md §4f): budgeted full
+// solves on learning-heavy instances under the three --minimize tiers,
+// interleaved within each repeat so load drift cancels, medians reported.
+// Rows carry "bench":"minimize_ablation" so they can share a JSON file
+// with the --baseline object (use --append; the file then holds one JSON
+// object per run, newline-separated).
+//
+//   ./bench_solver_micro --minimize-ablation [--json=...] [--append]
+//       [--quick]
+int run_minimize_ablation(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_bool("minimize-ablation", false,
+                    "run the minimization-tier ablation");
+  flags.define_str("json", "BENCH_solver.json", "write results to this file");
+  flags.define_bool("append", false, "append to --json instead of truncating");
+  flags.define_bool("quick", false, "smaller work budget (CI smoke)");
+  flags.define_i64("budget", 0, "work units per run (0 = default)");
+  flags.define_i64("repeats", 5, "timed repeats; reported times = median");
+  if (!flags.parse(argc, argv)) {
+    std::fputs(flags.usage("bench_solver_micro").c_str(), stderr);
+    return 2;
+  }
+  const bool quick = flags.boolean("quick");
+  const std::uint64_t budget =
+      flags.i64("budget") > 0 ? static_cast<std::uint64_t>(flags.i64("budget"))
+                              : (quick ? 1'000'000 : 8'000'000);
+  const int repeats =
+      quick ? 3 : std::max(1, static_cast<int>(flags.i64("repeats")));
+
+  // Conflict-heavy instances: minimization only matters where learned
+  // clauses pile up, so the cache-cold BCP giants of --baseline would
+  // measure nothing here. Pigeonhole and Urquhart burn their whole budget
+  // in conflicts; the threshold random-3SAT rows add variable-rich mixes.
+  // All are sized to stay UNKNOWN at the work budget so every tier grows
+  // a comparable database.
+  std::vector<BaselineCase> cases;
+  cases.push_back({"pigeonhole-10", gen::pigeonhole_unsat(10), {}});
+  cases.push_back({"pigeonhole-12", gen::pigeonhole_unsat(12), {}});
+  cases.push_back({"urquhart-16", gen::urquhart_like(16, 3), {}});
+  cases.push_back(
+      {"random3sat-v300-r4.25", gen::random_ksat(300, 1275, 3, 42), {}});
+  cases.push_back(
+      {"random3sat-v500-r4.25", gen::random_ksat(500, 2125, 3, 9), {}});
+
+  static constexpr std::string_view kModes[3] = {"off", "basic", "recursive"};
+  util::JsonWriter json;
+  json.begin_object()
+      .field("bench", "minimize_ablation")
+      .field("work_budget", budget)
+      .field("repeats", static_cast<std::int64_t>(repeats))
+      .field("aggregate", "median")
+      .key("rows")
+      .begin_array();
+  std::printf("%-24s %-10s %-10s %-8s %10s %12s %12s %10s %10s %14s\n",
+              "instance", "measure", "minimize", "status", "conflicts",
+              "learned_lits", "props", "wall_ms", "bcp_ms", "props/s");
+  const auto emit_row = [&json](const BaselineRow& row) {
+    std::printf(
+        "%-24s %-10s %-10s %-8s %10llu %12llu %12llu %10.1f %10.1f %14.0f\n",
+        row.instance.c_str(), row.measurement.c_str(), row.minimize.c_str(),
+        row.status.c_str(), static_cast<unsigned long long>(row.conflicts),
+        static_cast<unsigned long long>(row.learned_literals),
+        static_cast<unsigned long long>(row.propagations), row.wall_ms,
+        row.propagation_ms, row.props_per_sec);
+    json.begin_object()
+        .field("bench", "minimize_ablation")
+        .field("instance", row.instance)
+        .field("measurement", row.measurement)
+        .field("minimize", row.minimize)
+        .field("minimize_learned", row.minimize_learned)
+        .field("binary_fast_path", row.binary_fast_path)
+        .field("status", row.status)
+        .field("work", row.work)
+        .field("conflicts", row.conflicts)
+        .field("learned_literals", row.learned_literals)
+        .field("propagations", row.propagations)
+        .field("wall_ms", row.wall_ms)
+        .field("propagation_ms", row.propagation_ms)
+        .field("props_per_sec", row.props_per_sec)
+        .end_object();
+  };
+  // The geomean gate is computed over the db-probe rows: a full solve's
+  // props/s confounds BCP throughput with the (config-dependent) search
+  // trajectory, while the probe replays one fixed decision sweep over
+  // whatever database each tier built — the clause-length and footprint
+  // effect of minimization, isolated from the search it steered.
+  double geomean[3] = {0.0, 0.0, 0.0};
+  for (const BaselineCase& c : cases) {
+    const std::uint64_t rounds = std::max<std::uint64_t>(
+        1, (quick ? 200'000 : 500'000) /
+               std::max<cnf::Var>(1, c.formula.num_vars()));
+    std::vector<BaselineRow> solve_shots[3];
+    std::vector<BaselineRow> probe_shots[3];
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (int m = 0; m < 3; ++m) {
+        // Build the tier's database with a budgeted solve (timed: the
+        // full-solve row), then sweep the fixed probe over it.
+        solver::SolverConfig config = minimize_mode_config(kModes[m]);
+        config.measure_propagation = true;
+        solver::CdclSolver solver(c.formula, config);
+        BaselineRow row;
+        row.instance = c.name;
+        row.measurement = "full-solve";
+        row.binary_fast_path = config.binary_fast_path;
+        row.minimize = kModes[m];
+        row.minimize_learned = config.minimize_learned;
+        auto start = std::chrono::steady_clock::now();
+        row.status = solver::to_string(solver.solve(budget));
+        row.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        row.work = solver.stats().work;
+        row.propagations = solver.stats().propagations;
+        row.conflicts = solver.stats().conflicts;
+        row.learned_literals = solver.stats().learned_literals;
+        row.propagation_ms =
+            static_cast<double>(solver.stats().propagation_ns) * 1e-6;
+        row.props_per_sec =
+            row.propagation_ms > 0.0
+                ? static_cast<double>(row.propagations) * 1000.0 /
+                      row.propagation_ms
+                : 0.0;
+        solve_shots[m].push_back(row);
+
+        BaselineRow probe = row;
+        probe.measurement = "db-probe";
+        probe.status = "PROBE";
+        solver.probe_reset();
+        const std::uint64_t props0 = solver.stats().propagations;
+        const std::uint64_t ns0 = solver.stats().propagation_ns;
+        const std::uint64_t work0 = solver.stats().work;
+        const cnf::Var nv = c.formula.num_vars();
+        start = std::chrono::steady_clock::now();
+        for (std::uint64_t round = 0; round < rounds; ++round) {
+          for (cnf::Var v = 1; v <= nv; ++v) {
+            if (!solver.probe_assume(cnf::Lit(v, ((v + round) & 1) == 0))) {
+              solver.probe_reset();
+            }
+          }
+          solver.probe_reset();
+        }
+        probe.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        probe.work = solver.stats().work - work0;
+        probe.propagations = solver.stats().propagations - props0;
+        probe.propagation_ms =
+            static_cast<double>(solver.stats().propagation_ns - ns0) * 1e-6;
+        probe.props_per_sec =
+            probe.propagation_ms > 0.0
+                ? static_cast<double>(probe.propagations) * 1000.0 /
+                      probe.propagation_ms
+                : 0.0;
+        probe_shots[m].push_back(probe);
+      }
+    }
+    for (int m = 0; m < 3; ++m) {
+      emit_row(median_row(solve_shots[m]));
+      const BaselineRow probe = median_row(probe_shots[m]);
+      emit_row(probe);
+      geomean[m] += std::log(std::max(probe.props_per_sec, 1.0));
+    }
+  }
+  json.end_array().key("geomean_probe_props_per_sec").begin_object();
+  std::printf("\ndb-probe props/s geomean by minimization tier:\n");
+  for (int m = 0; m < 3; ++m) {
+    const double g = std::exp(geomean[m] / static_cast<double>(cases.size()));
+    std::printf("  %-10s %14.0f\n", std::string(kModes[m]).c_str(), g);
+    json.field(std::string(kModes[m]), g);
+  }
+  json.end_object().end_object();
+
+  const std::string& path = flags.str("json");
+  if (!path.empty()) {
+    std::FILE* out =
+        std::fopen(path.c_str(), flags.boolean("append") ? "a" : "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(json.str().c_str(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("\n%s %s\n", flags.boolean("append") ? "appended to" : "wrote",
+                path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--minimize-ablation") {
+      return run_minimize_ablation(argc, argv);
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--baseline") {
       return run_baseline(argc, argv);

@@ -119,6 +119,16 @@ ScenarioOutcome run_scenario(std::uint64_t seed, obs::Tracer* tracer) {
   // budgets small enough to drop everything.
   config.split_learned_budget_bytes =
       rng.chance(3) ? 0 : static_cast<std::size_t>(rng.range(64, 4096));
+  // Learned-clause pipeline dimensions (DESIGN.md §4f): minimization
+  // (basic and recursive), binary-resolution strengthening, on-the-fly
+  // subsumption, and the locality compaction all interleave with splits,
+  // sharing, checkpoints, and the proof oracle — every strengthened
+  // clause must stay globally valid (taint rules) and RUP (certification).
+  config.solver.minimize_learned = !rng.chance(4);
+  config.solver.minimize_recursive = !rng.chance(3);
+  config.solver.minimize_bin = !rng.chance(3);
+  config.solver.otf_subsume = !rng.chance(3);
+  config.solver.arena_compact = !rng.chance(3);
 
   Campaign campaign(formula, "east", hosts, config);
   if (tracer != nullptr) campaign.set_tracer(tracer);

@@ -80,6 +80,9 @@ void CdclSolver::init(Var num_vars, const std::vector<cnf::Clause>& clauses,
   heap_pos_.assign(2 * nv, -1);
   seen_.assign(nv, 0);
   lbd_stamp_.assign(nv + 1, 0);  // decision levels range over [0, num_vars]
+  min_stamp_.assign(nv, 0);
+  min_mark_.assign(nv, kMinUnknown);
+  lit_stamp_.assign(2 * nv, 0);
   heap_.clear();
   heap_.reserve(2 * nv);
   for (Var v = 1; v <= num_vars_; ++v) {
@@ -523,6 +526,7 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
   learned.clear();
   learned.push_back(kUndefLit);  // slot for the asserting literal
   analyze_clear_.clear();
+  otf_jobs_.clear();
 
   std::uint32_t path_count = 0;
   Lit p = kUndefLit;
@@ -541,6 +545,9 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
     if (p != kUndefLit && lits.size() == 2 && lits[0].var() != p.var()) {
       jstart = 0;
     }
+    // Untainted level-0 literals of this antecedent dropped from the
+    // resolvent (tracked for the on-the-fly subsumption size check).
+    std::uint32_t dropped = 0;
     for (std::size_t j = jstart; j < lits.size(); ++j) {
       ++stats_.work;
       const Lit q = lits[j];
@@ -555,6 +562,8 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
           seen_[v] = 1;
           analyze_clear_.push_back(q);
           learned.push_back(q);
+        } else {
+          ++dropped;
         }
         continue;
       }
@@ -566,6 +575,19 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
       } else {
         learned.push_back(q);
       }
+    }
+    // On-the-fly subsumption (Han–Somenzi): the resolvent contains every
+    // literal of this antecedent except the pivot (nothing was dropped),
+    // so |resolvent| == |antecedent| - 1 means resolvent == antecedent
+    // minus the pivot — the antecedent can be strengthened in place by
+    // removing its implied literal. Deferred to after backtrack(), when
+    // the pivot is unassigned (path_count >= 2 guarantees the conflict
+    // level is above the backjump level AND that the strengthened clause
+    // keeps >= 2 unassigned literals for its watches).
+    if (config_.otf_subsume && p != kUndefLit && dropped == 0 &&
+        path_count >= 2 && lits.size() >= 3 &&
+        path_count + learned.size() - 1 == lits.size() - 1) {
+      otf_jobs_.push_back(OtfJob{cl, p.var()});
     }
     // Walk the trail backwards to the next marked assignment.
     while (!seen_[trail_[index - 1].var()]) --index;
@@ -579,7 +601,12 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
   uip = p;
   learned[0] = ~p;
 
-  if (config_.minimize_learned) minimize(learned);
+  if (config_.minimize_learned) {
+    minimize(learned);
+    if (config_.minimize_bin && config_.binary_fast_path) {
+      strengthen_binary(learned);
+    }
+  }
 
   // LBD of the final clause (post-minimization), while every literal is
   // still assigned — backtracking clears the levels this counts.
@@ -602,6 +629,16 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
 }
 
 void CdclSolver::minimize(std::vector<Lit>& learned) {
+  const std::size_t before = learned.size();
+  if (config_.minimize_recursive) {
+    minimize_deep(learned);
+  } else {
+    minimize_basic(learned);
+  }
+  stats_.minimized_literals += before - learned.size();
+}
+
+void CdclSolver::minimize_basic(std::vector<Lit>& learned) {
   // Local minimization: a literal is redundant if its reason clause is
   // subsumed by the rest of the learned clause plus untainted level-0
   // facts. (Self-subsuming resolution; MiniSat's "basic" mode.)
@@ -624,6 +661,181 @@ void CdclSolver::minimize(std::vector<Lit>& learned) {
   }
   for (const Lit l : learned) seen_[l.var()] = 0;
   learned.resize(keep);
+}
+
+void CdclSolver::minimize_deep(std::vector<Lit>& learned) {
+  // Recursive minimization (MiniSat litRedundant / dawn otf=2): a literal
+  // is redundant if the DFS over its reason antecedents bottoms out
+  // entirely in other clause literals and untainted level-0 facts.
+  // Removing every such literal at once is sound — support chains are
+  // well-founded by trail order (Sörensson & Biere, "Minimizing Learned
+  // Clauses"). Verdicts are memoized per variable under an epoch stamp:
+  // kMinSupport survives across probes (clause literal or proven
+  // redundant), kMinPoison memoizes intrinsic "required" leaves.
+  ++min_epoch_;
+  min_clear_.clear();
+  std::uint64_t levels_mask = 0;
+  for (const Lit l : learned) {
+    const Var v = l.var();
+    min_stamp_[v] = min_epoch_;
+    min_mark_[v] = kMinSupport;
+    levels_mask |= std::uint64_t{1} << (vars_[v].level & 63);
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const Var v = learned[i].var();
+    const ClauseRef r = vars_[v].reason;
+    const bool droppable = r != kDecisionReason && r != kNoClause &&
+                           vars_[v].level > 0 &&
+                           lit_redundant(learned[i], levels_mask);
+    if (!droppable) learned[keep++] = learned[i];
+  }
+  learned.resize(keep);
+}
+
+bool CdclSolver::lit_redundant(Lit root, std::uint64_t levels_mask) {
+  min_stack_.clear();
+  min_stack_.push_back(root);
+  // Marks added by this probe; rolled back to kMinUnknown on failure so a
+  // literal on a failing path can still prove redundant from a different
+  // root (only intrinsic leaf failures are safe to memoize as poison).
+  const std::size_t probe_top = min_clear_.size();
+  while (!min_stack_.empty()) {
+    const Var pivot = min_stack_.back().var();
+    min_stack_.pop_back();
+    const ClauseRef r = vars_[pivot].reason;
+    assert(r != kNoClause && r != kDecisionReason);
+    for (const Lit q : arena_.lits(r)) {
+      ++stats_.work;
+      const Var v = q.var();
+      if (v == pivot) continue;
+      if (vars_[v].level == 0 && !vars_[v].taint) continue;  // free fact
+      const bool stamped = min_stamp_[v] == min_epoch_;
+      if (stamped && min_mark_[v] == kMinSupport) continue;
+      const ClauseRef vr = vars_[v].reason;
+      // Intrinsic "required" leaves: already-poisoned, decision or
+      // assumption, tainted level-0 (must stay in any derived clause),
+      // or a decision level no clause literal lives at (the abstraction
+      // filter — its support could never bottom out in the clause).
+      if ((stamped && min_mark_[v] == kMinPoison) || vr == kDecisionReason ||
+          vr == kNoClause || vars_[v].level == 0 ||
+          ((std::uint64_t{1} << (vars_[v].level & 63)) & levels_mask) == 0) {
+        min_stamp_[v] = min_epoch_;
+        min_mark_[v] = kMinPoison;
+        for (std::size_t j = probe_top; j < min_clear_.size(); ++j) {
+          min_mark_[min_clear_[j]] = kMinUnknown;
+        }
+        min_clear_.resize(probe_top);
+        return false;
+      }
+      // Unknown: mark as support optimistically (the probe either
+      // completes, validating every mark, or rolls them back) and recurse
+      // into its reason.
+      min_stamp_[v] = min_epoch_;
+      min_mark_[v] = kMinSupport;
+      min_clear_.push_back(v);
+      min_stack_.push_back(q);
+    }
+  }
+  return true;
+}
+
+void CdclSolver::strengthen_binary(std::vector<Lit>& learned) {
+  // Glucose's minimisationWithBinaryResolution: every binary clause
+  // (learned[0] ∨ x) in the store resolves with the learned clause on x
+  // to drop ¬x from it (the binary store is indexed by the clause's own
+  // literals, so those binaries sit in learned[0]'s list). Unlike
+  // minimization this is resolution against live DB clauses, so it may
+  // soundly drop even tainted level-0 literals.
+  if (learned.size() < 2) return;
+  // Cost guard (Glucose gates the same way): long clauses rarely shrink
+  // to something useful and the scan is per-conflict.
+  constexpr std::size_t kMaxSize = 30;
+  if (learned.size() > kMaxSize) return;
+  const auto& bws = bin_watches_[learned[0].code()];
+  if (bws.empty()) return;
+  ++lit_stamp_counter_;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    lit_stamp_[learned[i].code()] = lit_stamp_counter_;
+  }
+  std::size_t removed = 0;
+  stats_.work += bws.size();
+  for (const BinWatcher& bw : bws) {
+    const std::uint32_t code = (~bw.implied).code();
+    if (lit_stamp_[code] == lit_stamp_counter_) {
+      lit_stamp_[code] = 0;  // un-stamp: the compaction below drops it
+      ++removed;
+    }
+  }
+  if (removed == 0) return;
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    if (lit_stamp_[learned[i].code()] == lit_stamp_counter_) {
+      learned[keep++] = learned[i];
+    }
+  }
+  assert(keep + removed == learned.size());
+  learned.resize(keep);
+  stats_.bin_strengthened_literals += removed;
+}
+
+void CdclSolver::apply_otf_strengthening() {
+  // Runs right after backtrack(backjump_level): each job's pivot was
+  // assigned at the conflict level (above the backjump level), so it is
+  // unassigned now and its clause is no longer anyone's reason (a clause
+  // justifies at most its one implied literal). The strengthened clause
+  // keeps >= 2 current-level literals (analyze() required path_count >= 2
+  // when collecting the job), all unassigned after the backjump, so sane
+  // watches always exist.
+  for (const OtfJob& job : otf_jobs_) {
+    const ClauseRef c = job.cref;
+    assert(!arena_.deleted(c));
+    const auto old_lits = arena_.lits(c);
+    std::uint32_t pivot_idx = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t k = 0; k < old_lits.size(); ++k) {
+      if (old_lits[k].var() == job.pivot) {
+        pivot_idx = k;
+        break;
+      }
+    }
+    assert(pivot_idx != std::numeric_limits<std::uint32_t>::max());
+    assert(value(old_lits[pivot_idx]) == LBool::kUndef);
+    cnf::Clause strengthened;
+    strengthened.reserve(old_lits.size() - 1);
+    for (std::uint32_t k = 0; k < old_lits.size(); ++k) {
+      if (k != pivot_idx) strengthened.push_back(old_lits[k]);
+    }
+    if (proof_on()) {
+      // DRAT add-then-delete: the strengthened clause is an intermediate
+      // resolvent of the conflict analysis, hence RUP against the current
+      // database; only after it is on record may the weaker original go.
+      proof_add(strengthened);
+      proof_delete(c);  // reads the pre-strengthening literals
+    }
+    detach(c);  // watcher slots are about to become stale
+    arena_.remove_lit(c, pivot_idx);
+    // Re-establish the watched pair: two non-false literals into slots
+    // 0/1 (>= 2 exist, see above), then re-attach — possibly migrating a
+    // now-binary clause into the binary store.
+    const auto lits = arena_.lits_mut(c);
+    std::uint32_t w = 0;
+    for (std::uint32_t k = 0; k < lits.size() && w < 2; ++k) {
+      if (value(lits[k]) != LBool::kFalse) std::swap(lits[w++], lits[k]);
+    }
+    assert(w == 2);
+    if (arena_.size(c) < arena_.lbd(c)) arena_.set_lbd(c, arena_.size(c));
+    attach(c);
+    ++stats_.otf_strengthened;
+    // Re-publish: peers (and the causal share-stream RUP contract) only
+    // ever saw the weaker pre-strengthening clause, yet later local
+    // derivations resolve on the stronger one.  Publication is content-
+    // addressed downstream, so the new literal set re-fingerprints here.
+    if (share_cb_) {
+      ++stats_.exported_clauses;
+      share_cb_(std::move(strengthened), arena_.lbd(c));
+    }
+  }
+  otf_jobs_.clear();
 }
 
 void CdclSolver::backtrack(std::uint32_t target_level) {
@@ -726,6 +938,20 @@ void CdclSolver::log_terminal() {
 
 void CdclSolver::reduce_db() {
   ++stats_.db_reductions;
+#ifndef NDEBUG
+  // The locked check below reads only slot 0: it relies on the invariant
+  // that a long reason clause keeps its implied literal there (the
+  // watcher machinery preserves it; check_invariants() verifies the same
+  // property). Binary-store reasons are unordered but size <= 2 clauses
+  // are never candidates anyway.
+  for (const Lit p : trail_) {
+    const ClauseRef pr = vars_[p.var()].reason;
+    if (pr != kNoClause && pr != kDecisionReason && !in_binary_store(pr)) {
+      assert(arena_.lit(pr, 0) == p &&
+             "reason clause must keep its implied literal in slot 0");
+    }
+  }
+#endif
   std::vector<ClauseRef> candidates;
   candidates.reserve(arena_.num_learned());
   arena_.for_each([&](ClauseRef r) {
@@ -755,7 +981,11 @@ void CdclSolver::reduce_db() {
   }
   max_learned_ = static_cast<std::size_t>(
       static_cast<double>(max_learned_) * config_.reduce_growth);
-  garbage_collect();
+  if (config_.arena_compact) {
+    compact_ordered();
+  } else {
+    garbage_collect();
+  }
   obs::trace_event(tracer_, trace_worker_, obs::EventKind::kDbReduce,
                    to_delete, arena_.num_learned());
 }
@@ -786,7 +1016,41 @@ void CdclSolver::drop_all_learned() {
 
 void CdclSolver::garbage_collect() {
   if (arena_.garbage_bytes() == 0) return;
-  const auto remap = arena_.gc();
+  rewrite_refs(arena_.gc());
+}
+
+void CdclSolver::compact_ordered() {
+  // The ordered rewrite builds a second buffer (transiently ~2x the live
+  // bytes); under memory pressure fall back to the in-place gc so the
+  // squeeze path never overshoots the limit it is trying to respect.
+  if (arena_.live_bytes() > config_.memory_limit_bytes / 2) {
+    garbage_collect();
+    return;
+  }
+  std::vector<ClauseRef> order;
+  order.reserve(arena_.num_problem() + arena_.num_learned());
+  arena_.for_each([&](ClauseRef r) {
+    if (!arena_.learned(r)) order.push_back(r);
+  });
+  const std::size_t learned_begin = order.size();
+  arena_.for_each([&](ClauseRef r) {
+    if (arena_.learned(r)) order.push_back(r);
+  });
+  // Glue-first within the learned tier; stable, so clauses of equal LBD
+  // keep their (age-correlated) allocation order.
+  std::stable_sort(order.begin() + static_cast<std::ptrdiff_t>(learned_begin),
+                   order.end(), [this](ClauseRef a, ClauseRef b) {
+                     return arena_.lbd(a) < arena_.lbd(b);
+                   });
+  rewrite_refs(arena_.gc_ordered(order));
+  ++stats_.arena_compactions;
+}
+
+void CdclSolver::rewrite_refs(const ClauseArena::Remap& remap) {
+  // Safe at any decision level: every live external ref is either in a
+  // watch store or is the reason of a *trail* literal (backtrack() clears
+  // the reason of every unassigned variable), and all three are rewritten
+  // here.
   for (auto& ws : watches_) {
     for (auto& w : ws) {
       w.cref = remap(w.cref);
@@ -912,6 +1176,7 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
       obs::trace_event(tracer_, trace_worker_, obs::EventKind::kConflict, lbd,
                        decision_level());
       backtrack(backjump_level);
+      if (!otf_jobs_.empty()) apply_otf_strengthening();
       learn_and_attach(learned, lbd);
       if (root_conflict_) {
         log_terminal();
@@ -1213,6 +1478,25 @@ std::string CdclSolver::check_invariants() const {
       err << "level mismatch for " << cnf::to_string(p) << ": stored "
           << vars_[p.var()].level << " expected " << expected_level;
       return err.str();
+    }
+    // Reason slot-0 invariant: a long reason clause keeps its implied
+    // literal in slot 0 (the watcher machinery and learn_and_attach()
+    // maintain this; reduce_db()'s locked check and the split/checkpoint
+    // taint walks rely on it). Binary-store reasons are unordered — the
+    // implied literal may sit in either slot.
+    const ClauseRef reason = vars_[p.var()].reason;
+    if (reason != kNoClause && reason != kDecisionReason) {
+      if (in_binary_store(reason)) {
+        if (arena_.lit(reason, 0) != p && arena_.lit(reason, 1) != p) {
+          err << "binary reason of " << cnf::to_string(p)
+              << " does not contain it";
+          return err.str();
+        }
+      } else if (arena_.lit(reason, 0) != p) {
+        err << "reason of " << cnf::to_string(p)
+            << " does not keep it in slot 0";
+        return err.str();
+      }
     }
   }
   // Watcher integrity: every live clause of size >= 2 is watched exactly

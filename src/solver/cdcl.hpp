@@ -93,8 +93,37 @@ struct SolverConfig {
   bool phase_saving = true;
 
   /// Learned-clause minimization (MiniSat-era extension, postdates the
-  /// paper; off by default for fidelity, toggleable for the ablation).
-  bool minimize_learned = false;
+  /// paper). Default on since the recursive overhaul paid for itself on
+  /// the micro suite (BENCH_solver.json "minimize_ablation" rows); turn
+  /// off for paper-era fidelity or the ablation baseline.
+  bool minimize_learned = true;
+
+  /// Recursive stamp-based minimization (MiniSat's "deep" mode / dawn's
+  /// otf=2): DFS over reason antecedents with memoized redundant/required
+  /// verdicts and an abstraction-level filter. false = the basic local
+  /// check (one reason deep) only.
+  bool minimize_recursive = true;
+
+  /// Binary-resolution strengthening of the learned clause: resolve
+  /// against binary clauses watching the asserting literal to drop
+  /// further literals (Glucose's minimisationWithBinaryResolution). Only
+  /// active alongside minimize_learned and the binary fast path (the
+  /// binary store is the index it scans).
+  bool minimize_bin = true;
+
+  /// On-the-fly subsumption during conflict analysis (Han–Somenzi): when
+  /// an intermediate resolvent has exactly one literal fewer than the
+  /// antecedent it was resolved with, the antecedent is strengthened in
+  /// place by dropping the pivot (self-subsuming resolution), with a
+  /// DRAT add+delete pair when proof logging is on.
+  bool otf_subsume = true;
+
+  /// Locality-aware arena compaction on reduce_db(): rewrite survivors in
+  /// watcher-traversal order (problem clauses first, then learned, glue
+  /// first) instead of preserving allocation order, so late-run watcher
+  /// scans stay cache-resident. Falls back to in-place gc() under memory
+  /// pressure (the ordered rewrite transiently doubles the footprint).
+  bool arena_compact = true;
 
   /// Propagate binary clauses from a dedicated implication store instead
   /// of the general watcher machinery (one contiguous scan per literal,
@@ -128,8 +157,19 @@ struct SolverStats {
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
   std::uint64_t learned_literals = 0;
+  /// Literals removed from learned clauses by minimization (basic or
+  /// recursive) before attach; not counted in learned_literals.
+  std::uint64_t minimized_literals = 0;
+  /// Literals removed by binary-resolution strengthening of the learned
+  /// clause (on top of minimization).
+  std::uint64_t bin_strengthened_literals = 0;
+  /// Existing clauses strengthened in place by on-the-fly subsumption
+  /// during conflict analysis (one literal dropped each).
+  std::uint64_t otf_strengthened = 0;
   std::uint64_t deleted_clauses = 0;
   std::uint64_t db_reductions = 0;
+  /// Locality-ordered arena rewrites performed by reduce_db().
+  std::uint64_t arena_compactions = 0;
   std::uint64_t max_decision_level = 0;
   std::uint64_t imported_clauses = 0;
   std::uint64_t imported_useless = 0;  ///< arrived satisfied/duplicate
@@ -352,6 +392,21 @@ class CdclSolver {
                std::uint32_t& backjump_level, cnf::Lit& uip,
                std::uint32_t& lbd);
   void minimize(std::vector<cnf::Lit>& learned);
+  void minimize_basic(std::vector<cnf::Lit>& learned);
+  void minimize_deep(std::vector<cnf::Lit>& learned);
+  /// Recursive-minimization probe: true when `root` (a learned-clause
+  /// literal) is implied by the rest of the clause plus untainted level-0
+  /// facts, established by DFS over reason antecedents. `levels_mask` is
+  /// the abstraction of the clause's decision levels (1 << (level & 63));
+  /// an antecedent outside it can never bottom out in the clause.
+  bool lit_redundant(cnf::Lit root, std::uint64_t levels_mask);
+  /// Resolve the learned clause against binary clauses of the asserting
+  /// literal, dropping any literal whose negation they imply.
+  void strengthen_binary(std::vector<cnf::Lit>& learned);
+  /// Apply the on-the-fly subsumption jobs collected by analyze(): runs
+  /// right after backtrack(), while the pivots are unassigned and before
+  /// any allocation can move the arena.
+  void apply_otf_strengthening();
   /// Number of distinct decision levels among `lits` (the Glucose glue
   /// metric); every literal must be assigned.
   [[nodiscard]] std::uint32_t compute_lbd(const std::vector<cnf::Lit>& lits);
@@ -372,7 +427,19 @@ class CdclSolver {
   void drop_all_learned();       ///< emergency memory escalation
   bool merge_imports();          ///< at level 0; false => UNSAT
   bool simplify_at_level0();     ///< prune + strip; false => UNSAT
-  void garbage_collect();        ///< arena compaction (level 0 only)
+  /// In-place arena compaction (order-preserving). Safe at any decision
+  /// level: the remap rewrites both watch stores and the reason of every
+  /// trail literal, and backtrack() clears reasons of unassigned
+  /// variables, so no stale ref survives. reduce_db() relies on this
+  /// mid-search.
+  void garbage_collect();
+  /// Locality pass: rebuild the arena with problem clauses first, then
+  /// learned clauses glue-first (LBD ascending, allocation order within a
+  /// band). Falls back to garbage_collect() under memory pressure.
+  void compact_ordered();
+  /// Rewrite every external ClauseRef (watch lists, binary store, trail
+  /// reasons) through a compaction remap.
+  void rewrite_refs(const ClauseArena::Remap& remap);
 
   // VSIDS.
   void bump_lit(cnf::Lit l);
@@ -450,6 +517,36 @@ class CdclSolver {
   /// current clause iff lbd_stamp_[L] == lbd_stamp_counter_. O(1) reset.
   std::vector<std::uint64_t> lbd_stamp_;
   std::uint64_t lbd_stamp_counter_ = 0;
+
+  // Recursive-minimization scratch (minimize_deep): per-variable verdict
+  // memo, valid for the current epoch only (O(1) reset per minimize()
+  // call). kMinSupport = in the learned clause, proven redundant, or on
+  // the current probe path; kMinPoison = proven required by an intrinsic
+  // leaf property (decision, tainted level-0, or level outside the
+  // abstraction mask), safe to memoize across probes.
+  static constexpr std::uint8_t kMinUnknown = 0;
+  static constexpr std::uint8_t kMinSupport = 1;
+  static constexpr std::uint8_t kMinPoison = 2;
+  std::vector<std::uint64_t> min_stamp_;  ///< per var; valid iff == min_epoch_
+  std::vector<std::uint8_t> min_mark_;    ///< per var
+  std::uint64_t min_epoch_ = 0;
+  std::vector<cnf::Lit> min_stack_;  ///< DFS worklist of pending pivots
+  std::vector<cnf::Var> min_clear_;  ///< vars marked during this minimize()
+
+  /// Per-literal stamps for strengthen_binary(): literal code C is in the
+  /// learned clause iff lit_stamp_[C] == lit_stamp_counter_.
+  std::vector<std::uint64_t> lit_stamp_;
+  std::uint64_t lit_stamp_counter_ = 0;
+
+  /// On-the-fly subsumption jobs: antecedent clause + the pivot variable
+  /// to drop. Collected during analyze(), applied after backtrack() (the
+  /// pivot — the antecedent's implied literal — is unassigned by then, so
+  /// the clause is no longer anyone's reason).
+  struct OtfJob {
+    ClauseRef cref;
+    cnf::Var pivot;
+  };
+  std::vector<OtfJob> otf_jobs_;
 
   // Restart / reduce schedule.
   std::uint64_t conflicts_until_restart_ = 0;

@@ -5,7 +5,7 @@
 // Clauses live in one contiguous uint32 arena and are referred to by
 // offset (ClauseRef). Layout per clause:
 //
-//   word 0 : size << 3 | learned << 0 | deleted << 1
+//   word 0 : size << 3 | learned << 0 | deleted << 1 | pad << 2
 //   word 1 : activity (float bits; learned-clause relevance for deletion)
 //   word 2 : LBD — number of distinct decision levels at learning time
 //            (glue metric; drives deletion tiering and the sharing
@@ -13,10 +13,19 @@
 //            clauses, imports) carry their size as a pessimistic bound.
 //   word 3..3+size : literal codes  (words 3 and 4 are the watched pair)
 //
-// Deletion marks the clause and counts its bytes as garbage; compaction
-// (gc()) happens when the solver is at decision level 0 and rewrites all
-// external references through a remap table. Live-byte accounting feeds
-// the GridSAT client's memory monitor.
+// In-place strengthening (remove_lit()) shrinks a clause by one literal
+// and leaves a single-word pad (bit 2 set, everything else 0) where its
+// tail used to end, so the arena walk stays a simple stride scan: a pad
+// word advances the cursor by one. Pads count as garbage and vanish at
+// the next compaction.
+//
+// Deletion marks the clause and counts its bytes as garbage. Compaction
+// rewrites all external references through a remap table and is safe at
+// any decision level (the solver remaps watch lists and every trail
+// reason). Two flavors: gc() compacts in place preserving allocation
+// order; gc_ordered() rebuilds the arena in a caller-chosen order (the
+// locality pass reduce_db() uses to keep hot clauses adjacent).
+// Live-byte accounting feeds the GridSAT client's memory monitor.
 #pragma once
 
 #include <algorithm>
@@ -41,6 +50,9 @@ inline constexpr ClauseRef kDecisionReason = 0xfffffffeu;
 class ClauseArena {
  public:
   static constexpr std::uint32_t kHeaderWords = 3;
+  /// Filler word left behind by remove_lit(): bit 2 set, size 0. The walk
+  /// in for_each()/gc() skips it with stride 1.
+  static constexpr std::uint32_t kPadWord = 4;
 
   /// Allocate a clause; returns its reference. Literals are stored in the
   /// given order (callers arrange the watched pair in slots 0/1). LBD
@@ -102,6 +114,24 @@ class ClauseArena {
   [[nodiscard]] std::uint32_t lbd(ClauseRef r) const { return data_[r + 2]; }
   void set_lbd(ClauseRef r, std::uint32_t lbd) { data_[r + 2] = lbd; }
 
+  /// In-place strengthening: remove the literal at index `i`, shifting the
+  /// tail left and leaving a pad word where the clause used to end. The
+  /// clause keeps its ref, flags, activity, and LBD; callers are
+  /// responsible for watcher bookkeeping (detach before, attach after)
+  /// and require the result to stay >= 2 literals.
+  void remove_lit(ClauseRef r, std::uint32_t i) {
+    const std::uint32_t sz = size(r);
+    assert(!deleted(r));
+    assert(sz >= 3 && i < sz);
+    for (std::uint32_t k = i; k + 1 < sz; ++k) {
+      data_[r + kHeaderWords + k] = data_[r + kHeaderWords + k + 1];
+    }
+    data_[r + kHeaderWords + sz - 1] = kPadWord;
+    data_[r] = (data_[r] & 7u) | ((sz - 1) << 3);
+    --live_words_;
+    ++garbage_words_;
+  }
+
   /// Mark deleted; bytes counted as garbage until gc().
   void free(ClauseRef r) {
     assert(!deleted(r));
@@ -129,6 +159,10 @@ class ClauseArena {
   void for_each(Fn&& fn) const {
     ClauseRef r = 0;
     while (r < data_.size()) {
+      if (data_[r] & 4u) {  // strengthening pad: single filler word
+        ++r;
+        continue;
+      }
       const std::uint32_t sz = size(r);
       if (!deleted(r)) fn(r);
       r += kHeaderWords + sz;
@@ -153,14 +187,18 @@ class ClauseArena {
     std::vector<std::pair<ClauseRef, ClauseRef>> pairs_;  // sorted by first
   };
 
-  /// Compact the arena in place; callers rewrite watch lists and reasons
-  /// through the returned remap.
+  /// Compact the arena in place, preserving allocation order; callers
+  /// rewrite watch lists and reasons through the returned remap.
   Remap gc() {
     Remap remap;
     remap.pairs_.reserve(num_learned_ + num_problem_);
     std::size_t write = 0;
     ClauseRef r = 0;
     while (r < data_.size()) {
+      if (data_[r] & 4u) {  // strengthening pad: dropped by compaction
+        ++r;
+        continue;
+      }
       const std::uint32_t words = kHeaderWords + size(r);
       if (!deleted(r)) {
         remap.pairs_.emplace_back(r, static_cast<ClauseRef>(write));
@@ -174,6 +212,31 @@ class ClauseArena {
     data_.resize(write);
     data_.shrink_to_fit();
     garbage_words_ = 0;
+    return remap;
+  }
+
+  /// Rebuild the arena with the live clauses laid out in the caller-given
+  /// order (the locality pass: problem clauses first, then learned by
+  /// glue). `order` must list every live clause exactly once. Unlike
+  /// gc(), this builds a fresh buffer (transiently ~2x the live bytes),
+  /// so callers under memory pressure should prefer gc().
+  Remap gc_ordered(std::span<const ClauseRef> order) {
+    Remap remap;
+    remap.pairs_.reserve(order.size());
+    std::vector<std::uint32_t> fresh;
+    fresh.reserve(live_words_);
+    for (const ClauseRef r : order) {
+      assert(!deleted(r) && (data_[r] & 4u) == 0);
+      const std::uint32_t words = kHeaderWords + size(r);
+      remap.pairs_.emplace_back(r, static_cast<ClauseRef>(fresh.size()));
+      fresh.insert(fresh.end(), data_.begin() + r, data_.begin() + r + words);
+    }
+    assert(fresh.size() == live_words_ && "order must cover every live clause");
+    data_ = std::move(fresh);
+    garbage_words_ = 0;
+    // Remap lookup binary-searches by old ref; order is caller-chosen, so
+    // re-sort the pairs by their old ref.
+    std::sort(remap.pairs_.begin(), remap.pairs_.end());
     return remap;
   }
 

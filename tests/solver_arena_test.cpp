@@ -131,6 +131,84 @@ TEST(ClauseArenaTest, GcOnEmptyAndFullyLive) {
   EXPECT_EQ(remap(a), a);
 }
 
+TEST(ClauseArenaTest, RemoveLitShiftsTailAndPadsGap) {
+  ClauseArena arena;
+  const ClauseRef r = arena.alloc(lits({1, -2, 3, -4}), true);
+  const std::size_t live_before = arena.live_bytes();
+  arena.remove_lit(r, 1);  // drop -2 from the middle
+  EXPECT_EQ(arena.size(r), 3u);
+  EXPECT_EQ(arena.lit(r, 0), Lit::from_dimacs(1));
+  EXPECT_EQ(arena.lit(r, 1), Lit::from_dimacs(3));
+  EXPECT_EQ(arena.lit(r, 2), Lit::from_dimacs(-4));
+  // The vacated word becomes pad: one word moves from live to garbage.
+  EXPECT_EQ(arena.live_bytes(), live_before - 4);
+  EXPECT_EQ(arena.garbage_bytes(), 4u);
+  // Dropping the last slot works too.
+  arena.remove_lit(r, 2);
+  EXPECT_EQ(arena.size(r), 2u);
+  EXPECT_EQ(arena.lit(r, 1), Lit::from_dimacs(3));
+}
+
+TEST(ClauseArenaTest, ForEachAndGcSkipPadWords) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2, 3}), false);
+  const ClauseRef b = arena.alloc(lits({4, 5, 6, 7}), true);
+  arena.remove_lit(a, 2);  // pad word sits between a and b
+  std::vector<ClauseRef> seen;
+  arena.for_each([&](ClauseRef r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<ClauseRef>{a, b}));
+  const auto remap = arena.gc();
+  // gc squeezes the pad out: b slides down by exactly one word.
+  EXPECT_EQ(remap(a), a);
+  EXPECT_EQ(remap(b), b - 1);
+  EXPECT_EQ(arena.garbage_bytes(), 0u);
+  EXPECT_EQ(arena.lit(remap(b), 3), Lit::from_dimacs(7));
+}
+
+TEST(ClauseArenaTest, GcOrderedRewritesInCallerOrder) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2}), false);
+  const ClauseRef b = arena.alloc(lits({3, 4, 5}), true);
+  const ClauseRef c = arena.alloc(lits({6, 7}), true);
+  const ClauseRef d = arena.alloc(lits({8, 9, 10}), false);
+  arena.remove_lit(b, 2);  // leave a pad so compaction has work to do
+  const std::size_t live_before = arena.live_bytes();
+  // Caller-chosen layout: problem clauses first, then learned reversed.
+  const std::vector<ClauseRef> order{a, d, c, b};
+  const auto remap = arena.gc_ordered(order);
+  EXPECT_EQ(arena.garbage_bytes(), 0u);
+  EXPECT_EQ(arena.live_bytes(), live_before);
+  // New refs are laid out exactly in the requested order.
+  EXPECT_LT(remap(a), remap(d));
+  EXPECT_LT(remap(d), remap(c));
+  EXPECT_LT(remap(c), remap(b));
+  // Payloads, flags, and sizes survive the move.
+  EXPECT_EQ(arena.lit(remap(a), 0), Lit::from_dimacs(1));
+  EXPECT_EQ(arena.lit(remap(d), 2), Lit::from_dimacs(10));
+  EXPECT_EQ(arena.size(remap(b)), 2u);
+  EXPECT_TRUE(arena.learned(remap(c)));
+  EXPECT_FALSE(arena.learned(remap(d)));
+  // The remap stays queryable by old ref even though the caller's order
+  // was not address order (lookup re-sorts internally).
+  EXPECT_EQ(remap(kNoClause), kNoClause);
+  std::vector<ClauseRef> seen;
+  arena.for_each([&](ClauseRef r) { seen.push_back(r); });
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ClauseArenaTest, GcOrderedPreservesActivityAndLbd) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2, 3}), true);
+  const ClauseRef b = arena.alloc(lits({4, 5, 6}), true);
+  arena.set_activity(a, 1.25f);
+  arena.set_lbd(a, 2);
+  arena.set_activity(b, 7.5f);
+  const auto remap = arena.gc_ordered(std::vector<ClauseRef>{b, a});
+  EXPECT_FLOAT_EQ(arena.activity(remap(a)), 1.25f);
+  EXPECT_EQ(arena.lbd(remap(a)), 2u);
+  EXPECT_FLOAT_EQ(arena.activity(remap(b)), 7.5f);
+}
+
 TEST(ClauseArenaTest, CountsTrackLearnedAndProblem) {
   ClauseArena arena;
   const ClauseRef a = arena.alloc(lits({1, 2}), true);

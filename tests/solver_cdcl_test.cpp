@@ -14,6 +14,7 @@
 #include "solver/brute_force.hpp"
 #include "solver/cdcl.hpp"
 #include "solver/dpll.hpp"
+#include "solver/proof.hpp"
 
 namespace gridsat::solver {
 namespace {
@@ -349,13 +350,116 @@ TEST(CdclStatsTest, ConflictsImplyLearnedClauses) {
 }
 
 TEST(CdclStatsTest, ShareCallbackSeesEveryLearnedClause) {
+  // Every learned clause goes out through the callback, and so does every
+  // on-the-fly strengthened clause (the stronger literal set must reach
+  // peers too) — nothing else does.
   const CnfFormula f = gen::pigeonhole_unsat(5);
   CdclSolver solver(f);
   std::size_t shared = 0;
   solver.set_share_callback([&](const cnf::Clause&, std::uint32_t) { ++shared; });
   solver.solve();
-  EXPECT_EQ(shared, solver.stats().learned_clauses);
+  EXPECT_EQ(shared,
+            solver.stats().learned_clauses + solver.stats().otf_strengthened);
   EXPECT_EQ(shared, solver.stats().exported_clauses);
+}
+
+TEST(CdclMinimizeTest, RecursiveBeatsBasicOnClauseLength) {
+  // The recursive DFS can only remove more literals than the one-reason-
+  // deep check: on a pigeonhole run both modes terminate with the same
+  // verdict, and the deep mode's average learned length is no longer.
+  const CnfFormula f = gen::pigeonhole_unsat(7);
+  SolverConfig basic;
+  basic.minimize_recursive = false;
+  basic.minimize_bin = false;
+  basic.otf_subsume = false;
+  SolverConfig deep = basic;
+  deep.minimize_recursive = true;
+  CdclSolver a(f, basic);
+  CdclSolver b(f, deep);
+  EXPECT_EQ(a.solve(), SolveStatus::kUnsat);
+  EXPECT_EQ(b.solve(), SolveStatus::kUnsat);
+  EXPECT_GT(b.stats().minimized_literals, 0u);
+  const double avg_a = static_cast<double>(a.stats().learned_literals) /
+                       static_cast<double>(a.stats().learned_clauses);
+  const double avg_b = static_cast<double>(b.stats().learned_literals) /
+                       static_cast<double>(b.stats().learned_clauses);
+  EXPECT_LE(avg_b, avg_a + 0.5);
+}
+
+TEST(CdclMinimizeTest, DifferentialSweepAgainstPlainPipeline) {
+  // Differential fuzz over the whole learned-clause pipeline: for each
+  // random instance, solve once with minimization + binary strengthening
+  // + on-the-fly subsumption + compaction all ON and once all OFF. The
+  // verdicts must agree (and match brute force), SAT models must satisfy
+  // the formula, and on UNSAT the full DRUP log — which contains an add
+  // for every minimized, strengthened, and subsumed clause — must replay
+  // through the proof checker, certifying each one is still implied.
+  std::uint64_t total_minimized = 0;
+  std::uint64_t total_bin = 0;
+  std::uint64_t total_otf = 0;
+  for (int seed = 0; seed < 12; ++seed) {
+    CnfFormula f;
+    switch (seed % 3) {
+      case 0: f = gen::random_ksat(16, 70, 3, 101 + seed); break;
+      case 1: f = gen::random_ksat(14, 62, 3, 202 + seed); break;
+      default: f = gen::pigeonhole_unsat(4); break;
+    }
+    SolverConfig off;
+    off.minimize_learned = false;
+    off.otf_subsume = false;
+    off.arena_compact = false;
+    SolverConfig on;
+    on.log_proof = true;
+    CdclSolver plain(f, off);
+    CdclSolver full(f, on);
+    const SolveStatus expect_plain = plain.solve();
+    const SolveStatus expect_full = full.solve();
+    ASSERT_EQ(expect_plain, expect_full) << "seed " << seed;
+    const auto truth = brute_force_solve(f);
+    ASSERT_EQ(expect_full,
+              truth.has_value() ? SolveStatus::kSat : SolveStatus::kUnsat)
+        << "seed " << seed;
+    if (expect_full == SolveStatus::kSat) {
+      EXPECT_TRUE(is_model(f, full.model())) << "seed " << seed;
+    } else if (kProofCompiledIn) {
+      const ProofCheckResult result = check_unsat_proof(f, full.proof());
+      EXPECT_TRUE(result.valid) << "seed " << seed << ": " << result.message;
+    }
+    total_minimized += full.stats().minimized_literals;
+    total_bin += full.stats().bin_strengthened_literals;
+    total_otf += full.stats().otf_strengthened;
+  }
+  // The sweep must actually exercise every pipeline stage, or the
+  // differential check above is vacuous.
+  EXPECT_GT(total_minimized, 0u);
+  EXPECT_GT(total_bin, 0u);
+  EXPECT_GT(total_otf, 0u);
+}
+
+TEST(CdclReduceTest, DeepDecisionLevelReduceWithCompactionHoldsInvariants) {
+  // reduce_db() historically ran at deep decision levels (it fires from
+  // the search loop, not from restarts), and the ordered compaction moves
+  // every clause: reasons on the trail, watcher lists, and the binary
+  // store must all survive the remap. A tiny reduce threshold forces
+  // many reduce+compact rounds mid-search; check_invariants() verifies
+  // watch sanity and that each trail literal's long reason still has the
+  // implied literal in slot 0 after every slice.
+  const CnfFormula f = gen::pigeonhole_unsat(6);
+  SolverConfig config;
+  config.reduce_base = 60;
+  config.reduce_growth = 1.01;
+  config.arena_compact = true;
+  CdclSolver compacting(f, config);
+  SolveStatus status = SolveStatus::kUnknown;
+  int slices = 0;
+  while (status == SolveStatus::kUnknown && slices < 2000) {
+    status = compacting.solve(1000);
+    ASSERT_EQ(compacting.check_invariants(), "") << "after slice " << slices;
+    ++slices;
+  }
+  EXPECT_EQ(status, SolveStatus::kUnsat);
+  EXPECT_GT(compacting.stats().arena_compactions, 0u);
+  EXPECT_GT(compacting.stats().db_reductions, 0u);
 }
 
 TEST(CdclConfigTest, MinimizationShortensClauses) {
