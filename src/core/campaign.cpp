@@ -58,7 +58,7 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
     // working (e.g. a restore raced a split whose requester died). Hand
     // it back; the master requeues it for the next idle client.
     const std::size_t host = host_index_;
-    campaign_.send_to_master(host_index_, "SUBPROBLEM_REJECT",
+    campaign_.send_to_master(host_index_, Msg::kSubproblemReject,
                              kControlMessageBytes,
                              [&c = campaign_, host, sp] {
                                c.on_subproblem_rejected(sp, host);
@@ -73,7 +73,7 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
     // to a base-block transfer followed by a full start — a stale cache
     // can cost a round trip, never a wrong formula.
     const std::size_t host = host_index_;
-    campaign_.send_to_master(host_index_, "BASE_MISS", kControlMessageBytes,
+    campaign_.send_to_master(host_index_, Msg::kBaseMiss, kControlMessageBytes,
                              [&c = campaign_, host, sp] {
                                c.on_base_miss(host, sp);
                              });
@@ -125,7 +125,7 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   // reordered past its own ack can never poison the new chain.
   const std::size_t host = host_index_;
   const std::uint64_t incarnation = ckpt_incarnation_;
-  campaign_.send_to_master(host_index_, "SUBPROBLEM_ACK", kControlMessageBytes,
+  campaign_.send_to_master(host_index_, Msg::kSubproblemAck, kControlMessageBytes,
                            [&c = campaign_, host, incarnation] {
                              c.on_subproblem_ack(host, incarnation);
                            });
@@ -150,7 +150,7 @@ void Client::grant_split(std::size_t peer_host) {
     // will re-dispatch the peer to someone else).
     const std::size_t requester = host_index_;
     campaign_.send_to_master(
-        host_index_, "SPLIT_FAILED", kControlMessageBytes,
+        host_index_, Msg::kSplitFailed, kControlMessageBytes,
         [&c = campaign_, requester, peer_host] {
           c.on_split_failed(requester, peer_host);
         });
@@ -164,7 +164,7 @@ void Client::order_migration(std::size_t peer_host) {
   if (!solver_) {
     const std::size_t requester = host_index_;
     campaign_.send_to_master(
-        host_index_, "SPLIT_FAILED", kControlMessageBytes,
+        host_index_, Msg::kSplitFailed, kControlMessageBytes,
         [&c = campaign_, requester, peer_host] {
           c.on_split_failed(requester, peer_host);
         });
@@ -241,7 +241,7 @@ void Client::check_split_triggers() {
   if (memory_pressure || long_running) {
     split_requested_ = true;
     const std::size_t host = host_index_;
-    campaign_.send_to_master(host_index_, "SPLIT_REQUEST",
+    campaign_.send_to_master(host_index_, Msg::kSplitRequest,
                              kControlMessageBytes, [&c = campaign_, host] {
                                c.on_split_request(host);
                              });
@@ -255,7 +255,7 @@ void Client::flush_exports() {
   export_buffer_.clear();
   const std::size_t bytes = Campaign::clause_batch_bytes(*batch);
   const std::size_t host = host_index_;
-  campaign_.send_to_master(host_index_, "CLAUSES", bytes,
+  campaign_.send_to_master(host_index_, Msg::kClauses, bytes,
                            [&c = campaign_, host, batch] {
                              c.on_client_clauses(host, batch);
                            });
@@ -318,7 +318,7 @@ void Client::maybe_checkpoint() {
   const std::size_t bytes = cp.wire_size();
   const std::size_t host = host_index_;
   campaign_.send_to_master(
-      host_index_, "CHECKPOINT", bytes,
+      host_index_, Msg::kCheckpoint, bytes,
       [&c = campaign_, host, cp = std::move(cp)]() mutable {
         c.on_checkpoint(host, std::move(cp));
       });
@@ -351,26 +351,23 @@ void Client::perform_split() {
   const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
   // Message 3 of Figure 3: peer-to-peer subproblem transfer. The transfer
   // time also parameterizes both sides' split timeouts (§3.3).
-  const std::string& my_site = campaign_.host(host_index_).site();
-  const std::string& peer_site = campaign_.host(peer).site();
-  const double transfer =
-      campaign_.network().transfer_time(plan.bytes, my_site, peer_site);
+  const double transfer = campaign_.network().transfer_time(
+      plan.bytes, campaign_.site_id(host_index_), campaign_.site_id(peer));
   campaign_.note_subproblem_in_flight();
-  campaign_.send("client:" + name_, my_site,
-                 "client:" + campaign_.client(peer)->name(), peer_site,
-                 "SUBPROBLEM", plan.bytes,
-                 [&c = campaign_, peer, sp, transfer, mode = plan.mode] {
-                   Client* target = c.client(peer);
-                   if (target != nullptr && target->alive()) {
-                     target->start_subproblem(sp, transfer, mode);
-                   } else {
-                     c.on_lost_subproblem(sp, peer);
-                   }
-                 });
+  campaign_.send_peer(host_index_, peer, Msg::kSubproblem, plan.bytes,
+                      [&c = campaign_, peer, sp, transfer,
+                       mode = plan.mode] {
+                        Client* target = c.client(peer);
+                        if (target != nullptr && target->alive()) {
+                          target->start_subproblem(sp, transfer, mode);
+                        } else {
+                          c.on_lost_subproblem(sp, peer);
+                        }
+                      });
   last_transfer_s_ = transfer;
   // Message 5: tell the master the split succeeded.
   const std::size_t from = host_index_;
-  campaign_.send_to_master(host_index_, "SPLIT_DONE", kControlMessageBytes,
+  campaign_.send_to_master(host_index_, Msg::kSplitDone, kControlMessageBytes,
                            [&c = campaign_, from, peer] {
                              c.on_subproblem_sent(from, peer);
                            });
@@ -387,24 +384,21 @@ void Client::perform_migration() {
   solver_.reset();
   export_buffer_.clear();
   const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
-  const std::string& my_site = campaign_.host(host_index_).site();
-  const std::string& peer_site = campaign_.host(peer).site();
-  const double transfer =
-      campaign_.network().transfer_time(plan.bytes, my_site, peer_site);
+  const double transfer = campaign_.network().transfer_time(
+      plan.bytes, campaign_.site_id(host_index_), campaign_.site_id(peer));
   campaign_.note_subproblem_in_flight();
-  campaign_.send("client:" + name_, my_site,
-                 "client:" + campaign_.client(peer)->name(), peer_site,
-                 "SUBPROBLEM", plan.bytes,
-                 [&c = campaign_, peer, sp, transfer, mode = plan.mode] {
-                   Client* target = c.client(peer);
-                   if (target != nullptr && target->alive()) {
-                     target->start_subproblem(sp, transfer, mode);
-                   } else {
-                     c.on_lost_subproblem(sp, peer);
-                   }
-                 });
+  campaign_.send_peer(host_index_, peer, Msg::kSubproblem, plan.bytes,
+                      [&c = campaign_, peer, sp, transfer,
+                       mode = plan.mode] {
+                        Client* target = c.client(peer);
+                        if (target != nullptr && target->alive()) {
+                          target->start_subproblem(sp, transfer, mode);
+                        } else {
+                          c.on_lost_subproblem(sp, peer);
+                        }
+                      });
   const std::size_t from = host_index_;
-  campaign_.send_to_master(host_index_, "MIGRATED", kControlMessageBytes,
+  campaign_.send_to_master(host_index_, Msg::kMigrated, kControlMessageBytes,
                            [&c = campaign_, from, peer] {
                              c.on_migrated(from, peer);
                            });
@@ -423,7 +417,7 @@ void Client::finish_subproblem(SolveStatus status) {
           model.size();  // one byte per variable: the assignment stack
       const std::size_t host = host_index_;
       campaign_.send_to_master(
-          host_index_, "SAT_FOUND", bytes,
+          host_index_, Msg::kSatFound, bytes,
           [&c = campaign_, host, model = std::move(model)]() mutable {
             c.on_sat_found(host, std::move(model));
           });
@@ -441,7 +435,7 @@ void Client::finish_subproblem(SolveStatus status) {
       solver_.reset();
       export_buffer_.clear();
       const std::size_t host = host_index_;
-      campaign_.send_to_master(host_index_, "SUBPROBLEM_UNSAT",
+      campaign_.send_to_master(host_index_, Msg::kSubproblemUnsat,
                                kControlMessageBytes, [&c = campaign_, host] {
                                  c.on_subproblem_unsat(host);
                                });
@@ -469,18 +463,39 @@ void Client::finish_subproblem(SolveStatus status) {
 // Campaign (master + orchestration)
 // ===========================================================================
 
+namespace {
+/// Wire names of the Msg kinds, indexable by the enum value.
+constexpr const char* kMsgNames[] = {
+    "LAUNCH",          "REGISTER",        "SUBPROBLEM",
+    "SUBPROBLEM_ACK",  "SUBPROBLEM_REJECT", "SUBPROBLEM_UNSAT",
+    "SAT_FOUND",       "CLAUSES",         "SPLIT_REQUEST",
+    "SPLIT_GRANT",     "SPLIT_FAILED",    "SPLIT_DONE",
+    "MIGRATE_ORDER",   "MIGRATED",        "CHECKPOINT",
+    "CHECKPOINT_ACK",  "CHECKPOINT_NACK", "BASE_MISS",
+    "BASE_SHIP",
+};
+static_assert(std::size(kMsgNames) == static_cast<std::size_t>(Msg::kCount));
+}  // namespace
+
 Campaign::Campaign(cnf::CnfFormula formula, std::string master_site,
                    std::vector<sim::HostSpec> hosts, GridSatConfig config)
     : formula_(std::move(formula)),
       master_site_(std::move(master_site)),
       config_(config),
+      network_(names_),
       bus_(engine_, network_) {
+  master_id_ = names_.intern("master");
+  master_site_id_ = names_.intern(master_site_);
+  for (std::size_t i = 0; i < std::size(kMsgNames); ++i) {
+    msg_ids_[i] = names_.intern(kMsgNames[i]);
+  }
   hosts_.reserve(hosts.size());
   clients_.reserve(hosts.size());
   for (auto& spec : hosts) {
     directory_.add(spec);
     hosts_.push_back(std::make_unique<sim::Host>(spec));
     clients_.push_back(nullptr);  // created at launch
+    register_host_names(hosts_.size() - 1);
   }
   if (solver::kProofCompiledIn && config_.solver.log_proof) {
     proof_builder_ = std::make_unique<solver::DistributedProofBuilder>();
@@ -506,11 +521,90 @@ void Campaign::schedule_client_failure(std::size_t host_index, double at) {
     if (victim == nullptr || !victim->alive()) return;
     const bool was_busy = victim->busy();
     victim->kill();
+    ++result_.client_deaths;
     // The master's monitoring notices shortly afterwards (§3.3: "the
     // master becomes aware of it").
     engine_.schedule_in(kMasterMonitorDelay, [this, host_index, was_busy] {
       on_client_died(host_index, was_busy);
     });
+  });
+}
+
+void Campaign::schedule_host_join(sim::HostSpec spec, double at) {
+  engine_.schedule_at(at, [this, spec = std::move(spec)] {
+    if (done_) return;
+    const std::size_t index = directory_.add(spec);
+    hosts_.push_back(std::make_unique<sim::Host>(spec));
+    clients_.push_back(nullptr);
+    register_host_names(index);
+    ++result_.hosts_joined;
+    launch_client(index);
+  });
+}
+
+void Campaign::schedule_host_release(std::size_t host_index, double at) {
+  engine_.schedule_at(at, [this, host_index] { release_host(host_index); });
+}
+
+void Campaign::release_host(std::size_t host_index) {
+  if (done_) return;
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  if (entry.state == HostState::kDead) return;
+  Client* victim = client(host_index);
+  const bool was_busy =
+      victim != nullptr && victim->alive() && victim->busy();
+  if (victim != nullptr && victim->alive()) {
+    victim->kill();
+    ++result_.client_deaths;
+  }
+  ++result_.hosts_released;
+  engine_.schedule_in(kMasterMonitorDelay, [this, host_index, was_busy] {
+    on_client_died(host_index, was_busy);
+    // on_client_died frees the resource for relaunch; a released host is
+    // gone for good.
+    if (!done_) directory_.at(host_index).state = HostState::kDead;
+  });
+}
+
+void Campaign::schedule_site_outage(const std::string& site, double at,
+                                    double down_for) {
+  engine_.schedule_at(at, [this, site, down_for] {
+    begin_site_outage(site, down_for);
+  });
+}
+
+void Campaign::begin_site_outage(const std::string& site, double down_for) {
+  if (done_) return;
+  ++result_.site_outages;
+  std::vector<std::size_t> victims;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    if (directory_.at(i).spec.site != site) continue;
+    if (directory_.at(i).state == HostState::kDead) continue;
+    victims.push_back(i);
+  }
+  for (const std::size_t i : victims) {
+    Client* victim = client(i);
+    const bool was_busy =
+        victim != nullptr && victim->alive() && victim->busy();
+    if (victim != nullptr && victim->alive()) {
+      victim->kill();
+      ++result_.client_deaths;
+    }
+    // One monitoring report per machine, as with any other death.
+    engine_.schedule_in(kMasterMonitorDelay, [this, i, was_busy] {
+      if (done_) return;
+      on_client_died(i, was_busy);
+      if (!done_) directory_.at(i).state = HostState::kDead;
+    });
+  }
+  engine_.schedule_in(down_for, [this, victims = std::move(victims)] {
+    if (done_) return;
+    for (const std::size_t i : victims) {
+      grid::ResourceEntry& entry = directory_.at(i);
+      if (entry.state == HostState::kDead) entry.state = HostState::kFree;
+    }
+    // Freed machines rejoin the pool; dispatch relaunches on demand.
+    try_dispatch();
   });
 }
 
@@ -525,6 +619,7 @@ void Campaign::set_tracer(obs::Tracer* tracer) {
 
 void Campaign::set_metrics(obs::MetricRegistry* metrics) {
   metrics_ = metrics;
+  engine_.set_metrics(metrics);
   if (metrics_ == nullptr) return;
   // Live master state, readable mid-run through snapshots scheduled on
   // the sim engine; frozen to plain values when run() returns.
@@ -571,32 +666,43 @@ void Campaign::set_metrics(obs::MetricRegistry* metrics) {
   });
 }
 
-double Campaign::send(const std::string& from, const std::string& from_site,
-                      const std::string& to, const std::string& to_site,
-                      const std::string& kind, std::size_t bytes,
-                      std::function<void()> handler) {
-  sim::MessageRecord header;
+void Campaign::register_host_names(std::size_t host_index) {
+  assert(endpoint_ids_.size() == host_index);
+  endpoint_ids_.push_back(names_.intern("client:" + hosts_[host_index]->name()));
+  site_ids_.push_back(names_.intern(hosts_[host_index]->site()));
+}
+
+double Campaign::send(std::uint32_t from, std::uint32_t from_site,
+                      std::uint32_t to, std::uint32_t to_site, Msg kind,
+                      std::size_t bytes, sim::Callback handler) {
+  sim::MessageHeader header;
   header.from = from;
   header.from_site = from_site;
   header.to = to;
   header.to_site = to_site;
-  header.kind = kind;
+  header.kind = kind_id(kind);
   header.bytes = bytes;
   return bus_.send(header, std::move(handler));
 }
 
-void Campaign::send_to_master(std::size_t from_host, const std::string& kind,
-                              std::size_t bytes,
-                              std::function<void()> handler) {
-  send("client:" + hosts_[from_host]->name(), hosts_[from_host]->site(),
-       "master", master_site_, kind, bytes, std::move(handler));
+void Campaign::send_to_master(std::size_t from_host, Msg kind,
+                              std::size_t bytes, sim::Callback handler) {
+  send(endpoint_ids_[from_host], site_ids_[from_host], master_id_,
+       master_site_id_, kind, bytes, std::move(handler));
 }
 
-void Campaign::send_to_client(std::size_t to_host, const std::string& kind,
-                              std::size_t bytes,
-                              std::function<void()> handler) {
-  send("master", master_site_, "client:" + hosts_[to_host]->name(),
-       hosts_[to_host]->site(), kind, bytes, std::move(handler));
+void Campaign::send_to_client(std::size_t to_host, Msg kind,
+                              std::size_t bytes, sim::Callback handler) {
+  send(master_id_, master_site_id_, endpoint_ids_[to_host],
+       site_ids_[to_host], kind, bytes, std::move(handler));
+}
+
+double Campaign::send_peer(std::size_t from_host, std::size_t to_host,
+                           Msg kind, std::size_t bytes,
+                           sim::Callback handler) {
+  return send(endpoint_ids_[from_host], site_ids_[from_host],
+              endpoint_ids_[to_host], site_ids_[to_host], kind, bytes,
+              std::move(handler));
 }
 
 std::size_t Campaign::clause_batch_bytes(
@@ -617,7 +723,7 @@ void Campaign::launch_client(std::size_t host_index) {
   }
   entry.state = HostState::kLaunching;
   // Launch command + client start-up, then the client registers.
-  send_to_client(host_index, "LAUNCH", kControlMessageBytes,
+  send_to_client(host_index, Msg::kLaunch, kControlMessageBytes,
                  [this, host_index] {
                    engine_.schedule_in(config_.client_launch_s,
                                        [this, host_index] {
@@ -627,7 +733,7 @@ void Campaign::launch_client(std::size_t host_index) {
                                                  *this, host_index,
                                                  hosts_[host_index]->name());
                                          send_to_master(
-                                             host_index, "REGISTER",
+                                             host_index, Msg::kRegister,
                                              kControlMessageBytes,
                                              [this, host_index] {
                                                on_register(host_index);
@@ -650,30 +756,27 @@ void Campaign::on_register(std::size_t host_index) {
     sp->num_problem_clauses = sp->clauses.size();
     sp->path = "root";
     entry.state = HostState::kReserved;
-    assign_subproblem(host_index, std::move(sp), "master", master_site_);
+    assign_subproblem(host_index, std::move(sp));
     return;
   }
   try_dispatch();
 }
 
 void Campaign::assign_subproblem(std::size_t host_index,
-                                 std::shared_ptr<solver::Subproblem> sp,
-                                 const std::string& from,
-                                 const std::string& from_site) {
+                                 std::shared_ptr<solver::Subproblem> sp) {
   ++subproblems_in_flight_;
   const ShipPlan plan = plan_subproblem_ship(host_index, *sp);
-  const double transfer = network_.transfer_time(
-      plan.bytes, from_site, hosts_[host_index]->site());
-  send(from, from_site, "client:" + hosts_[host_index]->name(),
-       hosts_[host_index]->site(), "SUBPROBLEM", plan.bytes,
-       [this, host_index, sp, transfer, mode = plan.mode] {
-         Client* target = client(host_index);
-         if (target != nullptr && target->alive()) {
-           target->start_subproblem(sp, transfer, mode);
-         } else {
-           on_lost_subproblem(sp, host_index);
-         }
-       });
+  const double transfer = network_.transfer_time(plan.bytes, master_site_id_,
+                                                 site_ids_[host_index]);
+  send_to_client(host_index, Msg::kSubproblem, plan.bytes,
+                 [this, host_index, sp, transfer, mode = plan.mode] {
+                   Client* target = client(host_index);
+                   if (target != nullptr && target->alive()) {
+                     target->start_subproblem(sp, transfer, mode);
+                   } else {
+                     on_lost_subproblem(sp, host_index);
+                   }
+                 });
 }
 
 Campaign::ShipPlan Campaign::plan_subproblem_ship(std::size_t to_host,
@@ -719,8 +822,8 @@ void Campaign::on_base_miss(std::size_t host_index,
   // subproblem stays in flight throughout, so termination accounting is
   // unchanged.
   const double transfer = network_.transfer_time(
-      base_block_bytes_, master_site_, hosts_[host_index]->site());
-  send_to_client(host_index, "BASE_SHIP", base_block_bytes_,
+      base_block_bytes_, master_site_id_, site_ids_[host_index]);
+  send_to_client(host_index, Msg::kBaseShip, base_block_bytes_,
                  [this, host_index, sp, transfer] {
                    Client* target = client(host_index);
                    if (target != nullptr && target->alive()) {
@@ -865,17 +968,23 @@ void Campaign::on_client_clauses(
   ++result_.clause_batches_shared;
   result_.clauses_shared += batch->size();
   // Relay to every other live client with work in hand (§3.2: GridSAT
-  // "shares clauses globally as soon as they are generated").
+  // "shares clauses globally as soon as they are generated"). The batch
+  // collector delivers all recipients reached over the same link class
+  // behind one engine event (DESIGN.md §4g), so a broadcast to N busy
+  // clients costs O(sites) queue operations instead of O(N).
   const std::size_t bytes = clause_batch_bytes(*batch);
+  sim::DeliveryBatch delivery(bus_, master_id_, master_site_id_,
+                              kind_id(Msg::kClauses), bytes);
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     if (i == from) continue;
     Client* target = clients_[i].get();
     if (target == nullptr || !target->alive() || !target->busy()) continue;
-    send_to_client(i, "CLAUSES", bytes, [this, i, batch] {
+    delivery.add(endpoint_ids_[i], site_ids_[i], [this, i, batch] {
       Client* receiver = client(i);
       if (receiver != nullptr) receiver->receive_clauses(batch);
     });
   }
+  delivery.flush();
 }
 
 void Campaign::drop_checkpoints(std::size_t host_index) {
@@ -885,7 +994,7 @@ void Campaign::drop_checkpoints(std::size_t host_index) {
 
 void Campaign::send_checkpoint_nack(std::size_t host_index,
                                     std::uint64_t incarnation) {
-  send_to_client(host_index, "CHECKPOINT_NACK", kControlMessageBytes,
+  send_to_client(host_index, Msg::kCheckpointNack, kControlMessageBytes,
                  [this, host_index, incarnation] {
                    Client* target = client(host_index);
                    if (target != nullptr) {
@@ -930,7 +1039,7 @@ void Campaign::on_checkpoint(std::size_t host_index, Checkpoint cp) {
   }
   const std::uint64_t incarnation = chain.back().incarnation;
   const std::uint64_t epoch = chain.back().epoch;
-  send_to_client(host_index, "CHECKPOINT_ACK", kControlMessageBytes,
+  send_to_client(host_index, Msg::kCheckpointAck, kControlMessageBytes,
                  [this, host_index, incarnation, epoch] {
                    Client* target = client(host_index);
                    if (target != nullptr) {
@@ -1012,7 +1121,7 @@ void Campaign::try_dispatch() {
       auto sp = pending_restores_.front();
       pending_restores_.pop_front();
       directory_.at(target_index).state = HostState::kReserved;
-      assign_subproblem(target_index, std::move(sp), "master", master_site_);
+      assign_subproblem(target_index, std::move(sp));
       continue;
     }
 
@@ -1046,7 +1155,7 @@ void Campaign::try_dispatch() {
             config_.migration_rank_factor * directory_.rank(requester_index) &&
         idle_at_site(directory_.at(target_index).spec.site) + 1 >=
             config_.migration_min_idle_at_site;
-    const std::string kind = migrate ? "MIGRATE_ORDER" : "SPLIT_GRANT";
+    const Msg kind = migrate ? Msg::kMigrateOrder : Msg::kSplitGrant;
     send_to_client(requester_index, kind, kControlMessageBytes,
                    [this, requester_index, target_index, migrate] {
                      Client* c = client(requester_index);
@@ -1180,6 +1289,7 @@ GridSatResult Campaign::run() {
         const std::size_t index = directory_.add(spec);
         hosts_.push_back(std::make_unique<sim::Host>(spec));
         clients_.push_back(nullptr);
+        register_host_names(index);
         launch_client(index);
       }
     };
@@ -1209,9 +1319,13 @@ GridSatResult Campaign::run() {
   }
   if (metrics_ != nullptr) {
     // Freeze the callback gauges: an external registry may outlive this
-    // Campaign, and the closures above read master state.
+    // Campaign, and the closures (campaign.* here, the two sim.* gauges
+    // registered by the engine) read state that dies with it. The
+    // sim.event_delay_s histogram holds plain counts and needs no
+    // freeze — set_gauge on its flattened samples would shadow them.
     for (const obs::MetricRegistry::Sample& s : metrics_->snapshot()) {
-      if (s.name.rfind("campaign.", 0) == 0) {
+      if (s.name.rfind("campaign.", 0) == 0 ||
+          s.name == "sim.queue_depth" || s.name == "sim.events_fired") {
         metrics_->set_gauge(s.name, s.value);
       }
     }

@@ -22,6 +22,7 @@
 //     pool when the job leaves the queue (Table 2 protocol).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -42,12 +43,39 @@
 #include "sim/engine.hpp"
 #include "sim/host.hpp"
 #include "sim/message_bus.hpp"
+#include "sim/names.hpp"
 #include "sim/network.hpp"
 #include "solver/cdcl.hpp"
 
 namespace gridsat::core {
 
 class Campaign;
+
+/// Protocol message kinds (Figure 3 plus the checkpoint/wire protocol).
+/// Each maps to a pre-interned NameTable id at campaign construction, so
+/// the send path never touches the strings.
+enum class Msg : std::uint8_t {
+  kLaunch,
+  kRegister,
+  kSubproblem,
+  kSubproblemAck,
+  kSubproblemReject,
+  kSubproblemUnsat,
+  kSatFound,
+  kClauses,
+  kSplitRequest,
+  kSplitGrant,
+  kSplitFailed,
+  kSplitDone,
+  kMigrateOrder,
+  kMigrated,
+  kCheckpoint,
+  kCheckpointAck,
+  kCheckpointNack,
+  kBaseMiss,
+  kBaseShip,
+  kCount,
+};
 
 /// One GridSAT client process (internal to Campaign, exposed for tests).
 class Client {
@@ -151,6 +179,24 @@ class Campaign {
   /// Test hook: kill the client on `host_index` at virtual time `at`.
   void schedule_client_failure(std::size_t host_index, double at);
 
+  // --- elastic-grid scenario hooks (DESIGN.md §4g) ---------------------
+  /// A new host joins the pool at virtual time `at` (elastic
+  /// acquisition): it enters the directory and the master launches a
+  /// client on it, exactly as batch-granted nodes do.
+  void schedule_host_join(sim::HostSpec spec, double at);
+  /// The host leaves the pool at `at` (elastic release / preemption):
+  /// its client is killed, the master notices after its monitoring
+  /// delay, and the host is marked dead so it is never re-acquired. A
+  /// busy victim follows the normal death path (checkpoint recovery or
+  /// campaign error, per config.recover_from_checkpoints).
+  void schedule_host_release(std::size_t host_index, double at);
+  /// Correlated failure: every live host at `site` dies at `at` (one
+  /// monitoring report per host), and the site's machines return to the
+  /// free pool `down_for` virtual seconds later, where the master may
+  /// relaunch clients on demand.
+  void schedule_site_outage(const std::string& site, double at,
+                            double down_for);
+
   /// Test hook: force the master's base-residency record for a host, as
   /// if a full ship had already been delivered there. Marking a host
   /// whose client does not actually hold the base exercises the
@@ -251,9 +297,9 @@ class Campaign {
   void release_grant(std::size_t requester);
   void check_termination();
   void finish(CampaignStatus status);
+  /// Ship a subproblem from the master to `host_index`.
   void assign_subproblem(std::size_t host_index,
-                         std::shared_ptr<solver::Subproblem> sp,
-                         const std::string& from, const std::string& from_site);
+                         std::shared_ptr<solver::Subproblem> sp);
   /// Decide how a subproblem ships to `to_host` and charge the wire
   /// accounting: a host whose resident base matches the campaign
   /// fingerprint receives a base reference (no problem-clause bytes).
@@ -270,15 +316,33 @@ class Campaign {
   [[nodiscard]] std::size_t idle_at_site(const std::string& site) const;
   void update_peak_active();
 
+  void release_host(std::size_t host_index);
+  void begin_site_outage(const std::string& site, double down_for);
+
   // --- plumbing ----------------------------------------------------------
-  double send(const std::string& from, const std::string& from_site,
-              const std::string& to, const std::string& to_site,
-              const std::string& kind, std::size_t bytes,
-              std::function<void()> handler);
-  void send_to_master(std::size_t from_host, const std::string& kind,
-                      std::size_t bytes, std::function<void()> handler);
-  void send_to_client(std::size_t to_host, const std::string& kind,
-                      std::size_t bytes, std::function<void()> handler);
+  /// Intern a new host's endpoint/site names (must be called once, in
+  /// order, for every host appended to hosts_).
+  void register_host_names(std::size_t host_index);
+  [[nodiscard]] std::uint32_t kind_id(Msg kind) const noexcept {
+    return msg_ids_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint32_t endpoint_id(std::size_t host) const noexcept {
+    return endpoint_ids_[host];
+  }
+  [[nodiscard]] std::uint32_t site_id(std::size_t host) const noexcept {
+    return site_ids_[host];
+  }
+  double send(std::uint32_t from, std::uint32_t from_site, std::uint32_t to,
+              std::uint32_t to_site, Msg kind, std::size_t bytes,
+              sim::Callback handler);
+  void send_to_master(std::size_t from_host, Msg kind, std::size_t bytes,
+                      sim::Callback handler);
+  void send_to_client(std::size_t to_host, Msg kind, std::size_t bytes,
+                      sim::Callback handler);
+  /// Peer-to-peer client send (Figure 3 message 3); returns the
+  /// transfer time charged.
+  double send_peer(std::size_t from_host, std::size_t to_host, Msg kind,
+                   std::size_t bytes, sim::Callback handler);
   [[nodiscard]] static std::size_t clause_batch_bytes(
       const std::vector<cnf::Clause>& batch);
 
@@ -287,11 +351,19 @@ class Campaign {
   GridSatConfig config_;
 
   sim::SimEngine engine_;
+  /// Interned endpoint/site/kind names — must precede network_/bus_.
+  sim::NameTable names_;
   sim::Network network_;
   sim::MessageBus bus_;
   grid::ResourceDirectory directory_;
   std::vector<std::unique_ptr<sim::Host>> hosts_;
   std::vector<std::unique_ptr<Client>> clients_;
+  /// Pre-interned per-host ids, parallel to hosts_.
+  std::vector<std::uint32_t> endpoint_ids_;
+  std::vector<std::uint32_t> site_ids_;
+  std::uint32_t master_id_ = 0;
+  std::uint32_t master_site_id_ = 0;
+  std::array<std::uint32_t, static_cast<std::size_t>(Msg::kCount)> msg_ids_{};
 
   // Master state.
   bool problem_assigned_ = false;

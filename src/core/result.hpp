@@ -38,6 +38,12 @@ struct GridSatResult {
   std::uint64_t total_work = 0;
   std::uint64_t client_deaths = 0;
   std::uint64_t checkpoint_recoveries = 0;
+  /// Elastic-grid scenario bookkeeping (DESIGN.md §4g): hosts acquired
+  /// after launch, hosts released back to the grid, and correlated
+  /// site-outage storms injected.
+  std::uint64_t hosts_joined = 0;
+  std::uint64_t hosts_released = 0;
+  std::uint64_t site_outages = 0;
   /// Wire-transfer accounting (DESIGN.md §4e). Subproblem transfers that
   /// shipped a base reference instead of the problem-clause block, and
   /// the bytes that saved vs. a full ship of the same payload.

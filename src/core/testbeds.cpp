@@ -1,5 +1,7 @@
 #include "core/testbeds.hpp"
 
+#include "util/rng.hpp"
+
 namespace gridsat::core::testbeds {
 
 namespace {
@@ -88,6 +90,28 @@ std::vector<sim::HostSpec> blue_horizon(std::size_t nodes,
     // job runs.
     hosts.push_back(make_host("bh" + std::to_string(i), "sdsc", 20000.0,
                               32 * kMiB, 0.0, 0.0, ++s));
+  }
+  return hosts;
+}
+
+std::vector<sim::HostSpec> synthetic_grid(std::size_t n, std::size_t sites,
+                                          std::uint64_t seed) {
+  if (sites == 0) sites = 1;
+  std::vector<sim::HostSpec> hosts;
+  hosts.reserve(n);
+  util::Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t site = i % sites;
+    std::string site_name = "grid" + std::to_string(site);
+    // Speed/memory/load spread mirrors the grads machines: a 1500..8000
+    // work-unit range, 1..4 MiB simulated clause budgets, light-to-
+    // moderate background load.
+    const double speed = rng.uniform(1500.0, 8000.0);
+    const std::size_t memory = (1 + rng.below(4)) * kMiB;
+    const double base_load = rng.uniform(0.10, 0.35);
+    const double jitter = rng.uniform(0.05, 0.15);
+    hosts.push_back(make_host("g" + std::to_string(i), site_name, speed,
+                              memory, base_load, jitter, seed + 1 + i));
   }
   return hosts;
 }

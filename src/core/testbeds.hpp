@@ -38,4 +38,13 @@ std::vector<sim::HostSpec> blue_horizon(std::size_t nodes = 100,
 /// zChaff comparator runs ("a dedicated node from this cluster", §4).
 sim::HostSpec fastest_dedicated();
 
+/// Scale-out testbed (DESIGN.md §4g): `n` shared hosts spread over
+/// `sites` synthetic sites ("grid00".."grid<sites-1>") with seeded
+/// speed/load diversity matching the grads machines' spread. Used for
+/// the 100- and 1000-client rows of the Table-2-style scale runs and by
+/// bench_simcore; deterministic in (n, sites, seed).
+std::vector<sim::HostSpec> synthetic_grid(std::size_t n,
+                                          std::size_t sites = 8,
+                                          std::uint64_t seed = 2003);
+
 }  // namespace gridsat::core::testbeds

@@ -27,6 +27,7 @@ void TimelineRecorder::take_sample() {
   sample.launching = dir.count_in_state(HostState::kLaunching);
   sample.free_hosts = dir.count_in_state(HostState::kFree);
   sample.dead = dir.count_in_state(HostState::kDead);
+  sample.queue_depth = campaign_.engine().pending();
   for (std::size_t i = 0; i < campaign_.num_hosts(); ++i) {
     const Client* client = campaign_.client(i);
     if (client != nullptr) sample.total_work += client->work_done();

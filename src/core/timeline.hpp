@@ -28,6 +28,9 @@ class TimelineRecorder {
     std::size_t free_hosts = 0;
     std::size_t dead = 0;
     std::uint64_t total_work = 0;
+    /// Pending events in the simulation kernel at sample time — the
+    /// scale-out health signal bench_simcore tracks (DESIGN.md §4g).
+    std::size_t queue_depth = 0;
   };
 
   /// Schedule the sampling loop on the campaign's engine.

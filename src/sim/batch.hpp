@@ -1,18 +1,29 @@
-// Batch-queue model — the Blue Horizon analog (paper §4, Table 2).
+// Batching over the simulated grid, two kinds:
 //
-// A job asks for N nodes for a maximum duration. It waits in queue for a
-// seeded random period (the paper reports ~33 hours mean for a 100-node,
-// 12-hour request), then runs with exclusive access; at the duration cap
-// the job is killed. Cancelling a queued job (GridSAT cancels when the
-// problem is solved before the job starts) costs nothing.
+//  * BatchSystem — the Blue Horizon batch-queue model (paper §4,
+//    Table 2). A job asks for N nodes for a maximum duration. It waits
+//    in queue for a seeded random period (the paper reports ~33 hours
+//    mean for a 100-node, 12-hour request), then runs with exclusive
+//    access; at the duration cap the job is killed. Cancelling a queued
+//    job (GridSAT cancels when the problem is solved before the job
+//    starts) costs nothing.
+//
+//  * DeliveryBatch — same-link message-delivery batching (DESIGN.md
+//    §4g): collect a fan-out (e.g. a learned-clause broadcast to every
+//    client) and flush it through MessageBus::send_multi, so N
+//    recipients reached over the same link class cost one engine queue
+//    operation instead of N.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/message_bus.hpp"
 #include "util/rng.hpp"
 
 namespace gridsat::sim {
@@ -85,8 +96,8 @@ class BatchSystem {
     BatchJobRequest request;
     SimTime queued_at = 0.0;
     SimTime started_at = -1.0;
-    EventId start_event = 0;
-    EventId expire_event = 0;
+    EventId start_event = kNoEvent;
+    EventId expire_event = kNoEvent;
   };
 
   void start_job(JobId id) {
@@ -112,6 +123,44 @@ class BatchSystem {
   util::Xoshiro256 rng_;
   JobId last_job_ = 0;
   std::map<JobId, Job> jobs_;
+};
+
+/// Collector for a one-to-many message fan-out. All recipients share
+/// the sender, kind, and payload size; flush() hands the batch to
+/// MessageBus::send_multi, which schedules one engine event per
+/// distinct transfer time. Reusable after flush().
+class DeliveryBatch {
+ public:
+  DeliveryBatch(MessageBus& bus, std::uint32_t from, std::uint32_t from_site,
+                std::uint32_t kind, std::size_t bytes)
+      : bus_(bus), from_(from), from_site_(from_site), kind_(kind),
+        bytes_(bytes) {}
+
+  void add(std::uint32_t to, std::uint32_t to_site, Callback handler) {
+    recipients_.push_back(
+        MessageBus::Recipient{to, to_site, std::move(handler)});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return recipients_.size();
+  }
+
+  /// Deliver everything collected; returns the number of engine events
+  /// scheduled (0 when the batch is empty).
+  std::size_t flush() {
+    const std::size_t events = bus_.send_multi(
+        from_, from_site_, kind_, bytes_, std::move(recipients_));
+    recipients_.clear();
+    return events;
+  }
+
+ private:
+  MessageBus& bus_;
+  std::uint32_t from_;
+  std::uint32_t from_site_;
+  std::uint32_t kind_;
+  std::size_t bytes_;
+  std::vector<MessageBus::Recipient> recipients_;
 };
 
 }  // namespace gridsat::sim

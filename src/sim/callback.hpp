@@ -1,0 +1,136 @@
+// Small-buffer event callback for the discrete-event kernel.
+//
+// The original engine stored a std::function per scheduled event; at
+// millions of events per campaign the per-event heap allocation (and the
+// free on fire) dominates the kernel. Callback stores any move-
+// constructible callable of up to kInlineBytes in place — a Campaign
+// pointer plus a couple of indices, a shared_ptr, a handful of ints all
+// fit — and falls back to one heap allocation only for oversized
+// captures (e.g. checkpoint payloads moved into the handler).
+//
+// Move-only on purpose: event handlers are fired exactly once, and the
+// engine moves them out of the slab before invoking, so copyability
+// would only mask bugs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gridsat::sim {
+
+class Callback {
+ public:
+  /// Inline capture budget. 48 bytes covers every handler the campaign
+  /// layer schedules on its hot paths (measured; the largest is a
+  /// reference + shared_ptr + two scalars = 44 bytes).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Callback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // the std::function parameters it replaces.
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kOps<Fn, /*Inline=*/true>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kOps<Fn, /*Inline=*/false>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type Fn avoids the heap (for tests).
+  template <typename Fn>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* buf);
+    void (*relocate)(unsigned char* dst, unsigned char* src);  // src dies
+    void (*destroy)(unsigned char* buf);
+  };
+
+  template <typename Fn, bool Inline>
+  struct Impl {
+    static Fn* get(unsigned char* buf) noexcept {
+      if constexpr (Inline) {
+        return std::launder(reinterpret_cast<Fn*>(buf));
+      } else {
+        return *std::launder(reinterpret_cast<Fn**>(buf));
+      }
+    }
+    static void invoke(unsigned char* buf) { (*get(buf))(); }
+    static void relocate(unsigned char* dst, unsigned char* src) {
+      if constexpr (Inline) {
+        ::new (static_cast<void*>(dst)) Fn(std::move(*get(src)));
+        get(src)->~Fn();
+      } else {
+        ::new (static_cast<void*>(dst)) Fn*(get(src));
+      }
+    }
+    static void destroy(unsigned char* buf) {
+      if constexpr (Inline) {
+        get(buf)->~Fn();
+      } else {
+        delete get(buf);
+      }
+    }
+  };
+
+  template <typename Fn, bool Inline>
+  static constexpr Ops kOps{&Impl<Fn, Inline>::invoke,
+                            &Impl<Fn, Inline>::relocate,
+                            &Impl<Fn, Inline>::destroy};
+
+  void move_from(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gridsat::sim

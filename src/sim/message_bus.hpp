@@ -1,20 +1,41 @@
 // Message delivery over the simulated network — the EveryWare-messaging
 // analog. Every send is charged its transfer time and recorded in an
 // optional trace, which is how the Figure-3 split scenario is rendered.
+//
+// The send path is POD-only (DESIGN.md §4g): endpoints, sites, and
+// protocol kinds travel as interned uint32_t ids (sim::NameTable), the
+// per-message tracer lane/kind lookups are cached per interned id, and
+// the string-field MessageRecord debug trace is materialized only when
+// enable_trace() is on. send_multi() delivers a fan-out to N recipients
+// in O(distinct transfer times) engine events instead of N.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
+#include "sim/names.hpp"
 #include "sim/network.hpp"
 
 namespace gridsat::sim {
 
+/// Hot-path message descriptor: interned ids only, trivially copyable.
+struct MessageHeader {
+  std::uint32_t from = 0;       ///< endpoint id (e.g. "master")
+  std::uint32_t from_site = 0;  ///< site id
+  std::uint32_t to = 0;
+  std::uint32_t to_site = 0;
+  std::uint32_t kind = 0;       ///< protocol message name id
+  std::size_t bytes = 0;
+};
+static_assert(std::is_trivially_copyable_v<MessageHeader>);
+
+/// Resolved, human-readable form — debug trace and exports only.
 struct MessageRecord {
   SimTime sent_at = 0.0;
   SimTime delivered_at = 0.0;
@@ -29,41 +50,98 @@ struct MessageRecord {
 class MessageBus {
  public:
   MessageBus(SimEngine& engine, Network& network)
-      : engine_(engine), network_(network) {}
+      : engine_(engine), network_(network), names_(network.names()) {}
 
   /// Deliver `handler` after the simulated transfer of `bytes` from
   /// `from` to `to`. Returns the transfer time charged.
-  double send(const MessageRecord& header, std::function<void()> handler) {
-    const double delay = network_.transfer_time(
-        header.bytes, header.from_site, header.to_site,
-        /*same_host=*/header.from == header.to);
-    MessageRecord record = header;
-    record.sent_at = engine_.now();
-    record.delivered_at = engine_.now() + delay;
-    ++messages_sent_;
-    bytes_sent_ += header.bytes;
-    if (trace_enabled_) trace_.push_back(record);
-    if constexpr (obs::kTraceCompiledIn) {
-      if (tracer_ != nullptr && tracer_->enabled()) {
-        // One wire event per side: the send under the sender's lane at
-        // sent_at, the receive under the receiver's at delivered_at
-        // (future-stamped; the engine's clock catches up at delivery).
-        const std::uint32_t from_w = tracer_->register_worker(record.from);
-        const std::uint32_t to_w = tracer_->register_worker(record.to);
-        const std::uint64_t kind = tracer_->intern(record.kind);
-        tracer_->emit_at(record.sent_at, from_w, obs::EventKind::kMsgSend,
-                         kind, to_w);
-        tracer_->emit_at(record.delivered_at, to_w, obs::EventKind::kMsgRecv,
-                         kind, from_w);
-      }
-    }
+  double send(const MessageHeader& header, Callback handler) {
+    const double delay =
+        network_.transfer_time(header.bytes, header.from_site,
+                               header.to_site,
+                               /*same_host=*/header.from == header.to);
+    account(header, delay);
     engine_.schedule_in(delay, std::move(handler));
     return delay;
   }
 
+  /// String convenience overload (tests, examples): interns the names,
+  /// then takes the POD path.
+  double send(const std::string& from, const std::string& from_site,
+              const std::string& to, const std::string& to_site,
+              const std::string& kind, std::size_t bytes,
+              Callback handler) {
+    MessageHeader h;
+    h.from = names_.intern(from);
+    h.from_site = names_.intern(from_site);
+    h.to = names_.intern(to);
+    h.to_site = names_.intern(to_site);
+    h.kind = names_.intern(kind);
+    h.bytes = bytes;
+    return send(h, std::move(handler));
+  }
+
+  struct Recipient {
+    std::uint32_t to = 0;
+    std::uint32_t to_site = 0;
+    Callback handler;
+  };
+
+  /// Fan out one logical message to many recipients. Each recipient is
+  /// charged and traced individually, but deliveries sharing a transfer
+  /// time (same link class — e.g. every client at one site) are grouped
+  /// behind a single engine event, so a broadcast to N clients costs
+  /// O(distinct links) queue operations. Within a group, handlers run
+  /// in recipient order; groups fire in first-seen order at equal
+  /// times. Returns the number of engine events scheduled.
+  std::size_t send_multi(std::uint32_t from, std::uint32_t from_site,
+                         std::uint32_t kind, std::size_t bytes,
+                         std::vector<Recipient> recipients) {
+    if (recipients.empty()) return 0;
+    struct Group {
+      double delay;
+      std::vector<Callback> handlers;
+    };
+    std::vector<Group> groups;  // few distinct delays; linear probe
+    MessageHeader h;
+    h.from = from;
+    h.from_site = from_site;
+    h.kind = kind;
+    h.bytes = bytes;
+    for (Recipient& r : recipients) {
+      h.to = r.to;
+      h.to_site = r.to_site;
+      const double delay = network_.transfer_time(
+          bytes, from_site, r.to_site, /*same_host=*/from == r.to);
+      account(h, delay);
+      Group* g = nullptr;
+      for (Group& cand : groups) {
+        if (cand.delay == delay) {
+          g = &cand;
+          break;
+        }
+      }
+      if (g == nullptr) {
+        groups.push_back(Group{delay, {}});
+        g = &groups.back();
+      }
+      g->handlers.push_back(std::move(r.handler));
+    }
+    for (Group& g : groups) {
+      engine_.schedule_in(g.delay,
+                          [handlers = std::move(g.handlers)]() mutable {
+                            for (Callback& fn : handlers) fn();
+                          });
+    }
+    return groups.size();
+  }
+
   /// Attach a tracer (not owned): every send() emits a kMsgSend /
   /// kMsgRecv pair under lanes named after the endpoints.
-  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    lane_cache_.clear();
+    kind_cache_.clear();
+  }
 
   void enable_trace(bool on = true) { trace_enabled_ = on; }
   [[nodiscard]] const std::vector<MessageRecord>& trace() const noexcept {
@@ -80,15 +158,80 @@ class MessageBus {
 
   [[nodiscard]] SimEngine& engine() noexcept { return engine_; }
   [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] NameTable& names() noexcept { return names_; }
 
  private:
+  /// Per-message bookkeeping shared by send() and send_multi():
+  /// counters always; the string record and tracer events only when
+  /// their consumers are on.
+  void account(const MessageHeader& h, double delay) {
+    ++messages_sent_;
+    bytes_sent_ += h.bytes;
+    const SimTime sent_at = engine_.now();
+    if (trace_enabled_) {
+      MessageRecord record;
+      record.sent_at = sent_at;
+      record.delivered_at = sent_at + delay;
+      record.from = names_.name(h.from);
+      record.from_site = names_.name(h.from_site);
+      record.to = names_.name(h.to);
+      record.to_site = names_.name(h.to_site);
+      record.kind = names_.name(h.kind);
+      record.bytes = h.bytes;
+      trace_.push_back(std::move(record));
+    }
+    if constexpr (obs::kTraceCompiledIn) {
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        // One wire event per side: the send under the sender's lane at
+        // sent_at, the receive under the receiver's at delivered_at
+        // (future-stamped; the engine's clock catches up at delivery).
+        const std::uint32_t from_w = tracer_lane(h.from);
+        const std::uint32_t to_w = tracer_lane(h.to);
+        const std::uint64_t kind = tracer_kind(h.kind);
+        tracer_->emit_at(sent_at, from_w, obs::EventKind::kMsgSend, kind,
+                         to_w);
+        tracer_->emit_at(sent_at + delay, to_w, obs::EventKind::kMsgRecv,
+                         kind, from_w);
+      }
+    }
+  }
+
+  /// Tracer worker lane for an interned endpoint, cached so the
+  /// per-message mutex-guarded register_worker lookup happens once per
+  /// endpoint instead of once per message.
+  std::uint32_t tracer_lane(std::uint32_t endpoint) {
+    if (endpoint >= lane_cache_.size()) {
+      lane_cache_.resize(endpoint + 1, kUncached);
+    }
+    if (lane_cache_[endpoint] == kUncached) {
+      lane_cache_[endpoint] = tracer_->register_worker(names_.name(endpoint));
+    }
+    return lane_cache_[endpoint];
+  }
+
+  std::uint64_t tracer_kind(std::uint32_t kind) {
+    if (kind >= kind_cache_.size()) {
+      kind_cache_.resize(kind + 1, kUncachedKind);
+    }
+    if (kind_cache_[kind] == kUncachedKind) {
+      kind_cache_[kind] = tracer_->intern(names_.name(kind));
+    }
+    return kind_cache_[kind];
+  }
+
+  static constexpr std::uint32_t kUncached = NameTable::kInvalid;
+  static constexpr std::uint64_t kUncachedKind = ~std::uint64_t{0};
+
   SimEngine& engine_;
   Network& network_;
+  NameTable& names_;
   bool trace_enabled_ = false;
   std::vector<MessageRecord> trace_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  std::vector<std::uint32_t> lane_cache_;   ///< endpoint id -> tracer lane
+  std::vector<std::uint64_t> kind_cache_;   ///< kind id -> tracer string id
 };
 
 }  // namespace gridsat::sim

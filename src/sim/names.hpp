@@ -1,0 +1,58 @@
+// String interning for the simulation layer (DESIGN.md §4g).
+//
+// Endpoint names ("master", "client:torc1"), site names, and protocol
+// message kinds are interned once to dense uint32_t ids, so the message
+// hot path carries PODs and compares integers; the strings are resolved
+// back only at trace-export time. One table is shared by the Network
+// (site-pair link overrides), the MessageBus (send path + tracer lane
+// caches), and the Campaign (pre-interned per-host endpoints).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridsat::sim {
+
+class NameTable {
+ public:
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Find-or-insert; ids are dense and assigned in first-seen order, so
+  /// a seeded run interns identically on every replay.
+  std::uint32_t intern(std::string_view s) {
+    const auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(s);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Lookup without inserting; kInvalid when absent.
+  [[nodiscard]] std::uint32_t lookup(std::string_view s) const {
+    const auto it = ids_.find(s);
+    return it == ids_.end() ? kInvalid : it->second;
+  }
+
+  [[nodiscard]] const std::string& name(std::uint32_t id) const {
+    assert(id < names_.size());
+    return names_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  /// Heterogeneous-lookup map so lookup()/intern() take string_views
+  /// without allocating. Keys are std::string copies (stable regardless
+  /// of names_ reallocation).
+  std::map<std::string, std::uint32_t, std::less<>> ids_;
+};
+
+}  // namespace gridsat::sim

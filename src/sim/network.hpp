@@ -5,6 +5,10 @@
 // "100s of MBytes" dominate the split protocol's cost (Figure 3). The
 // model charges latency + size/bandwidth per message, with distinct
 // intra-site and inter-site defaults and optional per-pair overrides.
+//
+// Sites are interned ids (sim::NameTable): the hot transfer_time path
+// compares integers and probes a uint64-keyed override map; the string
+// overloads survive for configuration and tests.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/names.hpp"
 
 namespace gridsat::sim {
 
@@ -25,8 +30,9 @@ class Network {
  public:
   /// Defaults mirror 2003-era hardware: switched 100 Mb Ethernet inside a
   /// site (~12 MB/s), Internet2-ish 30 ms / ~2 MB/s across sites.
-  Network()
-      : intra_site_{0.0005, 12.0 * 1024 * 1024},
+  explicit Network(NameTable& names)
+      : names_(names),
+        intra_site_{0.0005, 12.0 * 1024 * 1024},
         inter_site_{0.030, 2.0 * 1024 * 1024} {}
 
   void set_intra_site(LinkSpec link) { intra_site_ = link; }
@@ -35,37 +41,61 @@ class Network {
   /// Override a specific site pair (order-insensitive).
   void set_link(const std::string& site_a, const std::string& site_b,
                 LinkSpec link) {
-    overrides_[key(site_a, site_b)] = link;
+    overrides_[key(names_.intern(site_a), names_.intern(site_b))] = link;
+  }
+
+  [[nodiscard]] LinkSpec link_between(std::uint32_t site_a,
+                                      std::uint32_t site_b) const {
+    if (!overrides_.empty()) {
+      const auto it = overrides_.find(key(site_a, site_b));
+      if (it != overrides_.end()) return it->second;
+    }
+    return site_a == site_b ? intra_site_ : inter_site_;
   }
 
   [[nodiscard]] LinkSpec link_between(const std::string& site_a,
                                       const std::string& site_b) const {
-    const auto it = overrides_.find(key(site_a, site_b));
-    if (it != overrides_.end()) return it->second;
-    return site_a == site_b ? intra_site_ : inter_site_;
+    const std::uint32_t a = names_.lookup(site_a);
+    const std::uint32_t b = names_.lookup(site_b);
+    // Never-interned sites cannot have overrides.
+    if (a == NameTable::kInvalid || b == NameTable::kInvalid) {
+      return site_a == site_b ? intra_site_ : inter_site_;
+    }
+    return link_between(a, b);
   }
 
-  /// Virtual seconds to move `bytes` from a host at site_a to one at
-  /// site_b. Same-host messages (loopback) cost a fixed small epsilon.
+  /// Virtual seconds to move `bytes` between sites given by interned
+  /// ids. Same-host messages (loopback) cost a fixed small epsilon.
+  [[nodiscard]] double transfer_time(std::size_t bytes, std::uint32_t site_a,
+                                     std::uint32_t site_b,
+                                     bool same_host = false) const {
+    if (same_host) return 1e-6;
+    const LinkSpec link = link_between(site_a, site_b);
+    return link.latency_s + static_cast<double>(bytes) / link.bandwidth_bps;
+  }
+
   [[nodiscard]] double transfer_time(std::size_t bytes,
                                      const std::string& site_a,
                                      const std::string& site_b,
                                      bool same_host = false) const {
     if (same_host) return 1e-6;
     const LinkSpec link = link_between(site_a, site_b);
-    return link.latency_s +
-           static_cast<double>(bytes) / link.bandwidth_bps;
+    return link.latency_s + static_cast<double>(bytes) / link.bandwidth_bps;
   }
+
+  [[nodiscard]] NameTable& names() noexcept { return names_; }
 
  private:
-  static std::pair<std::string, std::string> key(const std::string& a,
-                                                 const std::string& b) {
-    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  /// Order-insensitive pair key.
+  static std::uint64_t key(std::uint32_t a, std::uint32_t b) noexcept {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
+  NameTable& names_;
   LinkSpec intra_site_;
   LinkSpec inter_site_;
-  std::map<std::pair<std::string, std::string>, LinkSpec> overrides_;
+  std::map<std::uint64_t, LinkSpec> overrides_;
 };
 
 }  // namespace gridsat::sim

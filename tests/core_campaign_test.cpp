@@ -271,6 +271,96 @@ TEST(CampaignFailureTest, LightCheckpointRecoveryCompletesRun) {
   EXPECT_EQ(result.status, CampaignStatus::kUnsat);
 }
 
+// --- Elastic-grid scenarios (DESIGN.md §4g) ----------------------------
+
+TEST(CampaignScenarioTest, HostJoinExpandsThePoolMidRun) {
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  GridSatConfig config = fast_split_config();
+  config.split_timeout_s = 2.0;
+  Campaign campaign(f, "east", tiny_testbed(), config);
+  sim::HostSpec late;
+  late.name = "late0";
+  late.site = "east";
+  late.speed = 9000.0;
+  late.memory_bytes = 32 * kMiB;
+  late.seed = 777;
+  campaign.schedule_host_join(late, 5.0);
+  const GridSatResult result = campaign.run();
+  EXPECT_EQ(result.status, CampaignStatus::kUnsat);
+  EXPECT_EQ(result.hosts_joined, 1u);
+  EXPECT_EQ(campaign.num_hosts(), 5u);
+}
+
+TEST(CampaignScenarioTest, IdleHostReleaseIsTolerated) {
+  const CnfFormula f = gen::pigeonhole_unsat(7);
+  Campaign campaign(f, "east", tiny_testbed(), fast_split_config());
+  // Host 3 is idle early (the run starts on one client); release it.
+  campaign.schedule_host_release(3, 4.0);
+  const GridSatResult result = campaign.run();
+  EXPECT_EQ(result.status, CampaignStatus::kUnsat);
+  EXPECT_EQ(result.hosts_released, 1u);
+}
+
+TEST(CampaignScenarioTest, BusyHostReleaseRecoversFromCheckpoint) {
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  GridSatConfig config = fast_split_config();
+  config.split_timeout_s = 2.0;
+  config.checkpoint = CheckpointMode::kHeavy;
+  config.checkpoint_interval_s = 1.0;
+  config.recover_from_checkpoints = true;
+  Campaign campaign(f, "east", tiny_testbed(), config);
+  campaign.schedule_host_release(0, 10.0);  // host 0 is busy by t=10
+  const GridSatResult result = campaign.run();
+  EXPECT_EQ(result.status, CampaignStatus::kUnsat);
+  EXPECT_EQ(result.hosts_released, 1u);
+  EXPECT_GE(result.checkpoint_recoveries, 1u);
+}
+
+TEST(CampaignScenarioTest, SiteOutageStormKillsAndRestoresTheSite) {
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  GridSatConfig config = fast_split_config();
+  config.split_timeout_s = 2.0;
+  config.checkpoint = CheckpointMode::kHeavy;
+  config.checkpoint_interval_s = 1.0;
+  config.recover_from_checkpoints = true;
+  Campaign campaign(f, "east", tiny_testbed(), config);
+  // Both "west" machines go dark at t=8 and come back 40 virtual
+  // seconds later; the verdict must survive the correlated failure.
+  campaign.schedule_site_outage("west", 8.0, 40.0);
+  const GridSatResult result = campaign.run();
+  EXPECT_EQ(result.status, CampaignStatus::kUnsat);
+  EXPECT_EQ(result.site_outages, 1u);
+  EXPECT_GE(result.client_deaths, 2u);
+}
+
+TEST(CampaignScenarioTest, ElasticScenarioRunsAreDeterministic) {
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  GridSatConfig config = fast_split_config();
+  config.split_timeout_s = 2.0;
+  config.checkpoint = CheckpointMode::kHeavy;
+  config.checkpoint_interval_s = 1.0;
+  config.recover_from_checkpoints = true;
+  auto run_once = [&] {
+    Campaign campaign(f, "east", tiny_testbed(), config);
+    sim::HostSpec late;
+    late.name = "late0";
+    late.site = "west";
+    late.speed = 7000.0;
+    late.memory_bytes = 32 * kMiB;
+    late.seed = 12;
+    campaign.schedule_host_join(late, 3.0);
+    campaign.schedule_site_outage("west", 9.0, 30.0);
+    return campaign.run();
+  };
+  const GridSatResult ra = run_once();
+  const GridSatResult rb = run_once();
+  EXPECT_EQ(ra.status, rb.status);
+  EXPECT_DOUBLE_EQ(ra.seconds, rb.seconds);
+  EXPECT_EQ(ra.total_work, rb.total_work);
+  EXPECT_EQ(ra.messages, rb.messages);
+  EXPECT_EQ(ra.total_splits, rb.total_splits);
+}
+
 // --- Certification: campaign-wide stitched refutations -----------------
 
 GridSatConfig certify_config() {

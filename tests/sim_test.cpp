@@ -1,16 +1,24 @@
 // Tests for the discrete-event substrate: engine ordering/cancellation,
-// host load traces, network transfer arithmetic, message bus accounting,
-// and the batch-queue (Blue Horizon) model.
+// event-id generation checks, queue-kind equivalence, callback storage,
+// name interning, host load traces, network transfer arithmetic, message
+// bus accounting and fan-out batching, and the batch-queue (Blue
+// Horizon) model.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/batch.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/host.hpp"
 #include "sim/message_bus.hpp"
+#include "sim/names.hpp"
 #include "sim/network.hpp"
+#include "util/rng.hpp"
 
 namespace gridsat::sim {
 namespace {
@@ -92,6 +100,152 @@ TEST(EngineTest, EventsScheduledDuringRunAreProcessed) {
   EXPECT_DOUBLE_EQ(engine.now(), 99.0);
 }
 
+TEST(EngineTest, RunUntilAdvancesClockToDeadline) {
+  SimEngine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.run_until(7.5);  // deadline past the last event
+  EXPECT_DOUBLE_EQ(engine.now(), 7.5);
+  engine.run_until(7.5);  // idempotent on an empty queue
+  EXPECT_DOUBLE_EQ(engine.now(), 7.5);
+}
+
+TEST(EngineTest, CancelAfterFireIsNoOpDespiteSlotReuse) {
+  SimEngine engine;
+  bool survivor_fired = false;
+  const EventId stale = engine.schedule_at(1.0, [] {});
+  engine.run();  // `stale` fires; its slot returns to the free list
+  // The survivor recycles the same slot but carries a new generation.
+  const EventId survivor =
+      engine.schedule_at(2.0, [&] { survivor_fired = true; });
+  EXPECT_EQ(stale & 0xffffffffu, survivor & 0xffffffffu);  // same slot
+  EXPECT_NE(stale, survivor);                              // new generation
+  engine.cancel(stale);  // must NOT kill the survivor
+  engine.run();
+  EXPECT_TRUE(survivor_fired);
+}
+
+TEST(EngineTest, CancelDuringFireIsNoOp) {
+  SimEngine engine;
+  EventId self = kNoEvent;
+  bool later_fired = false;
+  self = engine.schedule_at(1.0, [&] {
+    engine.cancel(self);  // cancelling the event being fired
+    engine.schedule_in(1.0, [&] { later_fired = true; });
+  });
+  engine.run();
+  EXPECT_TRUE(later_fired);
+  EXPECT_EQ(engine.events_fired(), 2u);
+}
+
+TEST(EngineTest, SlabBoundedByPeakConcurrency) {
+  SimEngine engine;
+  // A long sequential chain keeps at most two events pending at once, so
+  // the slab must stay tiny no matter how many events ever fire.
+  std::function<void()> chain;
+  int count = 0;
+  chain = [&] {
+    if (++count < 5000) engine.schedule_in(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(count, 5000);
+  EXPECT_LE(engine.slab_slots(), 4u);
+}
+
+/// Drives a randomized 10k-event workload (fan-out, nested scheduling,
+/// sporadic cancellation) and fingerprints the firing order.
+std::vector<double> replay_fingerprint(QueueKind kind, std::uint64_t seed) {
+  SimEngine engine(kind);
+  util::Xoshiro256 rng(seed);
+  std::vector<double> trace;
+  int budget = 10000;
+  std::function<void(int)> spawn = [&](int tag) {
+    trace.push_back(engine.now());
+    trace.push_back(static_cast<double>(tag));
+    if (budget <= 0) return;
+    const int fan = static_cast<int>(rng.below(4));
+    EventId last = kNoEvent;
+    for (int i = 0; i < fan && budget > 0; ++i) {
+      --budget;
+      const int child = tag * 10 + i;
+      last = engine.schedule_in(rng.uniform(0.0, 50.0),
+                                [&spawn, child] { spawn(child); });
+    }
+    if (last != kNoEvent && rng.below(8) == 0) engine.cancel(last);
+  };
+  for (int root = 0; root < 32; ++root) {
+    --budget;
+    engine.schedule_at(rng.uniform(0.0, 10.0),
+                       [&spawn, root] { spawn(root); });
+  }
+  engine.run();
+  return trace;
+}
+
+TEST(EngineTest, TenThousandEventReplayIsDeterministic) {
+  const auto first = replay_fingerprint(QueueKind::kCalendar, 99);
+  const auto second = replay_fingerprint(QueueKind::kCalendar, 99);
+  EXPECT_GT(first.size(), 10000u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(EngineTest, QueueKindsFireIdentically) {
+  // The calendar queue and the 4-ary heap order by the same
+  // (time, sequence) key, so a workload replays bit-for-bit across them.
+  for (const std::uint64_t seed : {7u, 21u, 1003u}) {
+    EXPECT_EQ(replay_fingerprint(QueueKind::kCalendar, seed),
+              replay_fingerprint(QueueKind::kQuadHeap, seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(CallbackTest, InlineCaptureAvoidsHeap) {
+  struct SmallFn {
+    int* p;
+    void operator()() const { ++*p; }
+  };
+  struct BigFn {
+    double payload[16];
+    void operator()() const {}
+  };
+  static_assert(Callback::fits_inline<SmallFn>());
+  static_assert(!Callback::fits_inline<BigFn>());
+  int hits = 0;
+  Callback cb(SmallFn{&hits});
+  ASSERT_TRUE(cb);
+  cb();
+  EXPECT_EQ(hits, 1);
+  Callback moved = std::move(cb);
+  moved();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(CallbackTest, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    double payload[16] = {};  // 128 bytes: over the inline buffer
+  };
+  Big big;
+  big.payload[7] = 42.0;
+  double seen = 0.0;
+  double* out = &seen;
+  Callback cb([big, out] { *out = big.payload[7]; });
+  Callback moved = std::move(cb);
+  EXPECT_FALSE(cb);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  moved();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(CallbackTest, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  {
+    Callback cb([token = std::move(token)] { (void)token; });
+    Callback moved = std::move(cb);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
 TEST(HostTest, DedicatedHostAlwaysFullSpeed) {
   HostSpec spec;
   spec.speed = 1000.0;
@@ -135,14 +289,16 @@ TEST(HostTest, TraceIsDeterministicAndStable) {
 }
 
 TEST(NetworkTest, IntraVersusInterSite) {
-  Network net;
+  NameTable names;
+  Network net(names);
   const double intra = net.transfer_time(1024 * 1024, "utk", "utk");
   const double inter = net.transfer_time(1024 * 1024, "utk", "ucsd");
   EXPECT_LT(intra, inter);
 }
 
 TEST(NetworkTest, TransferTimeArithmetic) {
-  Network net;
+  NameTable names;
+  Network net(names);
   LinkSpec link;
   link.latency_s = 0.5;
   link.bandwidth_bps = 1000.0;
@@ -152,35 +308,63 @@ TEST(NetworkTest, TransferTimeArithmetic) {
 }
 
 TEST(NetworkTest, LoopbackIsCheap) {
-  Network net;
+  NameTable names;
+  Network net(names);
   EXPECT_LT(net.transfer_time(100 * 1024 * 1024, "x", "x", true), 0.001);
 }
 
 TEST(NetworkTest, BigSubproblemTransferDominates) {
   // The paper's split payloads reach 100s of MBytes; over the wide area
   // they must cost minutes, not milliseconds.
-  Network net;
+  NameTable names;
+  Network net(names);
   const double t = net.transfer_time(200 * 1024 * 1024, "utk", "ucsd");
   EXPECT_GT(t, 60.0);
 }
 
+TEST(NetworkTest, IdAndStringOverloadsAgree) {
+  NameTable names;
+  Network net(names);
+  LinkSpec link;
+  link.latency_s = 0.25;
+  link.bandwidth_bps = 4096.0;
+  net.set_link("utk", "ucsd", link);
+  const std::uint32_t utk = names.lookup("utk");
+  const std::uint32_t ucsd = names.lookup("ucsd");
+  ASSERT_NE(utk, NameTable::kInvalid);
+  ASSERT_NE(ucsd, NameTable::kInvalid);
+  EXPECT_DOUBLE_EQ(net.transfer_time(8192, "utk", "ucsd"),
+                   net.transfer_time(8192, utk, ucsd));
+  // Same-name but never-interned sites still read as intra-site.
+  EXPECT_DOUBLE_EQ(net.transfer_time(1000, "ghost", "ghost"),
+                   net.transfer_time(1000, utk, utk));
+}
+
+TEST(NameTableTest, InternIsIdempotentAndDense) {
+  NameTable names;
+  const std::uint32_t a = names.intern("alpha");
+  const std::uint32_t b = names.intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(names.intern("alpha"), a);
+  EXPECT_EQ(names.lookup("beta"), b);
+  EXPECT_EQ(names.lookup("gamma"), NameTable::kInvalid);
+  EXPECT_EQ(names.name(a), "alpha");
+  EXPECT_EQ(names.size(), 2u);
+}
+
 TEST(MessageBusTest, DeliversAfterTransferTime) {
   SimEngine engine;
-  Network net;
+  NameTable names;
+  Network net(names);
   MessageBus bus(engine, net);
   LinkSpec link;
   link.latency_s = 1.0;
   link.bandwidth_bps = 100.0;
   net.set_link("a", "b", link);
   double delivered_at = -1;
-  MessageRecord header;
-  header.from = "x";
-  header.from_site = "a";
-  header.to = "y";
-  header.to_site = "b";
-  header.kind = "TEST";
-  header.bytes = 300;
-  const double delay = bus.send(header, [&] { delivered_at = engine.now(); });
+  const double delay = bus.send("x", "a", "y", "b", "TEST", 300,
+                                [&] { delivered_at = engine.now(); });
   EXPECT_DOUBLE_EQ(delay, 4.0);
   engine.run();
   EXPECT_DOUBLE_EQ(delivered_at, 4.0);
@@ -190,21 +374,77 @@ TEST(MessageBusTest, DeliversAfterTransferTime) {
 
 TEST(MessageBusTest, TraceRecordsProtocol) {
   SimEngine engine;
-  Network net;
+  NameTable names;
+  Network net(names);
   MessageBus bus(engine, net);
   bus.enable_trace();
-  MessageRecord header;
-  header.from = "client:a";
-  header.from_site = "utk";
-  header.to = "master";
-  header.to_site = "ucsd";
-  header.kind = "SPLIT_REQUEST";
-  header.bytes = 96;
-  bus.send(header, [] {});
+  bus.send("client:a", "utk", "master", "ucsd", "SPLIT_REQUEST", 96, [] {});
   engine.run();
   ASSERT_EQ(bus.trace().size(), 1u);
   EXPECT_EQ(bus.trace()[0].kind, "SPLIT_REQUEST");
+  EXPECT_EQ(bus.trace()[0].from, "client:a");
+  EXPECT_EQ(bus.trace()[0].to, "master");
   EXPECT_GT(bus.trace()[0].delivered_at, bus.trace()[0].sent_at);
+}
+
+TEST(MessageBusTest, TraceRecordsOnlyWhenEnabled) {
+  SimEngine engine;
+  NameTable names;
+  Network net(names);
+  MessageBus bus(engine, net);
+  bus.send("x", "a", "y", "b", "TEST", 10, [] {});
+  engine.run();
+  EXPECT_TRUE(bus.trace().empty());
+  EXPECT_EQ(bus.messages_sent(), 1u);  // counters still accrue
+}
+
+TEST(MessageBusTest, SendMultiGroupsByLinkClass) {
+  SimEngine engine;
+  NameTable names;
+  Network net(names);
+  MessageBus bus(engine, net);
+  const std::uint32_t master = names.intern("master");
+  const std::uint32_t utk = names.intern("utk");
+  const std::uint32_t ucsd = names.intern("ucsd");
+  std::vector<int> order;
+  std::vector<MessageBus::Recipient> to;
+  // Two intra-site recipients share one link class, one inter-site.
+  to.push_back({names.intern("c0"), utk, Callback([&] { order.push_back(0); })});
+  to.push_back({names.intern("c1"), ucsd,
+                Callback([&] { order.push_back(1); })});
+  to.push_back({names.intern("c2"), utk, Callback([&] { order.push_back(2); })});
+  const std::size_t events =
+      bus.send_multi(master, utk, names.intern("CLAUSES"), 4096,
+                     std::move(to));
+  EXPECT_EQ(events, 2u);  // one per distinct transfer time
+  EXPECT_EQ(bus.messages_sent(), 3u);  // accounting stays per-recipient
+  EXPECT_EQ(bus.bytes_sent(), 3u * 4096u);
+  engine.run();
+  // Intra-site group (faster link) first, recipient order inside it.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(MessageBusTest, DeliveryBatchFlushesAndIsReusable) {
+  SimEngine engine;
+  NameTable names;
+  Network net(names);
+  MessageBus bus(engine, net);
+  const std::uint32_t utk = names.intern("utk");
+  int delivered = 0;
+  DeliveryBatch batch(bus, names.intern("master"), utk,
+                      names.intern("CLAUSES"), 128);
+  EXPECT_EQ(batch.flush(), 0u);  // empty flush schedules nothing
+  for (int i = 0; i < 5; ++i) {
+    batch.add(names.intern("c" + std::to_string(i)), utk,
+              [&] { ++delivered; });
+  }
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_EQ(batch.flush(), 1u);  // same link class: one engine event
+  EXPECT_EQ(batch.size(), 0u);
+  batch.add(names.intern("c0"), utk, [&] { ++delivered; });
+  EXPECT_EQ(batch.flush(), 1u);
+  engine.run();
+  EXPECT_EQ(delivered, 6);
 }
 
 TEST(BatchTest, JobWaitsThenStarts) {
