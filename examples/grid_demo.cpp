@@ -35,29 +35,35 @@ int main(int argc, char** argv) {
                    "seconds (0 = only a final snapshot)");
   flags.define_i64("timeline-lines", 40,
                    "virtual-time timeline lines to print (0 = skip)");
+  flags.define_i64("hosts", 6, "simulated client hosts");
+  flags.define_i64("ph", 8, "pigeonhole instance size (n holes, n+1 pigeons)");
+  flags.define_i64("seed", 40, "base seed for per-host load jitter");
   if (!flags.parse(argc, argv)) {
     std::fputs(flags.usage("grid_demo").c_str(), stderr);
     return 2;
   }
 
   // A hard UNSAT instance so the scheduler has real work to distribute.
-  const cnf::CnfFormula formula = gen::pigeonhole_unsat(8);
+  const cnf::CnfFormula formula =
+      gen::pigeonhole_unsat(static_cast<int>(flags.i64("ph")));
 
   core::GridSatConfig config;
   config.split_timeout_s = 5.0;  // aggressive splitting for the demo
   config.overall_timeout_s = 100000.0;
   config.min_client_memory = 1 << 20;
 
+  const auto n_hosts = static_cast<int>(std::max<long long>(1, flags.i64("hosts")));
+  const auto base_seed = static_cast<std::uint64_t>(flags.i64("seed"));
   std::vector<sim::HostSpec> hosts;
-  for (int i = 0; i < 6; ++i) {
+  for (int i = 0; i < n_hosts; ++i) {
     sim::HostSpec spec;
     spec.name = "node" + std::to_string(i);
-    spec.site = i < 3 ? "utk" : "ucsd";
-    spec.speed = 3000.0 + 600.0 * i;
+    spec.site = i < n_hosts / 2 ? "utk" : "ucsd";
+    spec.speed = 3000.0 + 600.0 * (i % 6);
     spec.memory_bytes = 8u << 20;
     spec.base_load = 0.2;
     spec.load_jitter = 0.1;
-    spec.seed = 40 + i;
+    spec.seed = base_seed + static_cast<std::uint64_t>(i);
     hosts.push_back(spec);
   }
 
@@ -104,6 +110,9 @@ int main(int argc, char** argv) {
   }
 
   if (obs::kTraceCompiledIn) {
+    // Fold a final metrics snapshot into the trace so gridsat_analyze can
+    // read the campaign gauges (imports, imports_used, ...) offline.
+    registry.snapshot_to(tracer, tracer.register_worker("sampler"));
     const auto lines = static_cast<std::size_t>(
         std::max<long long>(0, flags.i64("timeline-lines")));
     if (lines > 0) {
@@ -137,6 +146,9 @@ int main(int argc, char** argv) {
   std::printf("clauses shared     : %llu (in %llu batches)\n",
               static_cast<unsigned long long>(result.clauses_shared),
               static_cast<unsigned long long>(result.clause_batches_shared));
+  std::printf("imports used       : %llu of %llu imported\n",
+              static_cast<unsigned long long>(result.clauses_imported_used),
+              static_cast<unsigned long long>(result.clauses_imported));
   std::printf("total solver work  : %llu units\n",
               static_cast<unsigned long long>(result.total_work));
   return result.status == core::CampaignStatus::kUnsat ? 0 : 1;

@@ -49,6 +49,16 @@ std::uint64_t Client::work_done() const noexcept {
   return work_accumulated_ + (solver_ ? solver_->stats().work : 0);
 }
 
+std::uint64_t Client::clauses_imported() const noexcept {
+  return imported_accumulated_ +
+         (solver_ ? solver_->stats().imported_clauses : 0);
+}
+
+std::uint64_t Client::clauses_imported_used() const noexcept {
+  return imported_used_accumulated_ +
+         (solver_ ? solver_->stats().imported_used : 0);
+}
+
 void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
                               double transfer_seconds,
                               solver::WireMode mode) {
@@ -58,11 +68,10 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
     // working (e.g. a restore raced a split whose requester died). Hand
     // it back; the master requeues it for the next idle client.
     const std::size_t host = host_index_;
-    campaign_.send_to_master(host_index_, Msg::kSubproblemReject,
-                             kControlMessageBytes,
-                             [&c = campaign_, host, sp] {
-                               c.on_subproblem_rejected(sp, host);
-                             });
+    campaign_.send_to_master(
+        host_index_, Msg::kSubproblemReject, kControlMessageBytes,
+        [&c = campaign_, host, sp] { c.on_subproblem_rejected(sp, host); },
+        sp->flow_id);
     return;
   }
   if (mode == solver::WireMode::kBaseRef &&
@@ -73,14 +82,19 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
     // to a base-block transfer followed by a full start — a stale cache
     // can cost a round trip, never a wrong formula.
     const std::size_t host = host_index_;
-    campaign_.send_to_master(host_index_, Msg::kBaseMiss, kControlMessageBytes,
-                             [&c = campaign_, host, sp] {
-                               c.on_base_miss(host, sp);
-                             });
+    campaign_.send_to_master(
+        host_index_, Msg::kBaseMiss, kControlMessageBytes,
+        [&c = campaign_, host, sp] { c.on_base_miss(host, sp); },
+        sp->flow_id);
     return;
   }
   base_cached_ = campaign_.base_fingerprint();
   campaign_.note_base_resident(host_index_);
+  // Adopt the payload's causal identity: this tenancy's protocol
+  // messages join the subproblem's trace flow, and its checkpoints carry
+  // the lineage so a recovery re-ships under the same tree node.
+  lineage_ = sp->lineage_id;
+  flow_ = sp->flow_id;
   solver::SolverConfig solver_config = campaign_.config().solver;
   solver_config.memory_limit_bytes =
       campaign_.host(host_index_).memory_bytes();
@@ -125,10 +139,12 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   // reordered past its own ack can never poison the new chain.
   const std::size_t host = host_index_;
   const std::uint64_t incarnation = ckpt_incarnation_;
-  campaign_.send_to_master(host_index_, Msg::kSubproblemAck, kControlMessageBytes,
-                           [&c = campaign_, host, incarnation] {
-                             c.on_subproblem_ack(host, incarnation);
-                           });
+  campaign_.send_to_master(
+      host_index_, Msg::kSubproblemAck, kControlMessageBytes,
+      [&c = campaign_, host, incarnation] {
+        c.on_subproblem_ack(host, incarnation);
+      },
+      flow_);
   if (!slice_scheduled_) {
     slice_scheduled_ = true;
     campaign_.engine().schedule_in(0.0, [this] {
@@ -276,6 +292,8 @@ void Client::maybe_checkpoint() {
   Checkpoint cp;
   cp.heavy = (mode == CheckpointMode::kHeavy);
   cp.incarnation = ckpt_incarnation_;
+  cp.lineage_id = lineage_;
+  cp.flow_id = flow_;
   cp.units = solver_->level0_units();
   cp.assumptions = solver_->assumptions();
   // Incremental heavy checkpoints (DESIGN.md §4e): one full snapshot per
@@ -321,7 +339,8 @@ void Client::maybe_checkpoint() {
       host_index_, Msg::kCheckpoint, bytes,
       [&c = campaign_, host, cp = std::move(cp)]() mutable {
         c.on_checkpoint(host, std::move(cp));
-      });
+      },
+      flow_);
 }
 
 void Client::checkpoint_acked(std::uint64_t incarnation, std::uint64_t epoch) {
@@ -348,29 +367,57 @@ void Client::perform_split() {
   subproblem_started_ = campaign_.engine().now();  // fresh (folded) problem
   obs::trace_event(campaign_.tracer_, trace_worker_, obs::EventKind::kSplit,
                    campaign_.result_.total_splits + 1, peer);
+  // Split-tree lineage: the node this client held becomes an interior
+  // node with two fresh children — the shipped branch (the negated split
+  // decision, which is the last assumption of the outgoing payload) and
+  // the branch this client keeps. Both get new ids so every tree node is
+  // immutable once announced; allocation order (kept child first) is
+  // part of the deterministic id sequence.
+  const std::uint64_t parent = lineage_;
+  const std::uint32_t branch =
+      sp->assumptions.empty() ? 0 : sp->assumptions.back().code();
+  lineage_ = campaign_.allocate_lineage();
+  sp->lineage_id = campaign_.allocate_lineage();
+  sp->parent_lineage = parent;
+  sp->branch_lit = branch;
+  sp->flow_id = campaign_.allocate_flow();
+  obs::trace_event(campaign_.tracer_, trace_worker_,
+                   obs::EventKind::kLineageSplit,
+                   (lineage_ & 0xffffffffull) |
+                       (static_cast<std::uint64_t>(branch ^ 1u) << 32),
+                   parent);
+  obs::trace_event(campaign_.tracer_, trace_worker_,
+                   obs::EventKind::kLineageSplit,
+                   (sp->lineage_id & 0xffffffffull) |
+                       (static_cast<std::uint64_t>(branch) << 32),
+                   parent);
+  obs::trace_event(campaign_.tracer_, trace_worker_,
+                   obs::EventKind::kLineageShip, sp->lineage_id,
+                   campaign_.client_lane(peer));
   const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
   // Message 3 of Figure 3: peer-to-peer subproblem transfer. The transfer
   // time also parameterizes both sides' split timeouts (§3.3).
   const double transfer = campaign_.network().transfer_time(
       plan.bytes, campaign_.site_id(host_index_), campaign_.site_id(peer));
   campaign_.note_subproblem_in_flight();
-  campaign_.send_peer(host_index_, peer, Msg::kSubproblem, plan.bytes,
-                      [&c = campaign_, peer, sp, transfer,
-                       mode = plan.mode] {
-                        Client* target = c.client(peer);
-                        if (target != nullptr && target->alive()) {
-                          target->start_subproblem(sp, transfer, mode);
-                        } else {
-                          c.on_lost_subproblem(sp, peer);
-                        }
-                      });
+  campaign_.send_peer(
+      host_index_, peer, Msg::kSubproblem, plan.bytes,
+      [&c = campaign_, peer, sp, transfer, mode = plan.mode] {
+        Client* target = c.client(peer);
+        if (target != nullptr && target->alive()) {
+          target->start_subproblem(sp, transfer, mode);
+        } else {
+          c.on_lost_subproblem(sp, peer);
+        }
+      },
+      sp->flow_id);
   last_transfer_s_ = transfer;
   // Message 5: tell the master the split succeeded.
   const std::size_t from = host_index_;
-  campaign_.send_to_master(host_index_, Msg::kSplitDone, kControlMessageBytes,
-                           [&c = campaign_, from, peer] {
-                             c.on_subproblem_sent(from, peer);
-                           });
+  campaign_.send_to_master(
+      host_index_, Msg::kSplitDone, kControlMessageBytes,
+      [&c = campaign_, from, peer] { c.on_subproblem_sent(from, peer); },
+      flow_);
 }
 
 void Client::perform_migration() {
@@ -379,29 +426,38 @@ void Client::perform_migration() {
   pending_migrate_peer_ = -1;
   split_requested_ = false;
   auto sp = std::make_shared<solver::Subproblem>(solver_->to_subproblem());
+  // The whole problem moves: the tree node and its flow move with it.
+  sp->lineage_id = lineage_;
+  sp->flow_id = flow_;
   trace_phase("migrate-out");
+  obs::trace_event(campaign_.tracer_, trace_worker_,
+                   obs::EventKind::kLineageShip, sp->lineage_id,
+                   campaign_.client_lane(peer));
   work_accumulated_ += solver_->stats().work;
+  imported_accumulated_ += solver_->stats().imported_clauses;
+  imported_used_accumulated_ += solver_->stats().imported_used;
   solver_.reset();
   export_buffer_.clear();
   const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
   const double transfer = campaign_.network().transfer_time(
       plan.bytes, campaign_.site_id(host_index_), campaign_.site_id(peer));
   campaign_.note_subproblem_in_flight();
-  campaign_.send_peer(host_index_, peer, Msg::kSubproblem, plan.bytes,
-                      [&c = campaign_, peer, sp, transfer,
-                       mode = plan.mode] {
-                        Client* target = c.client(peer);
-                        if (target != nullptr && target->alive()) {
-                          target->start_subproblem(sp, transfer, mode);
-                        } else {
-                          c.on_lost_subproblem(sp, peer);
-                        }
-                      });
+  campaign_.send_peer(
+      host_index_, peer, Msg::kSubproblem, plan.bytes,
+      [&c = campaign_, peer, sp, transfer, mode = plan.mode] {
+        Client* target = c.client(peer);
+        if (target != nullptr && target->alive()) {
+          target->start_subproblem(sp, transfer, mode);
+        } else {
+          c.on_lost_subproblem(sp, peer);
+        }
+      },
+      sp->flow_id);
   const std::size_t from = host_index_;
-  campaign_.send_to_master(host_index_, Msg::kMigrated, kControlMessageBytes,
-                           [&c = campaign_, from, peer] {
-                             c.on_migrated(from, peer);
-                           });
+  campaign_.send_to_master(
+      host_index_, Msg::kMigrated, kControlMessageBytes,
+      [&c = campaign_, from, peer] { c.on_migrated(from, peer); },
+      flow_);
 }
 
 void Client::finish_subproblem(SolveStatus status) {
@@ -412,6 +468,8 @@ void Client::finish_subproblem(SolveStatus status) {
       trace_phase("sat-found");
       cnf::Assignment model = solver_->model();
       work_accumulated_ += solver_->stats().work;
+      imported_accumulated_ += solver_->stats().imported_clauses;
+      imported_used_accumulated_ += solver_->stats().imported_used;
       solver_.reset();
       const std::size_t bytes =
           model.size();  // one byte per variable: the assignment stack
@@ -420,7 +478,8 @@ void Client::finish_subproblem(SolveStatus status) {
           host_index_, Msg::kSatFound, bytes,
           [&c = campaign_, host, model = std::move(model)]() mutable {
             c.on_sat_found(host, std::move(model));
-          });
+          },
+          flow_);
       break;
     }
     case SolveStatus::kUnsat: {
@@ -431,20 +490,25 @@ void Client::finish_subproblem(SolveStatus status) {
       if (campaign_.proof_builder_) {
         campaign_.proof_builder_->add_leaf(solver_->assumptions());
       }
+      obs::trace_event(campaign_.tracer_, trace_worker_,
+                       obs::EventKind::kLineageRefute, lineage_);
       work_accumulated_ += solver_->stats().work;
+      imported_accumulated_ += solver_->stats().imported_clauses;
+      imported_used_accumulated_ += solver_->stats().imported_used;
       solver_.reset();
       export_buffer_.clear();
       const std::size_t host = host_index_;
-      campaign_.send_to_master(host_index_, Msg::kSubproblemUnsat,
-                               kControlMessageBytes, [&c = campaign_, host] {
-                                 c.on_subproblem_unsat(host);
-                               });
+      campaign_.send_to_master(
+          host_index_, Msg::kSubproblemUnsat, kControlMessageBytes,
+          [&c = campaign_, host] { c.on_subproblem_unsat(host); }, flow_);
       break;
     }
     case SolveStatus::kMemOut: {
       // The OS out-of-memory killer takes the client (§3.3 footnote).
       trace_phase("mem-out");
       work_accumulated_ += solver_->stats().work;
+      imported_accumulated_ += solver_->stats().imported_clauses;
+      imported_used_accumulated_ += solver_->stats().imported_used;
       kill();
       const std::size_t host = host_index_;
       campaign_.engine().schedule_in(kMasterMonitorDelay,
@@ -620,7 +684,15 @@ void Campaign::set_tracer(obs::Tracer* tracer) {
 void Campaign::set_metrics(obs::MetricRegistry* metrics) {
   metrics_ = metrics;
   engine_.set_metrics(metrics);
+  bus_.set_latency_histogram(nullptr);
   if (metrics_ == nullptr) return;
+  // Per-message delivery latency (send -> delivery, virtual seconds).
+  // Log buckets: control acks and multi-hundred-MB subproblem ships
+  // differ by orders of magnitude, so linear buckets would pile
+  // everything into the first bin.
+  bus_.set_latency_histogram(&metrics_->histogram(
+      "campaign.flow.latency_s", 1e-4, 1e4, 48,
+      obs::HistogramMetric::Scale::kLog));
   // Live master state, readable mid-run through snapshots scheduled on
   // the sim engine; frozen to plain values when run() returns.
   metrics_->gauge_fn("campaign.active_clients", [this] {
@@ -637,6 +709,23 @@ void Campaign::set_metrics(obs::MetricRegistry* metrics) {
   });
   metrics_->gauge_fn("campaign.clauses_shared", [this] {
     return static_cast<double>(result_.clauses_shared);
+  });
+  // Clause-sharing usefulness: imports merged vs imports that conflict
+  // analysis actually walked (per-solver imported_used, accumulated
+  // across tenancies). A dead client's counts die with it, like work.
+  metrics_->gauge_fn("campaign.imports", [this] {
+    std::uint64_t total = 0;
+    for (const auto& c : clients_) {
+      if (c) total += c->clauses_imported();
+    }
+    return static_cast<double>(total);
+  });
+  metrics_->gauge_fn("campaign.imports_used", [this] {
+    std::uint64_t total = 0;
+    for (const auto& c : clients_) {
+      if (c) total += c->clauses_imported_used();
+    }
+    return static_cast<double>(total);
   });
   metrics_->gauge_fn("campaign.messages", [this] {
     return static_cast<double>(bus_.messages_sent());
@@ -670,11 +759,61 @@ void Campaign::register_host_names(std::size_t host_index) {
   assert(endpoint_ids_.size() == host_index);
   endpoint_ids_.push_back(names_.intern("client:" + hosts_[host_index]->name()));
   site_ids_.push_back(names_.intern(hosts_[host_index]->site()));
+  // Late joiners (batch grants, elastic acquisitions) tag their lane as
+  // they appear; hosts present before run() are tagged in run() itself,
+  // after the tracer is attached and enabled.
+  tag_site(host_index);
+}
+
+std::uint32_t Campaign::client_lane(std::size_t host_index) {
+  if constexpr (obs::kTraceCompiledIn) {
+    if (tracer_ == nullptr) return 0;
+    // Same lane the bus and the client use (register_worker dedupes).
+    return tracer_->register_worker("client:" + hosts_[host_index]->name());
+  } else {
+    (void)host_index;
+    return 0;
+  }
+}
+
+void Campaign::tag_site(std::size_t host_index) {
+  if constexpr (obs::kTraceCompiledIn) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    tracer_->emit(client_lane(host_index), obs::EventKind::kSiteTag,
+                  tracer_->intern(hosts_[host_index]->site()));
+  } else {
+    (void)host_index;
+  }
+}
+
+void Campaign::trace_lineage_master(obs::EventKind kind, std::uint64_t a,
+                                    std::uint64_t b) {
+  obs::trace_event(tracer_, master_trace_worker_, kind, a, b);
+}
+
+void Campaign::stamp_and_trace_ship(std::size_t host_index,
+                                    solver::Subproblem& sp) {
+  if (sp.lineage_id == 0) {
+    // A subproblem born without a split (the root, or a test-injected
+    // payload) is its own tree node; announce it so every later lineage
+    // event has an ancestor to attach to. Allocation is unconditional:
+    // ids are identical with and without a tracer.
+    sp.lineage_id = allocate_lineage();
+    trace_lineage_master(
+        obs::EventKind::kLineageSplit,
+        (sp.lineage_id & 0xffffffffull) |
+            (static_cast<std::uint64_t>(sp.branch_lit) << 32),
+        sp.parent_lineage);
+  }
+  if (sp.flow_id == 0) sp.flow_id = allocate_flow();
+  trace_lineage_master(obs::EventKind::kLineageShip, sp.lineage_id,
+                       client_lane(host_index));
 }
 
 double Campaign::send(std::uint32_t from, std::uint32_t from_site,
                       std::uint32_t to, std::uint32_t to_site, Msg kind,
-                      std::size_t bytes, sim::Callback handler) {
+                      std::size_t bytes, sim::Callback handler,
+                      std::uint64_t flow) {
   sim::MessageHeader header;
   header.from = from;
   header.from_site = from_site;
@@ -682,27 +821,30 @@ double Campaign::send(std::uint32_t from, std::uint32_t from_site,
   header.to_site = to_site;
   header.kind = kind_id(kind);
   header.bytes = bytes;
+  header.flow_id = flow;
   return bus_.send(header, std::move(handler));
 }
 
 void Campaign::send_to_master(std::size_t from_host, Msg kind,
-                              std::size_t bytes, sim::Callback handler) {
+                              std::size_t bytes, sim::Callback handler,
+                              std::uint64_t flow) {
   send(endpoint_ids_[from_host], site_ids_[from_host], master_id_,
-       master_site_id_, kind, bytes, std::move(handler));
+       master_site_id_, kind, bytes, std::move(handler), flow);
 }
 
 void Campaign::send_to_client(std::size_t to_host, Msg kind,
-                              std::size_t bytes, sim::Callback handler) {
+                              std::size_t bytes, sim::Callback handler,
+                              std::uint64_t flow) {
   send(master_id_, master_site_id_, endpoint_ids_[to_host],
-       site_ids_[to_host], kind, bytes, std::move(handler));
+       site_ids_[to_host], kind, bytes, std::move(handler), flow);
 }
 
 double Campaign::send_peer(std::size_t from_host, std::size_t to_host,
-                           Msg kind, std::size_t bytes,
-                           sim::Callback handler) {
+                           Msg kind, std::size_t bytes, sim::Callback handler,
+                           std::uint64_t flow) {
   return send(endpoint_ids_[from_host], site_ids_[from_host],
               endpoint_ids_[to_host], site_ids_[to_host], kind, bytes,
-              std::move(handler));
+              std::move(handler), flow);
 }
 
 std::size_t Campaign::clause_batch_bytes(
@@ -765,18 +907,21 @@ void Campaign::on_register(std::size_t host_index) {
 void Campaign::assign_subproblem(std::size_t host_index,
                                  std::shared_ptr<solver::Subproblem> sp) {
   ++subproblems_in_flight_;
+  stamp_and_trace_ship(host_index, *sp);
   const ShipPlan plan = plan_subproblem_ship(host_index, *sp);
   const double transfer = network_.transfer_time(plan.bytes, master_site_id_,
                                                  site_ids_[host_index]);
-  send_to_client(host_index, Msg::kSubproblem, plan.bytes,
-                 [this, host_index, sp, transfer, mode = plan.mode] {
-                   Client* target = client(host_index);
-                   if (target != nullptr && target->alive()) {
-                     target->start_subproblem(sp, transfer, mode);
-                   } else {
-                     on_lost_subproblem(sp, host_index);
-                   }
-                 });
+  send_to_client(
+      host_index, Msg::kSubproblem, plan.bytes,
+      [this, host_index, sp, transfer, mode = plan.mode] {
+        Client* target = client(host_index);
+        if (target != nullptr && target->alive()) {
+          target->start_subproblem(sp, transfer, mode);
+        } else {
+          on_lost_subproblem(sp, host_index);
+        }
+      },
+      sp->flow_id);
 }
 
 Campaign::ShipPlan Campaign::plan_subproblem_ship(std::size_t to_host,
@@ -823,16 +968,17 @@ void Campaign::on_base_miss(std::size_t host_index,
   // unchanged.
   const double transfer = network_.transfer_time(
       base_block_bytes_, master_site_id_, site_ids_[host_index]);
-  send_to_client(host_index, Msg::kBaseShip, base_block_bytes_,
-                 [this, host_index, sp, transfer] {
-                   Client* target = client(host_index);
-                   if (target != nullptr && target->alive()) {
-                     target->start_subproblem(sp, transfer,
-                                              solver::WireMode::kFull);
-                   } else {
-                     on_lost_subproblem(sp, host_index);
-                   }
-                 });
+  send_to_client(
+      host_index, Msg::kBaseShip, base_block_bytes_,
+      [this, host_index, sp, transfer] {
+        Client* target = client(host_index);
+        if (target != nullptr && target->alive()) {
+          target->start_subproblem(sp, transfer, solver::WireMode::kFull);
+        } else {
+          on_lost_subproblem(sp, host_index);
+        }
+      },
+      sp->flow_id);
 }
 
 void Campaign::on_subproblem_rejected(
@@ -911,6 +1057,8 @@ void Campaign::on_lost_subproblem(std::shared_ptr<solver::Subproblem> sp,
   if (config_.recover_from_checkpoints) {
     // The in-flight payload IS the lost search space: requeue it whole.
     ++result_.checkpoint_recoveries;
+    trace_lineage_master(obs::EventKind::kLineageRecover, sp->lineage_id,
+                         client_lane(host_index));
     pending_restores_.push_back(std::move(sp));
     try_dispatch();
     check_termination();
@@ -993,14 +1141,17 @@ void Campaign::drop_checkpoints(std::size_t host_index) {
 }
 
 void Campaign::send_checkpoint_nack(std::size_t host_index,
-                                    std::uint64_t incarnation) {
-  send_to_client(host_index, Msg::kCheckpointNack, kControlMessageBytes,
-                 [this, host_index, incarnation] {
-                   Client* target = client(host_index);
-                   if (target != nullptr) {
-                     target->checkpoint_nacked(incarnation);
-                   }
-                 });
+                                    std::uint64_t incarnation,
+                                    std::uint64_t flow) {
+  send_to_client(
+      host_index, Msg::kCheckpointNack, kControlMessageBytes,
+      [this, host_index, incarnation] {
+        Client* target = client(host_index);
+        if (target != nullptr) {
+          target->checkpoint_nacked(incarnation);
+        }
+      },
+      flow);
 }
 
 void Campaign::on_checkpoint(std::size_t host_index, Checkpoint cp) {
@@ -1012,7 +1163,7 @@ void Campaign::on_checkpoint(std::size_t host_index, Checkpoint cp) {
     // reordered past its own SUBPROBLEM_ACK) must never enter the chain —
     // recovering it would resurrect search space another client owns.
     ++result_.checkpoint_deltas_refused;
-    send_checkpoint_nack(host_index, cp.incarnation);
+    send_checkpoint_nack(host_index, cp.incarnation, cp.flow_id);
     return;
   }
   auto& chain = checkpoint_chains_[host_index];
@@ -1032,20 +1183,22 @@ void Campaign::on_checkpoint(std::size_t host_index, Checkpoint cp) {
       // re-ship a full snapshot.
       ++result_.checkpoint_deltas_refused;
       checkpoint_chains_.erase(host_index);
-      send_checkpoint_nack(host_index, cp.incarnation);
+      send_checkpoint_nack(host_index, cp.incarnation, cp.flow_id);
       return;
     }
     chain.push_back(std::move(cp));
   }
   const std::uint64_t incarnation = chain.back().incarnation;
   const std::uint64_t epoch = chain.back().epoch;
-  send_to_client(host_index, Msg::kCheckpointAck, kControlMessageBytes,
-                 [this, host_index, incarnation, epoch] {
-                   Client* target = client(host_index);
-                   if (target != nullptr) {
-                     target->checkpoint_acked(incarnation, epoch);
-                   }
-                 });
+  send_to_client(
+      host_index, Msg::kCheckpointAck, kControlMessageBytes,
+      [this, host_index, incarnation, epoch] {
+        Client* target = client(host_index);
+        if (target != nullptr) {
+          target->checkpoint_acked(incarnation, epoch);
+        }
+      },
+      chain.back().flow_id);
 }
 
 void Campaign::on_mem_out(std::size_t host_index) {
@@ -1077,8 +1230,11 @@ void Campaign::on_client_died(std::size_t host_index, bool was_busy) {
     ++result_.checkpoint_recoveries;
     // Replay base snapshot + delta chain (units/assumptions from the
     // newest entry, learned clauses accumulated across the chain).
-    pending_restores_.push_back(std::make_shared<solver::Subproblem>(
-        restore_chain(chain->second, formula_)));
+    auto restored = std::make_shared<solver::Subproblem>(
+        restore_chain(chain->second, formula_));
+    trace_lineage_master(obs::EventKind::kLineageRecover,
+                         restored->lineage_id, client_lane(host_index));
+    pending_restores_.push_back(std::move(restored));
     drop_checkpoints(host_index);
     try_dispatch();
     return;
@@ -1264,6 +1420,16 @@ solver::ProofCheckResult Campaign::certify() const {
 }
 
 GridSatResult Campaign::run() {
+  if constexpr (obs::kTraceCompiledIn) {
+    // Tag every lane with its grid site (set_tracer may have run before
+    // the tracer was enabled; by now both are settled). gridsat_analyze
+    // groups per-host utilization by these tags.
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->emit(master_trace_worker_, obs::EventKind::kSiteTag,
+                    tracer_->intern(master_site_));
+      for (std::size_t i = 0; i < hosts_.size(); ++i) tag_site(i);
+    }
+  }
   // Master start-up: launch a client on every usable resource.
   for (std::size_t i = 0; i < directory_.size(); ++i) {
     launch_client(i);
@@ -1314,8 +1480,14 @@ GridSatResult Campaign::run() {
   result_.messages = bus_.messages_sent();
   result_.bytes_transferred = bus_.bytes_sent();
   result_.total_work = 0;
+  result_.clauses_imported = 0;
+  result_.clauses_imported_used = 0;
   for (const auto& c : clients_) {
-    if (c) result_.total_work += c->work_done();
+    if (c) {
+      result_.total_work += c->work_done();
+      result_.clauses_imported += c->clauses_imported();
+      result_.clauses_imported_used += c->clauses_imported_used();
+    }
   }
   if (metrics_ != nullptr) {
     // Freeze the callback gauges: an external registry may outlive this

@@ -97,6 +97,8 @@ class Client {
   [[nodiscard]] bool alive() const noexcept { return alive_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t work_done() const noexcept;
+  [[nodiscard]] std::uint64_t clauses_imported() const noexcept;
+  [[nodiscard]] std::uint64_t clauses_imported_used() const noexcept;
   [[nodiscard]] const solver::CdclSolver* solver() const noexcept {
     return solver_.get();
   }
@@ -123,6 +125,14 @@ class Client {
   std::unique_ptr<solver::CdclSolver> solver_;
   std::vector<cnf::Clause> export_buffer_;
   std::uint64_t work_accumulated_ = 0;  ///< from finished subproblems
+  /// Import accounting carried across subproblem tenancies (the live
+  /// solver's counts are added on top; see clauses_imported*()).
+  std::uint64_t imported_accumulated_ = 0;
+  std::uint64_t imported_used_accumulated_ = 0;
+  /// Causal identity of the current tenancy: the split-tree node this
+  /// client is refuting and the trace flow its protocol messages join.
+  std::uint64_t lineage_ = 0;
+  std::uint64_t flow_ = 0;
   double subproblem_started_ = 0.0;
   double last_transfer_s_ = 0.0;
   bool split_requested_ = false;
@@ -280,7 +290,8 @@ class Campaign {
   void on_client_clauses(std::size_t from,
                          std::shared_ptr<std::vector<cnf::Clause>> batch);
   void on_checkpoint(std::size_t host_index, Checkpoint cp);
-  void send_checkpoint_nack(std::size_t host_index, std::uint64_t incarnation);
+  void send_checkpoint_nack(std::size_t host_index, std::uint64_t incarnation,
+                            std::uint64_t flow);
   /// Forget a host's checkpoint chain and tenancy nonce (PR-4 erase rules
   /// applied chain-wide: unsat/sat verdict, migration, new assignment).
   void drop_checkpoints(std::size_t host_index);
@@ -312,6 +323,22 @@ class Campaign {
                                               solver::Subproblem& sp);
   void note_base_resident(std::size_t host_index);
   std::uint64_t next_incarnation() noexcept { return ++last_incarnation_; }
+  /// Stable split-tree node ids. Allocation is tied to protocol decisions
+  /// (not to tracing), so ids are deterministic under a fixed seed and
+  /// identical whether or not a tracer is attached.
+  std::uint64_t allocate_lineage() noexcept { return ++next_lineage_; }
+  std::uint64_t allocate_flow() noexcept { return bus_.allocate_flow(); }
+  /// Give `sp` a lineage/flow identity if it has none yet (the root and
+  /// any test-injected subproblem) and trace its ship to `host_index`.
+  void stamp_and_trace_ship(std::size_t host_index, solver::Subproblem& sp);
+  /// Emit a lineage event on the master lane (no-op without an enabled
+  /// tracer).
+  void trace_lineage_master(obs::EventKind kind, std::uint64_t a,
+                            std::uint64_t b);
+  /// Tracer lane for a host's client timeline (registers it on demand).
+  [[nodiscard]] std::uint32_t client_lane(std::size_t host_index);
+  /// Tag a lane with its host's grid site (kSiteTag metadata).
+  void tag_site(std::size_t host_index);
   void sample_availability();
   [[nodiscard]] std::size_t idle_at_site(const std::string& site) const;
   void update_peak_active();
@@ -332,17 +359,20 @@ class Campaign {
   [[nodiscard]] std::uint32_t site_id(std::size_t host) const noexcept {
     return site_ids_[host];
   }
+  /// `flow` stitches the message into an existing trace flow; 0 lets the
+  /// bus allocate a fresh single-hop flow (see sim::MessageHeader).
   double send(std::uint32_t from, std::uint32_t from_site, std::uint32_t to,
               std::uint32_t to_site, Msg kind, std::size_t bytes,
-              sim::Callback handler);
+              sim::Callback handler, std::uint64_t flow = 0);
   void send_to_master(std::size_t from_host, Msg kind, std::size_t bytes,
-                      sim::Callback handler);
+                      sim::Callback handler, std::uint64_t flow = 0);
   void send_to_client(std::size_t to_host, Msg kind, std::size_t bytes,
-                      sim::Callback handler);
+                      sim::Callback handler, std::uint64_t flow = 0);
   /// Peer-to-peer client send (Figure 3 message 3); returns the
   /// transfer time charged.
   double send_peer(std::size_t from_host, std::size_t to_host, Msg kind,
-                   std::size_t bytes, sim::Callback handler);
+                   std::size_t bytes, sim::Callback handler,
+                   std::uint64_t flow = 0);
   [[nodiscard]] static std::size_t clause_batch_bytes(
       const std::vector<cnf::Clause>& batch);
 
@@ -382,6 +412,7 @@ class Campaign {
   /// checkpoints carrying any other incarnation are refused.
   std::map<std::size_t, std::uint64_t> expected_incarnation_;
   std::uint64_t last_incarnation_ = 0;
+  std::uint64_t next_lineage_ = 0;  ///< split-tree node id allocator
   /// Base-formula residency: hosts that hold the problem-clause block
   /// under the campaign fingerprint (cleared when the client dies).
   std::map<std::size_t, std::uint64_t> base_resident_;

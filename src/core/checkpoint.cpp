@@ -76,6 +76,10 @@ solver::Subproblem restore_chain(std::span<const Checkpoint> chain,
   }
   sp.assumptions = tip.assumptions;
   sp.path = "checkpoint-restore";
+  // Keep the restored subproblem's causal identity: the recovery ship
+  // continues the original lineage and flow instead of starting new ones.
+  sp.lineage_id = tip.lineage_id;
+  sp.flow_id = tip.flow_id;
   return sp;
 }
 

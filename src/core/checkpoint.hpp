@@ -50,6 +50,12 @@ struct Checkpoint {
   /// solver::Subproblem::assumptions) — recovery must resume under the
   /// same assumption set or the certification stitch falls apart.
   std::vector<cnf::Lit> assumptions;
+  /// In-memory observability identity (never serialized; stamped by the
+  /// master from the owning client's state when a checkpoint lands, so a
+  /// recovery restore re-ships under the same lineage and flow — the
+  /// checkpoint→recovery arrow in the trace).
+  std::uint64_t lineage_id = 0;
+  std::uint64_t flow_id = 0;
 
   /// Exact serialized size (runs the encoder against util::ByteCounter).
   [[nodiscard]] std::size_t wire_size() const;

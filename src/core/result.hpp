@@ -34,6 +34,11 @@ struct GridSatResult {
   std::uint64_t bytes_transferred = 0;
   std::uint64_t clause_batches_shared = 0;
   std::uint64_t clauses_shared = 0;
+  /// Clause-sharing usefulness across all clients: shared clauses merged
+  /// into a solver, and the subset conflict analysis actually walked at
+  /// least once (per-solver imported_used).
+  std::uint64_t clauses_imported = 0;
+  std::uint64_t clauses_imported_used = 0;
   /// Total solver work units across all clients (search effort).
   std::uint64_t total_work = 0;
   std::uint64_t client_deaths = 0;

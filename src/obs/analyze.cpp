@@ -1,0 +1,651 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gridsat::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — the dual of util::JsonWriter. Only what the
+// trace exporter emits: objects, arrays, strings (with the writer's
+// escape set), numbers, booleans, null.
+// ---------------------------------------------------------------------------
+
+struct JVal {
+  enum class T : std::uint8_t { kNull, kBool, kNum, kStr, kArr, kObj };
+  T t = T::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JVal> arr;
+  std::vector<std::pair<std::string, JVal>> obj;
+
+  [[nodiscard]] const JVal* find(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::string get_str(std::string_view key) const {
+    const JVal* v = find(key);
+    return v != nullptr && v->t == T::kStr ? v->str : std::string();
+  }
+  [[nodiscard]] double get_num(std::string_view key, double dflt = 0.0) const {
+    const JVal* v = find(key);
+    return v != nullptr && v->t == T::kNum ? v->num : dflt;
+  }
+  [[nodiscard]] std::uint64_t get_u64(std::string_view key) const {
+    const double d = get_num(key);
+    return d <= 0.0 ? 0 : static_cast<std::uint64_t>(d);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  bool parse(JVal& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty()) {
+      error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool value(JVal& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.t = JVal::T::kStr;
+        return string(out.str);
+      case 't':
+        out.t = JVal::T::kBool;
+        out.b = true;
+        return literal("true");
+      case 'f':
+        out.t = JVal::T::kBool;
+        out.b = false;
+        return literal("false");
+      case 'n':
+        out.t = JVal::T::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JVal& out) {
+    out.t = JVal::T::kObj;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JVal v;
+      if (!value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JVal& out) {
+    out.t = JVal::T::kArr;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JVal v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("dangling escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("short \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // The writer only emits \u for control characters; encode the
+          // general BMP case anyway (no surrogate pairs).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JVal& out) {
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    out.num = std::strtod(begin, &end);
+    if (end == begin) return fail("expected value");
+    out.t = JVal::T::kNum;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace model
+// ---------------------------------------------------------------------------
+
+struct LineageNode {
+  std::uint64_t parent = 0;
+  std::uint64_t branch = 0;  ///< Lit code picked at the split (0 = root)
+  double born_s = 0.0;
+  bool announced = false;  ///< a lineage-split event introduced this node
+  bool refuted = false;
+  double refuted_s = 0.0;
+};
+
+struct Tenancy {
+  int tid = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::uint64_t flow = 0;  ///< the SUBPROBLEM delivery that started it
+  bool open = true;
+};
+
+struct WireClass {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct FlowCheck {
+  std::uint32_t starts = 0;
+  std::uint32_t finishes = 0;
+  std::uint32_t total = 0;
+};
+
+struct TraceModel {
+  std::map<int, std::string> lane_names;
+  std::map<int, std::string> lane_sites;
+  std::map<int, std::uint64_t> lane_dropped;
+  std::map<std::uint64_t, LineageNode> nodes;
+  std::map<std::uint64_t, FlowCheck> flows;
+  std::map<std::string, WireClass> wire;  ///< message class -> sent traffic
+  std::map<std::string, double> counters;  ///< last ph:"C" value per name
+  std::vector<Tenancy> tenancies;
+  std::size_t events = 0;
+  std::size_t recoveries = 0;
+  double span_s = 0.0;
+};
+
+bool is_terminal_phase(const std::string& name) {
+  return name == "subproblem-unsat" || name == "sat-found" ||
+         name == "migrate-out" || name == "mem-out";
+}
+
+/// Walk the traceEvents array into the model. Returns false (with
+/// `error`) only for structural problems; semantic checks come later.
+bool build_model(const JVal& root, TraceModel& m, std::string& error) {
+  const JVal* events = root.find("traceEvents");
+  if (events == nullptr || events->t != JVal::T::kArr) {
+    error = "no traceEvents array";
+    return false;
+  }
+  std::map<int, std::uint64_t> last_ship_flow;  ///< per-lane SUBPROBLEM recv
+  std::map<int, std::size_t> open_tenancy;      ///< lane -> tenancies index
+  for (const JVal& ev : events->arr) {
+    if (ev.t != JVal::T::kObj) {
+      error = "non-object trace event";
+      return false;
+    }
+    ++m.events;
+    const std::string ph = ev.get_str("ph");
+    const std::string name = ev.get_str("name");
+    const int tid = static_cast<int>(ev.get_num("tid", -1.0));
+    const double ts_s = ev.get_num("ts") / 1e6;
+    m.span_s = std::max(m.span_s, ts_s);
+    const JVal* args = ev.find("args");
+    if (ph == "M") {
+      if (name == "thread_name" && args != nullptr) {
+        m.lane_names[tid] = args->get_str("name");
+      } else if (name == "tracer_dropped" && args != nullptr) {
+        m.lane_dropped[tid] = args->get_u64("dropped");
+      } else if (name == "gridsat_site" && args != nullptr) {
+        m.lane_sites[tid] = args->get_str("site");
+      }
+      continue;
+    }
+    if (ph == "s" || ph == "t" || ph == "f") {
+      const JVal* id = ev.find("id");
+      if (id == nullptr || id->t != JVal::T::kNum) {
+        error = "flow event without id";
+        return false;
+      }
+      FlowCheck& fc = m.flows[static_cast<std::uint64_t>(id->num)];
+      ++fc.total;
+      if (ph == "s") ++fc.starts;
+      if (ph == "f") ++fc.finishes;
+      continue;
+    }
+    if (ph == "C") {
+      if (args != nullptr) m.counters[name] = args->get_num("value");
+      continue;
+    }
+    if (ph != "i" || args == nullptr) continue;
+    if (name == "lineage-split") {
+      LineageNode& node = m.nodes[args->get_u64("lineage")];
+      node.parent = args->get_u64("parent");
+      node.branch = args->get_u64("branch");
+      node.born_s = ts_s;
+      node.announced = true;
+      continue;
+    }
+    if (name == "lineage-refute") {
+      LineageNode& node = m.nodes[args->get_u64("lineage")];
+      node.refuted = true;
+      node.refuted_s = ts_s;
+      continue;
+    }
+    if (name == "lineage-recover") {
+      ++m.recoveries;
+      continue;
+    }
+    if (name == "lineage-ship") continue;
+    const std::string dir = args->get_str("dir");
+    if (!dir.empty()) {  // a message instant
+      if (dir == "send") {
+        WireClass& wc = m.wire[name];
+        ++wc.msgs;
+        wc.bytes += args->get_u64("bytes");
+      } else if (name == "SUBPROBLEM") {
+        last_ship_flow[tid] = args->get_u64("flow");
+      }
+      continue;
+    }
+    // Remaining instants are phase/solver events by name.
+    if (name == "subproblem-start") {
+      Tenancy t;
+      t.tid = tid;
+      t.start_s = ts_s;
+      t.flow = last_ship_flow.count(tid) != 0 ? last_ship_flow[tid] : 0;
+      open_tenancy[tid] = m.tenancies.size();
+      m.tenancies.push_back(t);
+    } else if (is_terminal_phase(name)) {
+      const auto it = open_tenancy.find(tid);
+      if (it != open_tenancy.end()) {
+        m.tenancies[it->second].end_s = ts_s;
+        m.tenancies[it->second].open = false;
+        open_tenancy.erase(it);
+      }
+    }
+  }
+  // A tenancy still open at trace end (its client died, or the verdict
+  // arrived elsewhere) is charged busy until the end of the trace.
+  for (Tenancy& t : m.tenancies) {
+    if (t.open) t.end_s = m.span_s;
+  }
+  return true;
+}
+
+/// Flow contract from the exporter: exactly one "s" per flow; one "f"
+/// iff the flow has more than one event. Returns the first violating
+/// flow id, or 0.
+std::uint64_t first_unstitchable_flow(const TraceModel& m) {
+  for (const auto& [id, fc] : m.flows) {
+    if (fc.starts != 1) return id;
+    if (fc.total > 1 && fc.finishes != 1) return id;
+    if (fc.total == 1 && fc.finishes != 0) return id;
+  }
+  return 0;
+}
+
+/// Root of `lineage`'s ancestor chain, or 0 if the chain is broken
+/// (missing or never-announced node / cycle).
+std::uint64_t chain_root(const TraceModel& m, std::uint64_t lineage) {
+  std::uint64_t cur = lineage;
+  for (std::size_t steps = 0; steps <= m.nodes.size(); ++steps) {
+    const auto it = m.nodes.find(cur);
+    if (it == m.nodes.end() || !it->second.announced) return 0;
+    if (it->second.parent == 0) return cur;
+    cur = it->second.parent;
+  }
+  return 0;  // cycle
+}
+
+std::size_t chain_depth(const TraceModel& m, std::uint64_t lineage) {
+  std::size_t depth = 0;
+  std::uint64_t cur = lineage;
+  while (true) {
+    const auto it = m.nodes.find(cur);
+    if (it == m.nodes.end() || it->second.parent == 0) return depth;
+    cur = it->second.parent;
+    ++depth;
+  }
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void appendf(std::string& out, const char* fmt, ...) {
+  char line[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(line, sizeof line, fmt, ap);
+  va_end(ap);
+  out += line;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+}  // namespace
+
+AnalyzeReport analyze_trace(const std::string& trace_json,
+                            const std::string& metrics_text,
+                            const AnalyzeOptions& options) {
+  AnalyzeReport report;
+  JVal root;
+  JsonParser parser(trace_json);
+  if (!parser.parse(root)) {
+    report.error = "trace JSON malformed: " + parser.error();
+    return report;
+  }
+  TraceModel m;
+  if (!build_model(root, m, report.error)) return report;
+  // Optional metrics snapshot: "name value" per line, overriding (or
+  // supplying, for runs without a sampler lane) the trace counters.
+  if (!metrics_text.empty()) {
+    std::istringstream lines(metrics_text);
+    std::string name;
+    double value = 0.0;
+    while (lines >> name >> value) m.counters[name] = value;
+  }
+
+  std::string& out = report.text;
+  appendf(out, "== gridsat_analyze ==\n");
+  appendf(out, "trace: %zu events, %zu lanes, span %.3fs\n", m.events,
+          m.lane_names.size(), m.span_s);
+  for (const auto& [tid, dropped] : m.lane_dropped) {
+    const auto it = m.lane_names.find(tid);
+    appendf(out, "!! %s dropped %llu events (ring wrapped; window incomplete)\n",
+            it != m.lane_names.end() ? it->second.c_str() : "?",
+            static_cast<unsigned long long>(dropped));
+  }
+
+  // --- split tree --------------------------------------------------------
+  std::size_t announced = 0;
+  std::vector<std::uint64_t> refuted;
+  for (const auto& [id, node] : m.nodes) {
+    if (node.announced) ++announced;
+    if (node.refuted) refuted.push_back(id);
+  }
+  appendf(out, "\n-- split tree --\n");
+  appendf(out, "nodes: %zu  refuted leaves: %zu  recoveries: %zu\n",
+          announced, refuted.size(), m.recoveries);
+  double critical_s = 0.0;
+  std::uint64_t critical_leaf = 0;
+  for (const std::uint64_t leaf : refuted) {
+    const auto node = m.nodes.find(leaf);
+    if (node == m.nodes.end() || !node->second.announced) {
+      report.error =
+          "refuted lineage " + std::to_string(leaf) + " was never announced";
+      out += "!! " + report.error + "\n";
+      return report;
+    }
+    const std::uint64_t tree_root = chain_root(m, leaf);
+    if (tree_root == 0) {
+      report.error = "lineage " + std::to_string(leaf) +
+                     " has no ancestry back to the root (broken chain)";
+      out += "!! " + report.error + "\n";
+      return report;
+    }
+    const double path_s =
+        node->second.refuted_s - m.nodes.at(tree_root).born_s;
+    if (path_s > critical_s) {
+      critical_s = path_s;
+      critical_leaf = leaf;
+    }
+  }
+  if (!refuted.empty()) {
+    appendf(out,
+            "critical path: %.3fs (leaf %llu, depth %zu) of %.3fs "
+            "total virtual time\n",
+            critical_s, static_cast<unsigned long long>(critical_leaf),
+            chain_depth(m, critical_leaf), m.span_s);
+    if (critical_s > m.span_s + 1e-9) {
+      report.error = "critical path exceeds total virtual time";
+      out += "!! " + report.error + "\n";
+      return report;
+    }
+  }
+  const std::uint64_t bad_flow = first_unstitchable_flow(m);
+  if (bad_flow != 0) {
+    report.error =
+        "flow " + std::to_string(bad_flow) + " is unstitchable (s/f contract)";
+    out += "!! " + report.error + "\n";
+    return report;
+  }
+  appendf(out, "flows: %zu, all stitchable\n", m.flows.size());
+
+  // --- utilization -------------------------------------------------------
+  std::map<int, double> lane_busy;
+  for (const Tenancy& t : m.tenancies) {
+    lane_busy[t.tid] += t.end_s - t.start_s;
+  }
+  double busy_total = 0.0;
+  for (const auto& [tid, busy] : lane_busy) busy_total += busy;
+  appendf(out, "busy CPU: %.3fs across %zu tenancies", busy_total,
+          m.tenancies.size());
+  if (m.span_s > 0.0) {
+    appendf(out, "  (parallelism %.2fx)", busy_total / m.span_s);
+  }
+  out += "\n";
+  appendf(out, "\n-- utilization by host --\n");
+  appendf(out, "%-24s %-12s %10s %7s\n", "host", "site", "busy_s", "util");
+  std::map<std::string, std::pair<std::size_t, double>> site_busy;
+  for (const auto& [tid, name] : m.lane_names) {
+    if (name.rfind("client:", 0) != 0) continue;
+    const double busy = lane_busy.count(tid) != 0 ? lane_busy[tid] : 0.0;
+    const auto site_it = m.lane_sites.find(tid);
+    const std::string site =
+        site_it != m.lane_sites.end() ? site_it->second : std::string("?");
+    auto& [hosts, site_total] = site_busy[site];
+    ++hosts;
+    site_total += busy;
+    appendf(out, "%-24s %-12s %10.3f %6.1f%%\n", name.c_str(), site.c_str(),
+            busy, m.span_s > 0.0 ? 100.0 * busy / m.span_s : 0.0);
+  }
+  appendf(out, "\n-- utilization by site --\n");
+  appendf(out, "%-12s %6s %10s %7s\n", "site", "hosts", "busy_s", "util");
+  for (const auto& [site, entry] : site_busy) {
+    const auto& [hosts, site_total] = entry;
+    const double denom = m.span_s * static_cast<double>(hosts);
+    appendf(out, "%-12s %6zu %10.3f %6.1f%%\n", site.c_str(), hosts,
+            site_total, denom > 0.0 ? 100.0 * site_total / denom : 0.0);
+  }
+
+  // --- stragglers --------------------------------------------------------
+  std::vector<Tenancy> by_duration = m.tenancies;
+  std::stable_sort(by_duration.begin(), by_duration.end(),
+                   [](const Tenancy& x, const Tenancy& y) {
+                     return (x.end_s - x.start_s) > (y.end_s - y.start_s);
+                   });
+  appendf(out, "\n-- stragglers (top %zu) --\n",
+          std::min(options.top_k, by_duration.size()));
+  appendf(out, "%-24s %10s %10s %8s\n", "host", "start_s", "dur_s", "flow");
+  for (std::size_t i = 0; i < by_duration.size() && i < options.top_k; ++i) {
+    const Tenancy& t = by_duration[i];
+    const auto it = m.lane_names.find(t.tid);
+    appendf(out, "%-24s %10.3f %10.3f %8llu\n",
+            it != m.lane_names.end() ? it->second.c_str() : "?", t.start_s,
+            t.end_s - t.start_s, static_cast<unsigned long long>(t.flow));
+  }
+
+  // --- wire traffic ------------------------------------------------------
+  appendf(out, "\n-- wire bytes by message class --\n");
+  appendf(out, "%-20s %8s %14s\n", "class", "msgs", "bytes");
+  for (const auto& [name, wc] : m.wire) {
+    appendf(out, "%-20s %8llu %14llu\n", name.c_str(),
+            static_cast<unsigned long long>(wc.msgs),
+            static_cast<unsigned long long>(wc.bytes));
+  }
+
+  // --- clause sharing ----------------------------------------------------
+  const auto imports = m.counters.find("campaign.imports");
+  const auto used = m.counters.find("campaign.imports_used");
+  appendf(out, "\n-- clause sharing --\n");
+  if (imports != m.counters.end() && used != m.counters.end()) {
+    const double pct =
+        imports->second > 0.0 ? 100.0 * used->second / imports->second : 0.0;
+    appendf(out, "imported: %.0f  used in conflict analysis: %.0f (%.1f%%)\n",
+            imports->second, used->second, pct);
+  } else {
+    appendf(out, "no campaign.imports counters in trace/metrics\n");
+  }
+
+  report.ok = true;
+  return report;
+}
+
+AnalyzeReport analyze_trace_file(const std::string& trace_path,
+                                 const std::string& metrics_path,
+                                 const AnalyzeOptions& options) {
+  AnalyzeReport report;
+  bool ok = false;
+  const std::string trace = read_file(trace_path, ok);
+  if (!ok) {
+    report.error = "cannot read trace file: " + trace_path;
+    return report;
+  }
+  std::string metrics;
+  if (!metrics_path.empty()) {
+    metrics = read_file(metrics_path, ok);
+    if (!ok) {
+      report.error = "cannot read metrics file: " + metrics_path;
+      return report;
+    }
+  }
+  return analyze_trace(trace, metrics, options);
+}
+
+}  // namespace gridsat::obs

@@ -1,0 +1,54 @@
+// Offline campaign analysis (gridsat_analyze): consume a Chrome trace
+// produced by obs::chrome_trace_json() — optionally plus a plain-text
+// metrics snapshot — and reconstruct the causal story of the run:
+//
+//   * the guiding-path split tree from lineage events (every refuted
+//     leaf must be reachable from the root, or the trace is incomplete);
+//   * the critical path through the tree (the longest birth-to-refute
+//     chain) against total virtual time and total busy CPU time;
+//   * per-host and per-site utilization with idle attribution;
+//   * the top-k straggler tenancies and the trace flow that shipped
+//     each one (the arrow to chase in Perfetto);
+//   * wire bytes by message class;
+//   * clause-sharing usefulness (campaign.imports vs imports_used).
+//
+// The reader is a self-contained recursive-descent JSON parser matching
+// util::JsonWriter's output — no external dependency, same as the
+// writer. Report text is byte-deterministic for a given input: maps are
+// walked in sorted order and every float is printed with fixed width,
+// so two same-seed campaign runs produce identical reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gridsat::obs {
+
+struct AnalyzeOptions {
+  std::size_t top_k = 5;  ///< straggler table length
+};
+
+struct AnalyzeReport {
+  /// False when the trace is malformed or causally incomplete: JSON that
+  /// does not parse, flow events violating the one-"s"/one-"f" contract,
+  /// a refuted leaf with no split-tree ancestry back to the root, or a
+  /// critical path exceeding total virtual time. `error` carries the
+  /// diagnosis; `text` still holds whatever could be rendered.
+  bool ok = false;
+  std::string error;
+  std::string text;
+};
+
+/// Analyze an in-memory trace (and optional "name value"-per-line
+/// metrics snapshot, as written by gridsat_analyze's --metrics input
+/// convention; pass an empty string for none).
+[[nodiscard]] AnalyzeReport analyze_trace(const std::string& trace_json,
+                                          const std::string& metrics_text,
+                                          const AnalyzeOptions& options = {});
+
+/// File front-end: reads `trace_path` (and `metrics_path` unless empty).
+[[nodiscard]] AnalyzeReport analyze_trace_file(
+    const std::string& trace_path, const std::string& metrics_path = {},
+    const AnalyzeOptions& options = {});
+
+}  // namespace gridsat::obs

@@ -7,13 +7,43 @@
 
 namespace gridsat::obs {
 
-HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
-    : lo_(lo),
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets,
+                                 Scale scale)
+    : scale_(scale),
+      lo_(lo),
       width_((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
-      buckets_(buckets == 0 ? 1 : buckets) {}
+      buckets_(buckets == 0 ? 1 : buckets) {
+  if (scale_ == Scale::kLog) {
+    // Log buckets need a positive lower edge; fall back to linear when
+    // the caller hands an unusable range rather than dividing by zero.
+    if (lo <= 0.0 || hi <= lo) {
+      scale_ = Scale::kLinear;
+    } else {
+      log_lo_ = std::log(lo);
+      log_width_ = (std::log(hi) - log_lo_) /
+                   static_cast<double>(buckets_.size());
+    }
+  }
+}
+
+double HistogramMetric::bucket_lo(std::size_t i) const noexcept {
+  if (scale_ == Scale::kLog) {
+    return std::exp(log_lo_ + log_width_ * static_cast<double>(i));
+  }
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double HistogramMetric::bucket_hi(std::size_t i) const noexcept {
+  return bucket_lo(i + 1);
+}
 
 void HistogramMetric::observe(double x) noexcept {
-  double idx = (x - lo_) / width_;
+  double idx;
+  if (scale_ == Scale::kLog) {
+    idx = x <= 0.0 ? 0.0 : (std::log(x) - log_lo_) / log_width_;
+  } else {
+    idx = (x - lo_) / width_;
+  }
   if (idx < 0.0) idx = 0.0;
   auto i = static_cast<std::size_t>(idx);
   if (i >= buckets_.size()) i = buckets_.size() - 1;
@@ -33,6 +63,29 @@ double HistogramMetric::mean() const noexcept {
                             static_cast<double>(n);
 }
 
+double HistogramMetric::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based); walk the cumulative counts until
+  // a bucket crosses it, then interpolate linearly inside that bucket.
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return bucket_lo(i) + (bucket_hi(i) - bucket_lo(i)) *
+                                std::min(1.0, std::max(0.0, frac));
+    }
+    cum += in_bucket;
+  }
+  return bucket_hi(buckets_.size() - 1);
+}
+
 Counter& MetricRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -48,10 +101,11 @@ Gauge& MetricRegistry::gauge(const std::string& name) {
 }
 
 HistogramMetric& MetricRegistry::histogram(const std::string& name, double lo,
-                                           double hi, std::size_t buckets) {
+                                           double hi, std::size_t buckets,
+                                           HistogramMetric::Scale scale) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, buckets, scale);
   return *slot;
 }
 
@@ -75,7 +129,7 @@ std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
   std::vector<Sample> out;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size());
+    out.reserve(counters_.size() + gauges_.size() + 6 * histograms_.size());
     for (const auto& [name, c] : counters_) {
       out.push_back({name, static_cast<double>(c->get())});
     }
@@ -85,6 +139,10 @@ std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
     for (const auto& [name, h] : histograms_) {
       out.push_back({name + ".count", static_cast<double>(h->count())});
       out.push_back({name + ".mean", h->mean()});
+      out.push_back({name + ".p50", h->quantile(0.50)});
+      out.push_back({name + ".p90", h->quantile(0.90)});
+      out.push_back({name + ".p99", h->quantile(0.99)});
+      out.push_back({name + ".sum", h->sum()});
     }
   }
   std::sort(out.begin(), out.end(),

@@ -60,18 +60,35 @@ class Gauge {
   std::function<double()> fn_;  ///< guarded by the registry mutex
 };
 
-/// Fixed-bucket linear histogram with atomic bucket counts; observe()
-/// never locks. Out-of-range samples land in the first/last bucket.
+/// Fixed-bucket histogram with atomic bucket counts; observe() never
+/// locks. Out-of-range samples land in the first/last bucket.
+///
+/// Two bucket layouts:
+///   * kLinear — equal-width buckets over [lo, hi);
+///   * kLog    — geometric buckets over [lo, hi), lo > 0 required; right
+///               for latency-shaped data spanning decades (a microsecond
+///               hop and a day-long straggler in one histogram).
+/// quantile() interpolates within the bucket that crosses the requested
+/// rank, so p50/p90/p99 come out of the same lock-free counts.
 class HistogramMetric {
  public:
-  HistogramMetric(double lo, double hi, std::size_t buckets);
+  enum class Scale { kLinear, kLog };
+
+  HistogramMetric(double lo, double hi, std::size_t buckets,
+                  Scale scale = Scale::kLinear);
 
   void observe(double x) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double mean() const noexcept;
+  /// q in [0, 1]; linear interpolation inside the crossing bucket.
+  /// Returns 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
   [[nodiscard]] std::size_t num_buckets() const noexcept {
     return buckets_.size();
   }
@@ -80,8 +97,14 @@ class HistogramMetric {
   }
 
  private:
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept;
+
+  Scale scale_;
   double lo_;
-  double width_;  ///< per-bucket
+  double width_;      ///< per-bucket (linear)
+  double log_lo_ = 0.0;    ///< ln(lo) (log scale)
+  double log_width_ = 0.0; ///< ln(ratio) per bucket (log scale)
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
@@ -92,9 +115,10 @@ class MetricRegistry {
   /// Find-or-create; the reference stays valid for the registry's life.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
-  /// Find-or-create; lo/hi/buckets apply only on creation.
-  HistogramMetric& histogram(const std::string& name, double lo, double hi,
-                             std::size_t buckets);
+  /// Find-or-create; lo/hi/buckets/scale apply only on creation.
+  HistogramMetric& histogram(
+      const std::string& name, double lo, double hi, std::size_t buckets,
+      HistogramMetric::Scale scale = HistogramMetric::Scale::kLinear);
 
   /// Register (or replace) a callback gauge evaluated at snapshot time.
   void gauge_fn(const std::string& name, std::function<double()> fn);
@@ -107,7 +131,10 @@ class MetricRegistry {
     double value = 0.0;
   };
   /// Every metric flattened to (name, value), sorted by name. Histograms
-  /// contribute "<name>.count" and "<name>.mean".
+  /// contribute "<name>.count", "<name>.mean", "<name>.p50", "<name>.p90",
+  /// "<name>.p99", and "<name>.sum" — count and sum make rates and means
+  /// computable from any two snapshots, the quantiles make one snapshot
+  /// tell a latency story on its own.
   [[nodiscard]] std::vector<Sample> snapshot() const;
 
   /// Emit the snapshot as kCounter trace events under `worker` (values

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_map>
 
 #include "util/json.hpp"
 
@@ -31,6 +32,11 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kMsgRecv: return "msg-recv";
     case EventKind::kPhase: return "phase";
     case EventKind::kCounter: return "counter";
+    case EventKind::kLineageSplit: return "lineage-split";
+    case EventKind::kLineageShip: return "lineage-ship";
+    case EventKind::kLineageRefute: return "lineage-refute";
+    case EventKind::kLineageRecover: return "lineage-recover";
+    case EventKind::kSiteTag: return "site";
   }
   return "?";
 }
@@ -161,8 +167,62 @@ std::string chrome_trace_json(const Tracer& tracer) {
         .end_object()
         .end_object();
   }
-  for (const TraceEvent& ev : tracer.all_events()) {
+  // Ring-wraparound losses, per worker: a trace with drops covers only
+  // the most recent window, and any analysis has to know that.
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    const std::uint64_t dropped = tracer.dropped(w);
+    if (dropped == 0) continue;
+    json.begin_object()
+        .field("ph", "M")
+        .field("name", "tracer_dropped")
+        .field("pid", std::int64_t{0})
+        .field("tid", static_cast<std::int64_t>(w))
+        .key("args")
+        .begin_object()
+        .field("dropped", dropped)
+        .field("retained", static_cast<std::uint64_t>(
+                               tracer.capacity_per_worker()))
+        .end_object()
+        .end_object();
+  }
+  const std::vector<TraceEvent> all = tracer.all_events();
+  // Flow pre-pass: a flow's first message event opens it (ph "s"), its
+  // last closes it (ph "f"), anything between is a step (ph "t") — so a
+  // split ship, its delivery, the checkpoints, and the eventual refute
+  // report render as one arrow chain in Perfetto.
+  std::unordered_map<std::uint32_t, std::uint32_t> flow_total;
+  std::unordered_map<std::uint32_t, std::uint32_t> flow_kind;
+  for (const TraceEvent& ev : all) {
+    if (ev.kind == EventKind::kMsgSend || ev.kind == EventKind::kMsgRecv) {
+      const std::uint32_t flow = msg_flow(ev.a);
+      if (flow == 0) continue;
+      // Perfetto binds legacy flow events on (cat, name, id): keep the
+      // name constant across a flow by naming it after its first event.
+      flow_kind.emplace(flow, msg_kind_id(ev.a));
+      ++flow_total[flow];
+    }
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> flow_seen;
+  for (const TraceEvent& ev : all) {
     const double ts_us = ev.ts * 1e6;
+    if (ev.kind == EventKind::kMsgSend || ev.kind == EventKind::kMsgRecv) {
+      const std::uint32_t flow = msg_flow(ev.a);
+      if (flow != 0) {
+        const std::uint32_t total = flow_total[flow];
+        const std::uint32_t seq = flow_seen[flow]++;
+        const char* ph = seq == 0 ? "s" : (seq + 1 == total ? "f" : "t");
+        json.begin_object()
+            .field("ph", ph)
+            .field("cat", "flow")
+            .field("id", static_cast<std::uint64_t>(flow))
+            .field("name", tracer.interned(flow_kind[flow]))
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .field("ts", ts_us);
+        if (ph[0] == 'f') json.field("bp", "e");
+        json.end_object();
+      }
+    }
     json.begin_object();
     switch (ev.kind) {
       case EventKind::kCounter:
@@ -180,15 +240,68 @@ std::string chrome_trace_json(const Tracer& tracer) {
       case EventKind::kMsgRecv:
         json.field("ph", "i")
             .field("s", "t")
-            .field("name", tracer.interned(static_cast<std::uint32_t>(ev.a)))
+            .field("name", tracer.interned(msg_kind_id(ev.a)))
             .field("pid", std::int64_t{0})
             .field("tid", static_cast<std::int64_t>(ev.worker))
             .field("ts", ts_us)
             .key("args")
             .begin_object()
             .field("dir", ev.kind == EventKind::kMsgSend ? "send" : "recv")
-            .field("peer",
-                   tracer.worker_name(static_cast<std::uint32_t>(ev.b)))
+            .field("peer", tracer.worker_name(msg_peer(ev.b)))
+            .field("flow", static_cast<std::uint64_t>(msg_flow(ev.a)))
+            .field("bytes", static_cast<std::uint64_t>(msg_bytes(ev.b)))
+            .end_object();
+        break;
+      case EventKind::kLineageSplit:
+        json.field("ph", "i")
+            .field("s", "t")
+            .field("name", to_string(ev.kind))
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .field("ts", ts_us)
+            .key("args")
+            .begin_object()
+            .field("lineage", static_cast<std::uint64_t>(
+                                  static_cast<std::uint32_t>(ev.a)))
+            .field("branch", static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(ev.a >> 32)))
+            .field("parent", ev.b)
+            .end_object();
+        break;
+      case EventKind::kLineageShip:
+      case EventKind::kLineageRecover:
+        json.field("ph", "i")
+            .field("s", "t")
+            .field("name", to_string(ev.kind))
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .field("ts", ts_us)
+            .key("args")
+            .begin_object()
+            .field("lineage", ev.a)
+            .field("dest", tracer.worker_name(static_cast<std::uint32_t>(ev.b)))
+            .end_object();
+        break;
+      case EventKind::kLineageRefute:
+        json.field("ph", "i")
+            .field("s", "t")
+            .field("name", to_string(ev.kind))
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .field("ts", ts_us)
+            .key("args")
+            .begin_object()
+            .field("lineage", ev.a)
+            .end_object();
+        break;
+      case EventKind::kSiteTag:
+        json.field("ph", "M")
+            .field("name", "gridsat_site")
+            .field("pid", std::int64_t{0})
+            .field("tid", static_cast<std::int64_t>(ev.worker))
+            .key("args")
+            .begin_object()
+            .field("site", tracer.interned(static_cast<std::uint32_t>(ev.a)))
             .end_object();
         break;
       case EventKind::kPhase:
@@ -234,6 +347,17 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
 std::string text_timeline(const Tracer& tracer, std::size_t max_lines) {
   std::string out;
   char line[256];
+  // Header: name every lane whose ring wrapped, so a reader knows the
+  // timeline below starts mid-run for that worker.
+  for (std::uint32_t w = 0; w < tracer.num_workers(); ++w) {
+    const std::uint64_t dropped = tracer.dropped(w);
+    if (dropped == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "# %s dropped %llu events (ring wrapped; oldest lost)\n",
+                  tracer.worker_name(w).c_str(),
+                  static_cast<unsigned long long>(dropped));
+    out += line;
+  }
   std::size_t lines = 0;
   for (const TraceEvent& ev : tracer.all_events()) {
     if (max_lines != 0 && lines >= max_lines) {
@@ -244,12 +368,12 @@ std::string text_timeline(const Tracer& tracer, std::size_t max_lines) {
     std::string detail;
     switch (ev.kind) {
       case EventKind::kMsgSend:
-        detail = tracer.interned(static_cast<std::uint32_t>(ev.a)) + " -> " +
-                 tracer.worker_name(static_cast<std::uint32_t>(ev.b));
+        detail = tracer.interned(msg_kind_id(ev.a)) + " -> " +
+                 tracer.worker_name(msg_peer(ev.b));
         break;
       case EventKind::kMsgRecv:
-        detail = tracer.interned(static_cast<std::uint32_t>(ev.a)) + " <- " +
-                 tracer.worker_name(static_cast<std::uint32_t>(ev.b));
+        detail = tracer.interned(msg_kind_id(ev.a)) + " <- " +
+                 tracer.worker_name(msg_peer(ev.b));
         break;
       case EventKind::kPhase:
         detail = tracer.interned(static_cast<std::uint32_t>(ev.a));
@@ -283,6 +407,26 @@ std::string text_timeline(const Tracer& tracer, std::size_t max_lines) {
         break;
       case EventKind::kSplit:
         detail = "split #" + std::to_string(ev.a);
+        break;
+      case EventKind::kLineageSplit:
+        detail = "lineage " + std::to_string(ev.b) + " -> " +
+                 std::to_string(static_cast<std::uint32_t>(ev.a)) +
+                 " (branch " +
+                 std::to_string(static_cast<std::uint32_t>(ev.a >> 32)) + ")";
+        break;
+      case EventKind::kLineageShip:
+        detail = "lineage " + std::to_string(ev.a) + " shipped to " +
+                 tracer.worker_name(static_cast<std::uint32_t>(ev.b));
+        break;
+      case EventKind::kLineageRefute:
+        detail = "lineage " + std::to_string(ev.a) + " refuted";
+        break;
+      case EventKind::kLineageRecover:
+        detail = "lineage " + std::to_string(ev.a) + " recovered to " +
+                 tracer.worker_name(static_cast<std::uint32_t>(ev.b));
+        break;
+      case EventKind::kSiteTag:
+        detail = "site " + tracer.interned(static_cast<std::uint32_t>(ev.a));
         break;
     }
     std::snprintf(line, sizeof line, "[%10.2fs] %-18s %s\n", ev.ts,

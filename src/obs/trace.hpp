@@ -62,13 +62,48 @@ enum class EventKind : std::uint16_t {
   kClauseImport,    ///< a = clauses merged at level 0
   kClauseDedup,     ///< a = duplicate shipments suppressed
   kSplit,           ///< a = splits performed so far
-  kMsgSend,         ///< a = interned message kind, b = receiver worker
-  kMsgRecv,         ///< a = interned message kind, b = sender worker
+  kMsgSend,         ///< a = msg_a(kind, flow), b = msg_b(receiver, bytes)
+  kMsgRecv,         ///< a = msg_a(kind, flow), b = msg_b(sender, bytes)
   kPhase,           ///< a = interned phase name (client lifecycle)
   kCounter,         ///< a = interned metric name, b = rounded value
+  kLineageSplit,    ///< a = child lineage | branch-lit code << 32, b = parent
+  kLineageShip,     ///< a = lineage id, b = destination worker
+  kLineageRefute,   ///< a = lineage id refuted (UNSAT leaf)
+  kLineageRecover,  ///< a = lineage id, b = worker it is re-shipped to
+  kSiteTag,         ///< a = interned site name for this worker's lane
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+// --- kMsgSend/kMsgRecv payload packing ---------------------------------
+// The two message events carry four facts in two 64-bit words. The low
+// halves keep their original meaning (interned kind, peer worker), so
+// any consumer that casts to uint32 keeps working; the upper halves add
+// the causal flow id (truncated to 32 bits — a campaign allocates flows
+// sequentially, so truncation would need 4 billion messages) and the
+// payload size in bytes (saturated at 4 GiB - 1).
+[[nodiscard]] constexpr std::uint64_t msg_a(std::uint32_t kind_id,
+                                            std::uint64_t flow) noexcept {
+  return static_cast<std::uint64_t>(kind_id) |
+         ((flow & 0xffffffffull) << 32);
+}
+[[nodiscard]] constexpr std::uint64_t msg_b(std::uint32_t peer,
+                                            std::uint64_t bytes) noexcept {
+  const std::uint64_t capped = bytes > 0xffffffffull ? 0xffffffffull : bytes;
+  return static_cast<std::uint64_t>(peer) | (capped << 32);
+}
+[[nodiscard]] constexpr std::uint32_t msg_kind_id(std::uint64_t a) noexcept {
+  return static_cast<std::uint32_t>(a);
+}
+[[nodiscard]] constexpr std::uint32_t msg_flow(std::uint64_t a) noexcept {
+  return static_cast<std::uint32_t>(a >> 32);
+}
+[[nodiscard]] constexpr std::uint32_t msg_peer(std::uint64_t b) noexcept {
+  return static_cast<std::uint32_t>(b);
+}
+[[nodiscard]] constexpr std::uint32_t msg_bytes(std::uint64_t b) noexcept {
+  return static_cast<std::uint32_t>(b >> 32);
+}
 
 /// One trace record. POD by construction: rings are plain arrays of
 /// these, and a drain is a memcpy-ordered copy.

@@ -110,7 +110,12 @@ class SimEngine {
     metrics_->gauge_fn("sim.events_fired", [this] {
       return static_cast<double>(events_fired_);
     });
-    delay_hist_ = &metrics_->histogram("sim.event_delay_s", 0.0, 120.0, 48);
+    // Log buckets: scheduling delays span sub-millisecond control hops
+    // to multi-hour straggler timeouts, and the p99 of that mix is
+    // meaningless on a linear grid.
+    delay_hist_ =
+        &metrics_->histogram("sim.event_delay_s", 1e-6, 1e5, 64,
+                             obs::HistogramMetric::Scale::kLog);
   }
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/callback.hpp"
 #include "sim/engine.hpp"
@@ -32,6 +33,11 @@ struct MessageHeader {
   std::uint32_t to_site = 0;
   std::uint32_t kind = 0;       ///< protocol message name id
   std::size_t bytes = 0;
+  /// Causal flow id: 0 (default) means "unrelated one-off" and the bus
+  /// stamps a fresh id at send time; a nonzero id (from allocate_flow())
+  /// stitches this message into an existing flow — e.g. every message in
+  /// one subproblem's negotiate → ship → checkpoint → refute lifetime.
+  std::uint64_t flow_id = 0;
 };
 static_assert(std::is_trivially_copyable_v<MessageHeader>);
 
@@ -143,6 +149,19 @@ class MessageBus {
     kind_cache_.clear();
   }
 
+  /// Reserve a flow id to stamp onto related MessageHeaders. Ids are
+  /// dense and deterministic: allocation order is send order plus any
+  /// explicit campaign allocations, both fixed under a seeded sim.
+  [[nodiscard]] std::uint64_t allocate_flow() noexcept {
+    return ++next_flow_id_;
+  }
+
+  /// Attach a latency histogram (not owned): every send observes its
+  /// simulated transfer delay — the campaign.flow.latency_s feed.
+  void set_latency_histogram(obs::HistogramMetric* hist) noexcept {
+    latency_hist_ = hist;
+  }
+
   void enable_trace(bool on = true) { trace_enabled_ = on; }
   [[nodiscard]] const std::vector<MessageRecord>& trace() const noexcept {
     return trace_;
@@ -167,6 +186,11 @@ class MessageBus {
   void account(const MessageHeader& h, double delay) {
     ++messages_sent_;
     bytes_sent_ += h.bytes;
+    // Unstamped messages get their own single-hop flow. Allocated
+    // unconditionally (one increment) so flow ids are identical whether
+    // or not a tracer happens to be attached.
+    const std::uint64_t flow = h.flow_id != 0 ? h.flow_id : allocate_flow();
+    if (latency_hist_ != nullptr) latency_hist_->observe(delay);
     const SimTime sent_at = engine_.now();
     if (trace_enabled_) {
       MessageRecord record;
@@ -187,11 +211,11 @@ class MessageBus {
         // (future-stamped; the engine's clock catches up at delivery).
         const std::uint32_t from_w = tracer_lane(h.from);
         const std::uint32_t to_w = tracer_lane(h.to);
-        const std::uint64_t kind = tracer_kind(h.kind);
-        tracer_->emit_at(sent_at, from_w, obs::EventKind::kMsgSend, kind,
-                         to_w);
+        const auto kind = static_cast<std::uint32_t>(tracer_kind(h.kind));
+        tracer_->emit_at(sent_at, from_w, obs::EventKind::kMsgSend,
+                         obs::msg_a(kind, flow), obs::msg_b(to_w, h.bytes));
         tracer_->emit_at(sent_at + delay, to_w, obs::EventKind::kMsgRecv,
-                         kind, from_w);
+                         obs::msg_a(kind, flow), obs::msg_b(from_w, h.bytes));
       }
     }
   }
@@ -230,6 +254,8 @@ class MessageBus {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::HistogramMetric* latency_hist_ = nullptr;
+  std::uint64_t next_flow_id_ = 0;
   std::vector<std::uint32_t> lane_cache_;   ///< endpoint id -> tracer lane
   std::vector<std::uint64_t> kind_cache_;   ///< kind id -> tracer string id
 };

@@ -129,8 +129,10 @@ bool CdclSolver::enqueue_level0(Lit p, bool tainted) {
   return true;
 }
 
-bool CdclSolver::add_clause_at_level0(const cnf::Clause& clause, bool learned) {
+bool CdclSolver::add_clause_at_level0(const cnf::Clause& clause, bool learned,
+                                      ClauseRef* new_ref) {
   assert(decision_level() == 0);
+  if (new_ref != nullptr) *new_ref = kNoClause;
   // Preprocess: sort/dedupe, detect tautology, apply level-0 facts.
   std::vector<Lit> lits(clause.begin(), clause.end());
   std::sort(lits.begin(), lits.end());
@@ -173,6 +175,7 @@ bool CdclSolver::add_clause_at_level0(const cnf::Clause& clause, bool learned) {
     return enqueue_level0(kept[0], /*tainted=*/false);
   }
   const ClauseRef cref = arena_.alloc(kept, learned);
+  if (new_ref != nullptr) *new_ref = cref;
   attach(cref);
   if (num_open == 1) {
     // Effectively unit: imply the open literal; taint flows from the kept
@@ -537,6 +540,12 @@ void CdclSolver::analyze(ClauseRef confl, std::vector<Lit>& learned,
   do {
     assert(cl != kNoClause && cl != kDecisionReason);
     bump_clause(cl);
+    if (arena_.import_pending(cl)) {
+      // First time this imported clause shows up in conflict analysis:
+      // the shared clause earned its wire bytes.
+      arena_.clear_import_pending(cl);
+      ++stats_.imported_used;
+    }
     const auto lits = arena_.lits(cl);
     // Skip the resolved literal p. Long reason clauses keep it in slot 0
     // (the watcher machinery normalizes); binary reasons from the fast
@@ -1086,10 +1095,12 @@ bool CdclSolver::merge_imports() {
     if (proof_on()) proof_.add(c);
     const std::size_t clauses_before = arena_.num_learned();
     const std::size_t trail_before = trail_.size();
-    if (!add_clause_at_level0(c, /*learned=*/true)) {
+    ClauseRef imported_ref = kNoClause;
+    if (!add_clause_at_level0(c, /*learned=*/true, &imported_ref)) {
       root_conflict_ = true;  // paper §3.2 case 3: all literals false
       return false;
     }
+    if (imported_ref != kNoClause) arena_.mark_import(imported_ref);
     if (arena_.num_learned() == clauses_before && trail_.size() == trail_before) {
       ++stats_.imported_useless;  // case 4: satisfied/duplicate, discarded
     }

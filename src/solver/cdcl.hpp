@@ -173,6 +173,9 @@ struct SolverStats {
   std::uint64_t max_decision_level = 0;
   std::uint64_t imported_clauses = 0;
   std::uint64_t imported_useless = 0;  ///< arrived satisfied/duplicate
+  /// Imported clauses later walked by conflict analysis at least once —
+  /// the "did sharing actually help" numerator over imported_clauses.
+  std::uint64_t imported_used = 0;
   std::uint64_t exported_clauses = 0;
   std::uint64_t splits = 0;
   /// Abstract cost: watcher visits + analysis steps; the discrete-event
@@ -420,7 +423,10 @@ class CdclSolver {
   /// tautology skip, satisfied skip, untainted-false-literal drop).
   /// Returns false when the clause (with propagation pending) refutes
   /// the subproblem.
-  bool add_clause_at_level0(const cnf::Clause& clause, bool learned);
+  /// `new_ref` (optional) receives the allocated clause ref, or kNoClause
+  /// when the clause was pruned, became a unit, or conflicted.
+  bool add_clause_at_level0(const cnf::Clause& clause, bool learned,
+                            ClauseRef* new_ref = nullptr);
 
   // Maintenance.
   void reduce_db();

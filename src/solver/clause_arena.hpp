@@ -5,7 +5,10 @@
 // Clauses live in one contiguous uint32 arena and are referred to by
 // offset (ClauseRef). Layout per clause:
 //
-//   word 0 : size << 3 | learned << 0 | deleted << 1 | pad << 2
+//   word 0 : size << 4 | learned << 0 | deleted << 1 | pad << 2
+//            | import_pending << 3  (imported clause not yet seen in a
+//            conflict; cleared — and counted as a useful import — the
+//            first time analyze() walks it)
 //   word 1 : activity (float bits; learned-clause relevance for deletion)
 //   word 2 : LBD — number of distinct decision levels at learning time
 //            (glue metric; drives deletion tiering and the sharing
@@ -61,7 +64,7 @@ class ClauseArena {
   ClauseRef alloc(std::span<const cnf::Lit> lits, bool learned) {
     assert(!lits.empty());
     const ClauseRef ref = static_cast<ClauseRef>(data_.size());
-    data_.push_back((static_cast<std::uint32_t>(lits.size()) << 3) |
+    data_.push_back((static_cast<std::uint32_t>(lits.size()) << 4) |
                     (learned ? 1u : 0u));
     data_.push_back(float_bits(0.0f));
     data_.push_back(static_cast<std::uint32_t>(lits.size()));
@@ -73,10 +76,21 @@ class ClauseArena {
   }
 
   [[nodiscard]] std::uint32_t size(ClauseRef r) const {
-    return data_[r] >> 3;
+    return data_[r] >> 4;
   }
   [[nodiscard]] bool learned(ClauseRef r) const { return (data_[r] & 1) != 0; }
   [[nodiscard]] bool deleted(ClauseRef r) const { return (data_[r] & 2) != 0; }
+
+  /// Import-usefulness tracking (Beame et al.'s question: which shared
+  /// clauses matter?). mark_import() flags a freshly merged import;
+  /// import_pending() + clear_import_pending() let conflict analysis
+  /// count it as used exactly once. The flag travels with the clause
+  /// through gc()/gc_ordered() (headers are copied wholesale).
+  void mark_import(ClauseRef r) { data_[r] |= 8u; }
+  [[nodiscard]] bool import_pending(ClauseRef r) const {
+    return (data_[r] & 8u) != 0;
+  }
+  void clear_import_pending(ClauseRef r) { data_[r] &= ~8u; }
 
   [[nodiscard]] cnf::Lit lit(ClauseRef r, std::uint32_t i) const {
     return cnf::Lit::from_code(data_[r + kHeaderWords + i]);
@@ -127,7 +141,7 @@ class ClauseArena {
       data_[r + kHeaderWords + k] = data_[r + kHeaderWords + k + 1];
     }
     data_[r + kHeaderWords + sz - 1] = kPadWord;
-    data_[r] = (data_[r] & 7u) | ((sz - 1) << 3);
+    data_[r] = (data_[r] & 15u) | ((sz - 1) << 4);
     --live_words_;
     ++garbage_words_;
   }

@@ -30,12 +30,14 @@ ParallelResult ParallelSolver::solve() {
   published_ctr_ = &reg.counter("parallel.clauses_published");
   deduped_ctr_ = &reg.counter("parallel.clauses_deduped");
   imported_ctr_ = &reg.counter("parallel.clauses_imported");
+  imported_used_ctr_ = &reg.counter("parallel.clauses_imported_used");
   work_ctr_ = &reg.counter("parallel.total_work");
   splits_base_ = splits_ctr_->get();
   refuted_base_ = refuted_ctr_->get();
   published_base_ = published_ctr_->get();
   deduped_base_ = deduped_ctr_->get();
   imported_base_ = imported_ctr_->get();
+  imported_used_base_ = imported_used_ctr_->get();
   work_base_ = work_ctr_->get();
   // Live pool state for mid-run snapshots; frozen to plain values below,
   // before the pool dies with this call.
@@ -94,6 +96,8 @@ ParallelResult ParallelSolver::solve() {
   result_.stats.clauses_published = published_ctr_->get() - published_base_;
   result_.stats.clauses_deduped = deduped_ctr_->get() - deduped_base_;
   result_.stats.clauses_imported = imported_ctr_->get() - imported_base_;
+  result_.stats.clauses_imported_used =
+      imported_used_ctr_->get() - imported_used_base_;
   result_.stats.shard_lock_contention = pool_->lock_contention();
   result_.stats.total_work = work_ctr_->get() - work_base_;
   // Freeze the callback gauges: their closures read pool_, which does not
@@ -216,8 +220,10 @@ void ParallelSolver::run_subproblem(std::size_t worker_index,
   for (;;) {
     if (stop_.load()) return;
     const std::uint64_t before = solver.stats().work;
+    const std::uint64_t used_before = solver.stats().imported_used;
     const SolveStatus status = solver.solve(options_.slice_work);
     work_ctr_->add(solver.stats().work - before);
+    imported_used_ctr_->add(solver.stats().imported_used - used_before);
     publish_clauses(worker_index, std::move(exports));
     exports.clear();
     switch (status) {

@@ -88,6 +88,9 @@ struct ParallelStats {
   /// Clauses handed to importing solvers (each shipment counts once per
   /// importing worker).
   std::uint64_t clauses_imported = 0;
+  /// Imported clauses later walked by some importer's conflict analysis
+  /// — the usefulness numerator over clauses_imported.
+  std::uint64_t clauses_imported_used = 0;
   /// Times a publisher or importer found a shard mutex already held —
   /// the residual serialization of the exchange path.
   std::uint64_t shard_lock_contention = 0;
@@ -166,12 +169,14 @@ class ParallelSolver {
   obs::Counter* published_ctr_ = nullptr;
   obs::Counter* deduped_ctr_ = nullptr;
   obs::Counter* imported_ctr_ = nullptr;
+  obs::Counter* imported_used_ctr_ = nullptr;
   obs::Counter* work_ctr_ = nullptr;
   std::uint64_t splits_base_ = 0;
   std::uint64_t refuted_base_ = 0;
   std::uint64_t published_base_ = 0;
   std::uint64_t deduped_base_ = 0;
   std::uint64_t imported_base_ = 0;
+  std::uint64_t imported_used_base_ = 0;
   std::uint64_t work_base_ = 0;
 
   /// worker index -> tracer worker id (empty when no tracer is attached).

@@ -111,6 +111,18 @@ struct Subproblem {
   /// True after decoding a kBaseRef payload: the problem-clause block is
   /// absent until rehydrate() splices the receiver's cached base back in.
   bool needs_base = false;
+  /// In-memory observability identity (never serialized — the v2 payload
+  /// codec is unchanged; the ids travel in the sim-level MessageHeader
+  /// and trace events instead, and a decoded payload gets them re-stamped
+  /// by the campaign). lineage_id names this node of the split tree;
+  /// parent_lineage + branch_lit (the Lit code picked at the split, 0 for
+  /// the root) reconstruct the guiding-path tree from the trace alone.
+  std::uint64_t lineage_id = 0;
+  std::uint64_t parent_lineage = 0;
+  std::uint32_t branch_lit = 0;
+  /// Causal flow id stitching every message of this subproblem's lifetime
+  /// (ship → checkpoints → kill → recover → refute) into one trace flow.
+  std::uint64_t flow_id = 0;
 
   [[nodiscard]] bool empty() const noexcept {
     return units.empty() && clauses.empty();

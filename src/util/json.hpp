@@ -1,7 +1,8 @@
 // Minimal JSON writer (objects, arrays, scalars, correct string
 // escaping) — enough to export campaign results and bench tables for
 // downstream analysis without an external dependency. Writer only; the
-// project never needs to parse JSON.
+// one in-tree consumer of trace JSON (obs/analyze) carries its own
+// matching reader.
 #pragma once
 
 #include <cstdint>

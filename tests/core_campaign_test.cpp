@@ -172,6 +172,25 @@ TEST(CampaignTest, ClauseSharingHappensAndIsCounted) {
   EXPECT_GT(result.clause_batches_shared, 0u);
 }
 
+TEST(CampaignTest, ImportUsefulnessIsAccountedAndDeterministic) {
+  // Shared clauses merged into a client count as imported; the subset
+  // conflict analysis actually walked counts as used. Both totals live
+  // in the result and are stable across identically-seeded runs.
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  GridSatConfig config = fast_split_config();
+  config.split_timeout_s = 2.0;
+  config.share_max_len = 10;
+  Campaign a(f, "east", tiny_testbed(), config);
+  Campaign b(f, "east", tiny_testbed(), config);
+  const GridSatResult ra = a.run();
+  const GridSatResult rb = b.run();
+  ASSERT_EQ(ra.status, CampaignStatus::kUnsat);
+  EXPECT_GT(ra.clauses_imported, 0u);
+  EXPECT_LE(ra.clauses_imported_used, ra.clauses_imported);
+  EXPECT_EQ(ra.clauses_imported, rb.clauses_imported);
+  EXPECT_EQ(ra.clauses_imported_used, rb.clauses_imported_used);
+}
+
 TEST(CampaignTest, ShareLengthZeroDisablesSharing) {
   const CnfFormula f = gen::pigeonhole_unsat(8);
   GridSatConfig config = fast_split_config();

@@ -1,8 +1,10 @@
 // Observability-layer tests: tracer ring semantics, Chrome-trace JSON
-// well-formedness (checked by a small in-test JSON parser — the repo has
-// a writer, deliberately no reader), metric-registry determinism across
-// thread counts, and an instrumented end-to-end parallel solve (the
-// TSAN-matrix entry point for the whole obs wiring).
+// well-formedness (checked by a small in-test JSON validator; the full
+// reader lives in obs/analyze and is exercised by the analyzer tests
+// below), metric-registry determinism across thread counts, and an
+// instrumented end-to-end parallel solve (the TSAN-matrix entry point
+// for the whole obs wiring, including concurrent flow-stamped message
+// emission).
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -13,6 +15,7 @@
 #include "core/campaign.hpp"
 #include "gen/pigeonhole.hpp"
 #include "gen/xor_chains.hpp"
+#include "obs/analyze.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/host.hpp"
@@ -246,6 +249,63 @@ TEST(TracerTest, TextTimelineRendersFigure3Style) {
   EXPECT_NE(capped.find("truncated"), std::string::npos);
 }
 
+TEST(TracerTest, MsgPackingRoundTrips) {
+  // kMsgSend/kMsgRecv carry (kind, flow) and (peer, bytes) in two words.
+  static_assert(msg_kind_id(msg_a(7, 42)) == 7);
+  static_assert(msg_flow(msg_a(7, 42)) == 42);
+  static_assert(msg_peer(msg_b(3, 1000)) == 3);
+  static_assert(msg_bytes(msg_b(3, 1000)) == 1000);
+  // Flow ids truncate to 32 bits; byte counts saturate at 4 GiB - 1.
+  EXPECT_EQ(msg_flow(msg_a(0, 0x1'0000'0001ull)), 1u);
+  EXPECT_EQ(msg_bytes(msg_b(0, 0x2'0000'0000ull)), 0xffffffffu);
+}
+
+TEST(TracerTest, DroppedEventsSurfaceInChromeMetadataAndTimelineHeader) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  Tracer tracer(16, Tracer::Clock::kManual);
+  tracer.set_enabled(true);
+  const std::uint32_t w = tracer.register_worker("client:busy");
+  tracer.register_worker("client:quiet");
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    tracer.emit(w, EventKind::kRestart, i);
+  }
+  ASSERT_EQ(tracer.dropped(w), 24u);
+  const std::string json = chrome_trace_json(tracer);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"tracer_dropped\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":24"), std::string::npos);
+  EXPECT_NE(json.find("\"retained\":16"), std::string::npos);
+  // The quiet lane dropped nothing and must not carry the metadata.
+  EXPECT_EQ(json.find("\"dropped\":0"), std::string::npos);
+  const std::string text = text_timeline(tracer);
+  EXPECT_NE(text.find("# client:busy dropped 24 events"), std::string::npos);
+  EXPECT_EQ(text.find("client:quiet dropped"), std::string::npos);
+}
+
+TEST(TracerTest, MessageEventsExportChromeFlowArrows) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  Tracer tracer(64, Tracer::Clock::kManual);
+  tracer.set_enabled(true);
+  const std::uint32_t m = tracer.register_worker("master");
+  const std::uint32_t c = tracer.register_worker("client:torc1");
+  const std::uint32_t kind = tracer.intern("SUBPROBLEM");
+  tracer.set_manual_time(1.0);
+  tracer.emit(m, EventKind::kMsgSend, msg_a(kind, 5), msg_b(c, 4096));
+  tracer.emit_at(1.5, c, EventKind::kMsgRecv, msg_a(kind, 5), msg_b(m, 4096));
+  const std::string json = chrome_trace_json(tracer);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // One start and one finish, bound by (cat, name, id); the finish ends
+  // with bp:"e" so Perfetto draws the arrow to the enclosing instant.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":5"), std::string::npos);
+  // The instants carry the decoded facts for the analyzer.
+  EXPECT_NE(json.find("\"flow\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+}
+
 // --- metric registry --------------------------------------------------------
 
 TEST(MetricRegistryTest, CountersAreExactAcrossThreadCounts) {
@@ -289,10 +349,46 @@ TEST(MetricRegistryTest, HistogramTracksCountAndMean) {
   for (const double x : {2.0, 4.0, 6.0}) h.observe(x);
   EXPECT_EQ(h.count(), 3u);
   EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
   const std::vector<MetricRegistry::Sample> snap = registry.snapshot();
-  ASSERT_EQ(snap.size(), 2u);  // lbd.count + lbd.mean
+  ASSERT_EQ(snap.size(), 6u);  // count, mean, p50, p90, p99, sum
   EXPECT_EQ(snap[0].name, "lbd.count");
   EXPECT_EQ(snap[1].name, "lbd.mean");
+  EXPECT_EQ(snap[2].name, "lbd.p50");
+  EXPECT_EQ(snap[3].name, "lbd.p90");
+  EXPECT_EQ(snap[4].name, "lbd.p99");
+  EXPECT_EQ(snap[5].name, "lbd.sum");
+  EXPECT_DOUBLE_EQ(snap[5].value, 12.0);
+}
+
+TEST(MetricRegistryTest, LogBucketsResolveLatencyDecadesInQuantiles) {
+  // Latency-shaped data spanning four decades: a linear histogram with
+  // the same bucket budget lumps everything below the straggler into one
+  // bucket; the log layout keeps the decades apart.
+  HistogramMetric h(1e-4, 1e2, 48, HistogramMetric::Scale::kLog);
+  for (int i = 0; i < 90; ++i) h.observe(1e-3);  // fast hops
+  for (int i = 0; i < 9; ++i) h.observe(1e-1);   // slow links
+  h.observe(50.0);                               // one straggler
+  EXPECT_EQ(h.count(), 100u);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p50, 5e-4);
+  EXPECT_LT(p50, 5e-3);  // within the fast-hop decade
+  EXPECT_GT(p95, 5e-3);
+  EXPECT_LT(p95, 5e-1);  // crossing into the slow-link decade
+  EXPECT_GT(p99, 1e-1);  // pulled up toward the straggler
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Out-of-range samples clamp into the edge buckets instead of vanishing.
+  h.observe(0.0);
+  h.observe(1e9);
+  EXPECT_EQ(h.count(), 102u);
+  // A log request with lo <= 0 cannot take a logarithm; the constructor
+  // falls back to linear layout rather than emitting NaN buckets.
+  HistogramMetric fallback(0.0, 10.0, 10, HistogramMetric::Scale::kLog);
+  fallback.observe(5.0);
+  EXPECT_GT(fallback.quantile(0.5), 0.0);
 }
 
 TEST(MetricRegistryTest, SnapshotToEmitsCounterEvents) {
@@ -350,6 +446,43 @@ TEST(InstrumentedParallelTest, FourThreadSolveTracesAndCounts) {
   EXPECT_TRUE(JsonChecker(chrome_trace_json(tracer)).valid());
 }
 
+TEST(InstrumentedParallelTest, FourThreadFlowEmissionIsRaceFree) {
+  // Concurrent flow-stamped message emission (the pattern the bus uses
+  // when campaign lanes are driven from worker threads). Runs under the
+  // TSAN matrix: four single-writer rings, shared intern table touched
+  // only before the threads start.
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  Tracer tracer(1u << 10);
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 200;
+  std::vector<std::uint32_t> lanes;
+  lanes.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    lanes.push_back(tracer.register_worker("lane" + std::to_string(t)));
+  }
+  const std::uint32_t kind = tracer.intern("SUBPROBLEM");
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&tracer, &lanes, kind, t] {
+      const auto base = static_cast<std::uint64_t>(t) * kPerThread;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t flow = 1 + base + i;
+        tracer.emit(lanes[static_cast<std::size_t>(t)], EventKind::kMsgSend,
+                    msg_a(kind, flow), msg_b(0, 128));
+        tracer.emit(lanes[static_cast<std::size_t>(t)], EventKind::kMsgRecv,
+                    msg_a(kind, flow), msg_b(0, 128));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(tracer.total_emitted(), kThreads * kPerThread * 2);
+  const std::string json = chrome_trace_json(tracer);
+  EXPECT_TRUE(JsonChecker(json).valid());
+  const AnalyzeReport report = analyze_trace(json, "");
+  EXPECT_TRUE(report.ok) << report.error;  // every flow stitchable
+}
+
 TEST(InstrumentedParallelTest, ExternalRegistryReportsPerRunDeltas) {
   const cnf::CnfFormula f = gen::urquhart_like(8, 1);
   MetricRegistry registry;
@@ -365,6 +498,96 @@ TEST(InstrumentedParallelTest, ExternalRegistryReportsPerRunDeltas) {
   // The registry accumulates, the per-run facade does not.
   EXPECT_EQ(registry.counter("parallel.total_work").get(),
             work_one + work_two);
+}
+
+// --- gridsat_analyze --------------------------------------------------------
+
+// A hand-written two-lane campaign trace exercising every analyzer
+// input: lane metadata + site tag, the root lineage announcement, one
+// flow-stitched SUBPROBLEM ship, one tenancy refuted at t=5s, and final
+// counter samples from a metrics lane.
+const char kGoldenTrace[] = R"({"displayTimeUnit":"ms","traceEvents":[
+{"ph":"M","name":"thread_name","pid":0,"tid":0,"args":{"name":"master"}},
+{"ph":"M","name":"thread_name","pid":0,"tid":1,"args":{"name":"client:node0"}},
+{"ph":"M","name":"gridsat_site","pid":0,"tid":1,"args":{"site":"utk"}},
+{"ph":"i","s":"t","name":"lineage-split","pid":0,"tid":0,"ts":0,"args":{"lineage":1,"branch":0,"parent":0}},
+{"ph":"s","cat":"flow","id":7,"name":"SUBPROBLEM","pid":0,"tid":0,"ts":100000},
+{"ph":"i","s":"t","name":"SUBPROBLEM","pid":0,"tid":0,"ts":100000,"args":{"dir":"send","peer":"client:node0","flow":7,"bytes":2048}},
+{"ph":"f","bp":"e","cat":"flow","id":7,"name":"SUBPROBLEM","pid":0,"tid":1,"ts":200000},
+{"ph":"i","s":"t","name":"SUBPROBLEM","pid":0,"tid":1,"ts":200000,"args":{"dir":"recv","peer":"master","flow":7,"bytes":2048}},
+{"ph":"i","s":"t","name":"subproblem-start","pid":0,"tid":1,"ts":300000,"args":{"b":0}},
+{"ph":"i","s":"t","name":"lineage-refute","pid":0,"tid":1,"ts":5000000,"args":{"lineage":1}},
+{"ph":"i","s":"t","name":"subproblem-unsat","pid":0,"tid":1,"ts":5000000,"args":{"b":0}},
+{"ph":"C","name":"campaign.imports","pid":0,"tid":2,"ts":5000000,"args":{"value":10}},
+{"ph":"C","name":"campaign.imports_used","pid":0,"tid":2,"ts":5000000,"args":{"value":4}}
+]})";
+
+TEST(AnalyzeTest, GoldenReportReadsEverySection) {
+  const AnalyzeReport report = analyze_trace(kGoldenTrace, "");
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NE(report.text.find("nodes: 1  refuted leaves: 1  recoveries: 0"),
+            std::string::npos)
+      << report.text;
+  EXPECT_NE(report.text.find(
+                "critical path: 5.000s (leaf 1, depth 0) of 5.000s"),
+            std::string::npos)
+      << report.text;
+  EXPECT_NE(report.text.find("flows: 1, all stitchable"), std::string::npos);
+  // Utilization: the tenancy runs 0.3s..5.0s on node0 (site utk).
+  EXPECT_NE(report.text.find("client:node0"), std::string::npos);
+  EXPECT_NE(report.text.find("utk"), std::string::npos);
+  // The straggler table names the flow that shipped the tenancy.
+  EXPECT_NE(report.text.find("       7\n"), std::string::npos) << report.text;
+  // Wire accounting counts the send side only.
+  EXPECT_NE(report.text.find("SUBPROBLEM"), std::string::npos);
+  EXPECT_NE(report.text.find("2048"), std::string::npos);
+  // Clause-sharing usefulness from the trace's counter samples.
+  EXPECT_NE(
+      report.text.find("imported: 10  used in conflict analysis: 4 (40.0%)"),
+      std::string::npos)
+      << report.text;
+}
+
+TEST(AnalyzeTest, ReportIsByteDeterministic) {
+  const AnalyzeReport one = analyze_trace(kGoldenTrace, "");
+  const AnalyzeReport two = analyze_trace(kGoldenTrace, "");
+  ASSERT_TRUE(one.ok);
+  EXPECT_EQ(one.text, two.text);
+}
+
+TEST(AnalyzeTest, MetricsFileOverridesTraceCounters) {
+  const AnalyzeReport report =
+      analyze_trace(kGoldenTrace, "campaign.imports 100\ncampaign.imports_used 50\n");
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NE(report.text.find(
+                "imported: 100  used in conflict analysis: 50 (50.0%)"),
+            std::string::npos)
+      << report.text;
+}
+
+TEST(AnalyzeTest, RejectsMalformedAndCausallyIncompleteTraces) {
+  EXPECT_FALSE(analyze_trace("{\"traceEvents\":[", "").ok);
+  EXPECT_FALSE(analyze_trace("not json at all", "").ok);
+  // A refuted lineage that was never announced by a split event means
+  // the tree cannot be reconstructed from the trace.
+  const AnalyzeReport orphan = analyze_trace(
+      R"({"traceEvents":[
+{"ph":"i","s":"t","name":"lineage-refute","pid":0,"tid":1,"ts":10,"args":{"lineage":9}}
+]})",
+      "");
+  EXPECT_FALSE(orphan.ok);
+  EXPECT_NE(orphan.error.find("never announced"), std::string::npos)
+      << orphan.error;
+  // Two flow starts under one id violate the stitching contract.
+  const AnalyzeReport doubled = analyze_trace(
+      R"({"traceEvents":[
+{"ph":"s","cat":"flow","id":3,"name":"SUBPROBLEM","pid":0,"tid":0,"ts":1},
+{"ph":"s","cat":"flow","id":3,"name":"SUBPROBLEM","pid":0,"tid":1,"ts":2}
+]})",
+      "");
+  EXPECT_FALSE(doubled.ok);
+  EXPECT_NE(doubled.error.find("unstitchable"), std::string::npos)
+      << doubled.error;
 }
 
 // --- end-to-end: instrumented sim campaign ---------------------------------
@@ -418,6 +641,52 @@ TEST(InstrumentedCampaignTest, VirtualTimeTraceNamesPhasesAndMessages) {
     }
   }
   EXPECT_TRUE(saw_splits);
+}
+
+TEST(InstrumentedCampaignTest, FlowAndLineageIdsAreDeterministicAcrossRuns) {
+  if (!kTraceCompiledIn) GTEST_SKIP() << "tracer compiled out";
+  // Two identically-seeded campaigns must allocate the same flow and
+  // lineage ids in the same order (ids are allocated at protocol
+  // decisions, never gated on tracing), so the stitched story — and the
+  // analyzer report built from it — is byte-identical.
+  const auto run_traced = [] {
+    const cnf::CnfFormula f = gen::pigeonhole_unsat(6);
+    core::GridSatConfig config;
+    config.split_timeout_s = 5.0;
+    config.overall_timeout_s = 100000.0;
+    config.min_client_memory = 1 << 20;
+    std::vector<sim::HostSpec> hosts;
+    for (int i = 0; i < 3; ++i) {
+      sim::HostSpec spec;
+      spec.name = "node" + std::to_string(i);
+      spec.site = i < 2 ? "utk" : "ucsd";
+      spec.speed = 3000.0;
+      spec.memory_bytes = 8u << 20;
+      spec.seed = 7 + static_cast<std::uint64_t>(i);
+      hosts.push_back(spec);
+    }
+    core::Campaign campaign(f, "utk", std::move(hosts), config);
+    Tracer tracer(1u << 15, Tracer::Clock::kManual);
+    tracer.set_enabled(true);
+    campaign.set_tracer(&tracer);
+    MetricRegistry registry;
+    campaign.set_metrics(&registry);
+    const core::GridSatResult result = campaign.run();
+    EXPECT_EQ(result.status, core::CampaignStatus::kUnsat);
+    registry.snapshot_to(tracer, tracer.register_worker("sampler"));
+    return chrome_trace_json(tracer);
+  };
+  const std::string first = run_traced();
+  const std::string second = run_traced();
+  EXPECT_EQ(first, second);  // same flows, lineages, timestamps, counters
+
+  const AnalyzeReport report = analyze_trace(first, "");
+  ASSERT_TRUE(report.ok) << report.error;  // tree complete, flows stitch
+  EXPECT_EQ(report.text, analyze_trace(second, "").text);
+  EXPECT_NE(report.text.find("refuted leaves:"), std::string::npos);
+  EXPECT_EQ(report.text.find("refuted leaves: 0"), std::string::npos)
+      << "an UNSAT campaign must refute at least one leaf";
+  EXPECT_NE(report.text.find("all stitchable"), std::string::npos);
 }
 
 }  // namespace
