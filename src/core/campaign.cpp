@@ -96,6 +96,15 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   lineage_ = sp->lineage_id;
   flow_ = sp->flow_id;
   solver::SolverConfig solver_config = campaign_.config().solver;
+  if (campaign_.config().parallel_mode != solver::ParallelMode::kSplit) {
+    // Racing modes: co-racers of one subproblem must search differently,
+    // or k racers are k-1 wasted hosts. The slot picks the heuristic
+    // profile; the lineage salts the seed so distinct subproblems'
+    // same-slot racers are decorrelated too.
+    solver_config = solver::diversified_config(
+        solver_config, sp->race_slot,
+        sp->lineage_id * 131 + sp->race_slot);
+  }
   solver_config.memory_limit_bytes =
       campaign_.host(host_index_).memory_bytes();
   // zChaff's heuristics are deterministic: every client runs the same
@@ -159,20 +168,22 @@ void Client::receive_clauses(std::shared_ptr<std::vector<cnf::Clause>> batch) {
   solver_->import_clauses(*batch);
 }
 
-void Client::grant_split(std::size_t peer_host) {
-  if (!alive_) return;
+void Client::grant_split(std::vector<std::size_t> peer_hosts) {
+  if (!alive_ || peer_hosts.empty()) return;
   if (!solver_) {
     // Finished in the meantime: give the reservation back (the master
-    // will re-dispatch the peer to someone else).
+    // will re-dispatch the peers to someone else; release_grant frees
+    // every reserved peer of this grant, not just the one echoed here).
     const std::size_t requester = host_index_;
+    const std::size_t peer = peer_hosts.front();
     campaign_.send_to_master(
         host_index_, Msg::kSplitFailed, kControlMessageBytes,
-        [&c = campaign_, requester, peer_host] {
-          c.on_split_failed(requester, peer_host);
+        [&c = campaign_, requester, peer] {
+          c.on_split_failed(requester, peer);
         });
     return;
   }
-  pending_split_peer_ = static_cast<std::ptrdiff_t>(peer_host);
+  pending_split_peers_ = std::move(peer_hosts);
 }
 
 void Client::order_migration(std::size_t peer_host) {
@@ -187,6 +198,30 @@ void Client::order_migration(std::size_t peer_host) {
     return;
   }
   pending_migrate_peer_ = static_cast<std::ptrdiff_t>(peer_host);
+}
+
+void Client::cancel_subproblem(std::uint64_t incarnation) {
+  if (!alive_ || campaign_.done() || !solver_) return;
+  // Stale cancel for a tenancy this host no longer runs (it finished or
+  // re-registered in the meantime): ignore. The incarnation nonce is the
+  // same guard the checkpoint chain uses.
+  if (incarnation != ckpt_incarnation_) return;
+  trace_phase("race-cancelled");
+  // The loser's work still counts (and its exported clauses stay valid —
+  // every learned clause is a consequence of the shared formula), but the
+  // tenancy ends here, at the next cooperation point.
+  work_accumulated_ += solver_->stats().work;
+  imported_accumulated_ += solver_->stats().imported_clauses;
+  imported_used_accumulated_ += solver_->stats().imported_used;
+  solver_.reset();
+  export_buffer_.clear();
+  pending_split_peers_.clear();
+  pending_migrate_peer_ = -1;
+  split_requested_ = false;
+  const std::size_t host = host_index_;
+  campaign_.send_to_master(
+      host_index_, Msg::kCancelled, kControlMessageBytes,
+      [&c = campaign_, host] { c.on_race_cancelled(host); }, flow_);
 }
 
 void Client::kill() {
@@ -207,7 +242,7 @@ void Client::compute_slice() {
     perform_migration();
     return;
   }
-  if (pending_split_peer_ >= 0 && solver_->can_split()) {
+  if (!pending_split_peers_.empty() && solver_->can_split()) {
     perform_split();
     if (!solver_) return;  // defensive; split keeps the solver
   }
@@ -243,7 +278,12 @@ void Client::post_slice() {
 }
 
 void Client::check_split_triggers() {
-  if (split_requested_ || pending_split_peer_ >= 0 ||
+  // Portfolio racers never split: each covers the whole formula, so a
+  // guiding-path child would be redundant with every other racer.
+  if (campaign_.config().parallel_mode == solver::ParallelMode::kPortfolio) {
+    return;
+  }
+  if (split_requested_ || !pending_split_peers_.empty() ||
       pending_migrate_peer_ >= 0) {
     return;
   }
@@ -360,27 +400,27 @@ void Client::checkpoint_nacked(std::uint64_t incarnation) {
 
 void Client::perform_split() {
   assert(solver_ && solver_->can_split());
-  const auto peer = static_cast<std::size_t>(pending_split_peer_);
-  pending_split_peer_ = -1;
+  const std::vector<std::size_t> peers = std::move(pending_split_peers_);
+  pending_split_peers_.clear();
   split_requested_ = false;
-  auto sp = std::make_shared<solver::Subproblem>(solver_->split());
+  auto child = std::make_shared<solver::Subproblem>(solver_->split());
   subproblem_started_ = campaign_.engine().now();  // fresh (folded) problem
   obs::trace_event(campaign_.tracer_, trace_worker_, obs::EventKind::kSplit,
-                   campaign_.result_.total_splits + 1, peer);
+                   campaign_.result_.total_splits + 1, peers.front());
   // Split-tree lineage: the node this client held becomes an interior
   // node with two fresh children — the shipped branch (the negated split
   // decision, which is the last assumption of the outgoing payload) and
   // the branch this client keeps. Both get new ids so every tree node is
   // immutable once announced; allocation order (kept child first) is
-  // part of the deterministic id sequence.
+  // part of the deterministic id sequence. A hybrid multicast ships the
+  // SAME child node to every racing peer — one tree node, k tenancies.
   const std::uint64_t parent = lineage_;
   const std::uint32_t branch =
-      sp->assumptions.empty() ? 0 : sp->assumptions.back().code();
+      child->assumptions.empty() ? 0 : child->assumptions.back().code();
   lineage_ = campaign_.allocate_lineage();
-  sp->lineage_id = campaign_.allocate_lineage();
-  sp->parent_lineage = parent;
-  sp->branch_lit = branch;
-  sp->flow_id = campaign_.allocate_flow();
+  child->lineage_id = campaign_.allocate_lineage();
+  child->parent_lineage = parent;
+  child->branch_lit = branch;
   obs::trace_event(campaign_.tracer_, trace_worker_,
                    obs::EventKind::kLineageSplit,
                    (lineage_ & 0xffffffffull) |
@@ -388,35 +428,48 @@ void Client::perform_split() {
                    parent);
   obs::trace_event(campaign_.tracer_, trace_worker_,
                    obs::EventKind::kLineageSplit,
-                   (sp->lineage_id & 0xffffffffull) |
+                   (child->lineage_id & 0xffffffffull) |
                        (static_cast<std::uint64_t>(branch) << 32),
                    parent);
-  obs::trace_event(campaign_.tracer_, trace_worker_,
-                   obs::EventKind::kLineageShip, sp->lineage_id,
-                   campaign_.client_lane(peer));
-  const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
-  // Message 3 of Figure 3: peer-to-peer subproblem transfer. The transfer
-  // time also parameterizes both sides' split timeouts (§3.3).
-  const double transfer = campaign_.network().transfer_time(
-      plan.bytes, campaign_.site_id(host_index_), campaign_.site_id(peer));
-  campaign_.note_subproblem_in_flight();
-  campaign_.send_peer(
-      host_index_, peer, Msg::kSubproblem, plan.bytes,
-      [&c = campaign_, peer, sp, transfer, mode = plan.mode] {
-        Client* target = c.client(peer);
-        if (target != nullptr && target->alive()) {
-          target->start_subproblem(sp, transfer, mode);
-        } else {
-          c.on_lost_subproblem(sp, peer);
-        }
-      },
-      sp->flow_id);
-  last_transfer_s_ = transfer;
-  // Message 5: tell the master the split succeeded.
+  double slowest_transfer = 0.0;
+  for (std::size_t k = 0; k < peers.size(); ++k) {
+    const std::size_t peer = peers[k];
+    // Each racer gets its own payload copy (flow, diversification slot,
+    // trim accounting) of the one shared tree node.
+    auto sp = k + 1 == peers.size()
+                  ? child
+                  : std::make_shared<solver::Subproblem>(*child);
+    sp->flow_id = campaign_.allocate_flow();
+    sp->race_slot = k;
+    obs::trace_event(campaign_.tracer_, trace_worker_,
+                     obs::EventKind::kLineageShip, sp->lineage_id,
+                     campaign_.client_lane(peer));
+    const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
+    // Message 3 of Figure 3: peer-to-peer subproblem transfer. The
+    // transfer time also parameterizes both sides' split timeouts (§3.3).
+    const double transfer = campaign_.network().transfer_time(
+        plan.bytes, campaign_.site_id(host_index_), campaign_.site_id(peer));
+    campaign_.note_subproblem_in_flight();
+    campaign_.send_peer(
+        host_index_, peer, Msg::kSubproblem, plan.bytes,
+        [&c = campaign_, peer, sp, transfer, mode = plan.mode] {
+          Client* target = c.client(peer);
+          if (target != nullptr && target->alive()) {
+            target->start_subproblem(sp, transfer, mode);
+          } else {
+            c.on_lost_subproblem(sp, peer);
+          }
+        },
+        sp->flow_id);
+    slowest_transfer = std::max(slowest_transfer, transfer);
+  }
+  last_transfer_s_ = slowest_transfer;
+  // Message 5: tell the master the split succeeded (and, for a hybrid
+  // multicast, which hosts form the racing cohort).
   const std::size_t from = host_index_;
   campaign_.send_to_master(
       host_index_, Msg::kSplitDone, kControlMessageBytes,
-      [&c = campaign_, from, peer] { c.on_subproblem_sent(from, peer); },
+      [&c = campaign_, from, peers] { c.on_subproblem_sent(from, peers); },
       flow_);
 }
 
@@ -495,12 +548,19 @@ void Client::finish_subproblem(SolveStatus status) {
       work_accumulated_ += solver_->stats().work;
       imported_accumulated_ += solver_->stats().imported_clauses;
       imported_used_accumulated_ += solver_->stats().imported_used;
+      // An empty guiding path refutes the whole formula — in portfolio
+      // (and a hybrid racer holding the root) that alone decides the
+      // campaign, with no split tree left to drain.
+      const bool root_refuted = solver_->assumptions().empty();
       solver_.reset();
       export_buffer_.clear();
       const std::size_t host = host_index_;
       campaign_.send_to_master(
           host_index_, Msg::kSubproblemUnsat, kControlMessageBytes,
-          [&c = campaign_, host] { c.on_subproblem_unsat(host); }, flow_);
+          [&c = campaign_, host, root_refuted] {
+            c.on_subproblem_unsat(host, root_refuted);
+          },
+          flow_);
       break;
     }
     case SolveStatus::kMemOut: {
@@ -536,7 +596,7 @@ constexpr const char* kMsgNames[] = {
     "SPLIT_GRANT",     "SPLIT_FAILED",    "SPLIT_DONE",
     "MIGRATE_ORDER",   "MIGRATED",        "CHECKPOINT",
     "CHECKPOINT_ACK",  "CHECKPOINT_NACK", "BASE_MISS",
-    "BASE_SHIP",
+    "BASE_SHIP",       "CANCEL_SUBPROBLEM", "CANCELLED",
 };
 static_assert(std::size(kMsgNames) == static_cast<std::size_t>(Msg::kCount));
 }  // namespace
@@ -709,6 +769,9 @@ void Campaign::set_metrics(obs::MetricRegistry* metrics) {
   });
   metrics_->gauge_fn("campaign.clauses_shared", [this] {
     return static_cast<double>(result_.clauses_shared);
+  });
+  metrics_->gauge_fn("campaign.races_cancelled", [this] {
+    return static_cast<double>(result_.races_cancelled);
   });
   // Clause-sharing usefulness: imports merged vs imports that conflict
   // analysis actually walked (per-solver imported_used, accumulated
@@ -898,6 +961,24 @@ void Campaign::on_register(std::size_t host_index) {
     sp->num_problem_clauses = sp->clauses.size();
     sp->path = "root";
     entry.state = HostState::kReserved;
+    assign_subproblem(host_index, sp);
+    // stamp_and_trace_ship allocated the root's tree node; portfolio
+    // re-ships of the same node reuse the id (one node, many tenancies).
+    root_lineage_ = sp->lineage_id;
+    return;
+  }
+  if (config_.parallel_mode == solver::ParallelMode::kPortfolio) {
+    // Portfolio: every registrant races the whole formula under a
+    // diversified configuration (slot k != 0 remaps heuristics; the
+    // clause bus still connects everyone, so racers cooperate).
+    auto sp = std::make_shared<solver::Subproblem>();
+    sp->num_vars = formula_.num_vars();
+    sp->clauses = formula_.clauses();
+    sp->num_problem_clauses = sp->clauses.size();
+    sp->path = "root";
+    sp->lineage_id = root_lineage_;
+    sp->race_slot = ++portfolio_next_slot_;
+    entry.state = HostState::kReserved;
     assign_subproblem(host_index, std::move(sp));
     return;
   }
@@ -988,6 +1069,13 @@ void Campaign::on_subproblem_rejected(
   if (done_) return;
   grid::ResourceEntry& entry = directory_.at(host_index);
   if (entry.state == HostState::kReserved) entry.state = HostState::kBusy;
+  if (forget_racer(host_index)) {
+    // A racing copy bounced, but surviving cohort members hold the same
+    // child: requeuing it would double-cover their search space.
+    try_dispatch();
+    check_termination();
+    return;
+  }
   pending_restores_.push_back(std::move(sp));
   try_dispatch();
   check_termination();
@@ -1011,6 +1099,11 @@ void Campaign::on_subproblem_ack(std::size_t host_index,
   entry.state = HostState::kBusy;
   entry.busy_since = engine_.now();
   update_peak_active();
+  if (cancel_on_ack_.erase(host_index) > 0) {
+    // The race was decided while this racer's payload was still in
+    // flight; now that the tenancy has an incarnation nonce, cancel it.
+    send_race_cancel(host_index);
+  }
   try_dispatch();
 }
 
@@ -1031,19 +1124,28 @@ void Campaign::release_grant(std::size_t requester) {
   if (done_) return;
   const auto it = outstanding_grants_.find(requester);
   if (it == outstanding_grants_.end()) return;
-  const std::size_t peer = it->second;
+  const std::vector<std::size_t> peers = std::move(it->second);
   outstanding_grants_.erase(it);
-  grid::ResourceEntry& entry = directory_.at(peer);
-  if (entry.state == HostState::kReserved) entry.state = HostState::kIdle;
+  for (const std::size_t peer : peers) {
+    grid::ResourceEntry& entry = directory_.at(peer);
+    if (entry.state == HostState::kReserved) entry.state = HostState::kIdle;
+  }
   try_dispatch();
   check_termination();
 }
 
-void Campaign::on_subproblem_sent(std::size_t from, std::size_t to) {
-  (void)from;
-  (void)to;
+void Campaign::on_subproblem_sent(std::size_t from,
+                                  std::vector<std::size_t> peers) {
   if (done_) return;
   ++result_.total_splits;
+  if (config_.parallel_mode == solver::ParallelMode::kHybrid &&
+      peers.size() > 1) {
+    // The peers now form a racing cohort over one split child: first
+    // verdict wins, the master cancels the rest.
+    const std::uint64_t cohort = ++next_cohort_;
+    for (const std::size_t p : peers) racing_[p] = cohort;
+    cohorts_[cohort] = std::move(peers);
+  }
   outstanding_grants_.erase(from);
 }
 
@@ -1054,6 +1156,12 @@ void Campaign::on_lost_subproblem(std::shared_ptr<solver::Subproblem> sp,
   if (done_) return;
   grid::ResourceEntry& entry = directory_.at(host_index);
   if (entry.state == HostState::kReserved) entry.state = HostState::kFree;
+  if (forget_racer(host_index)) {
+    // The racer died before its copy arrived; co-racers cover the child.
+    try_dispatch();
+    check_termination();
+    return;
+  }
   if (config_.recover_from_checkpoints) {
     // The in-flight payload IS the lost search space: requeue it whole.
     ++result_.checkpoint_recoveries;
@@ -1080,8 +1188,11 @@ void Campaign::on_migrated(std::size_t from, std::size_t to) {
   try_dispatch();
 }
 
-void Campaign::on_subproblem_unsat(std::size_t host_index) {
+void Campaign::on_subproblem_unsat(std::size_t host_index, bool root_refuted) {
   if (done_) return;
+  // First verdict in a racing cohort wins: tell the co-racers to stand
+  // down before anything else re-dispatches them.
+  cancel_co_racers(host_index);
   // The refuted subproblem's checkpoint chain is spent: recovering it
   // after a later death would re-open (and double-count) refuted space.
   drop_checkpoints(host_index);
@@ -1090,7 +1201,96 @@ void Campaign::on_subproblem_unsat(std::size_t host_index) {
   backlog_.erase(host_index);
   release_grant(host_index);
   try_dispatch();
+  if (root_refuted && config_.parallel_mode != solver::ParallelMode::kSplit) {
+    // An empty guiding path refuted the whole formula: the campaign is
+    // decided regardless of what the other racers still hold. Racers cut
+    // off by the finish count as cancelled (they lost the race to the
+    // verdict itself).
+    for (std::size_t i = 0; i < directory_.size(); ++i) {
+      if (directory_.at(i).state == HostState::kBusy) {
+        ++result_.races_cancelled;
+      }
+    }
+    finish(CampaignStatus::kUnsat);
+    return;
+  }
   check_termination();
+}
+
+void Campaign::cancel_co_racers(std::size_t winner) {
+  const auto it = racing_.find(winner);
+  if (it == racing_.end()) return;
+  const std::uint64_t cohort = it->second;
+  racing_.erase(it);
+  cancel_on_ack_.erase(winner);
+  const auto members = cohorts_.find(cohort);
+  if (members == cohorts_.end()) return;
+  const std::vector<std::size_t> peers = std::move(members->second);
+  cohorts_.erase(members);
+  for (const std::size_t peer : peers) {
+    if (peer == winner) continue;
+    const auto racer = racing_.find(peer);
+    // A co-racer may already be gone (refuted concurrently, died, or was
+    // rejected); only live cohort members get the cancel order.
+    if (racer == racing_.end() || racer->second != cohort) continue;
+    racing_.erase(racer);
+    send_race_cancel(peer);
+  }
+}
+
+void Campaign::send_race_cancel(std::size_t peer) {
+  const auto expected = expected_incarnation_.find(peer);
+  if (expected == expected_incarnation_.end()) {
+    // The racer has not acked its tenancy yet, so there is no incarnation
+    // nonce to address: cancel the moment the ack arrives.
+    cancel_on_ack_.insert(peer);
+    return;
+  }
+  const std::uint64_t incarnation = expected->second;
+  send_to_client(
+      peer, Msg::kCancelSubproblem, kControlMessageBytes,
+      [this, peer, incarnation] {
+        Client* target = client(peer);
+        if (target != nullptr && target->alive()) {
+          target->cancel_subproblem(incarnation);
+        }
+      });
+}
+
+void Campaign::on_race_cancelled(std::size_t host_index) {
+  if (done_) return;
+  ++result_.races_cancelled;
+  // Same bookkeeping as a refuted subproblem, minus the proof leaf: the
+  // winner's leaf already covers this search space.
+  drop_checkpoints(host_index);
+  grid::ResourceEntry& entry = directory_.at(host_index);
+  if (entry.state == HostState::kBusy) entry.state = HostState::kIdle;
+  backlog_.erase(host_index);
+  release_grant(host_index);
+  try_dispatch();
+  check_termination();
+}
+
+bool Campaign::forget_racer(std::size_t host_index) {
+  const auto it = racing_.find(host_index);
+  if (it == racing_.end()) return false;
+  const std::uint64_t cohort = it->second;
+  racing_.erase(it);
+  cancel_on_ack_.erase(host_index);
+  const auto members = cohorts_.find(cohort);
+  if (members == cohorts_.end()) return false;
+  auto& peers = members->second;
+  std::erase(peers, host_index);
+  // Covered iff a surviving cohort member still races the same child.
+  bool covered = false;
+  for (const std::size_t p : peers) {
+    if (racing_.count(p) != 0) {
+      covered = true;
+      break;
+    }
+  }
+  if (!covered) cohorts_.erase(members);
+  return covered;
 }
 
 void Campaign::on_sat_found(std::size_t host_index, cnf::Assignment model) {
@@ -1224,6 +1424,31 @@ void Campaign::on_client_died(std::size_t host_index, bool was_busy) {
   }
   // A busy client died: its share of the search space is gone.
   entry.state = HostState::kFree;
+  if (forget_racer(host_index)) {
+    // A dead racer is survivable as long as a cohort member still holds
+    // the same split child — the space stays covered without recovery.
+    drop_checkpoints(host_index);
+    try_dispatch();
+    check_termination();
+    return;
+  }
+  if (config_.parallel_mode == solver::ParallelMode::kPortfolio) {
+    // Every portfolio racer covers the whole formula, so any other racer
+    // (busy, reserved, or still receiving its copy) keeps the campaign
+    // sound after this death.
+    bool covered = subproblems_in_flight_ > 0;
+    for (std::size_t i = 0; !covered && i < directory_.size(); ++i) {
+      if (i == host_index) continue;
+      const HostState s = directory_.at(i).state;
+      covered = s == HostState::kBusy || s == HostState::kReserved;
+    }
+    if (covered) {
+      drop_checkpoints(host_index);
+      try_dispatch();
+      check_termination();
+      return;
+    }
+  }
   const auto chain = checkpoint_chains_.find(host_index);
   if (config_.recover_from_checkpoints && chain != checkpoint_chains_.end() &&
       !chain->second.empty()) {
@@ -1302,18 +1527,36 @@ void Campaign::try_dispatch() {
     const auto requester_index = static_cast<std::size_t>(requester);
     backlog_.erase(requester_index);
     directory_.at(target_index).state = HostState::kReserved;
-    outstanding_grants_[requester_index] = target_index;
+    std::vector<std::size_t> targets{target_index};
+    if (config_.parallel_mode == solver::ParallelMode::kHybrid) {
+      // Reserve up to race_width idle hosts: the split child is shipped
+      // to all of them at once and they race it under diversified
+      // configurations (first verdict wins).
+      while (targets.size() < std::max<std::size_t>(1, config_.race_width)) {
+        const std::ptrdiff_t extra = directory_.best_in_state(
+            HostState::kIdle, config_.min_client_memory);
+        if (extra < 0) break;
+        directory_.at(static_cast<std::size_t>(extra)).state =
+            HostState::kReserved;
+        targets.push_back(static_cast<std::size_t>(extra));
+      }
+    }
+    outstanding_grants_[requester_index] = targets;
 
     // Migration opportunity (§3.4): a markedly better host with idle
-    // same-site company takes the whole problem instead of half.
+    // same-site company takes the whole problem instead of half. Racing
+    // modes never migrate — a moved tenancy would break the cohort's
+    // one-child-many-racers bookkeeping for no search-space gain.
     const bool migrate =
+        config_.parallel_mode == solver::ParallelMode::kSplit &&
         directory_.rank(target_index) >
             config_.migration_rank_factor * directory_.rank(requester_index) &&
         idle_at_site(directory_.at(target_index).spec.site) + 1 >=
             config_.migration_min_idle_at_site;
     const Msg kind = migrate ? Msg::kMigrateOrder : Msg::kSplitGrant;
     send_to_client(requester_index, kind, kControlMessageBytes,
-                   [this, requester_index, target_index, migrate] {
+                   [this, requester_index, target_index, migrate,
+                    targets = std::move(targets)] {
                      Client* c = client(requester_index);
                      if (c == nullptr || !c->alive()) {
                        on_split_failed(requester_index, target_index);
@@ -1322,7 +1565,7 @@ void Campaign::try_dispatch() {
                      if (migrate) {
                        c->order_migration(target_index);
                      } else {
-                       c->grant_split(target_index);
+                       c->grant_split(targets);
                      }
                    });
   }

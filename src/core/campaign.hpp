@@ -74,6 +74,8 @@ enum class Msg : std::uint8_t {
   kCheckpointNack,
   kBaseMiss,
   kBaseShip,
+  kCancelSubproblem,  ///< master -> racer: a co-racer won; stand down
+  kCancelled,         ///< racer -> master: tenancy abandoned, host idle
   kCount,
 };
 
@@ -87,8 +89,14 @@ class Client {
                         double transfer_seconds,
                         solver::WireMode mode = solver::WireMode::kFull);
   void receive_clauses(std::shared_ptr<std::vector<cnf::Clause>> batch);
-  void grant_split(std::size_t peer_host);
+  /// kSplit grants one peer; kHybrid grants up to race_width peers that
+  /// will all race the same split child.
+  void grant_split(std::vector<std::size_t> peer_hosts);
   void order_migration(std::size_t peer_host);
+  /// A co-racer reached the verdict first: abandon the current tenancy
+  /// (guarded by the incarnation nonce, so a reordered stale cancel can
+  /// never kill a later assignment) and report idle.
+  void cancel_subproblem(std::uint64_t incarnation);
   void checkpoint_acked(std::uint64_t incarnation, std::uint64_t epoch);
   void checkpoint_nacked(std::uint64_t incarnation);
   void kill();
@@ -136,7 +144,7 @@ class Client {
   double subproblem_started_ = 0.0;
   double last_transfer_s_ = 0.0;
   bool split_requested_ = false;
-  std::ptrdiff_t pending_split_peer_ = -1;
+  std::vector<std::size_t> pending_split_peers_;
   std::ptrdiff_t pending_migrate_peer_ = -1;
   bool slice_scheduled_ = false;
   bool alive_ = true;
@@ -273,7 +281,9 @@ class Campaign {
   void on_register(std::size_t host_index);
   void on_split_request(std::size_t host_index);
   void on_split_failed(std::size_t requester, std::size_t peer);
-  void on_subproblem_sent(std::size_t from, std::size_t to);  ///< msg 5
+  /// Msg 5. kHybrid ships one split child to several peers at once;
+  /// `peers` with more than one entry registers a racing cohort.
+  void on_subproblem_sent(std::size_t from, std::vector<std::size_t> peers);
   void on_migrated(std::size_t from, std::size_t to);
   /// A subproblem transfer whose receiver died mid-flight: requeue it
   /// (checkpoint-recovery mode) or abort the run.
@@ -285,7 +295,21 @@ class Campaign {
   /// Receiver was already busy: requeue the payload for another client.
   void on_subproblem_rejected(std::shared_ptr<solver::Subproblem> sp,
                               std::size_t host_index);
-  void on_subproblem_unsat(std::size_t host_index);
+  /// `root_refuted` = the refuted guiding path had no assumptions, i.e.
+  /// the whole formula is UNSAT (what a winning portfolio racer reports).
+  void on_subproblem_unsat(std::size_t host_index, bool root_refuted);
+  /// Cancel every co-racer of `winner`'s cohort (kHybrid) and retire the
+  /// cohort. No-op for hosts not racing.
+  void cancel_co_racers(std::size_t winner);
+  /// Order one racer to stand down; defers to cancel-on-ack when the
+  /// racer's SUBPROBLEM_ACK (and with it the tenancy nonce the cancel
+  /// must carry) has not arrived yet.
+  void send_race_cancel(std::size_t peer);
+  void on_race_cancelled(std::size_t host_index);
+  /// Forget all racing bookkeeping for a host (death, reject, lost
+  /// payload). Returns true when a surviving cohort member still covers
+  /// the same split child — the caller may then skip recovery entirely.
+  bool forget_racer(std::size_t host_index);
   void on_sat_found(std::size_t host_index, cnf::Assignment model);
   void on_client_clauses(std::size_t from,
                          std::shared_ptr<std::vector<cnf::Clause>> batch);
@@ -399,10 +423,26 @@ class Campaign {
   bool problem_assigned_ = false;
   std::size_t subproblems_in_flight_ = 0;
   std::set<std::size_t> backlog_;  ///< hosts with pending split requests
-  /// requester -> reserved peer, while a SPLIT_GRANT / MIGRATE_ORDER is
+  /// requester -> reserved peers, while a SPLIT_GRANT / MIGRATE_ORDER is
   /// outstanding (cleared by SPLIT_DONE / MIGRATED / SPLIT_FAILED or the
-  /// requester's demise).
-  std::map<std::size_t, std::size_t> outstanding_grants_;
+  /// requester's demise). kSplit reserves one peer; kHybrid up to
+  /// race_width.
+  std::map<std::size_t, std::vector<std::size_t>> outstanding_grants_;
+  // --- portfolio / hybrid racing state (DESIGN.md §4i) -----------------
+  /// Split-tree node of the root assignment; portfolio re-ships it to
+  /// every later registrant so all racers share one lineage.
+  std::uint64_t root_lineage_ = 0;
+  /// Diversification slots handed to portfolio racers (slot 0 = the
+  /// first root assignment, reference heuristics).
+  std::uint64_t portfolio_next_slot_ = 0;
+  std::uint64_t next_cohort_ = 0;
+  /// host -> cohort id, for hosts currently racing a hybrid subproblem.
+  std::map<std::size_t, std::uint64_t> racing_;
+  /// cohort id -> member hosts still racing.
+  std::map<std::uint64_t, std::vector<std::size_t>> cohorts_;
+  /// Racers owed a cancel as soon as their ack arrives (the cancel needs
+  /// the tenancy's incarnation nonce, which only the ack announces).
+  std::set<std::size_t> cancel_on_ack_;
   std::deque<std::shared_ptr<solver::Subproblem>> pending_restores_;
   /// Per-host checkpoint chains: entry 0 is a full snapshot, later
   /// entries are deltas (restore_chain replays base + deltas). PR-4's

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "solver/cdcl.hpp"
+#include "solver/diversify.hpp"
 
 namespace gridsat::core {
 
@@ -15,6 +16,16 @@ enum class CheckpointMode : std::uint8_t {
 
 struct GridSatConfig {
   solver::SolverConfig solver;
+
+  /// How the campaign covers the search space (solver/diversify.hpp):
+  /// kSplit is the paper's guiding-path protocol; kPortfolio gives every
+  /// registering client the whole formula under a diversified config and
+  /// races them (clauses still shared); kHybrid splits as usual but ships
+  /// each split child to up to `race_width` clients at once, cancelling
+  /// the losers when one reports a verdict.
+  solver::ParallelMode parallel_mode = solver::ParallelMode::kSplit;
+  /// kHybrid: clients racing each shipped subproblem (>= 1).
+  std::size_t race_width = 2;
 
   /// Maximum length of shared learned clauses — 10 in the first
   /// experiment set, 3 in the second (paper §4).

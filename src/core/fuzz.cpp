@@ -129,6 +129,44 @@ ScenarioOutcome run_scenario(std::uint64_t seed, obs::Tracer* tracer) {
   config.solver.minimize_bin = !rng.chance(3);
   config.solver.otf_subsume = !rng.chance(3);
   config.solver.arena_compact = !rng.chance(3);
+  // Heuristic-diversification dimensions (DESIGN.md §4i). These are the
+  // axes diversified_config() spreads racers across, and they must be
+  // verdict-neutral on their own, so they also fuzz in plain split mode:
+  // random decisions in particular were a dead knob (never exercised by
+  // any test) until the portfolio work made them load-bearing.
+  if (rng.chance(3)) {
+    config.solver.random_decision_freq = rng.real(0.01, 0.2);
+  }
+  switch (rng.range(0, 3)) {
+    case 0:
+      config.solver.restart_policy = solver::RestartPolicy::kGeometric;
+      break;
+    case 1:
+      config.solver.restart_policy = solver::RestartPolicy::kLinear;
+      break;
+    default:
+      break;  // kLuby, the reference policy
+  }
+  if (rng.chance(3)) {
+    config.solver.polarity_init = rng.chance(2)
+                                      ? solver::PolarityInit::kTrue
+                                      : solver::PolarityInit::kFalse;
+  }
+  // Racing modes (the §4i tentpole): a third of scenarios race —
+  // portfolio replicates the root across registrants, hybrid multicasts
+  // every split child to a cohort. Both must pass the same oracle: race
+  // duplicates may land in the proof log, the stitcher prunes them.
+  switch (rng.range(0, 5)) {
+    case 4:
+      config.parallel_mode = solver::ParallelMode::kPortfolio;
+      break;
+    case 5:
+      config.parallel_mode = solver::ParallelMode::kHybrid;
+      config.race_width = rng.range(2, 3);
+      break;
+    default:
+      break;  // kSplit, the paper's protocol
+  }
 
   Campaign campaign(formula, "east", hosts, config);
   if (tracer != nullptr) campaign.set_tracer(tracer);
@@ -160,12 +198,15 @@ ScenarioOutcome run_scenario(std::uint64_t seed, obs::Tracer* tracer) {
                                      rng.real(1.0, 20.0));
   }
 
+  outcome.mode = config.parallel_mode;
+
   const GridSatResult result = campaign.run();
   outcome.status = result.status;
   outcome.virtual_seconds = result.seconds;
   outcome.splits = result.total_splits;
   outcome.migrations = result.migrations;
   outcome.recoveries = result.checkpoint_recoveries;
+  outcome.races_cancelled = result.races_cancelled;
   outcome.proof = result.proof;
   if (result.proof) outcome.proof_steps = result.proof->size();
 
@@ -212,10 +253,14 @@ ScenarioOutcome run_scenario(std::uint64_t seed, obs::Tracer* tracer) {
 std::string describe(const ScenarioOutcome& o) {
   std::ostringstream out;
   out << "seed " << o.seed << ": " << o.instance << ", " << o.hosts
-      << " hosts, " << o.failures << " kills" << (o.batch ? ", batch" : "")
-      << " -> " << to_string(o.status) << " in " << o.virtual_seconds
+      << " hosts, " << o.failures << " kills" << (o.batch ? ", batch" : "");
+  if (o.mode != solver::ParallelMode::kSplit) {
+    out << ", " << solver::to_string(o.mode);
+  }
+  out << " -> " << to_string(o.status) << " in " << o.virtual_seconds
       << " vs (" << o.splits << " splits, " << o.migrations << " migrations, "
       << o.recoveries << " recoveries";
+  if (o.races_cancelled > 0) out << ", " << o.races_cancelled << " cancelled";
   if (o.proof_steps > 0) out << ", " << o.proof_steps << " proof steps";
   out << ")";
   if (!o.ok()) out << "  ORACLE FAILURE: " << o.failure;

@@ -22,6 +22,7 @@
 
 #include "core/result.hpp"
 #include "obs/trace.hpp"
+#include "solver/diversify.hpp"
 
 namespace gridsat::core::fuzz {
 
@@ -31,6 +32,8 @@ struct ScenarioOutcome {
   std::size_t hosts = 0;
   std::size_t failures = 0;  ///< injected client kills
   bool batch = false;
+  solver::ParallelMode mode = solver::ParallelMode::kSplit;
+  std::uint64_t races_cancelled = 0;
   CampaignStatus status = CampaignStatus::kTimeout;
   double virtual_seconds = 0.0;
   std::uint64_t splits = 0;

@@ -43,6 +43,9 @@ struct GridSatResult {
   std::uint64_t total_work = 0;
   std::uint64_t client_deaths = 0;
   std::uint64_t checkpoint_recoveries = 0;
+  /// Portfolio/hybrid racing: subproblem tenancies the master cancelled
+  /// because a co-racer reached the verdict first.
+  std::uint64_t races_cancelled = 0;
   /// Elastic-grid scenario bookkeeping (DESIGN.md §4g): hosts acquired
   /// after launch, hosts released back to the grid, and correlated
   /// site-outage storms injected.

@@ -39,6 +39,9 @@ constexpr float kClauseActivityRescaleLimit = 1e20f;
 /// reduce_db() (the emergency squeeze may still drop them).
 constexpr std::uint32_t kGlueLbd = 2;
 
+/// kGeometric restart growth per restart (MiniSat's classic factor).
+constexpr double kGeometricRestartGrowth = 1.5;
+
 
 }  // namespace
 
@@ -90,8 +93,9 @@ void CdclSolver::init(Var num_vars, const std::vector<cnf::Clause>& clauses,
     heap_insert(2 * v + 1);
   }
   max_learned_ = config_.reduce_base;
+  geom_interval_ = static_cast<double>(config_.restart_base);
   conflicts_until_restart_ =
-      config_.restart_base ? config_.restart_base * luby(restart_count_) : 0;
+      config_.restart_base ? next_restart_interval() : 0;
 
   for (const SubproblemUnit& u : units) {
     if (u.lit.var() > num_vars_) {
@@ -892,14 +896,32 @@ void CdclSolver::learn_and_attach(const std::vector<Lit>& learned,
   stats_.peak_db_bytes = std::max(stats_.peak_db_bytes, arena_.live_bytes());
 }
 
+std::uint64_t CdclSolver::next_restart_interval() {
+  const auto base = std::uint64_t{config_.restart_base};
+  switch (config_.restart_policy) {
+    case RestartPolicy::kLuby:
+      return base * luby(restart_count_);
+    case RestartPolicy::kGeometric: {
+      const auto interval = static_cast<std::uint64_t>(geom_interval_);
+      geom_interval_ *= kGeometricRestartGrowth;
+      return std::max<std::uint64_t>(1, interval);
+    }
+    case RestartPolicy::kLinear:
+      return base * (std::uint64_t{restart_count_} + 1);
+  }
+  return base;
+}
+
 std::optional<Lit> CdclSolver::pick_branch() {
   if (decision_hook_) {
     const Lit l = decision_hook_();
     if (l.valid() && value(l.var()) == LBool::kUndef) return l;
   }
-  if (config_.random_decision_freq > 0.0 &&
+  if (num_vars_ > 0 && config_.random_decision_freq > 0.0 &&
       rng_.chance(config_.random_decision_freq)) {
-    // Random diversification: pick an unassigned variable uniformly.
+    // Random diversification: pick an unassigned variable uniformly. The
+    // num_vars_ guard matters: range(1, 0) would yield variable 1, one
+    // past the end of a variable-free instance's tables.
     for (int tries = 0; tries < 16; ++tries) {
       const Var v = static_cast<Var>(rng_.range(1, num_vars_));
       if (vars_[v].assign == LBool::kUndef) {
@@ -913,6 +935,12 @@ std::optional<Lit> CdclSolver::pick_branch() {
     if (value(l.var()) != LBool::kUndef) continue;
     if (config_.phase_saving && phase_[l.var()] != 2) {
       return Lit(l.var(), phase_[l.var()] == 0);
+    }
+    switch (config_.polarity_init) {
+      case PolarityInit::kActivity: break;  // the VSIDS literal's own sign
+      case PolarityInit::kFalse: return Lit(l.var(), true);
+      case PolarityInit::kTrue: return Lit(l.var(), false);
+      case PolarityInit::kRandom: return Lit(l.var(), rng_.chance(0.5));
     }
     return l;
   }
@@ -1169,6 +1197,13 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
           : stats_.work + work_budget;
 
   for (;;) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      // Cooperative cancellation, checked ahead of every propagate-to-
+      // fixpoint batch: a losing racer overshoots the verdict by at most
+      // one batch instead of the rest of its slice. Resumable — clearing
+      // the flag and calling solve() again continues the search.
+      return status_ = SolveStatus::kUnknown;
+    }
     const ClauseRef confl = propagate();
     if (confl != kNoClause) {
       ++stats_.conflicts;
@@ -1231,7 +1266,7 @@ SolveStatus CdclSolver::solve(std::uint64_t work_budget) {
         ++stats_.restarts;
         obs::trace_event(tracer_, trace_worker_, obs::EventKind::kRestart,
                          stats_.restarts);
-        conflicts_until_restart_ = config_.restart_base * luby(restart_count_);
+        conflicts_until_restart_ = next_restart_interval();
         if (decision_level() > 0) {
           backtrack(0);
           continue;

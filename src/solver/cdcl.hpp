@@ -22,6 +22,7 @@
 // §5, without unsound pruning.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -47,6 +48,23 @@ enum class SolveStatus : std::uint8_t {
 
 const char* to_string(SolveStatus s) noexcept;
 
+/// Restart cadence shape (all schedules count conflicts and share
+/// SolverConfig::restart_base as their unit).
+enum class RestartPolicy : std::uint8_t {
+  kLuby,       ///< base * luby(n): 1,1,2,1,1,2,4,... (the default)
+  kGeometric,  ///< base * 1.5^n: slow exponential back-off
+  kLinear,     ///< base * (n + 1): arithmetic back-off
+};
+
+/// Polarity of a fresh decision variable when no phase has been saved
+/// (or phase saving is off).
+enum class PolarityInit : std::uint8_t {
+  kActivity,  ///< the winning VSIDS literal's own sign (the default)
+  kFalse,     ///< always assign false
+  kTrue,      ///< always assign true
+  kRandom,    ///< coin flip per decision (seeded; deterministic)
+};
+
 struct SolverConfig {
   /// VSIDS: activity added per bump; decays by dividing the increment.
   double var_activity_decay = 0.95;
@@ -58,8 +76,12 @@ struct SolverConfig {
   /// 256 + decay 0.5 mimics zChaff's coarse halving.
   std::uint32_t decay_interval = 1;
 
-  /// Luby restarts (unit = conflicts); 0 disables restarting.
+  /// Restart interval unit (conflicts); 0 disables restarting.
   std::uint32_t restart_base = 512;
+
+  /// Shape of the restart schedule (portfolio diversification axis; see
+  /// solver/diversify.hpp). Luby reproduces the historical behaviour.
+  RestartPolicy restart_policy = RestartPolicy::kLuby;
 
   /// Learned-DB reduction trigger: start threshold and geometric growth.
   std::size_t reduce_base = 8000;
@@ -91,6 +113,11 @@ struct SolverConfig {
   /// Phase of a fresh variable when VSIDS has no signal (Chaff's per-
   /// literal counters give a natural phase; saved phases refine it).
   bool phase_saving = true;
+
+  /// Starting polarity when neither a saved phase nor a decision hook
+  /// decides (portfolio diversification axis). kActivity keeps the
+  /// per-literal VSIDS sign, the historical behaviour.
+  PolarityInit polarity_init = PolarityInit::kActivity;
 
   /// Learned-clause minimization (MiniSat-era extension, postdates the
   /// paper). Default on since the recursive overhaul paid for itself on
@@ -349,6 +376,16 @@ class CdclSolver {
     return assumptions_;
   }
 
+  /// Attach an external cancellation flag (not owned; may be null to
+  /// detach). solve() polls it at the top of every propagate-analyze
+  /// round and returns kUnknown — resumably, with all state intact —
+  /// within one propagation batch of the flag going true. This is how a
+  /// losing racer is stopped promptly instead of burning the rest of its
+  /// work slice (DESIGN.md §4i cancellation protocol).
+  void set_cancel_flag(const std::atomic<bool>* flag) noexcept {
+    cancel_ = flag;
+  }
+
   /// Stream clause additions into a shared arrival-ordered log: learned
   /// clauses and logged level-0 units are forwarded; imports are not
   /// (their learner already contributed them), deletions are not (unsound
@@ -557,6 +594,13 @@ class CdclSolver {
   // Restart / reduce schedule.
   std::uint64_t conflicts_until_restart_ = 0;
   std::uint32_t restart_count_ = 0;
+  /// Current kGeometric interval; seeded to restart_base in init() and
+  /// grown by iterative multiplication (no pow(), so the schedule is
+  /// bit-identical across platforms).
+  double geom_interval_ = 0.0;
+  /// Interval until the next restart under config_.restart_policy;
+  /// advances the geometric state. Call once per (re)start.
+  [[nodiscard]] std::uint64_t next_restart_interval();
   std::size_t max_learned_ = 0;
   std::size_t last_simplify_trail_ = 0;
   std::size_t proof_logged_units_ = 0;
@@ -572,6 +616,9 @@ class CdclSolver {
   // Observability (null = untraced; see obs/trace.hpp for the costs).
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t trace_worker_ = 0;
+
+  /// External cancellation flag (see set_cancel_flag); null = never.
+  const std::atomic<bool>* cancel_ = nullptr;
 
   /// Proof hooks. proof_on() folds to a compile-time false under
   /// GRIDSAT_PROOF=OFF so every logging site vanishes from the hot path.

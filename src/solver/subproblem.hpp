@@ -123,6 +123,10 @@ struct Subproblem {
   /// Causal flow id stitching every message of this subproblem's lifetime
   /// (ship → checkpoints → kill → recover → refute) into one trace flow.
   std::uint64_t flow_id = 0;
+  /// Diversification slot for portfolio/hybrid racing (also in-memory
+  /// only): racers of one cohort get slots 0..k-1, and slot 0 keeps the
+  /// reference heuristics (solver::diversified_config).
+  std::uint64_t race_slot = 0;
 
   [[nodiscard]] bool empty() const noexcept {
     return units.empty() && clauses.empty();

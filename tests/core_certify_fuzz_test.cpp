@@ -37,16 +37,19 @@ TEST(CertifyFuzzAggregateTest, SweepExercisesEveryScenarioDimension) {
   // machinery under test: refutations, injected failures, splits.
   std::size_t unsat_certified = 0;
   std::size_t with_failures = 0;
+  std::size_t racing = 0;
   std::uint64_t splits = 0;
   for (std::uint64_t seed = 1; seed < 25; ++seed) {
     const fuzz::ScenarioOutcome o = fuzz::run_scenario(seed);
     ASSERT_TRUE(o.ok()) << fuzz::describe(o);
     if (o.status == CampaignStatus::kUnsat) ++unsat_certified;
     if (o.failures > 0) ++with_failures;
+    if (o.mode != solver::ParallelMode::kSplit) ++racing;
     splits += o.splits;
   }
   EXPECT_GE(unsat_certified, 5u);
   EXPECT_GE(with_failures, 8u);
+  EXPECT_GE(racing, 3u);  // portfolio/hybrid scenarios reach the oracle
   EXPECT_GT(splits, 0u);
 }
 

@@ -1,0 +1,301 @@
+// Portfolio / hybrid racing tests: seed decorrelation (the old
+// `seed + worker_index` scheme made adjacent base seeds share workers),
+// cancellation latency through the propagation-loop flag, diversified
+// restart/polarity heuristics vs brute force, and full ParallelSolver
+// races with proof certification.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "gen/pigeonhole.hpp"
+#include "gen/random_ksat.hpp"
+#include "gen/xor_chains.hpp"
+#include "solver/brute_force.hpp"
+#include "solver/diversify.hpp"
+#include "solver/parallel.hpp"
+
+namespace gridsat::solver {
+namespace {
+
+using cnf::CnfFormula;
+
+// ---------------------------------------------------------------- seeds
+
+TEST(DecorrelatedSeedTest, AdjacentBaseSeedsNeverShareSlots) {
+  // The bug: seed + worker_index means (base=1, slot=1) and
+  // (base=2, slot=0) run the identical decision stream. Any (base, slot)
+  // pairs with equal sums must now map to distinct seeds.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 1; base <= 8; ++base) {
+    for (std::uint64_t slot = 0; slot < 8; ++slot) {
+      seen.insert(decorrelated_seed(base, slot));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);  // all 64 (base, slot) pairs distinct
+  EXPECT_NE(decorrelated_seed(1, 1), decorrelated_seed(2, 0));
+  // Determinism: same inputs, same seed.
+  EXPECT_EQ(decorrelated_seed(5, 3), decorrelated_seed(5, 3));
+}
+
+/// First `limit` learned clauses under the given seed, with enough
+/// random branching that the RNG stream shows up in the search.
+std::vector<std::vector<cnf::Lit>> conflict_prefix(const CnfFormula& f,
+                                                   std::uint64_t seed,
+                                                   std::size_t limit) {
+  SolverConfig config;
+  config.seed = seed;
+  config.random_decision_freq = 0.5;
+  CdclSolver solver(f, config);
+  std::vector<std::vector<cnf::Lit>> learned;
+  std::atomic<bool> stop{false};
+  solver.set_conflict_observer(
+      [&learned, &stop, limit](const ConflictRecord& rec) {
+        if (learned.size() < limit) learned.push_back(rec.learned_clause);
+        if (learned.size() >= limit) stop.store(true);
+      });
+  solver.set_cancel_flag(&stop);
+  solver.solve();
+  return learned;
+}
+
+TEST(DecorrelatedSeedTest, AdjacentBaseSeedsGiveDisjointDecisionStreams) {
+  // Under the old scheme these two (base, slot) pairs collided; their
+  // searches must now diverge. Identical pairs must still replay.
+  const CnfFormula f = gen::random_ksat(24, 110, 3, 99);
+  const auto worker1_of_base1 =
+      conflict_prefix(f, decorrelated_seed(1, 1), 20);
+  const auto worker0_of_base2 =
+      conflict_prefix(f, decorrelated_seed(2, 0), 20);
+  const auto worker1_of_base1_again =
+      conflict_prefix(f, decorrelated_seed(1, 1), 20);
+  ASSERT_FALSE(worker1_of_base1.empty());
+  EXPECT_NE(worker1_of_base1, worker0_of_base2);
+  EXPECT_EQ(worker1_of_base1, worker1_of_base1_again);
+}
+
+// --------------------------------------------------------- cancellation
+
+TEST(CancelFlagTest, PresetFlagStopsBeforeAnySearch) {
+  const CnfFormula f = gen::pigeonhole_unsat(7);
+  CdclSolver solver(f, {});
+  std::atomic<bool> cancel{true};
+  solver.set_cancel_flag(&cancel);
+  EXPECT_EQ(solver.solve(), SolveStatus::kUnknown);
+  EXPECT_EQ(solver.stats().conflicts, 0u);
+}
+
+TEST(CancelFlagTest, CancelledWorkerStopsWithinOnePropagationBatch) {
+  // Trip the flag from inside the search (as a winning co-racer would)
+  // and check the loser abandons the slice immediately instead of
+  // running the slice budget out.
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  CdclSolver solver(f, {});
+  std::atomic<bool> cancel{false};
+  const std::uint64_t kTrip = 50;
+  std::uint64_t observed = 0;
+  solver.set_conflict_observer(
+      [&cancel, &observed, kTrip](const ConflictRecord&) {
+        if (++observed >= kTrip) cancel.store(true);
+      });
+  solver.set_cancel_flag(&cancel);
+  const SolveStatus status = solver.solve();  // unbounded budget
+  EXPECT_EQ(status, SolveStatus::kUnknown);
+  // The flag is polled at the top of the search loop: at most one more
+  // propagate/analyze round may complete after the observer fires.
+  EXPECT_GE(solver.stats().conflicts, kTrip);
+  EXPECT_LE(solver.stats().conflicts, kTrip + 1);
+}
+
+TEST(CancelFlagTest, ClearedFlagLetsTheSolveFinish) {
+  const CnfFormula f = gen::random_ksat(12, 50, 3, 5);
+  const bool truth = brute_force_solve(f).has_value();
+  CdclSolver solver(f, {});
+  std::atomic<bool> cancel{false};
+  solver.set_cancel_flag(&cancel);
+  EXPECT_EQ(solver.solve(),
+            truth ? SolveStatus::kSat : SolveStatus::kUnsat);
+}
+
+// ------------------------------------------------- diversified configs
+
+TEST(DiversifyTest, SlotZeroKeepsHeuristicsButReseeds) {
+  SolverConfig base;
+  base.seed = 7;
+  const SolverConfig d = diversified_config(base, 0, 3);
+  EXPECT_EQ(d.restart_policy, base.restart_policy);
+  EXPECT_EQ(d.polarity_init, base.polarity_init);
+  EXPECT_EQ(d.phase_saving, base.phase_saving);
+  EXPECT_NE(d.seed, base.seed);
+  EXPECT_EQ(d.seed, decorrelated_seed(7, 3));
+}
+
+TEST(DiversifyTest, SlotsDifferAndRestartZeroStaysDisabled) {
+  SolverConfig base;
+  std::set<std::uint64_t> seeds;
+  for (std::size_t slot = 0; slot < 9; ++slot) {
+    seeds.insert(diversified_config(base, slot, slot).seed);
+  }
+  EXPECT_EQ(seeds.size(), 9u);
+  base.restart_base = 0;  // restarts disabled stays disabled in every slot
+  for (std::size_t slot = 1; slot < 9; ++slot) {
+    EXPECT_EQ(diversified_config(base, slot, slot).restart_base, 0u);
+  }
+}
+
+class HeuristicAgreement
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HeuristicAgreement, EveryProfileMatchesBruteForce) {
+  // Each diversification row must stay a *correct* solver, including the
+  // previously dead random_decision_freq > 0 paths.
+  const auto [slot, seed] = GetParam();
+  const CnfFormula f = gen::random_ksat(
+      13, 55, 3, static_cast<std::uint64_t>(seed) * 53 + 11);
+  const bool truth = brute_force_solve(f).has_value();
+  SolverConfig base;
+  base.seed = static_cast<std::uint64_t>(seed);
+  CdclSolver solver(
+      f, diversified_config(base, static_cast<std::size_t>(slot), 0));
+  const SolveStatus status = solver.solve();
+  EXPECT_EQ(status, truth ? SolveStatus::kSat : SolveStatus::kUnsat)
+      << "profile slot " << slot << " seed " << seed;
+  if (status == SolveStatus::kSat) {
+    EXPECT_TRUE(is_model(f, solver.model()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, HeuristicAgreement,
+                         testing::Combine(testing::Range(0, 9),
+                                          testing::Range(0, 3)));
+
+// ----------------------------------------------------- parallel racing
+
+ParallelOptions race_options(ParallelMode mode, std::size_t threads,
+                             std::size_t race_width = 2) {
+  ParallelOptions options;
+  options.mode = mode;
+  options.num_threads = threads;
+  options.race_width = race_width;
+  options.slice_work = 20'000;
+  return options;
+}
+
+class RaceAgreement
+    : public testing::TestWithParam<std::tuple<ParallelMode, int, int>> {};
+
+TEST_P(RaceAgreement, MatchesBruteForce) {
+  const auto [mode, threads, seed] = GetParam();
+  const CnfFormula f = gen::random_ksat(
+      14, 59, 3, static_cast<std::uint64_t>(seed) * 149 + 17);
+  const bool truth = brute_force_solve(f).has_value();
+  ParallelSolver solver(
+      f, race_options(mode, static_cast<std::size_t>(threads)));
+  const ParallelResult result = solver.solve();
+  ASSERT_NE(result.status, SolveStatus::kUnknown);
+  EXPECT_EQ(result.status, truth ? SolveStatus::kSat : SolveStatus::kUnsat)
+      << to_string(mode) << " threads " << threads << " seed " << seed;
+  if (result.status == SolveStatus::kSat) {
+    EXPECT_TRUE(is_model(f, result.model));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RaceAgreement,
+    testing::Combine(testing::Values(ParallelMode::kPortfolio,
+                                     ParallelMode::kHybrid),
+                     testing::Values(1, 2, 4), testing::Range(0, 6)));
+
+TEST(RaceTest, PortfolioUnsatCancelsExactlyTheLosers) {
+  // One cohort of 4 racers on one (root) round: the winner claims, the
+  // other three must be cancelled — no more, no fewer.
+  const CnfFormula f = gen::urquhart_like(12, 3);
+  ParallelSolver solver(f, race_options(ParallelMode::kPortfolio, 4));
+  const ParallelResult result = solver.solve();
+  EXPECT_EQ(result.status, SolveStatus::kUnsat);
+  EXPECT_EQ(result.stats.races_cancelled, 3u);
+  EXPECT_EQ(result.stats.subproblems_refuted, 1u);
+  EXPECT_EQ(result.stats.splits, 0u);  // portfolio never splits
+}
+
+TEST(RaceTest, HybridSplitsAndRaces) {
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  ParallelSolver solver(f, race_options(ParallelMode::kHybrid, 4, 2));
+  const ParallelResult result = solver.solve();
+  EXPECT_EQ(result.status, SolveStatus::kUnsat);
+  EXPECT_GT(result.stats.splits, 0u);
+  EXPECT_GT(result.stats.subproblems_refuted, 1u);
+}
+
+TEST(RaceTest, RepeatedRaceRunsAgreeOnVerdict) {
+  const CnfFormula f = gen::random_ksat(16, 70, 3, 321);
+  const bool truth = brute_force_solve(f).has_value();
+  for (const ParallelMode mode :
+       {ParallelMode::kPortfolio, ParallelMode::kHybrid}) {
+    for (int run = 0; run < 3; ++run) {
+      ParallelSolver solver(f, race_options(mode, 4));
+      EXPECT_EQ(solver.solve().status,
+                truth ? SolveStatus::kSat : SolveStatus::kUnsat)
+          << to_string(mode) << " run " << run;
+    }
+  }
+}
+
+TEST(RaceTest, PortfolioUnsatProofCertifies) {
+  if (!kProofCompiledIn) GTEST_SKIP() << "built with GRIDSAT_PROOF=OFF";
+  const CnfFormula f = gen::pigeonhole_unsat(7);
+  ParallelOptions options = race_options(ParallelMode::kPortfolio, 4);
+  options.solver.log_proof = true;
+  ParallelSolver solver(f, options);
+  const ParallelResult result = solver.solve();
+  ASSERT_EQ(result.status, SolveStatus::kUnsat);
+  ASSERT_TRUE(result.proof != nullptr);
+  ASSERT_TRUE(result.proof_stitched) << result.proof_error;
+  const ProofCheckResult check = certify(f, *result.proof);
+  EXPECT_TRUE(check.valid) << check.message << " at step " << check.failed_step;
+}
+
+TEST(RaceTest, HybridUnsatProofCertifies) {
+  if (!kProofCompiledIn) GTEST_SKIP() << "built with GRIDSAT_PROOF=OFF";
+  // Races + splits + losers publishing into the shared log: the stitch
+  // must still close the tree (duplicate/late leaves are pruned).
+  const CnfFormula f = gen::pigeonhole_unsat(8);
+  ParallelOptions options = race_options(ParallelMode::kHybrid, 4, 2);
+  options.solver.log_proof = true;
+  ParallelSolver solver(f, options);
+  const ParallelResult result = solver.solve();
+  ASSERT_EQ(result.status, SolveStatus::kUnsat);
+  ASSERT_TRUE(result.proof != nullptr);
+  ASSERT_TRUE(result.proof_stitched) << result.proof_error;
+  const ProofCheckResult check = certify(f, *result.proof);
+  EXPECT_TRUE(check.valid) << check.message << " at step " << check.failed_step;
+}
+
+TEST(RaceTest, TrivialInstancesEveryMode) {
+  for (const ParallelMode mode :
+       {ParallelMode::kPortfolio, ParallelMode::kHybrid}) {
+    CnfFormula empty(3);
+    ParallelSolver a(empty, race_options(mode, 2));
+    EXPECT_EQ(a.solve().status, SolveStatus::kSat) << to_string(mode);
+
+    CnfFormula contradiction;
+    contradiction.add_dimacs_clause({1});
+    contradiction.add_dimacs_clause({-1});
+    ParallelSolver b(contradiction, race_options(mode, 2));
+    EXPECT_EQ(b.solve().status, SolveStatus::kUnsat) << to_string(mode);
+  }
+}
+
+TEST(ParallelModeTest, ParseRoundTrips) {
+  ParallelMode mode = ParallelMode::kSplit;
+  for (const ParallelMode m : {ParallelMode::kSplit, ParallelMode::kPortfolio,
+                               ParallelMode::kHybrid}) {
+    ASSERT_TRUE(parse_parallel_mode(to_string(m), mode));
+    EXPECT_EQ(mode, m);
+  }
+  EXPECT_FALSE(parse_parallel_mode("raced", mode));
+}
+
+}  // namespace
+}  // namespace gridsat::solver
