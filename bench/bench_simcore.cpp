@@ -491,7 +491,7 @@ struct ScaleRow {
 };
 
 ScaleRow run_scale_row(const cnf::CnfFormula& formula, std::size_t n_hosts,
-                       std::uint64_t seed) {
+                       std::size_t sub_masters, std::uint64_t seed) {
   core::GridSatConfig config;
   config.solver.reduce_base = 1u << 30;
   config.share_max_len = 3;  // the Table-2 experiment set's setting
@@ -499,6 +499,7 @@ ScaleRow run_scale_row(const cnf::CnfFormula& formula, std::size_t n_hosts,
   config.overall_timeout_s = 50000.0;
   config.min_client_memory = 1 << 20;
   config.seed = seed;
+  config.sub_masters = sub_masters;  // 0 = flat master
   core::Campaign campaign(formula, "grid0",
                           core::testbeds::synthetic_grid(n_hosts, 8, seed),
                           config);
@@ -519,6 +520,8 @@ int main(int argc, char** argv) {
                    "all | queue_micro | hostload | table2_scale");
   flags.define_str("instance", "pigeonhole-9",
                    "instance for the table2_scale rows");
+  flags.define_str("topology", "both",
+                   "table2_scale master topology: flat | hier | both");
   flags.define_i64("seed", 2003, "workload/campaign seed");
   flags.define_str("json", "", "write JSON-Lines rows to this file");
   flags.define_bool("append", false, "append to --json instead of truncating");
@@ -644,42 +647,70 @@ int main(int argc, char** argv) {
     const std::string instance =
         quick ? std::string("pigeonhole-8") : flags.str("instance");
     const cnf::CnfFormula formula = bench::resolve_instance(instance);
+    const std::string& topo = flags.str("topology");
+    std::vector<const char*> topologies;
+    if (topo == "flat" || topo == "both") topologies.push_back("flat");
+    if (topo == "hier" || topo == "both") topologies.push_back("hier");
+    if (topologies.empty()) {
+      std::fprintf(stderr, "unknown --topology=%s (flat | hier | both)\n",
+                   topo.c_str());
+      return 2;
+    }
     std::printf("\nTable-2-style scale rows: %s on the synthetic grid\n",
                 instance.c_str());
-    std::printf("%-8s %-10s %-12s %-10s %-12s %-14s %-10s\n", "clients",
-                "verdict", "virtual s", "wall s", "max active", "events/s",
-                "splits");
+    std::printf("%-8s %-6s %-10s %-12s %-10s %-12s %-10s %-12s %-10s\n",
+                "clients", "topo", "verdict", "virtual s", "wall s",
+                "root msgs", "sub msgs", "x-site KiB", "splits");
     std::vector<std::size_t> scales = {100, 1000};
     if (quick) scales = {100};
     for (const std::size_t n_hosts : scales) {
-      const ScaleRow row = run_scale_row(formula, n_hosts, seed);
-      const double eps =
-          row.wall_s > 0 ? static_cast<double>(row.kernel_events) / row.wall_s
-                         : 0.0;
-      std::printf("%-8zu %-10s %-12.1f %-10.2f %-12zu %-14.3e %-10llu\n",
-                  n_hosts, core::to_string(row.result.status),
-                  row.result.seconds, row.wall_s,
-                  row.result.max_active_clients, eps,
-                  static_cast<unsigned long long>(row.result.total_splits));
-      std::fflush(stdout);
-      util::JsonWriter json;
-      json.begin_object()
-          .field("bench", "simcore")
-          .field("mode", "table2_scale")
-          .field("instance", instance)
-          .field("clients", static_cast<std::uint64_t>(n_hosts))
-          .field("status", core::to_string(row.result.status))
-          .field("virtual_seconds", row.result.seconds)
-          .field("wall_seconds", row.wall_s)
-          .field("kernel_events", row.kernel_events)
-          .field("events_per_sec", eps)
-          .field("max_active_clients",
-                 static_cast<std::uint64_t>(row.result.max_active_clients))
-          .field("splits", row.result.total_splits)
-          .field("messages", row.result.messages)
-          .end_object();
-      json_rows += json.str();
-      json_rows += '\n';
+      for (const char* topology : topologies) {
+        // The synthetic grid spreads n_hosts over 8 sites; the
+        // hierarchical topology gives every site its own sub-master.
+        const std::size_t subs =
+            std::string(topology) == "hier" ? std::size_t{8} : std::size_t{0};
+        const ScaleRow row = run_scale_row(formula, n_hosts, subs, seed);
+        const double eps =
+            row.wall_s > 0 ? static_cast<double>(row.kernel_events) / row.wall_s
+                           : 0.0;
+        const core::GridSatResult& r = row.result;
+        std::printf(
+            "%-8zu %-6s %-10s %-12.1f %-10.2f %-12llu %-10llu %-12.1f "
+            "%-10llu\n",
+            n_hosts, topology, core::to_string(r.status), r.seconds, row.wall_s,
+            static_cast<unsigned long long>(r.root_messages_handled),
+            static_cast<unsigned long long>(r.sub_messages_handled),
+            static_cast<double>(r.inter_site_bytes) / 1024.0,
+            static_cast<unsigned long long>(r.total_splits));
+        std::fflush(stdout);
+        util::JsonWriter json;
+        json.begin_object()
+            .field("bench", "simcore")
+            .field("mode", "table2_scale")
+            .field("instance", instance)
+            .field("topology", topology)
+            .field("sub_masters", static_cast<std::uint64_t>(subs))
+            .field("clients", static_cast<std::uint64_t>(n_hosts))
+            .field("status", core::to_string(r.status))
+            .field("virtual_seconds", r.seconds)
+            .field("wall_seconds", row.wall_s)
+            .field("kernel_events", row.kernel_events)
+            .field("events_per_sec", eps)
+            .field("max_active_clients",
+                   static_cast<std::uint64_t>(r.max_active_clients))
+            .field("splits", r.total_splits)
+            .field("messages", r.messages)
+            .field("root_messages", r.root_messages_handled)
+            .field("sub_messages", r.sub_messages_handled)
+            .field("inter_site_messages", r.inter_site_messages)
+            .field("inter_site_bytes", r.inter_site_bytes)
+            .field("site_relay_batches", r.site_relay_batches)
+            .field("inter_site_digests", r.inter_site_digests)
+            .field("brokered_splits", r.brokered_splits)
+            .end_object();
+        json_rows += json.str();
+        json_rows += '\n';
+      }
     }
   }
 

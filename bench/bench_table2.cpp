@@ -39,7 +39,8 @@ struct Table2Outcome {
   }
 };
 
-core::GridSatConfig table2_config(double scale, std::uint64_t seed) {
+core::GridSatConfig table2_config(double scale, std::uint64_t seed,
+                                  std::size_t sub_masters = 0) {
   core::GridSatConfig config;
   config.solver.reduce_base = 1u << 30;  // 2003-era DB policy
   config.share_max_len = 3;              // second experiment set (§4)
@@ -47,6 +48,7 @@ core::GridSatConfig table2_config(double scale, std::uint64_t seed) {
   config.overall_timeout_s = 1e12;  // the batch job bounds the run
   config.min_client_memory = 1 << 20;
   config.seed = seed;
+  config.sub_masters = sub_masters;  // 0 = flat master
   return config;
 }
 
@@ -64,12 +66,13 @@ core::BatchOptions make_batch(double scale, std::size_t nodes,
 
 Table2Outcome run_row(const gen::suite::SuiteInstance& row, double scale,
                       std::size_t bh_nodes, std::uint64_t seed,
-                      bool grid_hosts_present, double duration_factor = 1.0) {
+                      bool grid_hosts_present, double duration_factor = 1.0,
+                      std::size_t sub_masters = 0) {
   const cnf::CnfFormula formula = row.make();
   std::vector<sim::HostSpec> hosts;
   if (grid_hosts_present) hosts = core::testbeds::grads27_ucsb();
   core::Campaign campaign(formula, core::testbeds::kMasterSite, hosts,
-                          table2_config(scale, seed));
+                          table2_config(scale, seed, sub_masters));
   core::BatchOptions batch = make_batch(scale, bh_nodes, seed);
   batch.max_duration_s *= duration_factor;  // the BH-alone control resubmits
                                             // until the instance completes
@@ -104,23 +107,47 @@ int main(int argc, char** argv) {
   flags.define_i64("bh-nodes", 10, "Blue Horizon nodes granted to the job");
   flags.define_i64("seed", 2003, "campaign + queue seed");
   flags.define_str("row", "", "only rows whose paper name contains this");
+  flags.define_bool("quick", false,
+                    "CI smoke: tiny clock scale, one suite row, no controls");
+  flags.define_str("topology", "flat",
+                   "grid-host master topology: flat | hier | both");
   flags.define_str("json", "", "write JSON-Lines rows to this file");
   flags.define_bool("append", false, "append to --json instead of truncating");
   if (!flags.parse(argc, argv)) {
     std::fputs(flags.usage("bench_table2").c_str(), stderr);
     return 2;
   }
-  const double scale = flags.f64("scale");
-  const auto bh_nodes = static_cast<std::size_t>(flags.i64("bh-nodes"));
+  const bool quick = flags.boolean("quick");
+  const double scale = quick ? 0.02 : flags.f64("scale");
+  const auto bh_nodes =
+      quick ? std::size_t{4} : static_cast<std::size_t>(flags.i64("bh-nodes"));
   const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
-  const std::string filter = flags.str("row");
+  // Quick mode runs one row the paper solved on the grid alone.
+  std::string filter = flags.str("row");
+  if (quick && filter.empty()) filter = "glassybp";
+  const std::string& topo = flags.str("topology");
+  std::vector<const char*> topologies;
+  if (topo == "flat" || topo == "both") topologies.push_back("flat");
+  if (topo == "hier" || topo == "both") topologies.push_back("hier");
+  if (topologies.empty()) {
+    std::fprintf(stderr, "unknown --topology=%s (flat | hier | both)\n",
+                 topo.c_str());
+    return 2;
+  }
+  // grads27_ucsb spans three sites (uiuc / ucsd / ucsb); the hierarchical
+  // topology puts a sub-master at each. The Blue Horizon site joins after
+  // campaign setup, so its reports route to the root in both topologies.
+  const auto subs_for = [](const std::string& topology) {
+    return topology == "hier" ? std::size_t{3} : std::size_t{0};
+  };
+  std::string json_rows;
 
   std::printf("Table 2 reproduction: trimmed testbed (27 hosts) + Blue "
               "Horizon batch job\n");
   std::printf("(share len 3, %zu BH nodes, clock scale %.2f; times "
               "re-inflated to paper scale; paper values in parentheses)\n\n",
               bh_nodes, scale);
-  std::printf("%-32s %-8s %-28s %s\n", "File name", "Status",
+  std::printf("%-32s %-6s %-8s %-28s %s\n", "File name", "Topo", "Status",
               "GridSAT", "Notes");
   std::printf("%s\n", std::string(100, '-').c_str());
 
@@ -129,35 +156,78 @@ int main(int argc, char** argv) {
         row.paper_name.find(filter) == std::string::npos) {
       continue;
     }
-    const Table2Outcome outcome = run_row(row, scale, bh_nodes, seed, true);
-    const auto& r = outcome.result;
-    std::string notes;
-    if (r.batch_cancelled && !r.batch_started) {
-      notes = "solved before BH job started; job cancelled";
-    } else if (r.batch_started && r.status != core::CampaignStatus::kTimeout) {
-      notes = "BH nodes joined after " +
-              util::format_duration(r.batch_queue_wait_s / scale) +
-              " in queue";
-    } else if (r.status == core::CampaignStatus::kTimeout) {
-      notes = "not solved by BH job end";
+    for (const char* topology : topologies) {
+      const std::size_t subs = subs_for(topology);
+      const Table2Outcome outcome = run_row(row, scale, bh_nodes, seed, true,
+                                            /*duration_factor=*/1.0, subs);
+      const auto& r = outcome.result;
+      std::string notes;
+      if (r.batch_cancelled && !r.batch_started) {
+        notes = "solved before BH job started; job cancelled";
+      } else if (r.batch_started &&
+                 r.status != core::CampaignStatus::kTimeout) {
+        notes = "BH nodes joined after " +
+                util::format_duration(r.batch_queue_wait_s / scale) +
+                " in queue";
+      } else if (r.status == core::CampaignStatus::kTimeout) {
+        notes = "not solved by BH job end";
+      }
+      std::string paper;
+      if (row.paper_gridsat_s == gen::suite::kNotSolved) {
+        paper = "X";
+      } else if (row.paper_name == "par32-1-c.cnf") {
+        paper = "33hrs+(8hrs on BH)";
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", row.paper_gridsat_s);
+        paper = buf;  // the paper prints raw seconds for these rows
+      }
+      char status_col[16];
+      std::snprintf(status_col, sizeof status_col, "%s%s",
+                    to_string(row.paper_status), row.open_problem ? "*" : "");
+      std::printf("%-32s %-6s %-8s %-28s (%s)  %s\n", row.paper_name.c_str(),
+                  topology, status_col, outcome_cell(outcome).c_str(),
+                  paper.c_str(), notes.c_str());
+      std::fflush(stdout);
+      util::JsonWriter json;
+      json.begin_object()
+          .field("bench", "table2")
+          .field("row", row.paper_name)
+          .field("topology", topology)
+          .field("sub_masters", static_cast<std::uint64_t>(subs))
+          .field("scale", scale)
+          .field("status", core::to_string(r.status))
+          .field("virtual_seconds", r.seconds)
+          .field("splits", r.total_splits)
+          .field("messages", r.messages)
+          .field("root_messages", r.root_messages_handled)
+          .field("sub_messages", r.sub_messages_handled)
+          .field("inter_site_messages", r.inter_site_messages)
+          .field("inter_site_bytes", r.inter_site_bytes)
+          .field("site_relay_batches", r.site_relay_batches)
+          .field("brokered_splits", r.brokered_splits)
+          .end_object();
+      json_rows += json.str();
+      json_rows += '\n';
     }
-    std::string paper;
-    if (row.paper_gridsat_s == gen::suite::kNotSolved) {
-      paper = "X";
-    } else if (row.paper_name == "par32-1-c.cnf") {
-      paper = "33hrs+(8hrs on BH)";
-    } else {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.0f", row.paper_gridsat_s);
-      paper = buf;  // the paper prints raw seconds for these rows
+  }
+
+  // The BH-alone control and the WAN wire ablation exercise the batch and
+  // wire layers, not the master topology; skip both in the CI smoke.
+  if (quick) {
+    const std::string& quick_path = flags.str("json");
+    if (!quick_path.empty()) {
+      std::FILE* out = std::fopen(quick_path.c_str(),
+                                  flags.boolean("append") ? "a" : "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", quick_path.c_str());
+        return 1;
+      }
+      std::fputs(json_rows.c_str(), out);
+      std::fclose(out);
+      std::printf("\nwrote %s\n", quick_path.c_str());
     }
-    char status_col[16];
-    std::snprintf(status_col, sizeof status_col, "%s%s",
-                  to_string(row.paper_status), row.open_problem ? "*" : "");
-    std::printf("%-32s %-8s %-28s (%s)  %s\n", row.paper_name.c_str(),
-                status_col, outcome_cell(outcome).c_str(), paper.c_str(),
-                notes.c_str());
-    std::fflush(stdout);
+    return 0;
   }
 
   // --- The Blue-Horizon-alone control for the par32 analog --------------
@@ -207,7 +277,6 @@ int main(int argc, char** argv) {
               "seconds", "splits", "msg bytes", "base-refs", "warm drop");
   std::printf("%s\n", std::string(76, '-').c_str());
   const cnf::CnfFormula miter = gen::adder_miter(24, false, 7);
-  std::string json_rows;
   double v1_seconds = 0.0;
   for (const bool wire : {false, true}) {
     core::GridSatConfig config = table2_config(scale, seed);

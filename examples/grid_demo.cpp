@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
   flags.define_i64("timeline-lines", 40,
                    "virtual-time timeline lines to print (0 = skip)");
   flags.define_i64("hosts", 6, "simulated client hosts");
+  flags.define_i64("sites", 2, "grid sites the hosts are spread over");
+  flags.define_i64("sub-masters", 0,
+                   "per-site sub-masters (0 = flat master, DESIGN.md §4j)");
   flags.define_i64("ph", 8, "pigeonhole instance size (n holes, n+1 pigeons)");
   flags.define_i64("seed", 40, "base seed for per-host load jitter");
   if (!flags.parse(argc, argv)) {
@@ -51,14 +54,24 @@ int main(int argc, char** argv) {
   config.split_timeout_s = 5.0;  // aggressive splitting for the demo
   config.overall_timeout_s = 100000.0;
   config.min_client_memory = 1 << 20;
+  config.sub_masters =
+      static_cast<std::size_t>(std::max<long long>(0, flags.i64("sub-masters")));
 
   const auto n_hosts = static_cast<int>(std::max<long long>(1, flags.i64("hosts")));
+  const auto n_sites = static_cast<int>(
+      std::min<long long>(8, std::max<long long>(1, flags.i64("sites"))));
   const auto base_seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  // Block-partitioned so the default (2 sites) keeps the historic
+  // utk-first / ucsd-second layout byte-for-byte.
+  const char* kSiteNames[] = {"utk",  "ucsd", "uiuc", "ucsb",
+                              "sdsc", "anl",  "ncsa", "isi"};
   std::vector<sim::HostSpec> hosts;
   for (int i = 0; i < n_hosts; ++i) {
     sim::HostSpec spec;
     spec.name = "node" + std::to_string(i);
-    spec.site = i < n_hosts / 2 ? "utk" : "ucsd";
+    spec.site = kSiteNames[static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(n_sites) /
+                           static_cast<std::size_t>(n_hosts)];
     spec.speed = 3000.0 + 600.0 * (i % 6);
     spec.memory_bytes = 8u << 20;
     spec.base_load = 0.2;

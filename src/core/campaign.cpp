@@ -17,6 +17,9 @@ using solver::SolveStatus;
 namespace {
 constexpr std::size_t kControlMessageBytes = 96;   ///< headers, acks, requests
 constexpr double kMasterMonitorDelay = 1.0;        ///< failure detection lag
+/// A sub-master ships SITE_SUMMARY every this-many relay ticks (clause
+/// digests go every tick; aggregated host state tolerates the staleness).
+constexpr std::uint64_t kSummaryTickPeriod = 4;
 }  // namespace
 
 // ===========================================================================
@@ -68,7 +71,7 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
     // working (e.g. a restore raced a split whose requester died). Hand
     // it back; the master requeues it for the next idle client.
     const std::size_t host = host_index_;
-    campaign_.send_to_master(
+    campaign_.send_up(
         host_index_, Msg::kSubproblemReject, kControlMessageBytes,
         [&c = campaign_, host, sp] { c.on_subproblem_rejected(sp, host); },
         sp->flow_id);
@@ -122,12 +125,17 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   const bool collect_deltas =
       campaign_.config().checkpoint == CheckpointMode::kHeavy &&
       campaign_.config().incremental_checkpoints;
-  // The simulated campaign keeps the paper's pure length filter (§3.2);
-  // the LBD the solver reports is used only by the thread-parallel path.
+  // The simulated campaign keeps the paper's pure length filter (§3.2).
+  // The LBD rides along with each kept export: the flat path drops it,
+  // the hierarchical path ships it to the sub-master, whose inter-site
+  // digest keys on it (config.inter_site_lbd_cap).
   solver_->set_share_callback(
       [this, share_cap, collect_deltas](const cnf::Clause& clause,
-                                        std::uint32_t /*lbd*/) {
-        if (clause.size() <= share_cap) export_buffer_.push_back(clause);
+                                        std::uint32_t lbd) {
+        if (clause.size() <= share_cap) {
+          export_buffer_.push_back(clause);
+          export_lbds_.push_back(lbd);
+        }
         if (collect_deltas) ckpt_fresh_.push_back(clause);
       });
   subproblem_started_ = campaign_.engine().now();
@@ -148,7 +156,7 @@ void Client::start_subproblem(std::shared_ptr<solver::Subproblem> sp,
   // reordered past its own ack can never poison the new chain.
   const std::size_t host = host_index_;
   const std::uint64_t incarnation = ckpt_incarnation_;
-  campaign_.send_to_master(
+  campaign_.send_up(
       host_index_, Msg::kSubproblemAck, kControlMessageBytes,
       [&c = campaign_, host, incarnation] {
         c.on_subproblem_ack(host, incarnation);
@@ -176,7 +184,7 @@ void Client::grant_split(std::vector<std::size_t> peer_hosts) {
     // every reserved peer of this grant, not just the one echoed here).
     const std::size_t requester = host_index_;
     const std::size_t peer = peer_hosts.front();
-    campaign_.send_to_master(
+    campaign_.send_up(
         host_index_, Msg::kSplitFailed, kControlMessageBytes,
         [&c = campaign_, requester, peer] {
           c.on_split_failed(requester, peer);
@@ -190,7 +198,7 @@ void Client::order_migration(std::size_t peer_host) {
   if (!alive_) return;
   if (!solver_) {
     const std::size_t requester = host_index_;
-    campaign_.send_to_master(
+    campaign_.send_up(
         host_index_, Msg::kSplitFailed, kControlMessageBytes,
         [&c = campaign_, requester, peer_host] {
           c.on_split_failed(requester, peer_host);
@@ -215,6 +223,7 @@ void Client::cancel_subproblem(std::uint64_t incarnation) {
   imported_used_accumulated_ += solver_->stats().imported_used;
   solver_.reset();
   export_buffer_.clear();
+  export_lbds_.clear();
   pending_split_peers_.clear();
   pending_migrate_peer_ = -1;
   split_requested_ = false;
@@ -228,6 +237,20 @@ void Client::kill() {
   alive_ = false;
   solver_.reset();
   export_buffer_.clear();
+  export_lbds_.clear();
+}
+
+void Client::sub_hello() {
+  if (!alive_ || campaign_.done() || !solver_) return;
+  // Only a request the dead incarnation could have swallowed needs
+  // re-sending: one that was issued but has produced no grant yet.
+  if (!split_requested_ || !pending_split_peers_.empty() ||
+      pending_migrate_peer_ >= 0) {
+    return;
+  }
+  const std::size_t host = host_index_;
+  campaign_.send_up(host_index_, Msg::kSplitRequest, kControlMessageBytes,
+                    [&c = campaign_, host] { c.enqueue_split_request(host); });
 }
 
 double Client::effective_split_timeout() const {
@@ -297,24 +320,54 @@ void Client::check_split_triggers() {
   if (memory_pressure || long_running) {
     split_requested_ = true;
     const std::size_t host = host_index_;
-    campaign_.send_to_master(host_index_, Msg::kSplitRequest,
-                             kControlMessageBytes, [&c = campaign_, host] {
-                               c.on_split_request(host);
-                             });
+    // enqueue_split_request parks the request wherever this topology
+    // keeps it: the site backlog under a covering sub-master, the root
+    // backlog otherwise (including the bounce off a dead sub-master).
+    campaign_.send_up(host_index_, Msg::kSplitRequest, kControlMessageBytes,
+                      [&c = campaign_, host] {
+                        c.enqueue_split_request(host);
+                      });
   }
 }
 
 void Client::flush_exports() {
   if (export_buffer_.empty()) return;
-  auto batch = std::make_shared<std::vector<cnf::Clause>>(
-      std::move(export_buffer_));
-  export_buffer_.clear();
-  const std::size_t bytes = Campaign::clause_batch_bytes(*batch);
   const std::size_t host = host_index_;
-  campaign_.send_to_master(host_index_, Msg::kClauses, bytes,
-                           [&c = campaign_, host, batch] {
-                             c.on_client_clauses(host, batch);
-                           });
+  const std::ptrdiff_t sub = campaign_.route_sub(host_index_);
+  if (sub < 0) {
+    auto batch = std::make_shared<std::vector<cnf::Clause>>(
+        std::move(export_buffer_));
+    export_buffer_.clear();
+    export_lbds_.clear();
+    const std::size_t bytes = Campaign::clause_batch_bytes(*batch);
+    campaign_.send_to_master(host_index_, Msg::kClauses, bytes,
+                             [&c = campaign_, host, batch] {
+                               c.on_client_clauses(host, batch);
+                             });
+    return;
+  }
+  // Hierarchical topology: the batch travels one intra-site hop to the
+  // sub-master, LBDs riding along for the inter-site digest filter.
+  auto batch = std::make_shared<ClauseBatch>();
+  batch->clauses = std::move(export_buffer_);
+  batch->lbds = std::move(export_lbds_);
+  export_buffer_.clear();
+  export_lbds_.clear();
+  // One extra byte per clause: the LBD tag.
+  const std::size_t bytes =
+      Campaign::clause_batch_bytes(batch->clauses) + batch->clauses.size();
+  const auto s = static_cast<std::size_t>(sub);
+  campaign_.deliver_at_sub(
+      s, host_index_, Msg::kClauses, bytes, /*flow=*/0,
+      [&c = campaign_, s, host, batch] { c.sub_on_clauses(s, host, batch); },
+      [&c = campaign_, host, batch] {
+        // Bounced off a dead sub-master: the root relays flat, so the
+        // clauses still travel — sharing stays best-effort, never lost
+        // to a failure window.
+        auto flat = std::make_shared<std::vector<cnf::Clause>>(
+            batch->clauses);
+        c.on_client_clauses(host, flat);
+      });
 }
 
 void Client::maybe_checkpoint() {
@@ -467,7 +520,7 @@ void Client::perform_split() {
   // Message 5: tell the master the split succeeded (and, for a hybrid
   // multicast, which hosts form the racing cohort).
   const std::size_t from = host_index_;
-  campaign_.send_to_master(
+  campaign_.send_up(
       host_index_, Msg::kSplitDone, kControlMessageBytes,
       [&c = campaign_, from, peers] { c.on_subproblem_sent(from, peers); },
       flow_);
@@ -491,6 +544,7 @@ void Client::perform_migration() {
   imported_used_accumulated_ += solver_->stats().imported_used;
   solver_.reset();
   export_buffer_.clear();
+  export_lbds_.clear();
   const Campaign::ShipPlan plan = campaign_.plan_subproblem_ship(peer, *sp);
   const double transfer = campaign_.network().transfer_time(
       plan.bytes, campaign_.site_id(host_index_), campaign_.site_id(peer));
@@ -507,7 +561,7 @@ void Client::perform_migration() {
       },
       sp->flow_id);
   const std::size_t from = host_index_;
-  campaign_.send_to_master(
+  campaign_.send_up(
       host_index_, Msg::kMigrated, kControlMessageBytes,
       [&c = campaign_, from, peer] { c.on_migrated(from, peer); },
       flow_);
@@ -527,12 +581,14 @@ void Client::finish_subproblem(SolveStatus status) {
       const std::size_t bytes =
           model.size();  // one byte per variable: the assignment stack
       const std::size_t host = host_index_;
-      campaign_.send_to_master(
+      // The verdict is the root's to declare: a covering sub-master
+      // forwards it immediately (both hops charged).
+      campaign_.send_up(
           host_index_, Msg::kSatFound, bytes,
           [&c = campaign_, host, model = std::move(model)]() mutable {
             c.on_sat_found(host, std::move(model));
           },
-          flow_);
+          flow_, /*forward_to_root=*/true);
       break;
     }
     case SolveStatus::kUnsat: {
@@ -554,8 +610,9 @@ void Client::finish_subproblem(SolveStatus status) {
       const bool root_refuted = solver_->assumptions().empty();
       solver_.reset();
       export_buffer_.clear();
+      export_lbds_.clear();
       const std::size_t host = host_index_;
-      campaign_.send_to_master(
+      campaign_.send_up(
           host_index_, Msg::kSubproblemUnsat, kControlMessageBytes,
           [&c = campaign_, host, root_refuted] {
             c.on_subproblem_unsat(host, root_refuted);
@@ -597,6 +654,9 @@ constexpr const char* kMsgNames[] = {
     "MIGRATE_ORDER",   "MIGRATED",        "CHECKPOINT",
     "CHECKPOINT_ACK",  "CHECKPOINT_NACK", "BASE_MISS",
     "BASE_SHIP",       "CANCEL_SUBPROBLEM", "CANCELLED",
+    "SUB_REGISTER",    "SITE_SUMMARY",    "CLAUSE_DIGEST",
+    "WORK_REQUEST",    "SPLIT_BROKER",    "BROKER_FAILED",
+    "SUB_HELLO",
 };
 static_assert(std::size(kMsgNames) == static_cast<std::size_t>(Msg::kCount));
 }  // namespace
@@ -631,6 +691,7 @@ Campaign::Campaign(cnf::CnfFormula formula, std::string master_site,
   cnf::encode_clause_stream(
       counter, std::span<const cnf::Clause>(formula_.clauses()));
   base_block_bytes_ = counter.size() + kControlMessageBytes;
+  setup_sub_masters();
 }
 
 Campaign::~Campaign() = default;
@@ -816,6 +877,40 @@ void Campaign::set_metrics(obs::MetricRegistry* metrics) {
   metrics_->gauge_fn("campaign.wire.checkpoints_delta", [this] {
     return static_cast<double>(result_.checkpoints_delta);
   });
+  // Per-tier master accounting (DESIGN.md §4j), registered only under a
+  // hierarchical topology so flat-campaign metric snapshots are unchanged.
+  if (hier_enabled()) {
+    metrics_->gauge_fn("campaign.master.sub_masters", [this] {
+      return static_cast<double>(sub_masters_.size());
+    });
+    metrics_->gauge_fn("campaign.master.root_messages", [this] {
+      return static_cast<double>(result_.root_messages_handled);
+    });
+    metrics_->gauge_fn("campaign.master.sub_messages", [this] {
+      return static_cast<double>(result_.sub_messages_handled);
+    });
+    metrics_->gauge_fn("campaign.master.relay_batches", [this] {
+      return static_cast<double>(result_.site_relay_batches);
+    });
+    metrics_->gauge_fn("campaign.master.digests", [this] {
+      return static_cast<double>(result_.inter_site_digests);
+    });
+    metrics_->gauge_fn("campaign.master.digest_clauses", [this] {
+      return static_cast<double>(result_.digest_clauses_sent);
+    });
+    metrics_->gauge_fn("campaign.master.digest_deduped", [this] {
+      return static_cast<double>(result_.digest_clauses_deduped);
+    });
+    metrics_->gauge_fn("campaign.master.brokered_splits", [this] {
+      return static_cast<double>(result_.brokered_splits);
+    });
+    metrics_->gauge_fn("campaign.master.bounces", [this] {
+      return static_cast<double>(result_.sub_master_bounces);
+    });
+    metrics_->gauge_fn("campaign.master.rehomes", [this] {
+      return static_cast<double>(result_.sub_master_rehomes);
+    });
+  }
 }
 
 void Campaign::register_host_names(std::size_t host_index) {
@@ -891,6 +986,9 @@ double Campaign::send(std::uint32_t from, std::uint32_t from_site,
 void Campaign::send_to_master(std::size_t from_host, Msg kind,
                               std::size_t bytes, sim::Callback handler,
                               std::uint64_t flow) {
+  // Everything addressed to the root counts against it — the flat/hier
+  // comparison metric (result.root_messages_handled).
+  ++result_.root_messages_handled;
   send(endpoint_ids_[from_host], site_ids_[from_host], master_id_,
        master_site_id_, kind, bytes, std::move(handler), flow);
 }
@@ -937,12 +1035,17 @@ void Campaign::launch_client(std::size_t host_index) {
                                              std::make_unique<Client>(
                                                  *this, host_index,
                                                  hosts_[host_index]->name());
-                                         send_to_master(
+                                         // Assignment is the root's call:
+                                         // a covering sub-master forwards
+                                         // the registration as
+                                         // SUB_REGISTER.
+                                         send_up(
                                              host_index, Msg::kRegister,
                                              kControlMessageBytes,
                                              [this, host_index] {
                                                on_register(host_index);
-                                             });
+                                             },
+                                             0, /*forward_to_root=*/true);
                                        });
                  });
 }
@@ -1116,7 +1219,7 @@ void Campaign::on_split_request(std::size_t host_index) {
 void Campaign::on_split_failed(std::size_t requester, std::size_t peer) {
   (void)peer;
   if (done_) return;
-  backlog_.erase(requester);
+  forget_backlog(requester);
   release_grant(requester);
 }
 
@@ -1198,7 +1301,7 @@ void Campaign::on_subproblem_unsat(std::size_t host_index, bool root_refuted) {
   drop_checkpoints(host_index);
   grid::ResourceEntry& entry = directory_.at(host_index);
   entry.state = HostState::kIdle;
-  backlog_.erase(host_index);
+  forget_backlog(host_index);
   release_grant(host_index);
   try_dispatch();
   if (root_refuted && config_.parallel_mode != solver::ParallelMode::kSplit) {
@@ -1265,7 +1368,7 @@ void Campaign::on_race_cancelled(std::size_t host_index) {
   drop_checkpoints(host_index);
   grid::ResourceEntry& entry = directory_.at(host_index);
   if (entry.state == HostState::kBusy) entry.state = HostState::kIdle;
-  backlog_.erase(host_index);
+  forget_backlog(host_index);
   release_grant(host_index);
   try_dispatch();
   check_termination();
@@ -1410,7 +1513,7 @@ void Campaign::on_client_died(std::size_t host_index, bool was_busy) {
   if (done_) return;
   grid::ResourceEntry& entry = directory_.at(host_index);
   if (entry.state == HostState::kDead) return;
-  backlog_.erase(host_index);
+  forget_backlog(host_index);
   release_grant(host_index);
   clients_[host_index].reset();
   // The process that held the cached base block is gone: later ships to
@@ -1481,6 +1584,10 @@ std::size_t Campaign::idle_at_site(const std::string& site) const {
 
 void Campaign::try_dispatch() {
   if (done_) return;
+  if (hier_enabled()) {
+    hier_dispatch();
+    return;
+  }
   for (;;) {
     const bool have_work = !pending_restores_.empty() || !backlog_.empty();
     if (!have_work) return;
@@ -1525,7 +1632,7 @@ void Campaign::try_dispatch() {
       return;
     }
     const auto requester_index = static_cast<std::size_t>(requester);
-    backlog_.erase(requester_index);
+    forget_backlog(requester_index);
     directory_.at(target_index).state = HostState::kReserved;
     std::vector<std::size_t> targets{target_index};
     if (config_.parallel_mode == solver::ParallelMode::kHybrid) {
@@ -1574,6 +1681,620 @@ void Campaign::try_dispatch() {
 void Campaign::update_peak_active() {
   const std::size_t active = directory_.count_in_state(HostState::kBusy);
   result_.max_active_clients = std::max(result_.max_active_clients, active);
+}
+
+// ===========================================================================
+// Hierarchical masters (DESIGN.md §4j)
+// ===========================================================================
+
+bool Campaign::hier_enabled() const noexcept { return !sub_masters_.empty(); }
+
+std::ptrdiff_t Campaign::route_sub(std::size_t host_index) const {
+  if (sub_masters_.empty()) return -1;
+  const auto it = sub_by_site_.find(site_ids_[host_index]);
+  return it == sub_by_site_.end() ? -1
+                                  : static_cast<std::ptrdiff_t>(it->second);
+}
+
+void Campaign::setup_sub_masters() {
+  if (config_.sub_masters == 0 ||
+      config_.parallel_mode != solver::ParallelMode::kSplit) {
+    // Racing modes keep the flat master (like migration): every racer
+    // needs the global clause bus and the root's cohort bookkeeping.
+    return;
+  }
+  // The first `sub_masters` distinct sites in host order get a sub-master;
+  // hosts at uncovered sites (including late joiners at new sites) keep
+  // paper-flat routing.
+  for (std::size_t i = 0;
+       i < hosts_.size() && sub_masters_.size() < config_.sub_masters; ++i) {
+    const std::uint32_t site = site_ids_[i];
+    if (sub_by_site_.count(site) != 0) continue;
+    SubMaster sm;
+    sm.site = hosts_[i]->site();
+    sm.site_id = site;
+    sm.endpoint = names_.intern("submaster:" + sm.site);
+    // 2^14 slots: a site's working set of recently shared clauses, not
+    // the campaign-wide history (clear() on re-home starts a new epoch).
+    sm.filter = solver::FingerprintFilter(14);
+    sub_by_site_[site] = sub_masters_.size();
+    sub_masters_.push_back(std::move(sm));
+  }
+}
+
+void Campaign::schedule_sub_master_failure(const std::string& site,
+                                           double at) {
+  engine_.schedule_at(at, [this, site] {
+    if (done_) return;
+    const auto it = sub_by_site_.find(names_.intern(site));
+    if (it == sub_by_site_.end()) return;
+    const std::size_t sub = it->second;
+    SubMaster& sm = sub_masters_[sub];
+    if (!sm.alive) return;
+    sm.alive = false;
+    // Whatever the dead incarnation held dies with it: parked split
+    // requests (clients re-send on SUB_HELLO), the unsent digest, and
+    // the outstanding starvation claim.
+    sm.backlog.clear();
+    sm.digest.clear();
+    sm.work_requested = false;
+    starving_sites_.erase(sub);
+    // The root's monitoring notices shortly afterwards, as with client
+    // deaths (§3.3), and re-homes the site.
+    engine_.schedule_in(kMasterMonitorDelay,
+                        [this, sub] { rehome_sub_master(sub); });
+  });
+}
+
+void Campaign::rehome_sub_master(std::size_t sub) {
+  if (done_) return;
+  SubMaster& sm = sub_masters_[sub];
+  if (sm.alive) return;
+  ++result_.sub_master_rehomes;
+  ++sm.incarnation;
+  sm.alive = true;
+  // Fresh suppression epoch: the new incarnation must not silently drop
+  // clauses only the dead one had seen.
+  sm.filter.clear();
+  sm.last_idle = sm.last_busy = sm.last_backlog = ~std::size_t{0};
+  // Announce the fresh incarnation to the site: any client whose split
+  // request the dead incarnation swallowed re-sends it, so no guiding
+  // path is lost (the space itself was never at risk — subproblems
+  // travel peer-to-peer, not through sub-masters).
+  sim::DeliveryBatch hello(bus_, master_id_, master_site_id_,
+                           kind_id(Msg::kSubHello), kControlMessageBytes);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (site_ids_[i] != sm.site_id) continue;
+    Client* target = clients_[i].get();
+    if (target == nullptr || !target->alive()) continue;
+    hello.add(endpoint_ids_[i], site_ids_[i], [this, i] {
+      Client* c = client(i);
+      if (c != nullptr) c->sub_hello();
+    });
+  }
+  hello.flush();
+  try_dispatch();
+}
+
+void Campaign::send_sub_to_root(std::size_t sub, Msg kind, std::size_t bytes,
+                                sim::Callback handler, std::uint64_t flow) {
+  ++result_.root_messages_handled;
+  SubMaster& sm = sub_masters_[sub];
+  send(sm.endpoint, sm.site_id, master_id_, master_site_id_, kind, bytes,
+       std::move(handler), flow);
+}
+
+void Campaign::send_root_to_sub(std::size_t sub, Msg kind, std::size_t bytes,
+                                sim::Callback handler, std::uint64_t flow) {
+  SubMaster& sm = sub_masters_[sub];
+  send(master_id_, master_site_id_, sm.endpoint, sm.site_id, kind, bytes,
+       [this, sub, handler = std::move(handler)]() mutable {
+         if (sub_masters_[sub].alive) {
+           ++result_.sub_messages_handled;
+         } else {
+           ++result_.sub_master_bounces;
+         }
+         // The handler itself is alive-aware (a dead sub-master drops a
+         // digest, fails a broker back to the root).
+         handler();
+       },
+       flow);
+}
+
+void Campaign::send_sub_to_client(std::size_t sub, std::size_t to_host,
+                                  Msg kind, std::size_t bytes,
+                                  sim::Callback handler, std::uint64_t flow) {
+  SubMaster& sm = sub_masters_[sub];
+  send(sm.endpoint, sm.site_id, endpoint_ids_[to_host], site_ids_[to_host],
+       kind, bytes, std::move(handler), flow);
+}
+
+void Campaign::deliver_at_sub(std::size_t sub, std::size_t from_host,
+                              Msg kind, std::size_t bytes,
+                              std::uint64_t flow, sim::Callback at_sub,
+                              sim::Callback at_root) {
+  SubMaster& sm = sub_masters_[sub];
+  send(endpoint_ids_[from_host], site_ids_[from_host], sm.endpoint,
+       sm.site_id, kind, bytes,
+       [this, sub, kind, bytes, flow, at_sub = std::move(at_sub),
+        at_root = std::move(at_root)]() mutable {
+         if (!sub_masters_[sub].alive) {
+           // Dead sub-master: the message bounces to the root, charging
+           // the extra hop, and the root-side fallback handles it.
+           ++result_.sub_master_bounces;
+           send_sub_to_root(sub, kind, bytes, std::move(at_root), flow);
+           return;
+         }
+         ++result_.sub_messages_handled;
+         at_sub();
+       },
+       flow);
+}
+
+void Campaign::send_up(std::size_t from_host, Msg kind, std::size_t bytes,
+                       sim::Callback handler, std::uint64_t flow,
+                       bool forward_to_root) {
+  const std::ptrdiff_t sub = route_sub(from_host);
+  if (sub < 0) {
+    send_to_master(from_host, kind, bytes, std::move(handler), flow);
+    return;
+  }
+  const auto s = static_cast<std::size_t>(sub);
+  // The handler must be reachable from both the sub-master arm and the
+  // dead-bounce arm; sim::Callback is move-only, so share it.
+  auto shared = std::make_shared<sim::Callback>(std::move(handler));
+  if (!forward_to_root) {
+    // Shared-semantics report: it terminates at the sub-master, which
+    // folds it into the next cadenced SITE_SUMMARY instead of forwarding
+    // it — the root hears O(sites) summaries, not O(clients) reports.
+    deliver_at_sub(s, from_host, kind, bytes, flow,
+                   [shared] { (*shared)(); }, [shared] { (*shared)(); });
+    return;
+  }
+  const Msg forwarded = kind == Msg::kRegister ? Msg::kSubRegister : kind;
+  deliver_at_sub(
+      s, from_host, kind, bytes, flow,
+      [this, s, forwarded, bytes, flow, shared] {
+        send_sub_to_root(s, forwarded, bytes, [shared] { (*shared)(); },
+                         flow);
+      },
+      [shared] { (*shared)(); });
+}
+
+void Campaign::enqueue_split_request(std::size_t host_index) {
+  if (done_) return;
+  const std::ptrdiff_t sub = route_sub(host_index);
+  if (sub >= 0 && sub_masters_[sub].alive) {
+    sub_masters_[sub].backlog.insert(host_index);
+    sub_try_dispatch(static_cast<std::size_t>(sub));
+    return;
+  }
+  backlog_.insert(host_index);
+  try_dispatch();
+}
+
+void Campaign::forget_backlog(std::size_t host_index) {
+  backlog_.erase(host_index);
+  for (SubMaster& sm : sub_masters_) sm.backlog.erase(host_index);
+}
+
+std::ptrdiff_t Campaign::best_idle_at_site(std::size_t sub) const {
+  const SubMaster& sm = sub_masters_[sub];
+  std::ptrdiff_t best = -1;
+  double best_rank = -1.0;
+  for (std::size_t i = 0; i < directory_.size(); ++i) {
+    if (site_ids_[i] != sm.site_id) continue;
+    const grid::ResourceEntry& e = directory_.at(i);
+    if (e.state != HostState::kIdle) continue;
+    if (e.spec.memory_bytes < config_.min_client_memory) continue;
+    const double r = directory_.rank(i);
+    if (r > best_rank) {
+      best_rank = r;
+      best = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return best;
+}
+
+void Campaign::sub_on_clauses(std::size_t sub, std::size_t from,
+                              std::shared_ptr<ClauseBatch> batch) {
+  if (done_) return;
+  SubMaster& sm = sub_masters_[sub];
+  ++result_.clause_batches_shared;
+  result_.clauses_shared += batch->clauses.size();
+  auto fresh = std::make_shared<std::vector<cnf::Clause>>();
+  const std::size_t cap = config_.inter_site_lbd_cap;
+  for (std::size_t i = 0; i < batch->clauses.size(); ++i) {
+    const cnf::Clause& clause = batch->clauses[i];
+    if (!sm.filter.insert(solver::clause_fingerprint(clause))) {
+      // The site has already circulated this clause (a local re-learn or
+      // an earlier remote digest): suppress both the relay and the
+      // digest copy.
+      ++result_.digest_clauses_deduped;
+      continue;
+    }
+    fresh->push_back(clause);
+    const std::uint32_t lbd = i < batch->lbds.size() ? batch->lbds[i] : 0;
+    if (cap > 0 && lbd <= cap) sm.digest.emplace_back(clause, lbd);
+  }
+  if (!fresh->empty()) {
+    sub_relay(sub, fresh, static_cast<std::ptrdiff_t>(from));
+  }
+}
+
+void Campaign::sub_relay(std::size_t sub,
+                         std::shared_ptr<std::vector<cnf::Clause>> clauses,
+                         std::ptrdiff_t exclude_host) {
+  SubMaster& sm = sub_masters_[sub];
+  const std::size_t bytes = clause_batch_bytes(*clauses);
+  sim::DeliveryBatch delivery(bus_, sm.endpoint, sm.site_id,
+                              kind_id(Msg::kClauses), bytes);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == exclude_host) continue;
+    if (site_ids_[i] != sm.site_id) continue;
+    Client* target = clients_[i].get();
+    if (target == nullptr || !target->alive() || !target->busy()) continue;
+    delivery.add(endpoint_ids_[i], site_ids_[i], [this, i, clauses] {
+      Client* receiver = client(i);
+      if (receiver != nullptr) receiver->receive_clauses(clauses);
+    });
+  }
+  if (delivery.size() == 0) return;
+  ++result_.site_relay_batches;
+  delivery.flush();
+}
+
+void Campaign::flush_digest(std::size_t sub) {
+  SubMaster& sm = sub_masters_[sub];
+  if (sm.digest.empty()) return;
+  auto batch = std::make_shared<ClauseBatch>();
+  batch->clauses.reserve(sm.digest.size());
+  batch->lbds.reserve(sm.digest.size());
+  for (auto& [clause, lbd] : sm.digest) {
+    batch->clauses.push_back(std::move(clause));
+    batch->lbds.push_back(lbd);
+  }
+  sm.digest.clear();
+  ++result_.inter_site_digests;
+  result_.digest_clauses_sent += batch->clauses.size();
+  const std::size_t bytes =
+      clause_batch_bytes(batch->clauses) + batch->clauses.size();
+  send_sub_to_root(sub, Msg::kClauseDigest, bytes,
+                   [this, sub, batch] { root_on_digest(sub, batch); });
+}
+
+void Campaign::root_on_digest(std::size_t sub,
+                              std::shared_ptr<ClauseBatch> batch) {
+  if (done_) return;
+  const std::size_t bytes =
+      clause_batch_bytes(batch->clauses) + batch->clauses.size();
+  for (std::size_t s = 0; s < sub_masters_.size(); ++s) {
+    if (s == sub || !sub_masters_[s].alive) continue;
+    send_root_to_sub(s, Msg::kClauseDigest, bytes,
+                     [this, s, batch] { sub_on_remote_digest(s, batch); });
+  }
+}
+
+void Campaign::sub_on_remote_digest(std::size_t sub,
+                                    std::shared_ptr<ClauseBatch> batch) {
+  if (done_) return;
+  SubMaster& sm = sub_masters_[sub];
+  // A dead sub-master drops the digest — sharing is best-effort, and the
+  // fresh incarnation's cleared filter re-admits these clauses later.
+  if (!sm.alive) return;
+  auto fresh = std::make_shared<std::vector<cnf::Clause>>();
+  for (const cnf::Clause& clause : batch->clauses) {
+    if (sm.filter.insert(solver::clause_fingerprint(clause))) {
+      fresh->push_back(clause);
+    } else {
+      ++result_.digest_clauses_deduped;
+    }
+  }
+  if (!fresh->empty()) sub_relay(sub, fresh, -1);
+}
+
+void Campaign::sub_master_tick(std::size_t sub) {
+  if (done_) return;
+  SubMaster& sm = sub_masters_[sub];
+  if (sm.alive) {
+    // Cadenced starvation check: grant anything grantable locally and
+    // raise a WORK_REQUEST if the site has idle capacity but no work —
+    // the trigger that doesn't depend on any client event arriving here.
+    sub_try_dispatch(sub);
+    flush_digest(sub);
+    // Site-state summary: decimated against the clause cadence (state
+    // aggregation tolerates more staleness than clause relay — urgent
+    // signals travel as WORK_REQUESTs), and only when something moved
+    // since the last one (a quiescent site stays silent — this is what
+    // keeps the endgame tail cheap at the root).
+    if (++sm.ticks % kSummaryTickPeriod == 0) {
+      std::size_t idle = 0;
+      std::size_t busy = 0;
+      for (std::size_t i = 0; i < directory_.size(); ++i) {
+        if (site_ids_[i] != sm.site_id) continue;
+        const HostState s = directory_.at(i).state;
+        if (s == HostState::kIdle) ++idle;
+        if (s == HostState::kBusy) ++busy;
+      }
+      if (idle != sm.last_idle || busy != sm.last_busy ||
+          sm.backlog.size() != sm.last_backlog) {
+        sm.last_idle = idle;
+        sm.last_busy = busy;
+        sm.last_backlog = sm.backlog.size();
+        send_sub_to_root(sub, Msg::kSiteSummary, kControlMessageBytes,
+                         [this, sub] { root_on_site_summary(sub); });
+      }
+    }
+  }
+  engine_.schedule_in(config_.site_relay_interval,
+                      [this, sub] { sub_master_tick(sub); });
+}
+
+void Campaign::root_on_site_summary(std::size_t sub) {
+  (void)sub;
+  if (done_) return;
+  // The summary keeps the root's view of site load current; react by
+  // re-checking whether a starving site can now be matched to a donor.
+  root_broker();
+}
+
+void Campaign::sub_try_dispatch(std::size_t sub) {
+  if (done_) return;
+  SubMaster& sm = sub_masters_[sub];
+  if (!sm.alive) return;
+  // Drop stale entries (hosts no longer busy: they finished or died
+  // before a grant could land).
+  for (auto it = sm.backlog.begin(); it != sm.backlog.end();) {
+    if (directory_.at(*it).state != HostState::kBusy) {
+      it = sm.backlog.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Grant locally while the site has both backlog and idle capacity —
+  // the root never hears about these splits.
+  for (;;) {
+    const std::ptrdiff_t target = best_idle_at_site(sub);
+    if (target < 0) break;
+    std::ptrdiff_t requester = -1;
+    double oldest = -1.0;
+    for (const std::size_t host : sm.backlog) {
+      // A host with an outstanding grant is mid-negotiation (e.g. a
+      // SUB_HELLO re-send raced the original's bounce): skip it.
+      if (outstanding_grants_.count(host) != 0) continue;
+      const double running = engine_.now() - directory_.at(host).busy_since;
+      if (running > oldest) {
+        oldest = running;
+        requester = static_cast<std::ptrdiff_t>(host);
+      }
+    }
+    if (requester < 0) break;
+    const auto requester_index = static_cast<std::size_t>(requester);
+    const auto target_index = static_cast<std::size_t>(target);
+    forget_backlog(requester_index);
+    directory_.at(target_index).state = HostState::kReserved;
+    outstanding_grants_[requester_index] = {target_index};
+    send_sub_to_client(
+        sub, requester_index, Msg::kSplitGrant, kControlMessageBytes,
+        [this, requester_index, target_index] {
+          Client* c = client(requester_index);
+          if (c == nullptr || !c->alive()) {
+            on_split_failed(requester_index, target_index);
+            return;
+          }
+          c->grant_split({target_index});
+        });
+  }
+  // Starving: idle capacity with nothing local to split. One outstanding
+  // WORK_REQUEST at a time; the root brokers a split from the most
+  // loaded site.
+  bool local_work = false;
+  for (const std::size_t host : sm.backlog) {
+    if (outstanding_grants_.count(host) == 0) {
+      local_work = true;
+      break;
+    }
+  }
+  if (problem_assigned_ && !sm.work_requested && !local_work &&
+      best_idle_at_site(sub) >= 0) {
+    sm.work_requested = true;
+    send_sub_to_root(sub, Msg::kWorkRequest, kControlMessageBytes,
+                     [this, sub] { root_on_work_request(sub); });
+  }
+}
+
+void Campaign::root_on_work_request(std::size_t sub) {
+  if (done_) return;
+  starving_sites_.insert(sub);
+  root_broker();
+}
+
+void Campaign::root_broker() {
+  if (done_) return;
+  for (auto it = starving_sites_.begin(); it != starving_sites_.end();) {
+    const std::size_t s = *it;
+    SubMaster& starving = sub_masters_[s];
+    if (!starving.alive) {
+      starving.work_requested = false;
+      it = starving_sites_.erase(it);
+      continue;
+    }
+    const std::ptrdiff_t peer = best_idle_at_site(s);
+    if (peer < 0) {
+      // The site filled up on its own (local grants, relaunches): the
+      // claim is spent.
+      starving.work_requested = false;
+      it = starving_sites_.erase(it);
+      continue;
+    }
+    // Donor: the live site with the deepest grantable backlog.
+    std::ptrdiff_t donor = -1;
+    std::size_t best_load = 0;
+    for (std::size_t d = 0; d < sub_masters_.size(); ++d) {
+      if (d == s || !sub_masters_[d].alive) continue;
+      std::size_t load = 0;
+      for (const std::size_t host : sub_masters_[d].backlog) {
+        if (directory_.at(host).state == HostState::kBusy &&
+            outstanding_grants_.count(host) == 0) {
+          ++load;
+        }
+      }
+      if (load > best_load) {
+        best_load = load;
+        donor = static_cast<std::ptrdiff_t>(d);
+      }
+    }
+    if (donor < 0) {
+      // Nothing to give anywhere: the site stays starving; the next
+      // summary or work request retries.
+      ++it;
+      continue;
+    }
+    const auto peer_index = static_cast<std::size_t>(peer);
+    directory_.at(peer_index).state = HostState::kReserved;
+    starving.work_requested = false;
+    it = starving_sites_.erase(it);
+    const auto donor_index = static_cast<std::size_t>(donor);
+    send_root_to_sub(donor_index, Msg::kSplitBroker, kControlMessageBytes,
+                     [this, donor_index, peer_index] {
+                       sub_on_broker(donor_index, peer_index);
+                     });
+  }
+}
+
+void Campaign::sub_on_broker(std::size_t sub, std::size_t peer_host) {
+  if (done_) return;
+  SubMaster& sm = sub_masters_[sub];
+  // The sub-master picks the donor client itself, from its own (current)
+  // backlog — the root only chose the site.
+  std::ptrdiff_t requester = -1;
+  double oldest = -1.0;
+  if (sm.alive) {
+    for (const std::size_t host : sm.backlog) {
+      if (directory_.at(host).state != HostState::kBusy) continue;
+      if (outstanding_grants_.count(host) != 0) continue;
+      const double running = engine_.now() - directory_.at(host).busy_since;
+      if (running > oldest) {
+        oldest = running;
+        requester = static_cast<std::ptrdiff_t>(host);
+      }
+    }
+  }
+  if (requester < 0) {
+    // Dead, or the backlog drained since the root looked: give the
+    // reserved peer back.
+    send_sub_to_root(sub, Msg::kBrokerFailed, kControlMessageBytes,
+                     [this, sub, peer_host] {
+                       root_on_broker_failed(sub, peer_host);
+                     });
+    return;
+  }
+  const auto requester_index = static_cast<std::size_t>(requester);
+  forget_backlog(requester_index);
+  outstanding_grants_[requester_index] = {peer_host};
+  ++result_.brokered_splits;
+  send_sub_to_client(
+      sub, requester_index, Msg::kSplitGrant, kControlMessageBytes,
+      [this, requester_index, peer_host] {
+        Client* c = client(requester_index);
+        if (c == nullptr || !c->alive()) {
+          on_split_failed(requester_index, peer_host);
+          return;
+        }
+        c->grant_split({peer_host});
+      });
+}
+
+void Campaign::root_on_broker_failed(std::size_t sub, std::size_t peer_host) {
+  (void)sub;
+  if (done_) return;
+  grid::ResourceEntry& entry = directory_.at(peer_host);
+  if (entry.state == HostState::kReserved) entry.state = HostState::kIdle;
+  try_dispatch();
+  check_termination();
+}
+
+void Campaign::hier_dispatch() {
+  if (done_) return;
+  // Bounced requests that waited at the root migrate back once their
+  // site's sub-master is re-homed; requests from uncovered sites stay.
+  for (auto it = backlog_.begin(); it != backlog_.end();) {
+    const std::ptrdiff_t sub = route_sub(*it);
+    if (sub >= 0 && sub_masters_[sub].alive) {
+      sub_masters_[sub].backlog.insert(*it);
+      it = backlog_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Restores are root-homed: the carrier's site (and its sub-master) may
+  // be gone, and that space is covered by nobody — best idle anywhere.
+  while (!pending_restores_.empty()) {
+    const std::ptrdiff_t target =
+        directory_.best_in_state(HostState::kIdle, config_.min_client_memory);
+    if (target < 0) break;
+    auto sp = pending_restores_.front();
+    pending_restores_.pop_front();
+    directory_.at(static_cast<std::size_t>(target)).state =
+        HostState::kReserved;
+    assign_subproblem(static_cast<std::size_t>(target), std::move(sp));
+  }
+  // Root-homed backlog (uncovered sites, dead-sub stragglers): flat-style
+  // grants against the global idle pool.
+  for (;;) {
+    if (backlog_.empty()) break;
+    const std::ptrdiff_t target =
+        directory_.best_in_state(HostState::kIdle, config_.min_client_memory);
+    if (target < 0) break;
+    std::ptrdiff_t requester = -1;
+    double oldest = -1.0;
+    for (const std::size_t host : backlog_) {
+      const grid::ResourceEntry& e = directory_.at(host);
+      if (e.state != HostState::kBusy) continue;
+      if (outstanding_grants_.count(host) != 0) continue;
+      const double running = engine_.now() - e.busy_since;
+      if (running > oldest) {
+        oldest = running;
+        requester = static_cast<std::ptrdiff_t>(host);
+      }
+    }
+    if (requester < 0) {
+      std::erase_if(backlog_, [this](std::size_t host) {
+        return directory_.at(host).state != HostState::kBusy;
+      });
+      break;
+    }
+    const auto requester_index = static_cast<std::size_t>(requester);
+    const auto target_index = static_cast<std::size_t>(target);
+    forget_backlog(requester_index);
+    directory_.at(target_index).state = HostState::kReserved;
+    outstanding_grants_[requester_index] = {target_index};
+    send_to_client(requester_index, Msg::kSplitGrant, kControlMessageBytes,
+                   [this, requester_index, target_index] {
+                     Client* c = client(requester_index);
+                     if (c == nullptr || !c->alive()) {
+                       on_split_failed(requester_index, target_index);
+                       return;
+                     }
+                     c->grant_split({target_index});
+                   });
+  }
+  // Site-local dispatch everywhere, then cross-site brokering.
+  for (std::size_t s = 0; s < sub_masters_.size(); ++s) sub_try_dispatch(s);
+  root_broker();
+  // Work waiting with nobody idle: spin a client up on a free host, as
+  // the flat dispatcher does.
+  bool have_work = !pending_restores_.empty() || !backlog_.empty();
+  for (const SubMaster& sm : sub_masters_) {
+    have_work = have_work || !sm.backlog.empty();
+  }
+  if (have_work &&
+      directory_.best_in_state(HostState::kIdle, config_.min_client_memory) <
+          0) {
+    const std::ptrdiff_t free_host = directory_.best_in_state(
+        HostState::kFree, config_.min_client_memory);
+    if (free_host >= 0) launch_client(static_cast<std::size_t>(free_host));
+  }
 }
 
 void Campaign::check_termination() {
@@ -1671,7 +2392,19 @@ GridSatResult Campaign::run() {
       tracer_->emit(master_trace_worker_, obs::EventKind::kSiteTag,
                     tracer_->intern(master_site_));
       for (std::size_t i = 0; i < hosts_.size(); ++i) tag_site(i);
+      // Sub-master lanes carry their site tag too, so gridsat_analyze
+      // groups their wire traffic with the site they coordinate.
+      for (const SubMaster& sm : sub_masters_) {
+        tracer_->emit(tracer_->register_worker(names_.name(sm.endpoint)),
+                      obs::EventKind::kSiteTag, tracer_->intern(sm.site));
+      }
     }
+  }
+  // Hierarchical topology: start each sub-master's cadenced digest/summary
+  // tick (it reschedules itself for the campaign's lifetime).
+  for (std::size_t s = 0; s < sub_masters_.size(); ++s) {
+    engine_.schedule_in(config_.site_relay_interval,
+                        [this, s] { sub_master_tick(s); });
   }
   // Master start-up: launch a client on every usable resource.
   for (std::size_t i = 0; i < directory_.size(); ++i) {
@@ -1722,6 +2455,8 @@ GridSatResult Campaign::run() {
   // Final accounting.
   result_.messages = bus_.messages_sent();
   result_.bytes_transferred = bus_.bytes_sent();
+  result_.inter_site_messages = bus_.inter_site_messages();
+  result_.inter_site_bytes = bus_.inter_site_bytes();
   result_.total_work = 0;
   result_.clauses_imported = 0;
   result_.clauses_imported_used = 0;

@@ -46,6 +46,7 @@
 #include "sim/names.hpp"
 #include "sim/network.hpp"
 #include "solver/cdcl.hpp"
+#include "solver/sharing.hpp"
 
 namespace gridsat::core {
 
@@ -76,7 +77,24 @@ enum class Msg : std::uint8_t {
   kBaseShip,
   kCancelSubproblem,  ///< master -> racer: a co-racer won; stand down
   kCancelled,         ///< racer -> master: tenancy abandoned, host idle
+  // Hierarchical-master protocol (DESIGN.md §4j).
+  kSubRegister,   ///< sub-master -> root: registration forward (pre-assignment)
+  kSiteSummary,   ///< sub-master -> root: cadenced site-state summary
+  kClauseDigest,  ///< sub-master <-> root: deduped inter-site clause digest
+  kWorkRequest,   ///< sub-master -> root: site starving (idle hosts, no work)
+  kSplitBroker,   ///< root -> sub-master: grant a split toward a remote peer
+  kBrokerFailed,  ///< sub-master -> root: nothing left to give; release peer
+  kSubHello,      ///< root -> site clients: fresh sub-master incarnation
   kCount,
+};
+
+/// One client flush in the hierarchical topology: the shared clauses plus
+/// the LBD each was learned at — the sub-master's inter-site digest filter
+/// keys on LBD (config.inter_site_lbd_cap). The flat topology ships
+/// clauses only, exactly as before.
+struct ClauseBatch {
+  std::vector<cnf::Clause> clauses;
+  std::vector<std::uint32_t> lbds;
 };
 
 /// One GridSAT client process (internal to Campaign, exposed for tests).
@@ -99,6 +117,10 @@ class Client {
   void cancel_subproblem(std::uint64_t incarnation);
   void checkpoint_acked(std::uint64_t incarnation, std::uint64_t epoch);
   void checkpoint_nacked(std::uint64_t incarnation);
+  /// The site's sub-master was re-homed under a fresh incarnation: any
+  /// split request the old incarnation may have held is gone, so re-send
+  /// it (DESIGN.md §4j failure handling).
+  void sub_hello();
   void kill();
 
   [[nodiscard]] bool busy() const noexcept { return solver_ != nullptr; }
@@ -132,6 +154,9 @@ class Client {
   std::string name_;
   std::unique_ptr<solver::CdclSolver> solver_;
   std::vector<cnf::Clause> export_buffer_;
+  /// LBD of each buffered export, parallel to export_buffer_; shipped to
+  /// the sub-master in hierarchical mode, dropped on the flat path.
+  std::vector<std::uint32_t> export_lbds_;
   std::uint64_t work_accumulated_ = 0;  ///< from finished subproblems
   /// Import accounting carried across subproblem tenancies (the live
   /// solver's counts are added on top; see clauses_imported*()).
@@ -196,6 +221,18 @@ class Campaign {
 
   /// Test hook: kill the client on `host_index` at virtual time `at`.
   void schedule_client_failure(std::size_t host_index, double at);
+
+  /// Test hook: the sub-master at `site` dies at virtual time `at`. The
+  /// root notices after its monitoring delay and re-homes the site under
+  /// a fresh sub-master incarnation; in-flight messages bounce to the
+  /// root, so no guiding path or proof leaf is lost (DESIGN.md §4j).
+  /// No-op when the site has no (live) sub-master.
+  void schedule_sub_master_failure(const std::string& site, double at);
+
+  /// Sub-masters actually deployed (0 in the flat topology).
+  [[nodiscard]] std::size_t num_sub_masters() const noexcept {
+    return sub_masters_.size();
+  }
 
   // --- elastic-grid scenario hooks (DESIGN.md §4g) ---------------------
   /// A new host joins the pool at virtual time `at` (elastic
@@ -370,6 +407,98 @@ class Campaign {
   void release_host(std::size_t host_index);
   void begin_site_outage(const std::string& site, double down_for);
 
+  // --- hierarchical masters (DESIGN.md §4j) ----------------------------
+  /// Per-site coordinator: a logical endpoint ("submaster:<site>") that
+  /// aggregates its clients' reports, relays clauses in-site, buffers an
+  /// LBD-capped inter-site digest behind a FingerprintFilter, and holds
+  /// the site-local split backlog. Consumes no host; its honesty lives in
+  /// the message/byte/latency accounting of everything it sends.
+  struct SubMaster {
+    std::string site;
+    std::uint32_t site_id = 0;
+    std::uint32_t endpoint = 0;  ///< interned "submaster:<site>"
+    std::uint64_t incarnation = 1;
+    bool alive = true;
+    solver::FingerprintFilter filter;  ///< clause dedup (relay + digest)
+    std::vector<std::pair<cnf::Clause, std::uint32_t>> digest;
+    std::set<std::size_t> backlog;  ///< local hosts with pending requests
+    bool work_requested = false;    ///< one WORK_REQUEST outstanding
+    std::uint64_t ticks = 0;        ///< cadence counter (summary decimation)
+    /// Site state as of the last summary sent; a quiescent site stays
+    /// silent (the tick only ships a SITE_SUMMARY when something moved).
+    std::size_t last_idle = ~std::size_t{0};
+    std::size_t last_busy = ~std::size_t{0};
+    std::size_t last_backlog = ~std::size_t{0};
+  };
+
+  /// Hierarchical routing is on: sub-masters configured and the campaign
+  /// runs the paper's split protocol (racing modes keep the flat master,
+  /// like migration).
+  [[nodiscard]] bool hier_enabled() const noexcept;
+  /// Sub-master index covering `host`'s site, or -1 (flat routing).
+  [[nodiscard]] std::ptrdiff_t route_sub(std::size_t host_index) const;
+  void setup_sub_masters();
+  /// Cadenced per-sub-master event: flush the digest and send the site
+  /// summary, every config.site_relay_interval virtual seconds.
+  void sub_master_tick(std::size_t sub);
+  void flush_digest(std::size_t sub);
+  // Sub-master-side message handlers (delivery time).
+  void sub_on_clauses(std::size_t sub, std::size_t from,
+                      std::shared_ptr<ClauseBatch> batch);
+  void sub_on_remote_digest(std::size_t sub,
+                            std::shared_ptr<ClauseBatch> batch);
+  void sub_on_broker(std::size_t sub, std::size_t peer_host);
+  /// In-site clause fan-out over one DeliveryBatch (exclude_host = the
+  /// originating client, or -1 to include everyone).
+  void sub_relay(std::size_t sub,
+                 std::shared_ptr<std::vector<cnf::Clause>> clauses,
+                 std::ptrdiff_t exclude_host);
+  /// Grant splits locally while the site has both backlog and idle
+  /// hosts; request brokered work from the root when starving.
+  void sub_try_dispatch(std::size_t sub);
+  /// Hier tail of try_dispatch(): local dispatch on every site, then
+  /// root-level brokering between starving and loaded sites.
+  void hier_dispatch();
+  void root_broker();
+  // Root-side handlers for sub-master traffic.
+  void root_on_work_request(std::size_t sub);
+  void root_on_broker_failed(std::size_t sub, std::size_t peer_host);
+  void root_on_site_summary(std::size_t sub);
+  void root_on_digest(std::size_t sub, std::shared_ptr<ClauseBatch> batch);
+  void rehome_sub_master(std::size_t sub);
+  /// Park a split request where this topology keeps it: the site
+  /// backlog when a live sub-master covers the host, the root backlog
+  /// otherwise (hier_dispatch re-homes stragglers once the sub returns).
+  void enqueue_split_request(std::size_t host_index);
+  /// Erase a host's pending split request everywhere it could be parked
+  /// (root backlog and every site backlog).
+  void forget_backlog(std::size_t host_index);
+  /// Best idle host at a sub-master's site (rank order, memory floor);
+  /// -1 if none.
+  [[nodiscard]] std::ptrdiff_t best_idle_at_site(std::size_t sub) const;
+  /// Route a shared-semantics client report up the tree: the site
+  /// sub-master when one covers the host (a dead one bounces the message
+  /// to the root, charging the extra hop), the root otherwise. With
+  /// `forward_to_root`, a live sub-master immediately forwards the
+  /// message root-ward (kRegister travels on as kSubRegister) — for
+  /// reports whose decision is the root's alone.
+  void send_up(std::size_t from_host, Msg kind, std::size_t bytes,
+               sim::Callback handler, std::uint64_t flow = 0,
+               bool forward_to_root = false);
+  /// Client -> sub-master send. `at_sub` runs at a live sub-master;
+  /// delivery at a dead one bounces the message to the root (extra hop
+  /// charged) and runs `at_root` there instead.
+  void deliver_at_sub(std::size_t sub, std::size_t from_host, Msg kind,
+                      std::size_t bytes, std::uint64_t flow,
+                      sim::Callback at_sub, sim::Callback at_root);
+  void send_sub_to_root(std::size_t sub, Msg kind, std::size_t bytes,
+                        sim::Callback handler, std::uint64_t flow = 0);
+  void send_root_to_sub(std::size_t sub, Msg kind, std::size_t bytes,
+                        sim::Callback handler, std::uint64_t flow = 0);
+  void send_sub_to_client(std::size_t sub, std::size_t to_host, Msg kind,
+                          std::size_t bytes, sim::Callback handler,
+                          std::uint64_t flow = 0);
+
   // --- plumbing ----------------------------------------------------------
   /// Intern a new host's endpoint/site names (must be called once, in
   /// order, for every host appended to hosts_).
@@ -458,6 +587,10 @@ class Campaign {
   std::map<std::size_t, std::uint64_t> base_resident_;
   std::uint64_t base_fingerprint_ = 0;
   std::size_t base_block_bytes_ = 0;  ///< renegotiation base-ship cost
+  // Hierarchical-master state (DESIGN.md §4j).
+  std::vector<SubMaster> sub_masters_;
+  std::map<std::uint32_t, std::size_t> sub_by_site_;  ///< site id -> index
+  std::set<std::size_t> starving_sites_;  ///< subs awaiting brokered work
   bool done_ = false;
   GridSatResult result_;
 

@@ -92,6 +92,23 @@ struct GridSatConfig {
   /// budgets save more bytes but make receivers re-derive more.
   std::size_t split_learned_budget_bytes = 64 * 1024;
 
+  /// Hierarchical masters (DESIGN.md §4j). Number of per-site sub-masters
+  /// to deploy: the first `sub_masters` distinct sites (in host order) each
+  /// get a sub-master that aggregates its clients' reports, relays clauses
+  /// in-site, and negotiates splits with the root. 0 = flat topology (the
+  /// paper's single master). Hierarchical routing only applies in
+  /// ParallelMode::kSplit — portfolio/hybrid racing keeps the flat master,
+  /// like migration.
+  std::size_t sub_masters = 0;
+  /// Cadence (virtual seconds) of a sub-master's inter-site traffic: the
+  /// deduplicated clause digest to the root and the site-state summary.
+  double site_relay_interval = 0.25;
+  /// Only clauses whose reported LBD is <= this cap cross sites in the
+  /// digest (HordeSat-style quality gating; glue clauses travel, the long
+  /// tail stays local). 0 disables inter-site clause exchange entirely;
+  /// in-site relay is unaffected.
+  std::size_t inter_site_lbd_cap = 6;
+
   /// Cadence of the information service sampling host availability into
   /// the NWS-analog forecasters.
   double availability_sample_interval_s = 60.0;

@@ -168,8 +168,33 @@ ScenarioOutcome run_scenario(std::uint64_t seed, obs::Tracer* tracer) {
       break;  // kSplit, the paper's protocol
   }
 
+  // Hierarchical-master dimensions (DESIGN.md §4j), drawn from a forked
+  // stream so adding them never reshuffles older scenarios' choices. The
+  // knob is drawn regardless of mode — racing scenarios must stay flat
+  // even when sub_masters is set, and that no-op path deserves fuzzing
+  // too.
+  Rng hier_rng{seed * 0x6c62272e07bb0142ull + 0x27d4eb2f165667c5ull};
+  if (!hier_rng.chance(2)) {
+    config.sub_masters = hier_rng.range(1, 2);  // "east" / "east"+"west"
+    config.site_relay_interval = hier_rng.real(0.1, 0.5);
+    config.inter_site_lbd_cap =
+        hier_rng.chance(4) ? 0 : hier_rng.range(3, 8);
+  }
+
   Campaign campaign(formula, "east", hosts, config);
   if (tracer != nullptr) campaign.set_tracer(tracer);
+
+  outcome.sub_masters = campaign.num_sub_masters();
+  if (outcome.sub_masters > 0) {
+    // Sub-master kills land in the summary-forwarding window (the first
+    // relay cadences, while reports and digests are in flight), so
+    // bounce/re-home interleaves with live protocol traffic.
+    outcome.sub_master_kills = hier_rng.range(0, 2);
+    for (std::size_t i = 0; i < outcome.sub_master_kills; ++i) {
+      const char* site = hier_rng.chance(2) ? "east" : "west";
+      campaign.schedule_sub_master_failure(site, hier_rng.real(0.5, 15.0));
+    }
+  }
 
   if (rng.chance(4)) {
     outcome.batch = true;
@@ -207,6 +232,9 @@ ScenarioOutcome run_scenario(std::uint64_t seed, obs::Tracer* tracer) {
   outcome.migrations = result.migrations;
   outcome.recoveries = result.checkpoint_recoveries;
   outcome.races_cancelled = result.races_cancelled;
+  outcome.sub_master_rehomes = result.sub_master_rehomes;
+  outcome.sub_master_bounces = result.sub_master_bounces;
+  outcome.brokered_splits = result.brokered_splits;
   outcome.proof = result.proof;
   if (result.proof) outcome.proof_steps = result.proof->size();
 
@@ -257,10 +285,18 @@ std::string describe(const ScenarioOutcome& o) {
   if (o.mode != solver::ParallelMode::kSplit) {
     out << ", " << solver::to_string(o.mode);
   }
+  if (o.sub_masters > 0) {
+    out << ", " << o.sub_masters << " sub-masters";
+    if (o.sub_master_kills > 0) {
+      out << " (" << o.sub_master_kills << " killed, " << o.sub_master_rehomes
+          << " rehomed, " << o.sub_master_bounces << " bounces)";
+    }
+  }
   out << " -> " << to_string(o.status) << " in " << o.virtual_seconds
       << " vs (" << o.splits << " splits, " << o.migrations << " migrations, "
       << o.recoveries << " recoveries";
   if (o.races_cancelled > 0) out << ", " << o.races_cancelled << " cancelled";
+  if (o.brokered_splits > 0) out << ", " << o.brokered_splits << " brokered";
   if (o.proof_steps > 0) out << ", " << o.proof_steps << " proof steps";
   out << ")";
   if (!o.ok()) out << "  ORACLE FAILURE: " << o.failure;

@@ -34,6 +34,15 @@ struct ScenarioOutcome {
   bool batch = false;
   solver::ParallelMode mode = solver::ParallelMode::kSplit;
   std::uint64_t races_cancelled = 0;
+  /// Hierarchical-master dimensions (DESIGN.md §4j): sub-masters actually
+  /// deployed (0 = flat; racing scenarios may draw the knob but stay
+  /// flat), sub-master kills injected, and the failure machinery the run
+  /// actually exercised.
+  std::size_t sub_masters = 0;
+  std::size_t sub_master_kills = 0;
+  std::uint64_t sub_master_rehomes = 0;
+  std::uint64_t sub_master_bounces = 0;
+  std::uint64_t brokered_splits = 0;
   CampaignStatus status = CampaignStatus::kTimeout;
   double virtual_seconds = 0.0;
   std::uint64_t splits = 0;

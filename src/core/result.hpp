@@ -73,6 +73,31 @@ struct GridSatResult {
   /// base-refs; the warm-transfer drop factor is
   /// warm_ship_bytes_v1 / base_ref_payload_bytes.
   std::uint64_t warm_ship_bytes_v1 = 0;
+  /// Hierarchical-master accounting (DESIGN.md §4j). Messages addressed to
+  /// each coordinator tier: the root master vs. the per-site sub-masters.
+  /// Both topologies count root_messages_handled, so a flat and a
+  /// hierarchical row of the same campaign compare directly.
+  std::uint64_t root_messages_handled = 0;
+  std::uint64_t sub_messages_handled = 0;
+  /// In-site clause relay batches fanned out by sub-masters, and digest
+  /// traffic: digest messages shipped sub->root, clauses they carried, and
+  /// clauses dropped by a sub-master FingerprintFilter (duplicates that
+  /// never hit the WAN).
+  std::uint64_t site_relay_batches = 0;
+  std::uint64_t inter_site_digests = 0;
+  std::uint64_t digest_clauses_sent = 0;
+  std::uint64_t digest_clauses_deduped = 0;
+  /// Splits the root brokered across sites (a starving site's WORK_REQUEST
+  /// matched to the most loaded site's backlog).
+  std::uint64_t brokered_splits = 0;
+  /// Sub-master failure handling: messages that arrived at a dead
+  /// sub-master and were bounced to the root (extra hop charged), and
+  /// sites re-homed under a fresh sub-master incarnation.
+  std::uint64_t sub_master_bounces = 0;
+  std::uint64_t sub_master_rehomes = 0;
+  /// Wire traffic that crossed a site boundary (from the message bus).
+  std::uint64_t inter_site_messages = 0;
+  std::uint64_t inter_site_bytes = 0;
   /// Heavy-checkpoint chain accounting: full vs. incremental entries
   /// shipped, and deltas the master refused (stale incarnation/epoch gap;
   /// the client re-ships a full snapshot).

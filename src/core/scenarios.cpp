@@ -1,0 +1,84 @@
+#include "core/scenarios.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace gridsat::core::scenarios {
+
+namespace {
+
+struct JoinEvent {
+  double join_at;
+  double release_at;
+  sim::HostSpec spec;
+};
+
+/// Schedule `events` against the campaign. Joins are appended to the
+/// campaign's host list in fire order, so scheduling them sorted by join
+/// time pins each one's future index to base + position — which is what
+/// the paired release targets.
+std::size_t schedule_events(Campaign& campaign,
+                            std::vector<JoinEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const JoinEvent& a, const JoinEvent& b) {
+                     return a.join_at < b.join_at;
+                   });
+  const std::size_t base = campaign.num_hosts();
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    JoinEvent& ev = events[k];
+    campaign.schedule_host_join(std::move(ev.spec), ev.join_at);
+    campaign.schedule_host_release(base + k, ev.release_at);
+  }
+  return events.size();
+}
+
+}  // namespace
+
+std::size_t schedule_diurnal(Campaign& campaign,
+                             const std::vector<sim::HostSpec>& pool,
+                             const DiurnalSpec& spec, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed ^ 0x6a09e667f3bcc909ULL);
+  std::vector<JoinEvent> events;
+  events.reserve(pool.size() * spec.cycles);
+  const double period = spec.night_s + spec.day_s;
+  for (std::size_t cycle = 0; cycle < spec.cycles; ++cycle) {
+    const double dusk = spec.first_dusk_s + static_cast<double>(cycle) * period;
+    for (const sim::HostSpec& host : pool) {
+      JoinEvent ev;
+      ev.spec = host;
+      // Every cycle's tenancy is a fresh host entry; suffix the name so
+      // endpoint/trace lanes stay distinct across cycles.
+      ev.spec.name += "-n" + std::to_string(cycle);
+      ev.join_at = dusk + rng.uniform(0.0, spec.jitter_s);
+      ev.release_at =
+          ev.join_at + spec.night_s - rng.uniform(0.0, spec.jitter_s);
+      events.push_back(std::move(ev));
+    }
+  }
+  return schedule_events(campaign, std::move(events));
+}
+
+std::size_t schedule_flash_crowd(Campaign& campaign,
+                                 const std::vector<sim::HostSpec>& burst,
+                                 const FlashCrowdSpec& spec,
+                                 std::uint64_t seed) {
+  util::Xoshiro256 rng(seed ^ 0xbb67ae8584caa73bULL);
+  std::vector<JoinEvent> events;
+  events.reserve(burst.size());
+  for (const sim::HostSpec& host : burst) {
+    JoinEvent ev;
+    ev.spec = host;
+    ev.join_at = spec.at_s + rng.uniform(0.0, spec.ramp_s);
+    const double dwell =
+        std::max(1.0, spec.dwell_mean_s + rng.uniform(-spec.dwell_jitter_s,
+                                                      spec.dwell_jitter_s));
+    ev.release_at = ev.join_at + dwell;
+    events.push_back(std::move(ev));
+  }
+  return schedule_events(campaign, std::move(events));
+}
+
+}  // namespace gridsat::core::scenarios

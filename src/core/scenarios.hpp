@@ -1,0 +1,60 @@
+// Elastic-grid arrival scenarios (DESIGN.md §4g/§4j) built on
+// Campaign::schedule_host_join / schedule_host_release: deterministic
+// generators for the two workload shapes a long-lived grid campaign
+// actually meets — diurnal background load (machines leave for the work
+// day and return at night, cycling) and a flash crowd (a burst of
+// arrivals that drains away again).
+//
+// Both generators must be called before Campaign::run() and assume they
+// are the only source of host joins in the campaign (no batch system, no
+// concurrent schedule_host_join callers): joined hosts are appended in
+// event-fire order, which is how a generator predicts the index it must
+// later pass to schedule_host_release. Everything is deterministic in
+// (pool, spec, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/host.hpp"
+
+namespace gridsat::core {
+
+class Campaign;
+
+namespace scenarios {
+
+/// Diurnal cycle: the pool joins at each simulated dusk and is released
+/// at the next dawn, `cycles` times over. Per-host phase jitter spreads
+/// the join/release edges so the master sees a ramp, not a step.
+struct DiurnalSpec {
+  double first_dusk_s = 5.0;   ///< first join wave starts here
+  double night_s = 60.0;       ///< hosts stay this long each cycle
+  double day_s = 30.0;         ///< gap between release and the next wave
+  std::size_t cycles = 2;
+  double jitter_s = 3.0;       ///< per-host uniform phase jitter
+};
+
+/// Schedule the diurnal scenario; returns the number of join events.
+std::size_t schedule_diurnal(Campaign& campaign,
+                             const std::vector<sim::HostSpec>& pool,
+                             const DiurnalSpec& spec, std::uint64_t seed);
+
+/// Flash crowd: `burst` hosts arrive nearly at once (spread over
+/// `ramp_s`), each staying for dwell_mean_s +- dwell_jitter_s before
+/// being released — the "everyone's screensaver kicked in at 9pm" shape.
+struct FlashCrowdSpec {
+  double at_s = 10.0;
+  double ramp_s = 2.0;
+  double dwell_mean_s = 60.0;
+  double dwell_jitter_s = 20.0;
+};
+
+/// Schedule the flash-crowd scenario; returns the number of join events.
+std::size_t schedule_flash_crowd(Campaign& campaign,
+                                 const std::vector<sim::HostSpec>& burst,
+                                 const FlashCrowdSpec& spec,
+                                 std::uint64_t seed);
+
+}  // namespace scenarios
+}  // namespace gridsat::core

@@ -116,6 +116,46 @@ std::vector<sim::HostSpec> synthetic_grid(std::size_t n, std::size_t sites,
   return hosts;
 }
 
+WanGrid wan_grid(std::size_t hosts_per_site, std::uint64_t seed) {
+  WanGrid grid;
+  const char* sites[] = {"wan-east", "wan-west", "wan-eu", "wan-apac"};
+  util::Xoshiro256 rng(seed ^ 0xd1b54a32d192ed03ULL);
+  std::size_t n = 0;
+  for (const char* site : sites) {
+    for (std::size_t i = 0; i < hosts_per_site; ++i) {
+      const double speed = rng.uniform(2500.0, 7000.0);
+      const std::size_t memory = (2 + rng.below(3)) * kMiB;
+      const double base_load = rng.uniform(0.10, 0.30);
+      const double jitter = rng.uniform(0.05, 0.12);
+      grid.hosts.push_back(make_host("w" + std::to_string(n), site, speed,
+                                     memory, base_load, jitter,
+                                     seed + 100 + n));
+      ++n;
+    }
+  }
+  // Bytes-per-second figures follow the Network convention (see
+  // sim/network.hpp): the inter-site default is 30 ms / 2 MB/s.
+  constexpr double kMB = 1024.0 * 1024.0;
+  grid.links = {
+      // Fat national backbone.
+      {"wan-east", "wan-west", {0.015, 4.0 * kMB}},
+      // Transatlantic / transpacific, mid-grade.
+      {"wan-east", "wan-eu", {0.040, 1.5 * kMB}},
+      {"wan-west", "wan-apac", {0.060, 1.0 * kMB}},
+      // The asymmetric pair: eu<->apac trombones through a congested
+      // exchange — 180 ms where the two east-hop legs sum to 100 ms.
+      {"wan-eu", "wan-apac", {0.180, 0.4 * kMB}},
+      // east-apac and west-eu are left to the inter-site default.
+  };
+  return grid;
+}
+
+void apply_wan_links(const WanGrid& grid, sim::Network& network) {
+  for (const WanGrid::Link& link : grid.links) {
+    network.set_link(link.site_a, link.site_b, link.spec);
+  }
+}
+
 sim::HostSpec fastest_dedicated() {
   sim::HostSpec spec = grads34().front();
   spec.name = "utk-a0-dedicated";

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/host.hpp"
+#include "sim/network.hpp"
 
 namespace gridsat::core::testbeds {
 
@@ -46,5 +47,28 @@ sim::HostSpec fastest_dedicated();
 std::vector<sim::HostSpec> synthetic_grid(std::size_t n,
                                           std::size_t sites = 8,
                                           std::uint64_t seed = 2003);
+
+/// Four-site WAN testbed with per-pair link overrides (DESIGN.md §4j).
+/// Sites "wan-east", "wan-west", "wan-eu", "wan-apac" each hold
+/// `hosts_per_site` shared machines; `links` carries the pairwise
+/// overrides for Network::set_link. The mesh is deliberately non-uniform:
+/// a fat east-west backbone, mid-grade transatlantic and transpacific
+/// links, and one *asymmetric-latency* pair — eu-apac tromboned far above
+/// what its east-hop legs would suggest (triangle-inequality violation),
+/// the case a single inter-site default cannot model. Pairs not listed
+/// fall back to the network's inter-site default.
+struct WanGrid {
+  struct Link {
+    std::string site_a;
+    std::string site_b;
+    sim::LinkSpec spec;
+  };
+  std::vector<sim::HostSpec> hosts;
+  std::vector<Link> links;
+};
+WanGrid wan_grid(std::size_t hosts_per_site = 4, std::uint64_t seed = 2003);
+
+/// Install a WanGrid's per-pair overrides on a campaign's network.
+void apply_wan_links(const WanGrid& grid, sim::Network& network);
 
 }  // namespace gridsat::core::testbeds

@@ -610,6 +610,35 @@ AnalyzeReport analyze_trace(const std::string& trace_json,
             static_cast<unsigned long long>(wc.bytes));
   }
 
+  // --- master tiers (hierarchical topologies only) ------------------------
+  // campaign.master.* gauges exist only when the campaign ran with
+  // sub-masters (DESIGN.md §4j); flat-topology reports omit the section.
+  const auto tier = [&m](const char* name) {
+    const auto it = m.counters.find(name);
+    return it != m.counters.end() ? it->second : 0.0;
+  };
+  if (m.counters.count("campaign.master.sub_masters") != 0) {
+    appendf(out, "\n-- master tiers --\n");
+    const double root = tier("campaign.master.root_messages");
+    const double sub = tier("campaign.master.sub_messages");
+    const double total = root + sub;
+    appendf(out,
+            "sub-masters: %.0f  root msgs: %.0f (%.1f%% of tiered)  "
+            "sub msgs: %.0f\n",
+            tier("campaign.master.sub_masters"), root,
+            total > 0.0 ? 100.0 * root / total : 0.0, sub);
+    const double digest_clauses = tier("campaign.master.digest_clauses");
+    const double deduped = tier("campaign.master.digest_deduped");
+    appendf(out,
+            "in-site relay batches: %.0f  inter-site digests: %.0f "
+            "(%.0f clauses, %.0f deduped at sub-masters)\n",
+            tier("campaign.master.relay_batches"),
+            tier("campaign.master.digests"), digest_clauses, deduped);
+    appendf(out, "brokered splits: %.0f  dead-sub bounces: %.0f  rehomes: %.0f\n",
+            tier("campaign.master.brokered_splits"),
+            tier("campaign.master.bounces"), tier("campaign.master.rehomes"));
+  }
+
   // --- clause sharing ----------------------------------------------------
   const auto imports = m.counters.find("campaign.imports");
   const auto used = m.counters.find("campaign.imports_used");

@@ -174,6 +174,15 @@ class MessageBus {
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
     return bytes_sent_;
   }
+  /// Traffic that crossed a site boundary — the WAN share of the totals
+  /// above, and the denominator the hierarchical-master work (DESIGN.md
+  /// §4j) sets out to shrink.
+  [[nodiscard]] std::uint64_t inter_site_messages() const noexcept {
+    return inter_site_messages_;
+  }
+  [[nodiscard]] std::uint64_t inter_site_bytes() const noexcept {
+    return inter_site_bytes_;
+  }
 
   [[nodiscard]] SimEngine& engine() noexcept { return engine_; }
   [[nodiscard]] Network& network() noexcept { return network_; }
@@ -186,6 +195,10 @@ class MessageBus {
   void account(const MessageHeader& h, double delay) {
     ++messages_sent_;
     bytes_sent_ += h.bytes;
+    if (h.from_site != h.to_site) {
+      ++inter_site_messages_;
+      inter_site_bytes_ += h.bytes;
+    }
     // Unstamped messages get their own single-hop flow. Allocated
     // unconditionally (one increment) so flow ids are identical whether
     // or not a tracer happens to be attached.
@@ -253,6 +266,8 @@ class MessageBus {
   std::vector<MessageRecord> trace_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t inter_site_messages_ = 0;
+  std::uint64_t inter_site_bytes_ = 0;
   obs::Tracer* tracer_ = nullptr;
   obs::HistogramMetric* latency_hist_ = nullptr;
   std::uint64_t next_flow_id_ = 0;

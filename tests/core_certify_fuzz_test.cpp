@@ -38,6 +38,9 @@ TEST(CertifyFuzzAggregateTest, SweepExercisesEveryScenarioDimension) {
   std::size_t unsat_certified = 0;
   std::size_t with_failures = 0;
   std::size_t racing = 0;
+  std::size_t hierarchical = 0;
+  std::size_t sub_kills = 0;
+  std::uint64_t rehomes = 0;
   std::uint64_t splits = 0;
   for (std::uint64_t seed = 1; seed < 25; ++seed) {
     const fuzz::ScenarioOutcome o = fuzz::run_scenario(seed);
@@ -45,12 +48,38 @@ TEST(CertifyFuzzAggregateTest, SweepExercisesEveryScenarioDimension) {
     if (o.status == CampaignStatus::kUnsat) ++unsat_certified;
     if (o.failures > 0) ++with_failures;
     if (o.mode != solver::ParallelMode::kSplit) ++racing;
+    if (o.sub_masters > 0) ++hierarchical;
+    sub_kills += o.sub_master_kills;
+    rehomes += o.sub_master_rehomes;
     splits += o.splits;
   }
   EXPECT_GE(unsat_certified, 5u);
   EXPECT_GE(with_failures, 8u);
   EXPECT_GE(racing, 3u);  // portfolio/hybrid scenarios reach the oracle
+  // Hierarchical topologies (DESIGN.md §4j) are drawn, sub-masters get
+  // killed, and at least one site is actually re-homed in the sweep.
+  EXPECT_GE(hierarchical, 5u);
+  EXPECT_GE(sub_kills, 3u);
+  EXPECT_GE(rehomes, 1u);
   EXPECT_GT(splits, 0u);
+}
+
+// Calibrated regression (recalibrate if scenario derivation changes):
+// seed 6 draws a hierarchical UNSAT campaign whose sub-master dies inside
+// the summary-forwarding window — in-flight reports bounce to the root,
+// the site is re-homed, and the refutation must still stitch and certify.
+TEST(CertifyFuzzRegressionTest, SubMasterDeathInSummaryWindowCertifies) {
+  if (!solver::kProofCompiledIn) GTEST_SKIP() << "GRIDSAT_PROOF is off";
+  const fuzz::ScenarioOutcome o = fuzz::run_scenario(6);
+  ASSERT_TRUE(o.ok()) << fuzz::describe(o);
+  ASSERT_GT(o.sub_masters, 0u) << "seed 6 no longer draws a hierarchical "
+                                  "scenario; recalibrate\n"
+                               << fuzz::describe(o);
+  EXPECT_GT(o.sub_master_kills, 0u);
+  EXPECT_GE(o.sub_master_rehomes, 1u);
+  EXPECT_GE(o.sub_master_bounces, 1u);
+  EXPECT_EQ(o.status, CampaignStatus::kUnsat);
+  EXPECT_GT(o.proof_steps, 0u);
 }
 
 }  // namespace
